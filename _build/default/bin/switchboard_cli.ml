@@ -1,0 +1,189 @@
+(* Command-line front end to Global Switchboard's traffic engineering.
+
+   Synthesizes a reproducible wide-area scenario (seeded backbone topology +
+   chain workload, Section 7.3 style) and exposes the three planning
+   operations of Section 4.2:
+
+     switchboard_cli route --scheme sb-dp --chains 24 --coverage 0.5
+     switchboard_cli compare --seed 7
+     switchboard_cli plan-cloud --budget 200
+     switchboard_cli plan-vnf --new-sites 2 *)
+
+open Cmdliner
+
+module Model = Sb_core.Model
+module Routing = Sb_core.Routing
+module Eval = Sb_core.Eval
+module Workload = Sb_core.Workload
+
+(* ----------------------------- options ----------------------------- *)
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the scenario.")
+
+let chains =
+  Arg.(value & opt int 24 & info [ "chains" ] ~docv:"N" ~doc:"Number of service chains.")
+
+let coverage =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "coverage" ] ~docv:"F" ~doc:"Fraction of sites hosting each VNF (0, 1].")
+
+let cores =
+  Arg.(value & opt int 5 & info [ "cores" ] ~docv:"N" ~doc:"Backbone core routers.")
+
+let scheme =
+  let schemes =
+    [
+      ("anycast", Eval.Anycast);
+      ("compute-aware", Eval.Compute_aware);
+      ("onehop", Eval.Onehop);
+      ("dp-latency", Eval.Dp_latency);
+      ("sb-dp", Eval.Sb_dp);
+      ("sb-lp", Eval.Sb_lp);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum schemes) Eval.Sb_dp
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:"Routing scheme: anycast, compute-aware, onehop, dp-latency, sb-dp, sb-lp.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each chain's route.")
+
+let file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "file" ] ~docv:"SCENARIO"
+        ~doc:
+          "Load the deployment from a scenario file (see lib/core/spec.mli for the \
+           format) instead of synthesizing one.")
+
+let build_model ?file seed cores chains coverage =
+  match file with
+  | Some path -> (
+    match Sb_core.Spec.load_file path with
+    | Ok m -> m
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      exit 2)
+  | None ->
+    let rng = Sb_util.Rng.create seed in
+    let topo = Sb_net.Topology.backbone ~rng ~num_core:cores ~pops_per_core:2 () in
+    Workload.synthesize ~rng topo
+      { Workload.default with Workload.num_chains = chains; coverage }
+
+(* ------------------------------ route ------------------------------ *)
+
+let route_cmd =
+  let run seed cores chains coverage scheme verbose file =
+    let m = build_model ?file seed cores chains coverage in
+    Printf.printf "scenario: %d nodes, %d chains, coverage %.2f, demand %.1f\n"
+      (Model.num_sites m) (Model.num_chains m) coverage (Model.total_demand m);
+    match Eval.route ~seed m scheme with
+    | Error e ->
+      Printf.eprintf "routing failed: %s\n" e;
+      1
+    | Ok r ->
+      if verbose then
+        for c = 0 to Model.num_chains m - 1 do
+          Format.printf "%a@." (fun ppf r -> Routing.pp_chain ppf r c) r
+        done;
+      Printf.printf "%s: supported load %.2fx, mean latency %.2f ms\n"
+        (Eval.scheme_name scheme) (Routing.max_alpha r)
+        (1000. *. Routing.mean_latency r);
+      (match Routing.validate r with
+      | Ok () -> 0
+      | Error e ->
+        Printf.eprintf "INVALID ROUTING: %s\n" e;
+        1)
+  in
+  let term =
+    Term.(const run $ seed $ cores $ chains $ coverage $ scheme $ verbose $ file)
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route a chain workload (synthetic or from a file) with one scheme.")
+    term
+
+(* ----------------------------- compare ----------------------------- *)
+
+let compare_cmd =
+  let run seed cores chains coverage file =
+    let m = build_model ?file seed cores chains coverage in
+    Printf.printf "%-14s %10s %14s\n" "scheme" "max load" "latency@0.5";
+    List.iter
+      (fun s ->
+        let f = Eval.max_load_factor ~seed m s in
+        let l = Eval.latency ~seed ~load:0.5 m s in
+        Printf.printf "%-14s %9.2fx %11s\n" (Eval.scheme_name s) f
+          (if l = infinity then "overload" else Printf.sprintf "%.2f ms" (1000. *. l)))
+      Eval.all_schemes;
+    0
+  in
+  let term = Term.(const run $ seed $ cores $ chains $ coverage $ file) in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all routing schemes on one scenario.")
+    term
+
+(* ---------------------------- plan-cloud --------------------------- *)
+
+let plan_cloud_cmd =
+  let budget =
+    Arg.(value & opt float 200. & info [ "budget" ] ~docv:"B" ~doc:"Extra compute to place.")
+  in
+  let run seed cores chains coverage budget =
+    let m = build_model seed cores chains coverage in
+    match (Sb_core.Capacity.optimize m ~budget, Sb_core.Capacity.uniform m ~budget) with
+    | Ok opt, Ok uni ->
+      Printf.printf "uniform placement:   alpha = %.3f\n" uni.Sb_core.Capacity.alpha;
+      Printf.printf "optimized placement: alpha = %.3f (+%.1f%%)\n" opt.Sb_core.Capacity.alpha
+        (100. *. ((opt.Sb_core.Capacity.alpha /. uni.Sb_core.Capacity.alpha) -. 1.));
+      Array.iteri
+        (fun s a -> if a > 1e-6 then Printf.printf "  site %2d: +%.1f\n" s a)
+        opt.Sb_core.Capacity.allocation;
+      0
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "planning failed: %s\n" e;
+      1
+  in
+  let term = Term.(const run $ seed $ cores $ chains $ coverage $ budget) in
+  Cmd.v
+    (Cmd.info "plan-cloud"
+       ~doc:"Place additional cloud capacity to maximize supported demand (Section 4.2).")
+    term
+
+(* ----------------------------- plan-vnf ---------------------------- *)
+
+let plan_vnf_cmd =
+  let new_sites =
+    Arg.(value & opt int 1 & info [ "new-sites" ] ~docv:"N" ~doc:"New sites per VNF.")
+  in
+  let run seed cores chains coverage new_sites =
+    let m = build_model seed cores chains coverage in
+    let lat model =
+      1000.
+      *. Routing.propagation_latency
+           (Sb_core.Dp_routing.solve ~rng:(Sb_util.Rng.create seed) model)
+    in
+    let sugg = Sb_core.Placement.suggest m ~new_sites_per_vnf:new_sites in
+    let rand = Sb_core.Placement.random ~rng:(Sb_util.Rng.create seed) m ~new_sites_per_vnf:new_sites in
+    Printf.printf "current deployment:     %.2f ms mean propagation latency\n" (lat m);
+    Printf.printf "random new sites:       %.2f ms\n" (lat rand);
+    Printf.printf "Switchboard placement:  %.2f ms\n" (lat sugg);
+    0
+  in
+  let term = Term.(const run $ seed $ cores $ chains $ coverage $ new_sites) in
+  Cmd.v
+    (Cmd.info "plan-vnf"
+       ~doc:"Suggest new VNF deployment sites that minimize chain latency (Section 4.2).")
+    term
+
+let () =
+  let info =
+    Cmd.info "switchboard_cli" ~version:"1.0"
+      ~doc:"Wide-area service chaining traffic engineering (Switchboard reproduction)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ route_cmd; compare_cmd; plan_cloud_cmd; plan_vnf_cmd ]))

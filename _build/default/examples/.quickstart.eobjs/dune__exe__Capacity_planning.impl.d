@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Format List Sb_core Sb_net Sb_util

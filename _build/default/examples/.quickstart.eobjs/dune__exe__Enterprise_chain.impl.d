@@ -1,0 +1,1 @@
+examples/enterprise_chain.ml: Array Float Format List Printf Sb_core Sb_net Sb_util

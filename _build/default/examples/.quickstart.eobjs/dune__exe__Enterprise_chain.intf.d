@@ -1,0 +1,1 @@
+examples/enterprise_chain.mli:

@@ -1,0 +1,1 @@
+examples/mobility.ml: Format List Sb_ctrl Sb_dataplane Sb_sim Sb_util String

@@ -1,0 +1,1 @@
+examples/mobility.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Sb_core Sb_net

@@ -1,0 +1,1 @@
+examples/video_chain.ml: Format List Option Sb_ctrl Sb_dataplane Sb_sim String

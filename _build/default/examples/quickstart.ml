@@ -1,0 +1,61 @@
+(* Quickstart: model a small wide-area network, define a service chain, and
+   let Global Switchboard's two routing engines place it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Model = Sb_core.Model
+module Routing = Sb_core.Routing
+module Topology = Sb_net.Topology
+
+let () =
+  (* 1. A three-node wide-area network: CPE -- edge cloud -- core cloud. *)
+  let topo = Topology.create () in
+  let cpe = Topology.add_node topo "cpe" in
+  let edge = Topology.add_node topo "edge-cloud" in
+  let core = Topology.add_node topo "core-cloud" in
+  Topology.add_duplex topo cpe edge ~bandwidth:10. ~delay:0.005;
+  Topology.add_duplex topo edge core ~bandwidth:40. ~delay:0.020;
+
+  (* 2. Cloud sites and a VNF catalog. The CPE can host a little compute,
+     the edge cloud more, the core cloud plenty. *)
+  let b = Model.builder topo in
+  let s_cpe = Model.add_site b ~node:cpe ~capacity:4. in
+  let s_edge = Model.add_site b ~node:edge ~capacity:40. in
+  let s_core = Model.add_site b ~node:core ~capacity:400. in
+  let firewall = Model.add_vnf b ~name:"firewall" ~cpu_per_unit:1.0 in
+  let ids = Model.add_vnf b ~name:"intrusion-detection" ~cpu_per_unit:3.0 in
+  Model.deploy b ~vnf:firewall ~site:s_cpe ~capacity:4.;
+  Model.deploy b ~vnf:firewall ~site:s_edge ~capacity:20.;
+  Model.deploy b ~vnf:ids ~site:s_edge ~capacity:20.;
+  Model.deploy b ~vnf:ids ~site:s_core ~capacity:200.;
+
+  (* 3. A customer chain: CPE traffic through firewall then IDS, out at the
+     core cloud (e.g. towards the Internet). 2 units of forward traffic,
+     half of it returning. *)
+  let chain =
+    Model.add_chain b ~name:"secure-internet" ~ingress:cpe ~egress:core
+      ~vnfs:[ firewall; ids ] ~fwd:2.0 ~rev:1.0 ()
+  in
+  let m = Model.finalize b () in
+
+  (* 4. Route with the fast dynamic program (SB-DP)... *)
+  let dp = Sb_core.Dp_routing.solve m in
+  Format.printf "SB-DP route:@.%a@." (fun ppf r -> Routing.pp_chain ppf r chain) dp;
+  Format.printf "  supported load factor: %.2fx current demand@." (Routing.max_alpha dp);
+  Format.printf "  mean latency: %.1f ms@.@."
+    (1000. *. Routing.mean_latency dp);
+
+  (* ...and with the exact linear program (SB-LP). *)
+  (match Sb_core.Lp_routing.solve m Sb_core.Lp_routing.Min_latency with
+  | Ok { routing; objective_value; _ } ->
+    Format.printf "SB-LP (min-latency) route:@.%a@."
+      (fun ppf r -> Routing.pp_chain ppf r chain)
+      routing;
+    Format.printf "  optimal mean latency: %.1f ms@." (1000. *. objective_value)
+  | Error e -> Format.printf "SB-LP failed: %s@." e);
+
+  (* 5. How much more demand could this network take? *)
+  match Sb_core.Lp_routing.solve m Sb_core.Lp_routing.Max_throughput with
+  | Ok { objective_value; _ } ->
+    Format.printf "max supported demand scaling (SB-LP): %.2fx@." objective_value
+  | Error e -> Format.printf "throughput LP failed: %s@." e

@@ -1,0 +1,1 @@
+lib/cache/sharing.ml: Array Lru Sb_util

@@ -1,0 +1,1 @@
+lib/cache/sharing.mli: Sb_util

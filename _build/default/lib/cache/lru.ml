@@ -1,0 +1,75 @@
+(* Doubly-linked recency list + hashtable. *)
+type 'k node = {
+  key : 'k;
+  size : int;
+  mutable prev : 'k node option;
+  mutable next : 'k node option;
+}
+
+type 'k t = {
+  capacity : int;
+  table : ('k, 'k node) Hashtbl.t;
+  mutable head : 'k node option; (* most recently used *)
+  mutable tail : 'k node option; (* least recently used *)
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create 1024; head = None; tail = None; used = 0; hits = 0; misses = 0 }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    t.used <- t.used - n.size
+
+let access t ~key ~size =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    `Hit
+  | None ->
+    t.misses <- t.misses + 1;
+    if size <= t.capacity then begin
+      while t.used + size > t.capacity do
+        evict_lru t
+      done;
+      let n = { key; size; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      t.used <- t.used + size
+    end;
+    `Miss
+
+let mem t k = Hashtbl.mem t.table k
+let used_bytes t = t.used
+let entry_count t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

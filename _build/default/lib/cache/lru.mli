@@ -1,0 +1,26 @@
+(** Byte-capacity LRU cache (the web-cache VNF of Section 7.2 / Table 3).
+
+    Models Squid-style object caching: objects have sizes, the cache holds
+    at most [capacity] bytes, and the least-recently-used objects are
+    evicted to make room. Keys are polymorphic so a shared cache can key by
+    object id while siloed caches key per tenant. *)
+
+type 'k t
+
+val create : capacity:int -> 'k t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val access : 'k t -> key:'k -> size:int -> [ `Hit | `Miss ]
+(** Look up an object; on miss, insert it (evicting LRU entries as needed;
+    objects larger than the whole cache are not cached). Either way the
+    object becomes most-recently used. *)
+
+val mem : 'k t -> 'k -> bool
+val used_bytes : 'k t -> int
+val entry_count : 'k t -> int
+val hits : 'k t -> int
+val misses : 'k t -> int
+val hit_rate : 'k t -> float
+(** hits / (hits + misses); 0 before any access. *)
+
+val reset_stats : 'k t -> unit

@@ -1,0 +1,72 @@
+type params = {
+  num_chains : int;
+  catalog_size : int;
+  zipf_exponent : float;
+  mean_object_bytes : int;
+  total_cache_bytes : int;
+  requests : int;
+  wan_rtt : float;
+  lan_rtt : float;
+  link_bandwidth : float;
+}
+
+let default_params =
+  {
+    num_chains = 5;
+    catalog_size = 200_000;
+    zipf_exponent = 1.0;
+    mean_object_bytes = 50_000;
+    total_cache_bytes = 160_000_000; (* 160 MB shared; 32 MB per silo *)
+    requests = 150_000;
+    wan_rtt = 0.060;
+    lan_rtt = 0.004;
+    link_bandwidth = 4_930_000.; (* ~40 Mbit/s access link *)
+  }
+
+type result = { hit_rate : float; mean_download_time : float }
+
+(* Object sizes are deterministic per object id (same content for every
+   chain): roughly exponential around the mean, derived from a hash. *)
+let object_size p oid =
+  let h = (oid * 2654435761) land 0xFFFFFF in
+  let u = (float_of_int h +. 1.) /. 16777217. in
+  let s = -.log u *. float_of_int p.mean_object_bytes in
+  max 256 (int_of_float s)
+
+let download_time p ~hit ~size =
+  let transfer = float_of_int size /. p.link_bandwidth in
+  if hit then p.lan_rtt +. transfer
+  else p.lan_rtt +. p.wan_rtt +. (2. *. transfer)
+
+let run p ~rng ~cache_of_chain ~key_of =
+  let zipf = Sb_util.Zipf.create ~n:p.catalog_size ~s:p.zipf_exponent in
+  let total_time = ref 0. in
+  let hits = ref 0 in
+  let total = p.requests * p.num_chains in
+  for i = 0 to total - 1 do
+    (* Interleave chains round-robin so silos warm up concurrently. *)
+    let chain = i mod p.num_chains in
+    let oid = Sb_util.Zipf.sample zipf rng in
+    let size = object_size p oid in
+    let cache = cache_of_chain chain in
+    match Lru.access cache ~key:(key_of chain oid) ~size with
+    | `Hit ->
+      incr hits;
+      total_time := !total_time +. download_time p ~hit:true ~size
+    | `Miss -> total_time := !total_time +. download_time p ~hit:false ~size
+  done;
+  {
+    hit_rate = float_of_int !hits /. float_of_int total;
+    mean_download_time = !total_time /. float_of_int total;
+  }
+
+let run_shared ~rng p =
+  let cache = Lru.create ~capacity:p.total_cache_bytes in
+  run p ~rng ~cache_of_chain:(fun _ -> cache) ~key_of:(fun _ oid -> oid)
+
+let run_siloed ~rng p =
+  let caches =
+    Array.init p.num_chains (fun _ ->
+        Lru.create ~capacity:(p.total_cache_bytes / p.num_chains))
+  in
+  run p ~rng ~cache_of_chain:(fun c -> caches.(c)) ~key_of:(fun _ oid -> oid)

@@ -1,0 +1,39 @@
+(** The shared-vs-siloed cache experiment (Section 7.2, Table 3).
+
+    Five service chains each front the same web content catalog with a
+    caching VNF. Switchboard's service-oriented design lets one multi-tenant
+    cache instance serve all five chains; the unified-controller baseline
+    (E2/Stratos-style vertical isolation) gives each chain its own instance
+    with one fifth of the memory. Requests follow a Zipf(1.0) popularity
+    distribution over the catalog with 50 KB mean object size; a miss pays
+    a wide-area RTT to the origin site (60 ms between the paper's two AWS
+    sites) plus transfer time.
+
+    Sharing wins twice: cached objects are reused across chains, and the
+    single large cache holds a deeper popularity tail. *)
+
+type params = {
+  num_chains : int;  (** paper: 5 *)
+  catalog_size : int;  (** distinct objects *)
+  zipf_exponent : float;  (** paper: 1.0 *)
+  mean_object_bytes : int;  (** paper: 50 KB *)
+  total_cache_bytes : int;  (** shared size; siloed caches get 1/n each *)
+  requests : int;  (** per chain *)
+  wan_rtt : float;  (** cache-to-origin round trip, seconds (paper: 60 ms) *)
+  lan_rtt : float;  (** client-to-cache round trip, seconds *)
+  link_bandwidth : float;  (** bytes/second for transfer-time terms *)
+}
+
+val default_params : params
+
+type result = { hit_rate : float; mean_download_time : float (* seconds *) }
+
+val run_shared : rng:Sb_util.Rng.t -> params -> result
+(** One cache of [total_cache_bytes] serving every chain (objects keyed by
+    content id only, so cross-chain reuse hits). *)
+
+val run_siloed : rng:Sb_util.Rng.t -> params -> result
+(** Per-chain caches of [total_cache_bytes / num_chains] each. *)
+
+val download_time : params -> hit:bool -> size:int -> float
+(** The latency model shared by both runs. *)

@@ -1,0 +1,1 @@
+lib/core/capacity.ml: Array Lp_routing Model

@@ -1,0 +1,1 @@
+lib/core/capacity.mli: Model Result

@@ -1,0 +1,1 @@
+lib/core/dp_routing.ml: Array Float Hashtbl List Load_state Model Routing Sb_net Sb_util

@@ -1,0 +1,1 @@
+lib/core/dp_routing.mli: Load_state Model Routing Sb_util

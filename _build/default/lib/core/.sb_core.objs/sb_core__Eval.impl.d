@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Dp_routing Greedy Lp_routing Model Routing Sb_util

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Dp_routing Float List Load_state Model Routing Sb_net

@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Model Routing

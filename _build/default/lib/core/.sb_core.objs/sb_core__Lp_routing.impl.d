@@ -1,0 +1,1 @@
+lib/core/lp_routing.ml: Array Hashtbl List Model Option Printf Routing Sb_lp Sb_net

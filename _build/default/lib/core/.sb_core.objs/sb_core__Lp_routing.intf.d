@@ -1,0 +1,1 @@
+lib/core/lp_routing.mli: Model Result Routing

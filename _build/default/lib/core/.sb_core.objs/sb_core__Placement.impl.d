@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Float Hashtbl List Model Printf Sb_lp Sb_net Sb_util

@@ -1,0 +1,1 @@
+lib/core/placement.mli: Model Sb_util

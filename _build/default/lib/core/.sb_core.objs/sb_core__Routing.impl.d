@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Float Format List Load_state Model Printf Sb_net

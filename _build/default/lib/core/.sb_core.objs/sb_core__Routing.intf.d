@@ -1,0 +1,1 @@
+lib/core/routing.mli: Format Load_state Model

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Buffer Hashtbl List Model Printf Sb_net String

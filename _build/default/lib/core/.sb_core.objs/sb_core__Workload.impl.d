@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Float List Model Printf Sb_net Sb_util

@@ -1,0 +1,1 @@
+lib/core/workload.mli: Model Sb_net Sb_util

@@ -1,0 +1,18 @@
+type plan = { allocation : float array; alpha : float }
+
+let optimize m ~budget =
+  match Lp_routing.solve ~cloud_budget:budget m Lp_routing.Max_throughput with
+  | Error e -> Error e
+  | Ok { objective_value; site_extra; _ } ->
+    let allocation =
+      match site_extra with Some a -> a | None -> Array.make (Model.num_sites m) 0.
+    in
+    Ok { allocation; alpha = objective_value }
+
+let uniform m ~budget =
+  let n = Model.num_sites m in
+  let allocation = Array.make n (budget /. float_of_int n) in
+  let m' = Model.with_site_capacity_delta m allocation in
+  match Lp_routing.solve m' Lp_routing.Max_throughput with
+  | Error e -> Error e
+  | Ok { objective_value; _ } -> Ok { allocation; alpha = objective_value }

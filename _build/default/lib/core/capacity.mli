@@ -1,0 +1,19 @@
+(** Cloud capacity planning (Sections 4.2-4.3, Fig. 13b).
+
+    Given a budget of additional compute to spread across sites, find the
+    per-site allocation that maximizes the uniform traffic-scaling factor
+    alpha — solved as the capacity-planning LP (routing variables plus
+    per-site allocation variables). The baseline spreads the budget
+    uniformly and re-solves the throughput LP. *)
+
+type plan = {
+  allocation : float array;  (** extra capacity per site *)
+  alpha : float;  (** supported demand-scaling factor *)
+}
+
+val optimize : Model.t -> budget:float -> (plan, string) Result.t
+(** Switchboard's capacity-planning LP. *)
+
+val uniform : Model.t -> budget:float -> (plan, string) Result.t
+(** Uniform-spread baseline ("provisioning capacity uniformly across
+    sites"). *)

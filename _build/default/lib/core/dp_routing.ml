@@ -1,0 +1,172 @@
+let default_util_weight = 0.05
+
+(* Candidate nodes for element [z] of a chain (0 = ingress, L+1 = egress). *)
+let element_nodes m chain ~ingress ~egress z =
+  let len = Model.chain_length m chain in
+  if z = 0 then [ ingress ]
+  else if z = len + 1 then [ egress ]
+  else Model.stage_dst_nodes m ~chain ~stage:(z - 1)
+
+let best_path ?ingress ?egress state ~util_weight ~chain =
+  let m = Load_state.model state in
+  let ingress = match ingress with Some i -> i | None -> Model.chain_ingress m chain in
+  let egress = match egress with Some e -> e | None -> Model.chain_egress m chain in
+  let len = Model.chain_length m chain in
+  (* cost.(z) : (node, best cost, parent node) list for element z *)
+  let table = Array.make (len + 2) [] in
+  table.(0) <- [ (ingress, 0., -1) ];
+  for z = 1 to len + 1 do
+    table.(z) <-
+      List.map
+        (fun node ->
+          let best =
+            List.fold_left
+              (fun (bc, bp) (prev_node, prev_cost, _) ->
+                if prev_cost = infinity then (bc, bp)
+                else
+                  let c =
+                    prev_cost
+                    +. Load_state.stage_cost state ~util_weight ~chain ~stage:(z - 1)
+                         ~src:prev_node ~dst:node
+                  in
+                  if c < bc then (c, prev_node) else (bc, bp))
+              (infinity, -1)
+              table.(z - 1)
+          in
+          (node, fst best, snd best))
+        (element_nodes m chain ~ingress ~egress z)
+  done;
+  (* Walk parents back from the egress. *)
+  match table.(len + 1) with
+  | [ (egress, cost, parent) ] when cost < infinity ->
+    let nodes = Array.make (len + 2) egress in
+    let rec back z node =
+      nodes.(z) <- node;
+      if z > 0 then
+        let _, _, parent =
+          List.find (fun (n, _, _) -> n = node) table.(z)
+        in
+        back (z - 1) parent
+    in
+    back len parent;
+    nodes.(len + 1) <- egress;
+    Some nodes
+  | _ -> None
+
+(* Largest fraction of the chain the path can carry within remaining link,
+   site, and deployment capacities. Demand is accumulated per resource over
+   the whole path first (a VNF is charged on both its inbound and outbound
+   stages per Eq. 4, and a link may carry several stages), then the binding
+   resource determines the fraction. *)
+let path_headroom state chain nodes =
+  let m = Load_state.model state in
+  let topo = Model.topology m in
+  let paths = Model.paths m in
+  let link_demand = Hashtbl.create 16 in
+  let vnf_demand = Hashtbl.create 8 in
+  let site_demand = Hashtbl.create 8 in
+  let bump tbl key amount =
+    let cur = try Hashtbl.find tbl key with Not_found -> 0. in
+    Hashtbl.replace tbl key (cur +. amount)
+  in
+  let charge_compute vnf_opt node volume =
+    match (vnf_opt, Model.site_of_node m node) with
+    | Some f, Some s ->
+      let load = Model.vnf_cpu_per_unit m f *. volume in
+      bump vnf_demand (f, s) load;
+      bump site_demand s load
+    | _ -> ()
+  in
+  for z = 0 to Array.length nodes - 2 do
+    let src = nodes.(z) and dst = nodes.(z + 1) in
+    let w = Model.fwd_traffic m ~chain ~stage:z in
+    let v = Model.rev_traffic m ~chain ~stage:z in
+    List.iter
+      (fun (e, frac) -> bump link_demand e (w *. frac))
+      (Sb_net.Paths.fractions paths ~src ~dst);
+    List.iter
+      (fun (e, frac) -> bump link_demand e (v *. frac))
+      (Sb_net.Paths.fractions paths ~src:dst ~dst:src);
+    let src_vnf = if z = 0 then None else Model.stage_dst_vnf m ~chain ~stage:(z - 1) in
+    charge_compute src_vnf src (w +. v);
+    charge_compute (Model.stage_dst_vnf m ~chain ~stage:z) dst (w +. v)
+  done;
+  let cap = ref infinity in
+  let consider room per_unit =
+    if per_unit > 1e-12 then cap := Float.min !cap (room /. per_unit)
+  in
+  Hashtbl.iter
+    (fun e demand ->
+      let l = Sb_net.Topology.link topo e in
+      let room =
+        (Model.beta m *. l.bandwidth) -. Model.background m e
+        -. Load_state.link_sb_load state e
+      in
+      consider room demand)
+    link_demand;
+  Hashtbl.iter
+    (fun (f, s) demand ->
+      consider
+        (Model.vnf_site_capacity m ~vnf:f ~site:s -. Load_state.vnf_load state ~vnf:f ~site:s)
+        demand)
+    vnf_demand;
+  Hashtbl.iter
+    (fun s demand ->
+      consider (Model.site_capacity m s -. Load_state.site_load state s) demand)
+    site_demand;
+  Float.max 0. !cap
+
+let commit state chain nodes frac =
+  for z = 0 to Array.length nodes - 2 do
+    Load_state.add_stage_flow state ~chain ~stage:z ~src:nodes.(z) ~dst:nodes.(z + 1)
+      ~frac
+  done
+
+let chain_order ?rng m =
+  let order = Array.init (Model.num_chains m) (fun c -> c) in
+  (match rng with Some r -> Sb_util.Rng.shuffle r order | None -> ());
+  order
+
+let min_split = 0.02
+
+(* Route one (ingress, egress) pair of a chain, carrying [share] of the
+   chain's traffic; splits across successive least-cost routes as capacity
+   runs out (Section 4.4). *)
+let route_pair state routing ~util_weight ~max_routes chain ~ingress ~egress ~share =
+  let rec go remaining routes_left =
+    if remaining > 1e-9 then
+      match best_path ~ingress ~egress state ~util_weight ~chain with
+      | None -> () (* unroutable chain: leave unrouted; validate will flag *)
+      | Some nodes ->
+        let headroom = if util_weight = 0. then remaining else path_headroom state chain nodes in
+        let frac =
+          if routes_left <= 1 || headroom >= remaining -. 1e-9 || headroom < min_split
+          then remaining (* last route, enough room, or saturated: take it all *)
+          else Float.min remaining headroom
+        in
+        Routing.add_path routing ~chain ~nodes ~frac;
+        commit state chain nodes frac;
+        go (remaining -. frac) (routes_left - 1)
+  in
+  go share max_routes
+
+let route_chain state routing ~util_weight ~max_routes chain =
+  let m = Load_state.model state in
+  List.iter
+    (fun (ingress, ishare) ->
+      List.iter
+        (fun (egress, eshare) ->
+          route_pair state routing ~util_weight ~max_routes chain ~ingress ~egress
+            ~share:(ishare *. eshare))
+        (Model.chain_egresses m chain))
+    (Model.chain_ingresses m chain)
+
+let solve ?(util_weight = default_util_weight) ?(max_routes = 8) ?rng m =
+  let state = Load_state.create m in
+  let routing = Routing.create m in
+  Array.iter
+    (fun c -> route_chain state routing ~util_weight ~max_routes c)
+    (chain_order ?rng m);
+  routing
+
+let dp_latency ?rng m = solve ~util_weight:0. ~max_routes:1 ?rng m

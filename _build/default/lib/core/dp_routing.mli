@@ -1,0 +1,46 @@
+(** SB-DP: Switchboard's dynamic-programming chain router (Section 4.4).
+
+    For each chain it fills the table [E(z, s)] — the least cost of a route
+    prefix ending with element [z] placed at site [s] — using the stage
+    cost of {!Load_state.stage_cost} (propagation delay + Fortz–Thorup
+    network- and compute-utilization costs), then walks parents back from
+    the egress (Eq. 8). Chains are routed sequentially (optionally in a
+    seeded random order), committing their load so later chains see earlier
+    utilization. If the selected route cannot absorb the chain's full
+    traffic within remaining capacities, the chain is split: the route
+    carries the fraction its bottleneck allows and the algorithm repeats on
+    the next least-cost route (up to [max_routes]; any residual rides the
+    last route). *)
+
+val default_util_weight : float
+(** Weight converting Fortz–Thorup utilization cost into seconds of
+    latency-equivalent cost; 0.05 (i.e. one unit of utilization cost
+    trades against 50 ms of propagation delay). *)
+
+val solve :
+  ?util_weight:float ->
+  ?max_routes:int ->
+  ?rng:Sb_util.Rng.t ->
+  Model.t ->
+  Routing.t
+(** Full SB-DP. [max_routes] (default 8) bounds per-chain splitting.
+    [rng], when given, shuffles the chain processing order. *)
+
+val dp_latency : ?rng:Sb_util.Rng.t -> Model.t -> Routing.t
+(** The DP-LATENCY ablation of Fig. 13a: same holistic dynamic program but
+    the cost is propagation delay only (no utilization terms, no
+    splitting — capacity-blind). *)
+
+val best_path :
+  ?ingress:int ->
+  ?egress:int ->
+  Load_state.t ->
+  util_weight:float ->
+  chain:int ->
+  int array option
+(** One DP evaluation against the given load state: the least-cost node
+    sequence (ingress, VNF nodes, egress) for a chain, or [None] if some
+    stage has no reachable candidate. [ingress]/[egress] default to the
+    chain's first endpoints (multi-endpoint chains are routed per pair by
+    {!solve}). Exposed for the control plane (route recomputation after a
+    two-phase-commit reject) and tests. *)

@@ -1,0 +1,102 @@
+type scheme = Anycast | Compute_aware | Onehop | Dp_latency | Sb_dp | Sb_lp
+
+let scheme_name = function
+  | Anycast -> "ANYCAST"
+  | Compute_aware -> "COMPUTE-AWARE"
+  | Onehop -> "ONEHOP"
+  | Dp_latency -> "DP-LATENCY"
+  | Sb_dp -> "SB-DP"
+  | Sb_lp -> "SB-LP"
+
+let all_schemes = [ Anycast; Compute_aware; Onehop; Dp_latency; Sb_dp; Sb_lp ]
+
+let route_heuristic ?(seed = 1) m = function
+  | Anycast -> Greedy.anycast m
+  | Compute_aware -> Greedy.compute_aware m
+  | Onehop -> Greedy.onehop m
+  | Dp_latency -> Dp_routing.dp_latency ~rng:(Sb_util.Rng.create seed) m
+  | Sb_dp -> Dp_routing.solve ~rng:(Sb_util.Rng.create seed) m
+  | Sb_lp -> invalid_arg "route_heuristic: Sb_lp"
+
+let route ?seed m scheme =
+  match scheme with
+  | Sb_lp -> (
+    match Lp_routing.solve m Lp_routing.Min_latency with
+    | Ok { routing; _ } -> Ok routing
+    | Error _ -> (
+      (* Demand exceeds capacity: fall back to the throughput objective. *)
+      match Lp_routing.solve m Lp_routing.Max_throughput with
+      | Ok { routing; _ } -> Ok routing
+      | Error e -> Error e))
+  | s -> Ok (route_heuristic ?seed m s)
+
+(* Does the scheme sustain demand scaled by [factor]? Load-aware schemes
+   re-route the scaled model, so the supported alpha of the resulting
+   routing must reach 1. *)
+let sustains ?seed m scheme factor =
+  let scaled = Model.with_scaled_traffic m factor in
+  let r = route_heuristic ?seed scaled scheme in
+  Routing.max_alpha r >= 1. -. 1e-9
+
+let max_load_factor ?seed ?(tol = 0.02) m scheme =
+  match scheme with
+  | Sb_lp -> (
+    match Lp_routing.solve m Lp_routing.Max_throughput with
+    | Ok { objective_value; _ } -> objective_value
+    | Error _ -> 0.)
+  | Anycast | Dp_latency ->
+    (* Load-oblivious: the routing is scale-invariant, so the supported
+       alpha of the unit routing is the answer. *)
+    Routing.max_alpha (route_heuristic ?seed m scheme)
+  | Compute_aware | Onehop | Sb_dp ->
+    if not (sustains ?seed m scheme 1e-6) then 0.
+    else begin
+      (* Grow an upper bound, then bisect. *)
+      let lo = ref 1e-6 and hi = ref 1. in
+      let guard = ref 0 in
+      while sustains ?seed m scheme !hi && !guard < 40 do
+        lo := !hi;
+        hi := !hi *. 2.;
+        incr guard
+      done;
+      if !guard >= 40 then !hi
+      else begin
+        while (!hi -. !lo) /. !hi > tol do
+          let mid = (!lo +. !hi) /. 2. in
+          if sustains ?seed m scheme mid then lo := mid else hi := mid
+        done;
+        !lo
+      end
+    end
+
+let throughput ?seed m scheme = max_load_factor ?seed m scheme *. Model.total_demand m
+
+(* VNF service time used in the latency metric: fast packet-processing
+   functions, so queueing matters near saturation without drowning WAN
+   propagation delays. *)
+let metric_service_time = 0.0002
+
+let latency ?seed ~load m scheme =
+  let scaled = Model.with_scaled_traffic m load in
+  match scheme with
+  | Sb_lp -> (
+    (* The latency objective is blind to queueing, so give the LP a 20%
+       compute-capacity margin; the resulting routing never loads a
+       deployment beyond ~80%, like an operator would configure. *)
+    let margin = Array.init (Model.num_sites m) (fun s -> -0.2 *. Model.site_capacity m s) in
+    let constrained = Model.with_site_capacity_delta scaled margin in
+    match Lp_routing.solve constrained Lp_routing.Min_latency with
+    | Ok { routing; _ } ->
+      (* Evaluate against the true capacities, not the planning margin. *)
+      let on_true_model = Routing.create scaled in
+      for c = 0 to Model.num_chains scaled - 1 do
+        for z = 0 to Model.num_stages scaled c - 1 do
+          Routing.set_stage on_true_model ~chain:c ~stage:z
+            (Routing.stage_flows routing ~chain:c ~stage:z)
+        done
+      done;
+      Routing.mean_latency ~vnf_service_time:metric_service_time on_true_model
+    | Error _ -> infinity)
+  | s ->
+    Routing.mean_latency ~vnf_service_time:metric_service_time
+      (route_heuristic ?seed scaled s)

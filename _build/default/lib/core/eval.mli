@@ -1,0 +1,43 @@
+(** Uniform evaluation of routing schemes (the metrics of Figs. 11-13).
+
+    Throughput is the largest uniform demand-scaling factor a scheme can
+    support (paper Section 4.2, cloud capacity planning objective; the
+    y-axis of Figs. 12a/12b/13a as an absolute volume). For SB-LP this is
+    the throughput LP's alpha. Load-aware heuristics (SB-DP, Compute-Aware,
+    OneHop) get to re-route at each candidate load, so the value is found
+    by binary search on the scaled model; load-oblivious schemes route the
+    same way at every scale, so one evaluation suffices. *)
+
+type scheme =
+  | Anycast
+  | Compute_aware
+  | Onehop
+  | Dp_latency
+  | Sb_dp
+  | Sb_lp
+      (** The LP with the objective matched to the metric: throughput LP
+          for {!max_load_factor}, latency LP for {!latency}. *)
+
+val scheme_name : scheme -> string
+
+val all_schemes : scheme list
+
+val route : ?seed:int -> Model.t -> scheme -> (Routing.t, string) Result.t
+(** Route current demand. [seed] (default 1) drives SB-DP's chain order.
+    For [Sb_lp] this solves the min-latency LP and falls back to the
+    throughput LP when current demand is infeasible. *)
+
+val max_load_factor : ?seed:int -> ?tol:float -> Model.t -> scheme -> float
+(** Largest demand multiplier the scheme sustains with every link below
+    [beta], every site below [m_s], and every deployment below [m_sf].
+    [tol] is the relative binary-search tolerance (default 0.02). *)
+
+val throughput : ?seed:int -> Model.t -> scheme -> float
+(** [max_load_factor * total_demand]: absolute supported volume. *)
+
+val latency : ?seed:int -> load:float -> Model.t -> scheme -> float
+(** Demand-weighted mean chain latency (propagation + M/M/1 VNF queueing)
+    when demand is scaled by [load] and the scheme routes that scaled
+    demand. [infinity] when the scheme saturates a deployment at that load
+    (the paper reports Anycast "cannot handle" loads beyond 10%% of
+    SB-LP's). *)

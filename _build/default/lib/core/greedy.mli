@@ -1,0 +1,23 @@
+(** Distributed load-balancing baselines (Section 7.2 / 7.3).
+
+    These schemes route each chain hop by hop with only local knowledge, in
+    contrast to Global Switchboard's holistic optimization:
+
+    - {!anycast} picks, at every stage, the deployment site closest (by
+      propagation delay) to the current location, ignoring both compute
+      and network load — the ANYCAST baseline.
+    - {!compute_aware} also scans sites in increasing delay order but skips
+      sites whose remaining VNF/site compute capacity cannot absorb the
+      chain; if no site has room it falls back to the one with the most
+      headroom — the COMPUTE-AWARE baseline.
+    - {!onehop} greedily minimizes SB-DP's full cost (latency +
+      utilization) per hop, but without the chain-wide dynamic program —
+      the ONEHOP ablation of Fig. 13a.
+
+    All three process chains sequentially in chain-id order, committing
+    load as they go (compute_aware and onehop are load-dependent). *)
+
+val anycast : Model.t -> Routing.t
+val compute_aware : Model.t -> Routing.t
+val onehop : ?util_weight:float -> Model.t -> Routing.t
+(** [util_weight] defaults to {!Dp_routing.default_util_weight}. *)

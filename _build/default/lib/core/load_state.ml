@@ -1,0 +1,147 @@
+type t = {
+  m : Model.t;
+  net : Sb_net.Load.t; (* Switchboard traffic only; background added on demand *)
+  site_loads : float array;
+  vnf_loads : float array array; (* vnf_loads.(f).(s) *)
+}
+
+let create m =
+  {
+    m;
+    net = Sb_net.Load.create (Model.topology m) (Model.paths m);
+    site_loads = Array.make (Model.num_sites m) 0.;
+    vnf_loads = Array.init (Model.num_vnfs m) (fun _ -> Array.make (Model.num_sites m) 0.);
+  }
+
+let copy t =
+  {
+    m = t.m;
+    net = Sb_net.Load.copy t.net;
+    site_loads = Array.copy t.site_loads;
+    vnf_loads = Array.map Array.copy t.vnf_loads;
+  }
+
+let model t = t.m
+
+let site_load t s = t.site_loads.(s)
+let vnf_load t ~vnf ~site = t.vnf_loads.(vnf).(site)
+let link_sb_load t e = Sb_net.Load.link_load t.net e
+
+let link_utilization t e =
+  let l = Sb_net.Topology.link (Model.topology t.m) e in
+  (Model.background t.m e +. Sb_net.Load.link_load t.net e) /. l.bandwidth
+
+let site_utilization t s = t.site_loads.(s) /. Model.site_capacity t.m s
+
+let vnf_utilization t ~vnf ~site =
+  let cap = Model.vnf_site_capacity t.m ~vnf ~site in
+  if cap <= 0. then 0. else t.vnf_loads.(vnf).(site) /. cap
+
+(* Charge compute for one endpoint of a stage flow: the VNF at [node] (if
+   the element is a VNF) gains l_f * volume * frac. *)
+let charge_compute t ~vnf_opt ~node ~volume =
+  match vnf_opt with
+  | None -> ()
+  | Some f -> (
+    match Model.site_of_node t.m node with
+    | None -> invalid_arg "Load_state: VNF element at a node with no site"
+    | Some s ->
+      let load = Model.vnf_cpu_per_unit t.m f *. volume in
+      t.vnf_loads.(f).(s) <- t.vnf_loads.(f).(s) +. load;
+      t.site_loads.(s) <- t.site_loads.(s) +. load)
+
+let add_stage_flow t ~chain ~stage ~src ~dst ~frac =
+  let w = Model.fwd_traffic t.m ~chain ~stage in
+  let v = Model.rev_traffic t.m ~chain ~stage in
+  Sb_net.Load.add_flow t.net ~src ~dst ~volume:(w *. frac);
+  Sb_net.Load.add_flow t.net ~src:dst ~dst:src ~volume:(v *. frac);
+  let volume = (w +. v) *. frac in
+  (* Element [stage] sends this stage's traffic; element [stage + 1]
+     receives it (Eq. 4 charges both). Element 0 is the ingress and element
+     L+1 the egress — neither is a VNF. *)
+  let src_vnf = if stage = 0 then None else Model.stage_dst_vnf t.m ~chain ~stage:(stage - 1) in
+  let dst_vnf = Model.stage_dst_vnf t.m ~chain ~stage in
+  charge_compute t ~vnf_opt:src_vnf ~node:src ~volume;
+  charge_compute t ~vnf_opt:dst_vnf ~node:dst ~volume
+
+type binding = No_load | Link of int * float | Site of int * float | Vnf of int * int * float
+
+let find_bottleneck t =
+  let m = t.m in
+  let topo = Model.topology m in
+  let best = ref No_load in
+  let alpha_of = function
+    | No_load -> infinity
+    | Link (_, a) | Site (_, a) | Vnf (_, _, a) -> a
+  in
+  let consider b = if alpha_of b < alpha_of !best then best := b in
+  for e = 0 to Sb_net.Topology.num_links topo - 1 do
+    let load = Sb_net.Load.link_load t.net e in
+    if load > 1e-12 then begin
+      let l = Sb_net.Topology.link topo e in
+      let headroom = (Model.beta m *. l.bandwidth) -. Model.background m e in
+      consider (Link (e, Float.max 0. headroom /. load))
+    end
+  done;
+  for s = 0 to Model.num_sites m - 1 do
+    if t.site_loads.(s) > 1e-12 then
+      consider (Site (s, Model.site_capacity m s /. t.site_loads.(s)))
+  done;
+  for f = 0 to Model.num_vnfs m - 1 do
+    List.iter
+      (fun (s, cap) ->
+        if t.vnf_loads.(f).(s) > 1e-12 then
+          consider (Vnf (f, s, cap /. t.vnf_loads.(f).(s))))
+      (Model.vnf_sites m f)
+  done;
+  !best
+
+let max_alpha t =
+  match find_bottleneck t with
+  | No_load -> infinity
+  | Link (_, a) | Site (_, a) | Vnf (_, _, a) -> a
+
+let bottleneck t =
+  match find_bottleneck t with
+  | No_load -> "no load committed"
+  | Link (e, a) ->
+    let l = Sb_net.Topology.link (Model.topology t.m) e in
+    Printf.sprintf "link %d (%s -> %s), alpha=%.3f"
+      e
+      (Sb_net.Topology.node_name (Model.topology t.m) l.src)
+      (Sb_net.Topology.node_name (Model.topology t.m) l.dst)
+      a
+  | Site (s, a) -> Printf.sprintf "site %d compute, alpha=%.3f" s a
+  | Vnf (f, s, a) ->
+    Printf.sprintf "vnf %s at site %d, alpha=%.3f" (Model.vnf_name t.m f) s a
+
+let stage_cost t ~util_weight ~chain ~stage ~src ~dst =
+  let m = t.m in
+  let delay = Sb_net.Paths.delay (Model.paths m) src dst in
+  if delay = infinity then infinity
+  else if util_weight = 0. then delay
+  else begin
+    let w = Model.fwd_traffic m ~chain ~stage in
+    let v = Model.rev_traffic m ~chain ~stage in
+    let net_cost =
+      Sb_net.Load.path_network_cost t.net ~src ~dst ~extra:w
+      +. Sb_net.Load.path_network_cost t.net ~src:dst ~dst:src ~extra:v
+    in
+    let compute_cost =
+      match Model.stage_dst_vnf m ~chain ~stage with
+      | None -> 0.
+      | Some f -> (
+        match Model.site_of_node m dst with
+        | None -> infinity
+        | Some s ->
+          let cap = Model.vnf_site_capacity m ~vnf:f ~site:s in
+          if cap <= 0. then infinity
+          else begin
+            let added = Model.vnf_cpu_per_unit m f *. (w +. v) in
+            let before = t.vnf_loads.(f).(s) /. cap in
+            let after = (t.vnf_loads.(f).(s) +. added) /. cap in
+            Sb_util.Convex_cost.cost after -. Sb_util.Convex_cost.cost before
+          end)
+    in
+    delay +. (util_weight *. (net_cost +. compute_cost))
+  end

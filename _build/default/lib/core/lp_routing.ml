@@ -1,0 +1,246 @@
+type objective = Min_latency | Max_throughput
+
+type result = {
+  routing : Routing.t;
+  objective_value : float;
+  site_extra : float array option;
+}
+
+module Lp = Sb_lp.Lp
+
+let solve ?cloud_budget m objective =
+  (match (cloud_budget, objective) with
+  | Some _, Min_latency ->
+    invalid_arg "Lp_routing.solve: cloud_budget requires Max_throughput"
+  | _ -> ());
+  let paths = Model.paths m in
+  let topo = Model.topology m in
+  let p = Lp.create ~name:"chain_routing" () in
+  (* --- variables ------------------------------------------------- *)
+  let vars = Hashtbl.create 1024 in
+  (* (chain, stage, n1, n2) -> var *)
+  let stage_vars = Hashtbl.create 256 in
+  (* (chain, stage) -> (n1, n2, var) list *)
+  for c = 0 to Model.num_chains m - 1 do
+    for z = 0 to Model.num_stages m c - 1 do
+      let srcs = Model.stage_src_nodes m ~chain:c ~stage:z in
+      let dsts = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      let vs =
+        List.concat_map
+          (fun n1 ->
+            List.filter_map
+              (fun n2 ->
+                if n1 = n2 || Sb_net.Paths.reachable paths n1 n2 then begin
+                  let v = Lp.add_var p (Printf.sprintf "x_c%d_z%d_%d_%d" c z n1 n2) in
+                  Hashtbl.replace vars (c, z, n1, n2) v;
+                  Some (n1, n2, v)
+                end
+                else None)
+              dsts)
+          srcs
+      in
+      Hashtbl.replace stage_vars (c, z) vs
+    done
+  done;
+  let alpha =
+    match objective with
+    | Max_throughput -> Some (Lp.add_var p "alpha")
+    | Min_latency -> None
+  in
+  let site_extra_vars =
+    match cloud_budget with
+    | None -> None
+    | Some budget ->
+      let a = Array.init (Model.num_sites m) (fun s -> Lp.add_var p (Printf.sprintf "a_s%d" s)) in
+      Lp.add_constraint p ~name:"cloud_budget"
+        (Array.to_list (Array.map (fun v -> (1., v)) a))
+        Lp.Le budget;
+      Some a
+  in
+  (* --- per-ingress emission and per-egress delivery --------------- *)
+  (* Each ingress node emits its fixed share of the chain's traffic and
+     each egress node receives its share (the multi-endpoint
+     generalization; with single endpoints these are the paper's source
+     constraint plus a redundant egress row). *)
+  for c = 0 to Model.num_chains m - 1 do
+    let last = Model.num_stages m c - 1 in
+    List.iter
+      (fun (node, share) ->
+        let terms =
+          List.filter_map
+            (fun (n1, _, v) -> if n1 = node then Some (1., v) else None)
+            (Hashtbl.find stage_vars (c, 0))
+        in
+        match alpha with
+        | None ->
+          Lp.add_constraint p ~name:(Printf.sprintf "src_c%d_n%d" c node) terms Lp.Eq share
+        | Some a ->
+          Lp.add_constraint p
+            ~name:(Printf.sprintf "src_c%d_n%d" c node)
+            ((-.share, a) :: terms)
+            Lp.Eq 0.)
+      (Model.chain_ingresses m c);
+    List.iter
+      (fun (node, share) ->
+        let terms =
+          List.filter_map
+            (fun (_, n2, v) -> if n2 = node then Some (1., v) else None)
+            (Hashtbl.find stage_vars (c, last))
+        in
+        match alpha with
+        | None ->
+          Lp.add_constraint p ~name:(Printf.sprintf "dst_c%d_n%d" c node) terms Lp.Eq share
+        | Some a ->
+          Lp.add_constraint p
+            ~name:(Printf.sprintf "dst_c%d_n%d" c node)
+            ((-.share, a) :: terms)
+            Lp.Eq 0.)
+      (Model.chain_egresses m c)
+  done;
+  (* --- flow conservation at every VNF element (Eq. 5) ------------ *)
+  for c = 0 to Model.num_chains m - 1 do
+    for z = 0 to Model.num_stages m c - 2 do
+      let nodes = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      List.iter
+        (fun node ->
+          let inflow =
+            List.filter_map
+              (fun (_, d, v) -> if d = node then Some (1., v) else None)
+              (Hashtbl.find stage_vars (c, z))
+          in
+          let outflow =
+            List.filter_map
+              (fun (s, _, v) -> if s = node then Some (-1., v) else None)
+              (Hashtbl.find stage_vars (c, z + 1))
+          in
+          Lp.add_constraint p
+            ~name:(Printf.sprintf "cons_c%d_e%d_n%d" c (z + 1) node)
+            (inflow @ outflow) Lp.Eq 0.)
+        nodes
+    done
+  done;
+  (* --- compute loads (Eq. 4) ------------------------------------- *)
+  (* Each variable charges the VNFs at both of its endpoints. Gather
+     terms per site and per (vnf, site). *)
+  let site_terms = Array.make (Model.num_sites m) [] in
+  let vnf_terms = Hashtbl.create 64 in
+  (* (vnf, site) -> terms *)
+  let charge ~vnf_opt ~node coef v =
+    match vnf_opt with
+    | None -> ()
+    | Some f -> (
+      match Model.site_of_node m node with
+      | None -> ()
+      | Some s ->
+        let load = Model.vnf_cpu_per_unit m f *. coef in
+        site_terms.(s) <- (load, v) :: site_terms.(s);
+        let cur = try Hashtbl.find vnf_terms (f, s) with Not_found -> [] in
+        Hashtbl.replace vnf_terms (f, s) ((load, v) :: cur))
+  in
+  Hashtbl.iter
+    (fun (c, z, n1, n2) v ->
+      let coef = Model.fwd_traffic m ~chain:c ~stage:z +. Model.rev_traffic m ~chain:c ~stage:z in
+      let src_vnf = if z = 0 then None else Model.stage_dst_vnf m ~chain:c ~stage:(z - 1) in
+      let dst_vnf = Model.stage_dst_vnf m ~chain:c ~stage:z in
+      charge ~vnf_opt:src_vnf ~node:n1 coef v;
+      charge ~vnf_opt:dst_vnf ~node:n2 coef v)
+    vars;
+  Array.iteri
+    (fun s terms ->
+      if terms <> [] then begin
+        let terms =
+          match site_extra_vars with
+          | Some a -> (-1., a.(s)) :: terms
+          | None -> terms
+        in
+        Lp.add_constraint p ~name:(Printf.sprintf "site_%d" s) terms Lp.Le
+          (Model.site_capacity m s)
+      end)
+    site_terms;
+  Hashtbl.iter
+    (fun (f, s) terms ->
+      let cap = Model.vnf_site_capacity m ~vnf:f ~site:s in
+      (* Extra site capacity grows the deployments there proportionally:
+         m_sf * (1 + a_s / m_s), which is linear in a_s. *)
+      let terms =
+        match site_extra_vars with
+        | Some a -> ((-.cap /. Model.site_capacity m s), a.(s)) :: terms
+        | None -> terms
+      in
+      Lp.add_constraint p ~name:(Printf.sprintf "vnf_%d_s%d" f s) terms Lp.Le cap)
+    vnf_terms;
+  (* --- network cost / MLU (Eq. 6) -------------------------------- *)
+  let link_terms = Array.make (Sb_net.Topology.num_links topo) [] in
+  Hashtbl.iter
+    (fun (c, z, n1, n2) v ->
+      let w = Model.fwd_traffic m ~chain:c ~stage:z in
+      let rv = Model.rev_traffic m ~chain:c ~stage:z in
+      if n1 <> n2 then begin
+        List.iter
+          (fun (e, frac) -> link_terms.(e) <- (w *. frac, v) :: link_terms.(e))
+          (Sb_net.Paths.fractions paths ~src:n1 ~dst:n2);
+        if rv > 0. then
+          List.iter
+            (fun (e, frac) -> link_terms.(e) <- (rv *. frac, v) :: link_terms.(e))
+            (Sb_net.Paths.fractions paths ~src:n2 ~dst:n1)
+      end)
+    vars;
+  Array.iteri
+    (fun e terms ->
+      if terms <> [] then begin
+        let l = Sb_net.Topology.link topo e in
+        let rhs = (Model.beta m *. l.bandwidth) -. Model.background m e in
+        Lp.add_constraint p ~name:(Printf.sprintf "mlu_%d" e) terms Lp.Le rhs
+      end)
+    link_terms;
+  (* --- objective -------------------------------------------------- *)
+  (match (objective, alpha) with
+  | Min_latency, _ ->
+    let terms = ref [] in
+    Hashtbl.iter
+      (fun (c, z, n1, n2) v ->
+        let coef =
+          (Model.fwd_traffic m ~chain:c ~stage:z +. Model.rev_traffic m ~chain:c ~stage:z)
+          *. Sb_net.Paths.delay paths n1 n2
+        in
+        if coef > 0. then terms := (coef, v) :: !terms)
+      vars;
+    Lp.set_objective p Lp.Minimize !terms
+  | Max_throughput, Some a -> Lp.set_objective p Lp.Maximize [ (1., a) ]
+  | Max_throughput, None -> assert false);
+  (* --- solve and extract ------------------------------------------ *)
+  match Lp.solve p with
+  | Lp.Infeasible -> Error "chain routing LP is infeasible"
+  | Lp.Unbounded -> Error "chain routing LP is unbounded"
+  | Lp.Optimal sol ->
+    let scale =
+      match alpha with
+      | None -> 1.
+      | Some a ->
+        let av = Lp.value sol a in
+        if av > 1e-9 then 1. /. av else 0.
+    in
+    let routing = Routing.create m in
+    for c = 0 to Model.num_chains m - 1 do
+      for z = 0 to Model.num_stages m c - 1 do
+        let flows =
+          List.filter_map
+            (fun (n1, n2, v) ->
+              let x = Lp.value sol v *. scale in
+              if x > 1e-9 then Some (n1, n2, x) else None)
+            (Hashtbl.find stage_vars (c, z))
+        in
+        Routing.set_stage routing ~chain:c ~stage:z flows
+      done
+    done;
+    let objective_value =
+      match objective with
+      | Max_throughput -> Lp.objective_value sol
+      | Min_latency ->
+        let demand = Model.total_demand m in
+        if demand > 0. then Lp.objective_value sol /. demand else 0.
+    in
+    let site_extra =
+      Option.map (fun a -> Array.map (fun v -> Lp.value sol v) a) site_extra_vars
+    in
+    Ok { routing; objective_value; site_extra }

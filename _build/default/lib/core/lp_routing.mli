@@ -1,0 +1,35 @@
+(** SB-LP: the linear-programming chain router (Section 4.3).
+
+    Builds the chain-routing LP over the variables [x_czn1n2] with the
+    paper's constraints — per-chain source emission, flow conservation at
+    every VNF element (Eq. 5), site compute capacity (Eq. 4), per-VNF
+    per-site capacity, and the maximum-link-utilization network-cost bound
+    (Eq. 6) — and solves it exactly with the [sb_lp] simplex.
+
+    Two objectives, matching the two uses in the evaluation:
+    - {!Min_latency} minimizes the traffic-weighted aggregate latency
+      (Eq. 3) subject to current demand (used for Fig. 12c and Fig. 11).
+    - {!Max_throughput} maximizes the uniform demand-scaling factor alpha
+      supported by the network (used for Figs. 12a/12b/13b); the [x]
+      variables become alpha-scaled flows, normalized back to fractions on
+      extraction. *)
+
+type objective = Min_latency | Max_throughput
+
+type result = {
+  routing : Routing.t;
+  objective_value : float;
+      (** Mean demand-weighted latency (s) for {!Min_latency}; the scaling
+          factor alpha for {!Max_throughput}. *)
+  site_extra : float array option;
+      (** Per-site capacity additions, present only when
+          [?cloud_budget] was given. *)
+}
+
+val solve : ?cloud_budget:float -> Model.t -> objective -> (result, string) Result.t
+(** [solve m obj] returns [Error] when the LP is infeasible (for
+    {!Min_latency}: the demand cannot be carried within capacities) or
+    unbounded (a modelling error). [cloud_budget], usable with
+    {!Max_throughput} only, turns site capacities into variables
+    [m_s + a_s] with [sum a_s <= budget] — the cloud capacity-planning LP
+    of Section 4.3. *)

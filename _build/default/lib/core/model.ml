@@ -1,0 +1,310 @@
+type site = { node : int; capacity : float }
+
+type vnf = {
+  name : string;
+  cpu_per_unit : float;
+  mutable deployments : (int * float) list; (* (site, m_sf), sorted on finalize *)
+}
+
+type chain = {
+  cname : string;
+  ingresses : (int * float) list; (* (node, traffic share), shares sum to 1 *)
+  egresses : (int * float) list;
+  vnfs : int array;
+  fwd : float array; (* per stage, length |vnfs| + 1 *)
+  rev : float array;
+}
+
+type builder = {
+  topo : Sb_net.Topology.t;
+  mutable b_sites : site list;
+  mutable b_nsites : int;
+  mutable b_vnfs : vnf list;
+  mutable b_nvnfs : int;
+  mutable b_chains : chain list;
+  mutable b_nchains : int;
+  b_node_site : (int, int) Hashtbl.t;
+}
+
+type t = {
+  topo : Sb_net.Topology.t;
+  paths : Sb_net.Paths.t;
+  sites : site array;
+  vnf_arr : vnf array;
+  chains : chain array;
+  node_site : (int, int) Hashtbl.t;
+  beta : float;
+  background : float array;
+}
+
+let builder topo =
+  {
+    topo;
+    b_sites = [];
+    b_nsites = 0;
+    b_vnfs = [];
+    b_nvnfs = 0;
+    b_chains = [];
+    b_nchains = 0;
+    b_node_site = Hashtbl.create 16;
+  }
+
+let add_site (b : builder) ~node ~capacity =
+  if node < 0 || node >= Sb_net.Topology.num_nodes b.topo then
+    invalid_arg "Model.add_site: unknown node";
+  if Hashtbl.mem b.b_node_site node then
+    invalid_arg "Model.add_site: node already has a site";
+  if capacity <= 0. then invalid_arg "Model.add_site: non-positive capacity";
+  let id = b.b_nsites in
+  b.b_sites <- { node; capacity } :: b.b_sites;
+  b.b_nsites <- id + 1;
+  Hashtbl.replace b.b_node_site node id;
+  id
+
+let add_vnf (b : builder) ~name ~cpu_per_unit =
+  if cpu_per_unit <= 0. then invalid_arg "Model.add_vnf: non-positive cpu_per_unit";
+  let id = b.b_nvnfs in
+  b.b_vnfs <- { name; cpu_per_unit; deployments = [] } :: b.b_vnfs;
+  b.b_nvnfs <- id + 1;
+  id
+
+let nth_rev l n total = List.nth l (total - 1 - n)
+
+let deploy (b : builder) ~vnf ~site ~capacity =
+  if vnf < 0 || vnf >= b.b_nvnfs then invalid_arg "Model.deploy: unknown vnf";
+  if site < 0 || site >= b.b_nsites then invalid_arg "Model.deploy: unknown site";
+  if capacity <= 0. then invalid_arg "Model.deploy: non-positive capacity";
+  let v = nth_rev b.b_vnfs vnf b.b_nvnfs in
+  if List.mem_assoc site v.deployments then
+    invalid_arg "Model.deploy: vnf already deployed at site";
+  v.deployments <- (site, capacity) :: v.deployments
+
+(* Normalize endpoint shares to sum to 1 and validate the nodes. *)
+let normalize_endpoints (b : builder) what endpoints =
+  let n_nodes = Sb_net.Topology.num_nodes b.topo in
+  if endpoints = [] then invalid_arg (Printf.sprintf "Model.add_chain: empty %s list" what);
+  List.iter
+    (fun (node, share) ->
+      if node < 0 || node >= n_nodes then
+        invalid_arg (Printf.sprintf "Model.add_chain: unknown %s node" what);
+      if share <= 0. then
+        invalid_arg (Printf.sprintf "Model.add_chain: non-positive %s share" what))
+    endpoints;
+  let nodes = List.map fst endpoints in
+  if List.length (List.sort_uniq compare nodes) <> List.length nodes then
+    invalid_arg (Printf.sprintf "Model.add_chain: duplicate %s node" what);
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. endpoints in
+  List.map (fun (n, s) -> (n, s /. total)) endpoints
+
+let add_chain_endpoints (b : builder) ?name ~ingresses ~egresses ~vnfs ~fwd ?(rev = 0.) () =
+  if fwd < 0. || rev < 0. then invalid_arg "Model.add_chain: negative traffic";
+  let ingresses = normalize_endpoints b "ingress" ingresses in
+  let egresses = normalize_endpoints b "egress" egresses in
+  List.iter
+    (fun f ->
+      if f < 0 || f >= b.b_nvnfs then invalid_arg "Model.add_chain: unknown vnf";
+      if (nth_rev b.b_vnfs f b.b_nvnfs).deployments = [] then
+        invalid_arg "Model.add_chain: vnf has no deployment")
+    vnfs;
+  let id = b.b_nchains in
+  let cname = match name with Some n -> n | None -> Printf.sprintf "chain%d" id in
+  let stages = List.length vnfs + 1 in
+  b.b_chains <-
+    {
+      cname;
+      ingresses;
+      egresses;
+      vnfs = Array.of_list vnfs;
+      fwd = Array.make stages fwd;
+      rev = Array.make stages rev;
+    }
+    :: b.b_chains;
+  b.b_nchains <- id + 1;
+  id
+
+let add_chain (b : builder) ?name ~ingress ~egress ~vnfs ~fwd ?(rev = 0.) () =
+  add_chain_endpoints b ?name
+    ~ingresses:[ (ingress, 1.) ]
+    ~egresses:[ (egress, 1.) ]
+    ~vnfs ~fwd ~rev ()
+
+let finalize (b : builder) ?(beta = 1.0) ?background () =
+  let topo = b.topo in
+  let paths = Sb_net.Paths.compute topo in
+  let bg = Array.make (Sb_net.Topology.num_links topo) 0. in
+  (match background with
+  | Some f -> Array.iteri (fun i _ -> bg.(i) <- f i) bg
+  | None -> ());
+  let vnf_arr = Array.of_list (List.rev b.b_vnfs) in
+  Array.iter
+    (fun v -> v.deployments <- List.sort (fun (a, _) (c, _) -> compare a c) v.deployments)
+    vnf_arr;
+  {
+    topo;
+    paths;
+    sites = Array.of_list (List.rev b.b_sites);
+    vnf_arr;
+    chains = Array.of_list (List.rev b.b_chains);
+    node_site = b.b_node_site;
+    beta;
+    background = bg;
+  }
+
+let topology t = t.topo
+let paths t = t.paths
+let beta t = t.beta
+let background t e = t.background.(e)
+
+let num_sites t = Array.length t.sites
+let num_vnfs t = Array.length t.vnf_arr
+let num_chains t = Array.length t.chains
+
+let site_node t s = t.sites.(s).node
+let site_capacity t s = t.sites.(s).capacity
+let site_of_node t n = Hashtbl.find_opt t.node_site n
+
+let vnf_name t f = t.vnf_arr.(f).name
+let vnf_cpu_per_unit t f = t.vnf_arr.(f).cpu_per_unit
+let vnf_sites t f = t.vnf_arr.(f).deployments
+
+let vnf_site_capacity t ~vnf ~site =
+  match List.assoc_opt site t.vnf_arr.(vnf).deployments with Some c -> c | None -> 0.
+
+let chain_name t c = t.chains.(c).cname
+let chain_ingresses t c = t.chains.(c).ingresses
+let chain_egresses t c = t.chains.(c).egresses
+let chain_ingress t c = fst (List.hd t.chains.(c).ingresses)
+let chain_egress t c = fst (List.hd t.chains.(c).egresses)
+let chain_vnfs t c = Array.copy t.chains.(c).vnfs
+let chain_length t c = Array.length t.chains.(c).vnfs
+let num_stages t c = Array.length t.chains.(c).vnfs + 1
+
+let fwd_traffic t ~chain ~stage = t.chains.(chain).fwd.(stage)
+let rev_traffic t ~chain ~stage = t.chains.(chain).rev.(stage)
+
+let total_demand t =
+  Array.fold_left
+    (fun acc c ->
+      let acc = Array.fold_left ( +. ) acc c.fwd in
+      Array.fold_left ( +. ) acc c.rev)
+    0. t.chains
+
+let stage_dst_vnf t ~chain ~stage =
+  let c = t.chains.(chain) in
+  if stage < Array.length c.vnfs then Some c.vnfs.(stage) else None
+
+let vnf_nodes t f = List.map (fun (s, _) -> t.sites.(s).node) t.vnf_arr.(f).deployments
+
+let stage_src_nodes t ~chain ~stage =
+  let c = t.chains.(chain) in
+  if stage = 0 then List.map fst c.ingresses else vnf_nodes t c.vnfs.(stage - 1)
+
+let stage_dst_nodes t ~chain ~stage =
+  let c = t.chains.(chain) in
+  if stage = Array.length c.vnfs then List.map fst c.egresses else vnf_nodes t c.vnfs.(stage)
+
+let with_site_capacity_delta t deltas =
+  if Array.length deltas <> Array.length t.sites then
+    invalid_arg "Model.with_site_capacity_delta: arity mismatch";
+  let ratio = Array.mapi (fun s d -> (t.sites.(s).capacity +. d) /. t.sites.(s).capacity) deltas in
+  {
+    t with
+    sites = Array.mapi (fun s site -> { site with capacity = site.capacity +. deltas.(s) }) t.sites;
+    vnf_arr =
+      Array.map
+        (fun v ->
+          {
+            v with
+            deployments = List.map (fun (s, c) -> (s, c *. ratio.(s))) v.deployments;
+          })
+        t.vnf_arr;
+  }
+
+let with_extra_deployments t extra =
+  let vnf_arr = Array.map (fun v -> { v with deployments = v.deployments }) t.vnf_arr in
+  List.iter
+    (fun (f, s, cap) ->
+      if f < 0 || f >= Array.length vnf_arr then
+        invalid_arg "Model.with_extra_deployments: unknown vnf";
+      if s < 0 || s >= Array.length t.sites then
+        invalid_arg "Model.with_extra_deployments: unknown site";
+      let v = vnf_arr.(f) in
+      if not (List.mem_assoc s v.deployments) then
+        vnf_arr.(f) <-
+          {
+            v with
+            deployments =
+              List.sort (fun (a, _) (b, _) -> compare a b) ((s, cap) :: v.deployments);
+          })
+    extra;
+  { t with vnf_arr }
+
+let with_scaled_traffic t factor =
+  if factor < 0. then invalid_arg "Model.with_scaled_traffic: negative factor";
+  let scale a = Array.map (fun x -> x *. factor) a in
+  {
+    t with
+    chains = Array.map (fun c -> { c with fwd = scale c.fwd; rev = scale c.rev }) t.chains;
+  }
+
+let with_chain_traffic_factors t factors =
+  if Array.length factors <> Array.length t.chains then
+    invalid_arg "Model.with_chain_traffic_factors: arity mismatch";
+  Array.iter
+    (fun f ->
+      if f < 0. then invalid_arg "Model.with_chain_traffic_factors: negative factor")
+    factors;
+  {
+    t with
+    chains =
+      Array.mapi
+        (fun i c ->
+          let scale a = Array.map (fun x -> x *. factors.(i)) a in
+          { c with fwd = scale c.fwd; rev = scale c.rev })
+        t.chains;
+  }
+
+let with_failed_links t failed =
+  let old_topo = t.topo in
+  let nlinks = Sb_net.Topology.num_links old_topo in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= nlinks then invalid_arg "Model.with_failed_links: unknown link")
+    failed;
+  let topo = Sb_net.Topology.create () in
+  for n = 0 to Sb_net.Topology.num_nodes old_topo - 1 do
+    let x, y = Sb_net.Topology.node_pos old_topo n in
+    ignore (Sb_net.Topology.add_node topo ~x ~y (Sb_net.Topology.node_name old_topo n))
+  done;
+  let new_background = ref [] in
+  Array.iter
+    (fun (l : Sb_net.Topology.link) ->
+      if not (List.mem l.id failed) then begin
+        let id =
+          Sb_net.Topology.add_link topo ~src:l.src ~dst:l.dst ~bandwidth:l.bandwidth
+            ~delay:l.delay
+        in
+        new_background := (id, t.background.(l.id)) :: !new_background
+      end)
+    (Sb_net.Topology.links old_topo);
+  let background = Array.make (Sb_net.Topology.num_links topo) 0. in
+  List.iter (fun (id, g) -> background.(id) <- g) !new_background;
+  { t with topo; paths = Sb_net.Paths.compute topo; background }
+
+let with_failed_sites t failed =
+  List.iter
+    (fun s ->
+      if s < 0 || s >= Array.length t.sites then
+        invalid_arg "Model.with_failed_sites: unknown site")
+    failed;
+  {
+    t with
+    vnf_arr =
+      Array.map
+        (fun v ->
+          {
+            v with
+            deployments = List.filter (fun (s, _) -> not (List.mem s failed)) v.deployments;
+          })
+        t.vnf_arr;
+  }

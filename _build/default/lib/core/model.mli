@@ -1,0 +1,161 @@
+(** The Switchboard network model (paper Table 1).
+
+    Gathers every traffic-engineering input: the network (nodes, links,
+    delays, routing fractions — from [sb_net]), cloud sites [S] with
+    compute capacities [m_s], the VNF catalog [F] with per-site deployments
+    [S_f] and capacities [m_sf] and per-unit-traffic loads [l_f], and the
+    customer chains [C] with ingress/egress nodes, ordered VNF lists [F_c],
+    and per-stage forward/reverse traffic [w_cz]/[v_cz].
+
+    A chain with [k] VNFs has [k + 2] elements (element 0 is the ingress,
+    elements [1..k] the VNFs, element [k + 1] the egress) and [k + 1]
+    stages; stage [z] (0-based) carries traffic from element [z] to element
+    [z + 1]. *)
+
+type t
+
+type builder
+
+val builder : Sb_net.Topology.t -> builder
+
+val add_site : builder -> node:int -> capacity:float -> int
+(** Declare a cloud site colocated with a network node (at most one site per
+    node; raises [Invalid_argument] on a duplicate). Returns the site id. *)
+
+val add_vnf : builder -> name:string -> cpu_per_unit:float -> int
+(** Add a VNF type to the catalog; [cpu_per_unit] is the load [l_f] each
+    unit of traffic imposes. Returns the VNF id. *)
+
+val deploy : builder -> vnf:int -> site:int -> capacity:float -> unit
+(** Make a VNF available at a site with capacity [m_sf]. *)
+
+val add_chain :
+  builder ->
+  ?name:string ->
+  ingress:int ->
+  egress:int ->
+  vnfs:int list ->
+  fwd:float ->
+  ?rev:float ->
+  unit ->
+  int
+(** Define a chain. [fwd] ([rev]) is the per-stage forward (reverse) traffic;
+    [rev] defaults to [0.]. [ingress]/[egress] are node ids. Every VNF in
+    [vnfs] must be deployed at at least one site. Returns the chain id. *)
+
+val add_chain_endpoints :
+  builder ->
+  ?name:string ->
+  ingresses:(int * float) list ->
+  egresses:(int * float) list ->
+  vnfs:int list ->
+  fwd:float ->
+  ?rev:float ->
+  unit ->
+  int
+(** The multi-ingress / multi-egress generalization the paper omits "for
+    ease of exposition" (Section 4.1): a chain whose traffic enters at
+    several edge nodes and leaves at several others, with fixed traffic
+    shares per endpoint (normalized to sum to 1; e.g. an enterprise with
+    three offices). Ingress shares weight stage-0 emissions and egress
+    shares the final stage's deliveries; ingress-to-egress correlation is
+    assumed proportional (independent shares). *)
+
+val finalize : builder -> ?beta:float -> ?background:(int -> float) -> unit -> t
+(** Freeze the model. [beta] is the MLU limit (default 1.0); [background]
+    gives the non-Switchboard traffic [g_e] per link id (default 0). *)
+
+(** {2 Accessors} *)
+
+val topology : t -> Sb_net.Topology.t
+val paths : t -> Sb_net.Paths.t
+val beta : t -> float
+val background : t -> int -> float
+
+val num_sites : t -> int
+val num_vnfs : t -> int
+val num_chains : t -> int
+
+val site_node : t -> int -> int
+(** Network node a site is colocated with. *)
+
+val site_capacity : t -> int -> float
+val site_of_node : t -> int -> int option
+
+val vnf_name : t -> int -> string
+val vnf_cpu_per_unit : t -> int -> float
+
+val vnf_sites : t -> int -> (int * float) list
+(** [(site_id, m_sf)] deployments of a VNF, in increasing site id. *)
+
+val vnf_site_capacity : t -> vnf:int -> site:int -> float
+(** [m_sf]; 0. when the VNF is not deployed at the site. *)
+
+val chain_name : t -> int -> string
+
+val chain_ingress : t -> int -> int
+(** The (first) ingress node. *)
+
+val chain_egress : t -> int -> int
+
+val chain_ingresses : t -> int -> (int * float) list
+(** All ingress nodes with their normalized traffic shares. *)
+
+val chain_egresses : t -> int -> (int * float) list
+val chain_vnfs : t -> int -> int array
+val chain_length : t -> int -> int
+(** Number of VNFs [|F_c|]. *)
+
+val num_stages : t -> int -> int
+(** [|F_c| + 1]. *)
+
+val fwd_traffic : t -> chain:int -> stage:int -> float
+val rev_traffic : t -> chain:int -> stage:int -> float
+
+val total_demand : t -> float
+(** Sum over chains and stages of [w_cz + v_cz] — the denominator used to
+    express throughput as a multiple of current demand. *)
+
+val stage_src_nodes : t -> chain:int -> stage:int -> int list
+(** [N_cz^src] as node ids (Eq. 1): the ingress node for stage 0, otherwise
+    the nodes of the sites where the previous VNF is deployed. *)
+
+val stage_dst_nodes : t -> chain:int -> stage:int -> int list
+(** [N_cz^dst] (Eq. 2). *)
+
+val stage_dst_vnf : t -> chain:int -> stage:int -> int option
+(** VNF id of the element a stage leads into; [None] for the final stage
+    (egress). *)
+
+val with_scaled_traffic : t -> float -> t
+(** A copy of the model with every chain's forward and reverse traffic
+    multiplied by the given factor (used for load sweeps, Fig. 12c). *)
+
+val with_site_capacity_delta : t -> float array -> t
+(** A copy with each site's compute capacity increased by the per-site
+    delta (capacity-planning baselines, Fig. 13b). Per-VNF-per-site
+    capacities [m_sf] are scaled up in the same proportion as their
+    site's capacity. *)
+
+val with_extra_deployments : t -> (int * int * float) list -> t
+(** [with_extra_deployments m \[(vnf, site, m_sf); ...\]] is a copy with
+    additional VNF deployments (VNF placement planning, Fig. 13c).
+    Deployments that already exist are left unchanged. *)
+
+val with_chain_traffic_factors : t -> float array -> t
+(** Per-chain traffic scaling (one factor per chain) — the time-varying
+    traffic-matrix extension sketched in the paper's future work. Raises
+    [Invalid_argument] on an arity mismatch or negative factor. *)
+
+val with_failed_links : t -> int list -> t
+(** A copy of the model on a degraded network: the given link ids are
+    removed, shortest paths and routing fractions recomputed, and the
+    background traffic of surviving links preserved. Part of the failure
+    evaluation the paper leaves to future work. Raises [Invalid_argument]
+    on an unknown link id. *)
+
+val with_failed_sites : t -> int list -> t
+(** A copy where the given cloud sites have failed: every VNF deployment
+    there disappears (the sites' nodes still forward network traffic).
+    Chains whose VNFs lose all deployments become unroutable; routing
+    schemes and {!val:Eval.max_load_factor}-style metrics see the loss. *)

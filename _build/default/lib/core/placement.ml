@@ -1,0 +1,135 @@
+(* Detour latency of serving VNF [f] of chain [c] at node [node]: ingress ->
+   node -> egress. A cheap, demand-independent proxy for the latency the
+   chain would pay to visit that site. *)
+let detour m c node =
+  let paths = Model.paths m in
+  Sb_net.Paths.delay paths (Model.chain_ingress m c) node
+  +. Sb_net.Paths.delay paths node (Model.chain_egress m c)
+
+let chain_traffic m c =
+  let total = ref 0. in
+  for z = 0 to Model.num_stages m c - 1 do
+    total := !total +. Model.fwd_traffic m ~chain:c ~stage:z +. Model.rev_traffic m ~chain:c ~stage:z
+  done;
+  !total
+
+let chains_using m f =
+  List.filter
+    (fun c -> Array.exists (fun v -> v = f) (Model.chain_vnfs m c))
+    (List.init (Model.num_chains m) (fun c -> c))
+
+let mean_existing_capacity m f =
+  match Model.vnf_sites m f with
+  | [] -> 0.
+  | deps ->
+    List.fold_left (fun acc (_, c) -> acc +. c) 0. deps /. float_of_int (List.length deps)
+
+let candidate_sites m f =
+  let existing = List.map fst (Model.vnf_sites m f) in
+  List.filter
+    (fun s -> not (List.mem s existing))
+    (List.init (Model.num_sites m) (fun s -> s))
+
+let suggest m ~new_sites_per_vnf =
+  let extra = ref [] in
+  for f = 0 to Model.num_vnfs m - 1 do
+    let users = chains_using m f in
+    let best_existing c =
+      List.fold_left
+        (fun acc (s, _) -> Float.min acc (detour m c (Model.site_node m s)))
+        infinity (Model.vnf_sites m f)
+    in
+    let score s =
+      let node = Model.site_node m s in
+      List.fold_left
+        (fun acc c ->
+          acc +. (chain_traffic m c *. Float.max 0. (best_existing c -. detour m c node)))
+        0. users
+    in
+    let ranked =
+      candidate_sites m f
+      |> List.map (fun s -> (s, score s))
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    let cap = mean_existing_capacity m f in
+    List.iteri
+      (fun i (s, _) -> if i < new_sites_per_vnf then extra := (f, s, cap) :: !extra)
+      ranked
+  done;
+  Model.with_extra_deployments m !extra
+
+let random ~rng m ~new_sites_per_vnf =
+  let extra = ref [] in
+  for f = 0 to Model.num_vnfs m - 1 do
+    let candidates = Array.of_list (candidate_sites m f) in
+    Sb_util.Rng.shuffle rng candidates;
+    let cap = mean_existing_capacity m f in
+    Array.iteri
+      (fun i s -> if i < new_sites_per_vnf then extra := (f, s, cap) :: !extra)
+      candidates
+  done;
+  Model.with_extra_deployments m !extra
+
+(* Exact placement on a simplified facility-location MIP: for each VNF,
+   fractions y_{c,s} of each using chain's demand served at site s, with
+   detour-latency costs, per-deployment capacity, and binary open variables
+   w_{f,s} (the paper's Section 4.3 MIP, with routing collapsed to the
+   ingress->site->egress detour). *)
+let mip ?(max_nodes = 2000) m ~new_sites_per_vnf =
+  let module Lp = Sb_lp.Lp in
+  let p = Lp.create ~name:"vnf_placement" () in
+  let opens = Hashtbl.create 64 in
+  let obj = ref [] in
+  for f = 0 to Model.num_vnfs m - 1 do
+    let users = chains_using m f in
+    let cap = mean_existing_capacity m f in
+    let candidates = candidate_sites m f in
+    let w_vars =
+      List.map
+        (fun s ->
+          let w = Lp.add_var p ~ub:1. ~integer:true (Printf.sprintf "w_f%d_s%d" f s) in
+          Hashtbl.replace opens (f, s) w;
+          (s, w))
+        candidates
+    in
+    Lp.add_constraint p
+      (List.map (fun (_, w) -> (1., w)) w_vars)
+      Lp.Le
+      (float_of_int new_sites_per_vnf);
+    (* Each using chain splits its demand between existing sites and open
+       candidates; candidate service requires the site to be open. *)
+    List.iter
+      (fun c ->
+        let demand = chain_traffic m c in
+        let existing =
+          List.map
+            (fun (s, site_cap) ->
+              let y = Lp.add_var p (Printf.sprintf "y_c%d_f%d_s%d" c f s) in
+              Lp.add_constraint p [ (demand, y) ] Lp.Le site_cap;
+              obj := (demand *. detour m c (Model.site_node m s), y) :: !obj;
+              (1., y))
+            (Model.vnf_sites m f)
+        in
+        let fresh =
+          List.map
+            (fun (s, w) ->
+              let y = Lp.add_var p (Printf.sprintf "y_c%d_f%d_s%d" c f s) in
+              Lp.add_constraint p [ (1., y); (-1., w) ] Lp.Le 0.;
+              Lp.add_constraint p [ (demand, y) ] Lp.Le (Float.max cap 1e-9);
+              obj := (demand *. detour m c (Model.site_node m s), y) :: !obj;
+              (1., y))
+            w_vars
+        in
+        Lp.add_constraint p (existing @ fresh) Lp.Eq 1.)
+      users
+  done;
+  Lp.set_objective p Lp.Minimize !obj;
+  match Sb_lp.Mip.solve ~max_nodes p with
+  | Sb_lp.Mip.Optimal sol | Sb_lp.Mip.Node_limit (Some sol) ->
+    let extra = ref [] in
+    Hashtbl.iter
+      (fun (f, s) w ->
+        if Lp.value sol w > 0.5 then extra := (f, s, mean_existing_capacity m f) :: !extra)
+      opens;
+    Some (Model.with_extra_deployments m !extra)
+  | Sb_lp.Mip.Infeasible | Sb_lp.Mip.Unbounded | Sb_lp.Mip.Node_limit None -> None

@@ -1,0 +1,23 @@
+(** VNF capacity planning: deployment-site hints (Sections 4.2-4.3,
+    Fig. 13c).
+
+    Given a number of new sites to open per VNF, suggest placements that
+    minimize aggregate chain latency. The paper formulates a MIP; at our
+    scale a demand-weighted greedy scores each candidate site by the
+    latency reduction it offers the chains that traverse the VNF, which is
+    the same hint the MIP's LP relaxation prices. The {!random} baseline
+    picks new sites uniformly. Both return an extended model; callers
+    evaluate by re-routing (e.g. with {!Dp_routing.solve}) and comparing
+    mean latency. *)
+
+val suggest : Model.t -> new_sites_per_vnf:int -> Model.t
+(** Greedy latency-driven placement. New deployments get capacity equal to
+    the mean capacity of the VNF's existing deployments. *)
+
+val random : rng:Sb_util.Rng.t -> Model.t -> new_sites_per_vnf:int -> Model.t
+(** Baseline: uniformly random new sites (same capacity rule). *)
+
+val mip : ?max_nodes:int -> Model.t -> new_sites_per_vnf:int -> Model.t option
+(** Exact MIP placement on small instances: binary site-open variables
+    layered over the chain-routing LP, solved by branch-and-bound. [None]
+    if the search hits [max_nodes] (default 2000) without an incumbent. *)

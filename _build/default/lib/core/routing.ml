@@ -1,0 +1,250 @@
+type t = {
+  m : Model.t;
+  flows : (int * int * float) list array array; (* flows.(c).(z) *)
+}
+
+let create m =
+  {
+    m;
+    flows =
+      Array.init (Model.num_chains m) (fun c ->
+          Array.make (Model.num_stages m c) []);
+  }
+
+let model t = t.m
+
+let set_stage t ~chain ~stage flows = t.flows.(chain).(stage) <- flows
+
+let stage_flows t ~chain ~stage = t.flows.(chain).(stage)
+
+let add_path t ~chain ~nodes ~frac =
+  let stages = Model.num_stages t.m chain in
+  if Array.length nodes <> stages + 1 then
+    invalid_arg "Routing.add_path: node sequence length mismatch";
+  for z = 0 to stages - 1 do
+    let src = nodes.(z) and dst = nodes.(z + 1) in
+    (* Merge with an existing identical hop if present. *)
+    let rec merge = function
+      | [] -> [ (src, dst, frac) ]
+      | (s, d, f) :: rest when s = src && d = dst -> (s, d, f +. frac) :: rest
+      | hop :: rest -> hop :: merge rest
+    in
+    t.flows.(chain).(z) <- merge t.flows.(chain).(z)
+  done
+
+let single_path m path_of_chain =
+  let t = create m in
+  for c = 0 to Model.num_chains m - 1 do
+    add_path t ~chain:c ~nodes:(path_of_chain c) ~frac:1.0
+  done;
+  t
+
+let close_enough a b = Float.abs (a -. b) < 1e-6
+
+let validate t =
+  let m = t.m in
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  for c = 0 to Model.num_chains m - 1 do
+    let stages = Model.num_stages m c in
+    for z = 0 to stages - 1 do
+      let srcs = Model.stage_src_nodes m ~chain:c ~stage:z in
+      let dsts = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      List.iter
+        (fun (s, d, f) ->
+          if f < -1e-9 then fail "chain %d stage %d: negative fraction %g" c z f;
+          if not (List.mem s srcs) then
+            fail "chain %d stage %d: invalid source node %d" c z s;
+          if not (List.mem d dsts) then
+            fail "chain %d stage %d: invalid destination node %d" c z d)
+        t.flows.(c).(z)
+    done;
+    (* Each ingress node emits exactly its traffic share (stage 0), and
+       each egress node receives its share (final stage). *)
+    List.iter
+      (fun (node, share) ->
+        let out =
+          List.fold_left
+            (fun acc (s, _, f) -> if s = node then acc +. f else acc)
+            0. t.flows.(c).(0)
+        in
+        if not (close_enough out share) then
+          fail "chain %d: ingress %d emits %g, expected %g" c node out share)
+      (Model.chain_ingresses m c);
+    List.iter
+      (fun (node, share) ->
+        let inflow =
+          List.fold_left
+            (fun acc (_, d, f) -> if d = node then acc +. f else acc)
+            0.
+            t.flows.(c).(stages - 1)
+        in
+        if not (close_enough inflow share) then
+          fail "chain %d: egress %d receives %g, expected %g" c node inflow share)
+      (Model.chain_egresses m c);
+    (* Conservation at each VNF element's sites (Eq. 5). *)
+    for z = 0 to stages - 2 do
+      let sites = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      List.iter
+        (fun node ->
+          let inflow =
+            List.fold_left
+              (fun acc (_, d, f) -> if d = node then acc +. f else acc)
+              0. t.flows.(c).(z)
+          in
+          let outflow =
+            List.fold_left
+              (fun acc (s, _, f) -> if s = node then acc +. f else acc)
+              0.
+              t.flows.(c).(z + 1)
+          in
+          if not (close_enough inflow outflow) then
+            fail "chain %d element %d at node %d: in %g <> out %g" c (z + 1) node
+              inflow outflow)
+        sites
+    done
+  done;
+  match !problem with None -> Ok () | Some s -> Error s
+
+let load_state t =
+  let state = Load_state.create t.m in
+  Array.iteri
+    (fun c stages ->
+      Array.iteri
+        (fun z flows ->
+          List.iter
+            (fun (src, dst, frac) ->
+              if frac > 1e-12 then
+                Load_state.add_stage_flow state ~chain:c ~stage:z ~src ~dst ~frac)
+            flows)
+        stages)
+    t.flows;
+  state
+
+let max_alpha t = Load_state.max_alpha (load_state t)
+
+let supported_throughput t =
+  let a = max_alpha t in
+  if a = infinity then infinity else a *. Model.total_demand t.m
+
+let latency_terms ?(alpha = 1.0) ?(vnf_service_time = 0.001) ~with_queueing t =
+  let m = t.m in
+  let state = load_state t in
+  let paths = Model.paths m in
+  let total_weight = ref 0. in
+  let total_latency = ref 0. in
+  let saturated = ref false in
+  Array.iteri
+    (fun c stages ->
+      Array.iteri
+        (fun z flows ->
+          let w = Model.fwd_traffic m ~chain:c ~stage:z in
+          let v = Model.rev_traffic m ~chain:c ~stage:z in
+          List.iter
+            (fun (src, dst, frac) ->
+              if frac > 1e-12 then begin
+                let weight = (w +. v) *. frac in
+                let prop = Sb_net.Paths.delay paths src dst in
+                let queue =
+                  if not with_queueing then 0.
+                  else
+                    match Model.stage_dst_vnf m ~chain:c ~stage:z with
+                    | None -> 0.
+                    | Some f -> (
+                      match Model.site_of_node m dst with
+                      | None -> 0.
+                      | Some s ->
+                        let rho = alpha *. Load_state.vnf_utilization state ~vnf:f ~site:s in
+                        (* A deployment loaded beyond capacity cannot carry
+                           the traffic at all; one loaded exactly to its
+                           admission limit queues heavily but finitely. *)
+                        if rho > 1. +. 1e-9 then begin
+                          saturated := true;
+                          0.
+                        end
+                        else vnf_service_time /. (1. -. Float.min rho 0.98))
+                in
+                total_weight := !total_weight +. weight;
+                total_latency := !total_latency +. (weight *. (prop +. queue))
+              end)
+            flows)
+        stages)
+    t.flows;
+  if !saturated then infinity
+  else if !total_weight = 0. then 0.
+  else !total_latency /. !total_weight
+
+let mean_latency ?alpha ?vnf_service_time t =
+  latency_terms ?alpha ?vnf_service_time ~with_queueing:true t
+
+let propagation_latency t = latency_terms ~with_queueing:false t
+
+let decompose_paths t ~chain =
+  let stages = Model.num_stages t.m chain in
+  (* Mutable residual copy of the stage flows. *)
+  let residual = Array.map (fun flows -> ref flows) t.flows.(chain) in
+  let take stage node =
+    (* First arc with positive fraction leaving [node] at [stage]. *)
+    List.find_opt (fun (s, _, f) -> s = node && f > 1e-9) !(residual.(stage))
+  in
+  let take_any_source () =
+    (* Any stage-0 arc with residual flow (chains may have several
+       ingresses). *)
+    List.find_opt (fun (_, _, f) -> f > 1e-9) !(residual.(0))
+  in
+  let subtract stage (src, dst) amount =
+    residual.(stage) :=
+      List.filter_map
+        (fun (s, d, f) ->
+          if s = src && d = dst then
+            if f -. amount > 1e-9 then Some (s, d, f -. amount) else None
+          else Some (s, d, f))
+        !(residual.(stage))
+  in
+  let paths = ref [] in
+  let continue = ref true in
+  while !continue do
+    match take_any_source () with
+    | None -> continue := false
+    | Some (src0, dst0, f0) ->
+      let nodes = Array.make (stages + 1) src0 in
+      nodes.(1) <- dst0;
+      let frac = ref f0 in
+      (try
+         for z = 1 to stages - 1 do
+           match take z nodes.(z) with
+           | Some (_, d, f) ->
+             nodes.(z + 1) <- d;
+             frac := Float.min !frac f
+           | None -> raise Exit
+         done;
+         for z = 0 to stages - 1 do
+           subtract z (nodes.(z), nodes.(z + 1)) !frac
+         done;
+         paths := (Array.copy nodes, !frac) :: !paths
+       with Exit ->
+         (* Conservation violated (partial routing): drop the dangling arc
+            to guarantee termination. *)
+         subtract 0 (src0, dst0) f0)
+  done;
+  List.rev !paths
+
+let pp_chain ppf t c =
+  let m = t.m in
+  let topo = Model.topology m in
+  Format.fprintf ppf "@[<v>chain %s (%s -> %s):@," (Model.chain_name m c)
+    (Sb_net.Topology.node_name topo (Model.chain_ingress m c))
+    (Sb_net.Topology.node_name topo (Model.chain_egress m c));
+  Array.iteri
+    (fun z flows ->
+      Format.fprintf ppf "  stage %d:" z;
+      List.iter
+        (fun (s, d, f) ->
+          Format.fprintf ppf " %s->%s:%.2f"
+            (Sb_net.Topology.node_name topo s)
+            (Sb_net.Topology.node_name topo d)
+            f)
+        flows;
+      Format.fprintf ppf "@,")
+    t.flows.(c);
+  Format.fprintf ppf "@]"

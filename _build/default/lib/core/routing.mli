@@ -1,0 +1,65 @@
+(** Chain routings: the decision variables [x_czn1n2] and their evaluation.
+
+    A routing assigns, for every chain and stage, the fraction of that
+    stage's traffic sent between each (source node, destination node) pair
+    — exactly the [x] variables of the chain-routing problem (Section 4.2).
+    Constructors build routings from single paths or weighted path sets;
+    evaluators compute the supported throughput and mean chain latency that
+    the paper's figures report. *)
+
+type t
+
+val create : Model.t -> t
+(** All-zero routing (no chain routed). *)
+
+val model : t -> Model.t
+
+val set_stage : t -> chain:int -> stage:int -> (int * int * float) list -> unit
+(** Replace a stage's flow list [(src_node, dst_node, fraction)]. *)
+
+val stage_flows : t -> chain:int -> stage:int -> (int * int * float) list
+
+val add_path : t -> chain:int -> nodes:int array -> frac:float -> unit
+(** Add fraction [frac] of a chain along the element-node sequence [nodes]
+    (length [chain_length + 2]: ingress, one node per VNF, egress).
+    Raises [Invalid_argument] on a length mismatch. *)
+
+val single_path : Model.t -> (int -> int array) -> t
+(** [single_path m path_of_chain] routes every chain fully along one path. *)
+
+val validate : t -> (unit, string) result
+(** Check that for every chain: stage-0 fractions sum to 1, flow is
+    conserved at every intermediate element/site, flows connect only valid
+    stage endpoints (Eqs. 1-2), VNF elements sit on nodes where that VNF is
+    deployed, and fractions are non-negative. *)
+
+val load_state : t -> Load_state.t
+(** Commit the whole routing into a fresh load state. *)
+
+val max_alpha : t -> float
+(** {!Load_state.max_alpha} of {!load_state}: the throughput metric. *)
+
+val supported_throughput : t -> float
+(** [max_alpha * total model demand] — the absolute supported throughput
+    reported in Figs. 12a/12b/13a/13b. *)
+
+val mean_latency : ?alpha:float -> ?vnf_service_time:float -> t -> float
+(** Demand-weighted mean chain latency (the paper's latency metric,
+    cf. Eq. 3 normalized by total traffic), at load scaling [alpha]
+    (default 1): per-stage propagation delay plus an M/M/1-style sojourn
+    [vnf_service_time / (1 - rho)] at each receiving VNF deployment, where
+    [rho] is that deployment's utilization under [alpha]-scaled load.
+    [infinity] once any traversed deployment saturates.
+    [vnf_service_time] defaults to 1 ms. *)
+
+val propagation_latency : t -> float
+(** Mean latency from propagation only (no queueing). *)
+
+val decompose_paths : t -> chain:int -> (int array * float) list
+(** Decompose a chain's (splittable) stage flows into end-to-end paths with
+    fractions: each path is an element-node sequence of length
+    [chain_length + 2]; fractions sum to the chain's routed fraction.
+    Standard flow decomposition — at most one path per flow-carrying arc. *)
+
+val pp_chain : Format.formatter -> t -> int -> unit
+(** Render one chain's routes for humans. *)

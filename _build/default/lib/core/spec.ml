@@ -1,0 +1,234 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (String.trim (strip_comment line))
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+type pending_chain = {
+  pc_name : string;
+  pc_ingresses : (string * float) list;
+  pc_egresses : (string * float) list;
+  pc_fwd : float;
+  pc_rev : float;
+  pc_vnfs : string list;
+}
+
+type acc = {
+  mutable nodes : (string * (float * float)) list; (* reverse order *)
+  mutable duplex : (string * string * float * float) list;
+  mutable links : (string * string * float * float) list;
+  mutable sites : (string * float) list;
+  mutable vnfs : (string * float) list;
+  mutable deploys : (string * string * float) list;
+  mutable chains : pending_chain list;
+  mutable beta : float;
+}
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let float_of tok =
+  match float_of_string_opt tok with
+  | Some v -> v
+  | None -> failf "expected a number, got %S" tok
+
+let parse_line acc line =
+  match tokens line with
+  | [] -> ()
+  | [ "node"; name; x; y ] ->
+    if List.mem_assoc name acc.nodes then failf "duplicate node %s" name;
+    acc.nodes <- (name, (float_of x, float_of y)) :: acc.nodes
+  | [ "link"; a; b; bw; d ] -> acc.links <- (a, b, float_of bw, float_of d) :: acc.links
+  | [ "duplex"; a; b; bw; d ] -> acc.duplex <- (a, b, float_of bw, float_of d) :: acc.duplex
+  | [ "site"; node; cap ] -> acc.sites <- (node, float_of cap) :: acc.sites
+  | [ "vnf"; name; cpu ] ->
+    if List.mem_assoc name acc.vnfs then failf "duplicate vnf %s" name;
+    acc.vnfs <- (name, float_of cpu) :: acc.vnfs
+  | [ "deploy"; vnf; node; cap ] -> acc.deploys <- (vnf, node, float_of cap) :: acc.deploys
+  | "chain" :: name :: ingress :: egress :: fwd :: rev :: vnfs ->
+    acc.chains <-
+      {
+        pc_name = name;
+        pc_ingresses = [ (ingress, 1.) ];
+        pc_egresses = [ (egress, 1.) ];
+        pc_fwd = float_of fwd;
+        pc_rev = float_of rev;
+        pc_vnfs = vnfs;
+      }
+      :: acc.chains
+  | "chainm" :: name :: ingresses :: egresses :: fwd :: rev :: vnfs ->
+    (* Multi-endpoint chain: endpoints are comma-separated node:share
+       pairs, e.g. "office1:2,office2:1". *)
+    let endpoints what field =
+      String.split_on_char ',' field
+      |> List.map (fun item ->
+             match String.split_on_char ':' item with
+             | [ node; share ] -> (node, float_of share)
+             | [ node ] -> (node, 1.)
+             | _ -> failf "malformed %s endpoint %S" what item)
+    in
+    acc.chains <-
+      {
+        pc_name = name;
+        pc_ingresses = endpoints "ingress" ingresses;
+        pc_egresses = endpoints "egress" egresses;
+        pc_fwd = float_of fwd;
+        pc_rev = float_of rev;
+        pc_vnfs = vnfs;
+      }
+      :: acc.chains
+  | [ "beta"; b ] -> acc.beta <- float_of b
+  | directive :: _ -> failf "unknown or malformed directive %S" directive
+
+let build acc =
+  let topo = Sb_net.Topology.create () in
+  let node_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (name, (x, y)) ->
+      Hashtbl.replace node_ids name (Sb_net.Topology.add_node topo ~x ~y name))
+    (List.rev acc.nodes);
+  let node name =
+    match Hashtbl.find_opt node_ids name with
+    | Some id -> id
+    | None -> failf "unknown node %s" name
+  in
+  List.iter
+    (fun (a, b, bw, d) ->
+      ignore (Sb_net.Topology.add_link topo ~src:(node a) ~dst:(node b) ~bandwidth:bw ~delay:d))
+    (List.rev acc.links);
+  List.iter
+    (fun (a, b, bw, d) ->
+      Sb_net.Topology.add_duplex topo (node a) (node b) ~bandwidth:bw ~delay:d)
+    (List.rev acc.duplex);
+  let b = Model.builder topo in
+  let site_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (name, cap) ->
+      Hashtbl.replace site_ids name (Model.add_site b ~node:(node name) ~capacity:cap))
+    (List.rev acc.sites);
+  let site name =
+    match Hashtbl.find_opt site_ids name with
+    | Some id -> id
+    | None -> failf "no site at node %s" name
+  in
+  let vnf_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (name, cpu) ->
+      Hashtbl.replace vnf_ids name (Model.add_vnf b ~name ~cpu_per_unit:cpu))
+    (List.rev acc.vnfs);
+  let vnf name =
+    match Hashtbl.find_opt vnf_ids name with
+    | Some id -> id
+    | None -> failf "unknown vnf %s" name
+  in
+  List.iter
+    (fun (v, s, cap) -> Model.deploy b ~vnf:(vnf v) ~site:(site s) ~capacity:cap)
+    (List.rev acc.deploys);
+  List.iter
+    (fun pc ->
+      ignore
+        (Model.add_chain_endpoints b ~name:pc.pc_name
+           ~ingresses:(List.map (fun (n, s) -> (node n, s)) pc.pc_ingresses)
+           ~egresses:(List.map (fun (n, s) -> (node n, s)) pc.pc_egresses)
+           ~vnfs:(List.map vnf pc.pc_vnfs)
+           ~fwd:pc.pc_fwd ~rev:pc.pc_rev ()))
+    (List.rev acc.chains);
+  Model.finalize b ~beta:acc.beta ()
+
+let parse contents =
+  let acc =
+    {
+      nodes = [];
+      duplex = [];
+      links = [];
+      sites = [];
+      vnfs = [];
+      deploys = [];
+      chains = [];
+      beta = 1.0;
+    }
+  in
+  let lines = String.split_on_char '\n' contents in
+  try
+    List.iteri
+      (fun i line ->
+        try parse_line acc line with
+        | Bad msg -> failf "line %d: %s" (i + 1) msg
+        | Invalid_argument msg -> failf "line %d: %s" (i + 1) msg)
+      lines;
+    Ok (build acc)
+  with
+  | Bad msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    parse contents
+
+let to_string m =
+  let buf = Buffer.create 1024 in
+  let topo = Model.topology m in
+  let name n = Sb_net.Topology.node_name topo n in
+  for n = 0 to Sb_net.Topology.num_nodes topo - 1 do
+    let x, y = Sb_net.Topology.node_pos topo n in
+    Buffer.add_string buf (Printf.sprintf "node %s %.12g %.12g\n" (name n) x y)
+  done;
+  Array.iter
+    (fun (l : Sb_net.Topology.link) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %s %s %.12g %.12g\n" (name l.src) (name l.dst) l.bandwidth l.delay))
+    (Sb_net.Topology.links topo);
+  for s = 0 to Model.num_sites m - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "site %s %.12g\n" (name (Model.site_node m s)) (Model.site_capacity m s))
+  done;
+  for f = 0 to Model.num_vnfs m - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "vnf %s %.12g\n" (Model.vnf_name m f) (Model.vnf_cpu_per_unit m f));
+    List.iter
+      (fun (s, cap) ->
+        Buffer.add_string buf
+          (Printf.sprintf "deploy %s %s %.12g\n" (Model.vnf_name m f)
+             (name (Model.site_node m s))
+             cap))
+      (Model.vnf_sites m f)
+  done;
+  for c = 0 to Model.num_chains m - 1 do
+    let vnf_names =
+      Array.to_list (Model.chain_vnfs m c) |> List.map (Model.vnf_name m)
+    in
+    let ingresses = Model.chain_ingresses m c in
+    let egresses = Model.chain_egresses m c in
+    if List.length ingresses = 1 && List.length egresses = 1 then
+      Buffer.add_string buf
+        (Printf.sprintf "chain %s %s %s %.12g %.12g %s\n" (Model.chain_name m c)
+           (name (Model.chain_ingress m c))
+           (name (Model.chain_egress m c))
+           (Model.fwd_traffic m ~chain:c ~stage:0)
+           (Model.rev_traffic m ~chain:c ~stage:0)
+           (String.concat " " vnf_names))
+    else begin
+      let endpoints eps =
+        String.concat ","
+          (List.map (fun (n, share) -> Printf.sprintf "%s:%.12g" (name n) share) eps)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "chainm %s %s %s %.12g %.12g %s\n" (Model.chain_name m c)
+           (endpoints ingresses) (endpoints egresses)
+           (Model.fwd_traffic m ~chain:c ~stage:0)
+           (Model.rev_traffic m ~chain:c ~stage:0)
+           (String.concat " " vnf_names))
+    end
+  done;
+  Buffer.add_string buf (Printf.sprintf "beta %.12g\n" (Model.beta m));
+  Buffer.contents buf

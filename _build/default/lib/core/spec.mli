@@ -1,0 +1,32 @@
+(** Textual scenario files for Switchboard.
+
+    The paper's prototype defines its network model in YANG with JSON data
+    (Section 4.5). This module provides the equivalent declarative input: a
+    small line-oriented format from which a complete {!Model.t} is built,
+    used by the CLI and the examples. Lines are directives; ['#'] starts a
+    comment; names are resolved in order, so nodes must precede links, and
+    VNFs their deployments:
+
+    {v
+    # a CPE, an edge cloud and a core cloud
+    node cpe 0 0                 # name x y
+    node edge 300 120
+    duplex cpe edge 10 0.005     # bandwidth delay (adds both directions)
+    site edge 40                 # node capacity
+    vnf firewall 1.0             # name cpu_per_unit
+    deploy firewall edge 20      # vnf site-node capacity
+    chain web cpe edge 2.0 1.0 firewall   # name ingress egress fwd rev vnfs...
+    chainm up o1:2,o2:1 hq:1 2.0 1.0 firewall
+                                 # multi-endpoint chain: node:share lists
+    beta 0.9                     # optional MLU limit
+    v} *)
+
+val parse : string -> (Model.t, string) result
+(** Build a model from file contents. Errors carry the offending line
+    number. *)
+
+val load_file : string -> (Model.t, string) result
+
+val to_string : Model.t -> string
+(** Render a model back to the format (round-trips through {!parse} up to
+    ECMP-irrelevant ordering); handy for exporting synthesized workloads. *)

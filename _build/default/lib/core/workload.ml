@@ -1,0 +1,108 @@
+type params = {
+  num_vnfs : int;
+  coverage : float;
+  cpu_per_unit : float;
+  num_chains : int;
+  min_chain_len : int;
+  max_chain_len : int;
+  site_capacity : float;
+  total_traffic : float;
+  background_ratio : float;
+  reverse_fraction : float;
+  beta : float;
+}
+
+let default =
+  {
+    num_vnfs = 12;
+    coverage = 0.5;
+    cpu_per_unit = 1.0;
+    num_chains = 24;
+    min_chain_len = 3;
+    max_chain_len = 5;
+    site_capacity = 100.;
+    total_traffic = 30.;
+    background_ratio = 0.25;
+    reverse_fraction = 0.5;
+    beta = 1.0;
+  }
+
+let synthesize ~rng topo p =
+  if p.coverage <= 0. || p.coverage > 1. then invalid_arg "Workload: coverage out of (0,1]";
+  if p.min_chain_len < 1 || p.max_chain_len < p.min_chain_len then
+    invalid_arg "Workload: bad chain length range";
+  if p.num_vnfs < p.max_chain_len then
+    invalid_arg "Workload: catalog smaller than max chain length";
+  let n = Sb_net.Topology.num_nodes topo in
+  let b = Model.builder topo in
+  (* Sites: one per node, homogeneous capacity. *)
+  let sites = Array.init n (fun node -> Model.add_site b ~node ~capacity:p.site_capacity) in
+  let num_sites = Array.length sites in
+  (* VNF catalog: each at a random coverage-fraction of sites. *)
+  let per_vnf_sites = max 1 (int_of_float (Float.round (p.coverage *. float_of_int num_sites))) in
+  let vnfs =
+    Array.init p.num_vnfs (fun i ->
+        Model.add_vnf b ~name:(Printf.sprintf "vnf%d" i) ~cpu_per_unit:p.cpu_per_unit)
+  in
+  let vnf_site_sets =
+    Array.map
+      (fun _ -> Sb_util.Rng.sample_without_replacement rng per_vnf_sites num_sites)
+      vnfs
+  in
+  (* A site's capacity is divided equally among the VNFs present there. *)
+  let vnfs_at_site = Array.make num_sites 0 in
+  Array.iter (List.iter (fun s -> vnfs_at_site.(s) <- vnfs_at_site.(s) + 1)) vnf_site_sets;
+  Array.iteri
+    (fun f site_set ->
+      List.iter
+        (fun s ->
+          let share = p.site_capacity /. float_of_int vnfs_at_site.(s) in
+          Model.deploy b ~vnf:vnfs.(f) ~site:s ~capacity:share)
+        site_set)
+    vnf_site_sets;
+  (* Gravity masses size chain traffic at their ingress. *)
+  let tm = Sb_net.Traffic.gravity ~rng ~n ~total:p.total_traffic in
+  (* Chains: random endpoints, 3-5 VNFs in globally consistent (id) order. *)
+  let raw =
+    Array.init p.num_chains (fun _ ->
+        let ingress = Sb_util.Rng.int rng n in
+        let egress =
+          let rec pick () =
+            let e = Sb_util.Rng.int rng n in
+            if e = ingress then pick () else e
+          in
+          pick ()
+        in
+        let len =
+          p.min_chain_len + Sb_util.Rng.int rng (p.max_chain_len - p.min_chain_len + 1)
+        in
+        let chosen = Sb_util.Rng.sample_without_replacement rng len p.num_vnfs in
+        let chain_vnfs = List.sort compare chosen in
+        (ingress, egress, chain_vnfs, Sb_net.Traffic.node_mass tm ingress))
+  in
+  let mass_total = Array.fold_left (fun acc (_, _, _, w) -> acc +. w) 0. raw in
+  Array.iteri
+    (fun i (ingress, egress, chain_vnfs, w) ->
+      let fwd =
+        if mass_total > 0. then w /. mass_total *. p.total_traffic
+        else p.total_traffic /. float_of_int p.num_chains
+      in
+      ignore
+        (Model.add_chain b
+           ~name:(Printf.sprintf "chain%d" i)
+           ~ingress ~egress ~vnfs:chain_vnfs ~fwd
+           ~rev:(fwd *. p.reverse_fraction)
+           ()))
+    raw;
+  (* Background traffic: a second gravity matrix routed over shortest paths. *)
+  let bg_total = p.background_ratio *. p.total_traffic in
+  let paths = Sb_net.Paths.compute topo in
+  let bg_loads = Sb_net.Load.create topo paths in
+  let bg_tm = Sb_net.Traffic.gravity ~rng ~n ~total:bg_total in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && bg_tm.(i).(j) > 0. then
+        Sb_net.Load.add_flow bg_loads ~src:i ~dst:j ~volume:bg_tm.(i).(j)
+    done
+  done;
+  Model.finalize b ~beta:p.beta ~background:(fun e -> Sb_net.Load.link_load bg_loads e) ()

@@ -1,0 +1,1 @@
+lib/ctrl/system.ml: Array Float Hashtbl List Option Printf Sb_dataplane Sb_msgbus Sb_music Sb_sim Types

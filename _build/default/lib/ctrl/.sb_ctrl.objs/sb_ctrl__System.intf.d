@@ -1,0 +1,1 @@
+lib/ctrl/system.mli: Sb_dataplane Sb_msgbus Sb_music Sb_sim Types

@@ -1,0 +1,1 @@
+lib/ctrl/types.mli: Format

@@ -1,0 +1,851 @@
+module Bus = Sb_msgbus.Bus
+module Engine = Sb_sim.Engine
+module Fabric = Sb_dataplane.Fabric
+open Types
+
+let broadcast_topic = "/chains"
+let edge_forwarders_topic ~chain ~egress = Printf.sprintf "/c%d/e%d/edge_forwarders" chain egress
+
+type site_info = {
+  fab_site : int;
+  mutable forwarders : int list; (* newest last; edges attach to the first *)
+  mutable edge : int option;
+}
+
+type vnf_ctl = {
+  v_id : int;
+  mutable v_home : int; (* controller location: first deployment site *)
+  v_capacity : (int, float) Hashtbl.t; (* site -> admission capacity *)
+  v_committed : (int * int, float) Hashtbl.t; (* (chain, site) -> load *)
+  v_reserved : (int, int * (int * float) list) Hashtbl.t;
+  (* txid -> chain, (site, load) list; a commit REPLACES the chain's
+     previous allocation (route updates are not additive) *)
+  v_instances : (int, int list) Hashtbl.t; (* site -> fabric instance ids *)
+}
+
+type chain_state = {
+  c_id : int;
+  mutable c_spec : chain_spec;
+  mutable c_routes : route list;
+  mutable c_ingress : int option;
+  mutable c_egress : int option;
+}
+
+type txn = {
+  tx_id : int;
+  tx_chain : int;
+  tx_routes : route list;
+  tx_spec : chain_spec;
+  mutable tx_waiting : string list;
+  mutable tx_rejected : (int * int) list;
+  tx_exclude : (int * int) list;
+}
+
+(* Per-site Local Switchboard: accumulates route and weight knowledge from
+   the bus and converts it into forwarder rules (Section 3, step 5). *)
+type local_sb = {
+  ls_site : int;
+  ls_known : (int, chain_state) Hashtbl.t;
+  ls_instance_info : (int * int * int, (int * float) list) Hashtbl.t;
+  (* (chain, vnf, site) -> instances *)
+  ls_fwd_info : (int * int * int, (int * float) list) Hashtbl.t;
+  ls_installed : (int * int * int, (Fabric.endpoint * float) list) Hashtbl.t;
+  (* (chain, egress, stage) -> last installed rule *)
+  ls_published_weight : (int * int, float) Hashtbl.t; (* (chain, vnf) -> weight *)
+  ls_subscribed : (string, unit) Hashtbl.t;
+}
+
+type t = {
+  eng : Engine.t;
+  bus : msg Bus.t;
+  fabric : Fabric.t;
+  sites : site_info array;
+  locals : local_sb array;
+  gsb_site : int;
+  delay : int -> int -> float;
+  install_latency : float;
+  vnf_ctls : (int, vnf_ctl) Hashtbl.t;
+  chains : (int, chain_state) Hashtbl.t;
+  txns : (int, txn) Hashtbl.t;
+  attachments : (string, int) Hashtbl.t; (* attachment -> site *)
+  pending_commits : (int, int * chain_spec) Hashtbl.t; (* txid -> chain, spec *)
+  mutable next_chain : int;
+  mutable next_txid : int;
+  mutable route_policy :
+    (chain_spec -> exclude:(int * int) list -> route list option) option;
+  mutable store : persisted Sb_music.Store.t option;
+  mutable persisted_index : int list;
+  events : (float * string) list ref;
+}
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun s -> t.events := (Engine.now t.eng, s) :: !(t.events))
+    fmt
+
+let engine t = t.eng
+let bus t = t.bus
+let fabric t = t.fabric
+let site_forwarder t s = List.hd t.sites.(s).forwarders
+let site_forwarders t s = t.sites.(s).forwarders
+let site_edge t s = t.sites.(s).edge
+let log t = List.rev !(t.events)
+
+let log_between t lo hi =
+  List.filter (fun (ts, _) -> ts >= lo && ts <= hi) (log t)
+
+let chain_elements spec = Array.of_list ((-1) :: spec.vnfs @ [ -2 ])
+(* element VNF ids with -1 = ingress edge, -2 = egress edge *)
+
+(* ---------------- Local Switchboard rule computation ---------------- *)
+
+let ls_subscribe t ls topic callback =
+  if not (Hashtbl.mem ls.ls_subscribed topic) then begin
+    Hashtbl.replace ls.ls_subscribed topic ();
+    Bus.subscribe t.bus ~site:ls.ls_site ~topic callback
+  end
+
+(* The weighted rule at [ls] for one stage of one chain, or None when some
+   required weight information has not arrived yet. *)
+let compute_stage_rule t ls (cs : chain_state) stage =
+  let spec = cs.c_spec in
+  let elements = chain_elements spec in
+  (match cs.c_egress with Some _ -> () | None -> raise Exit);
+  let targets = ref [] in
+  let add tgt w = if w > 0. then targets := (tgt, w) :: !targets in
+  let missing = ref false in
+  let next_vnf = elements.(stage + 1) in
+  let relevant = ref false in
+  List.iter
+    (fun r ->
+      let s_z = r.element_sites.(stage) and s_z1 = r.element_sites.(stage + 1) in
+      let local_instances () =
+        match Hashtbl.find_opt ls.ls_instance_info (cs.c_id, next_vnf, ls.ls_site) with
+        | Some ((_ :: _) as insts) ->
+          List.iter (fun (i, w) -> add (Fabric.Vnf_instance i) (r.weight *. w)) insts
+        | Some [] | None -> missing := true
+      in
+      let local_egress () =
+        match t.sites.(ls.ls_site).edge with
+        | Some e -> add (Fabric.Edge e) r.weight
+        | None -> missing := true
+      in
+      if s_z = ls.ls_site then begin
+        relevant := true;
+        if s_z1 = ls.ls_site then
+          if next_vnf = -2 then local_egress () else local_instances ()
+        else begin
+          (* Remote next hop: the hierarchical rule spreads this route's
+             share over the forwarders the next VNF's site published, each
+             weighted by its attached-instance weight (Section 5.2). *)
+          if next_vnf = -2 then
+            add (Fabric.Forwarder (List.hd t.sites.(s_z1).forwarders)) r.weight
+          else
+            match Hashtbl.find_opt ls.ls_fwd_info (cs.c_id, next_vnf, s_z1) with
+            | Some ((_ :: _) as fwds) ->
+              List.iter
+                (fun (f, w) -> add (Fabric.Forwarder f) (r.weight *. Float.max w 1e-9))
+                fwds
+            | Some [] | None -> missing := true
+        end
+      end
+      else if s_z1 = ls.ls_site then begin
+        (* Receiver side: traffic arrives from a remote forwarder and must
+           be spread over local instances (or handed to the egress edge). *)
+        relevant := true;
+        if next_vnf = -2 then local_egress () else local_instances ()
+      end)
+    cs.c_routes;
+  if not !relevant then None
+  else if !missing then None
+  else begin
+    (* Merge duplicate targets. *)
+    let merged = Hashtbl.create 8 in
+    List.iter
+      (fun (tgt, w) ->
+        let cur = try Hashtbl.find merged tgt with Not_found -> 0. in
+        Hashtbl.replace merged tgt (cur +. w))
+      !targets;
+    Some (Hashtbl.fold (fun tgt w acc -> (tgt, w) :: acc) merged [] |> List.sort compare)
+  end
+
+let try_install t ls (cs : chain_state) =
+  match cs.c_egress with
+  | None -> ()
+  | Some egress ->
+    let stages = List.length cs.c_spec.vnfs + 1 in
+    for stage = 0 to stages - 1 do
+      match compute_stage_rule t ls cs stage with
+      | None | (exception Exit) -> ()
+      | Some rule ->
+        let key = (cs.c_id, egress, stage) in
+        let unchanged =
+          match Hashtbl.find_opt ls.ls_installed key with
+          | Some prev -> prev = rule
+          | None -> false
+        in
+        if not unchanged then begin
+          Hashtbl.replace ls.ls_installed key rule;
+          ignore
+            (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
+                 List.iter
+                   (fun forwarder ->
+                     Fabric.install_rule t.fabric ~forwarder ~chain_label:cs.c_id
+                       ~egress_label:egress ~stage rule)
+                   t.sites.(ls.ls_site).forwarders;
+                 logf t "site %d: installed rule chain=%d stage=%d (%d targets)"
+                   ls.ls_site cs.c_id stage (List.length rule)))
+        end
+    done
+
+(* Publish this site's forwarder weight for a VNF of a chain once the local
+   instance weights are known. *)
+let maybe_publish_forwarder_weight t ls (cs : chain_state) vnf =
+  match (cs.c_egress, Hashtbl.find_opt ls.ls_instance_info (cs.c_id, vnf, ls.ls_site)) with
+  | Some egress, Some insts when insts <> [] ->
+    let weight = List.fold_left (fun a (_, w) -> a +. w) 0. insts in
+    let key = (cs.c_id, vnf) in
+    let already =
+      match Hashtbl.find_opt ls.ls_published_weight key with
+      | Some w -> w = weight
+      | None -> false
+    in
+    if not already then begin
+      Hashtbl.replace ls.ls_published_weight key weight;
+      ignore weight;
+      let per_forwarder =
+        List.filter_map
+          (fun f ->
+            let w = Fabric.forwarder_published_weight t.fabric f vnf in
+            if w > 0. then Some (f, w) else None)
+          t.sites.(ls.ls_site).forwarders
+      in
+      Bus.publish t.bus ~site:ls.ls_site
+        ~topic:(forwarders_topic ~chain:cs.c_id ~egress ~vnf ~site:ls.ls_site)
+        (Forwarder_info { vnf; site = ls.ls_site; forwarders = per_forwarder })
+    end
+  | _ -> ()
+
+(* React to a committed route set: subscribe to the weight topics this site
+   needs, then try to install rules. *)
+let ls_on_route t ls (cs : chain_state) =
+  Hashtbl.replace ls.ls_known cs.c_id cs;
+  match cs.c_egress with
+  | None -> ()
+  | Some egress ->
+    let spec = cs.c_spec in
+    let elements = chain_elements spec in
+    let nstages = List.length spec.vnfs + 1 in
+    let need_instances = Hashtbl.create 8 in
+    let need_forwarders = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        for stage = 0 to nstages - 1 do
+          let s_z = r.element_sites.(stage) and s_z1 = r.element_sites.(stage + 1) in
+          let next_vnf = elements.(stage + 1) in
+          if s_z = ls.ls_site && next_vnf >= 0 then
+            if s_z1 = ls.ls_site then Hashtbl.replace need_instances (next_vnf, s_z1) ()
+            else Hashtbl.replace need_forwarders (next_vnf, s_z1) ();
+          if s_z1 = ls.ls_site && s_z <> ls.ls_site && next_vnf >= 0 then
+            Hashtbl.replace need_instances (next_vnf, s_z1) ();
+          (* Sites hosting a VNF element publish their forwarder weight and
+             watch local instances. *)
+          if s_z1 = ls.ls_site && next_vnf >= 0 then
+            Hashtbl.replace need_instances (next_vnf, s_z1) ()
+        done)
+      cs.c_routes;
+    let sub_instances (vnf, site) () =
+      ls_subscribe t ls (instances_topic ~chain:cs.c_id ~egress ~vnf ~site) (function
+        | Instance_info { vnf = v; site = s; instances } ->
+          Hashtbl.replace ls.ls_instance_info (cs.c_id, v, s) instances;
+          maybe_publish_forwarder_weight t ls cs v;
+          try_install t ls cs
+        | _ -> ())
+    in
+    let sub_forwarders (vnf, site) () =
+      ls_subscribe t ls (forwarders_topic ~chain:cs.c_id ~egress ~vnf ~site) (function
+        | Forwarder_info { vnf = v; site = s; forwarders } ->
+          Hashtbl.replace ls.ls_fwd_info (cs.c_id, v, s) forwarders;
+          try_install t ls cs
+        | _ -> ())
+    in
+    Hashtbl.iter sub_instances need_instances;
+    Hashtbl.iter sub_forwarders need_forwarders;
+    (* Sites hosting the first VNF listen for edge forwarders appearing at
+       new edge sites (Section 6 / Table 2). *)
+    let hosts_first_vnf =
+      List.exists (fun r -> Array.length r.element_sites > 1 && r.element_sites.(1) = ls.ls_site)
+        cs.c_routes
+    in
+    if hosts_first_vnf then
+      ls_subscribe t ls (edge_forwarders_topic ~chain:cs.c_id ~egress) (function
+        | Forwarder_info { site; _ } ->
+          logf t "site %d: 1st VNF's fwrdr receives edge's fwrdr info (edge site %d)"
+            ls.ls_site site;
+          logf t "site %d: 1st VNF's fwrdr starts dataplane configuration" ls.ls_site;
+          ignore
+            (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
+                 logf t "site %d: 1st VNF's fwrdr finishes configuration" ls.ls_site))
+        | _ -> ());
+    try_install t ls cs
+
+(* --------------------------- VNF controller ------------------------- *)
+
+let vnf_demand_per_site spec routes vnf =
+  let elements = chain_elements spec in
+  let demand = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun z v ->
+          if v = vnf then begin
+            let s = r.element_sites.(z) in
+            let cur = try Hashtbl.find demand s with Not_found -> 0. in
+            Hashtbl.replace demand s (cur +. (r.weight *. spec.traffic))
+          end)
+        elements)
+    routes;
+  demand
+
+let vnf_committed_at v ~excluding_chain site =
+  Hashtbl.fold
+    (fun (c, s) load acc -> if s = site && c <> excluding_chain then acc +. load else acc)
+    v.v_committed 0.
+
+let vnf_on_prepare t (v : vnf_ctl) ~txid ~chain ~routes ~spec =
+  let demand = vnf_demand_per_site spec routes v.v_id in
+  let ok = ref true in
+  let rejected = ref [] in
+  Hashtbl.iter
+    (fun site load ->
+      let cap = try Hashtbl.find v.v_capacity site with Not_found -> 0. in
+      (* A route update replaces this chain's allocation, so its current
+         load does not count against the new demand. *)
+      let used = vnf_committed_at v ~excluding_chain:chain site in
+      if used +. load > cap +. 1e-9 then begin
+        ok := false;
+        rejected := (v.v_id, site) :: !rejected
+      end)
+    demand;
+  if !ok then
+    Hashtbl.replace v.v_reserved txid
+      (chain, Hashtbl.fold (fun s l acc -> (s, l) :: acc) demand []);
+  Bus.publish t.bus ~site:v.v_home ~topic:(votes_topic ~txid)
+    (Vote
+       {
+         txid;
+         participant = Printf.sprintf "vnf_%d" v.v_id;
+         accept = !ok;
+         rejected = !rejected;
+       })
+
+let vnf_on_commit t (v : vnf_ctl) ~txid ~chain ~egress =
+  match Hashtbl.find_opt v.v_reserved txid with
+  | None -> ()
+  | Some (res_chain, reserved) ->
+    Hashtbl.remove v.v_reserved txid;
+    (* Replace the chain's previous allocation. *)
+    let stale =
+      Hashtbl.fold (fun (c, s) _ acc -> if c = res_chain then (c, s) :: acc else acc)
+        v.v_committed []
+    in
+    List.iter (Hashtbl.remove v.v_committed) stale;
+    List.iter
+      (fun (site, load) ->
+        Hashtbl.replace v.v_committed (res_chain, site) load;
+        (* Publish the allocated instances and weights (Section 3 step 4). *)
+        let insts =
+          match Hashtbl.find_opt v.v_instances site with Some l -> l | None -> []
+        in
+        Bus.publish t.bus ~site:v.v_home
+          ~topic:(instances_topic ~chain ~egress ~vnf:v.v_id ~site)
+          (Instance_info
+             { vnf = v.v_id; site; instances = List.map (fun i -> (i, 1.0)) insts }))
+      reserved
+
+(* ------------------------- Global Switchboard ----------------------- *)
+
+(* Persist a committed chain (and the chain index) into the MUSIC store so
+   a standby Global Switchboard can recover it (Section 4.5). *)
+let persist_chain t (cs : chain_state) =
+  match (t.store, cs.c_ingress, cs.c_egress) with
+  | Some store, Some ingress, Some egress ->
+    let record =
+      Chain_record
+        { cr_spec = cs.c_spec; cr_routes = cs.c_routes; cr_ingress = ingress; cr_egress = egress }
+    in
+    Sb_music.Store.put store ~from:t.gsb_site
+      ~key:(Printf.sprintf "chain/%d" cs.c_id)
+      record
+      (fun ok ->
+        if ok then logf t "gsb: chain %d persisted to MUSIC" cs.c_id
+        else logf t "gsb: MUSIC quorum unavailable for chain %d" cs.c_id);
+    if not (List.mem cs.c_id t.persisted_index) then begin
+      t.persisted_index <- cs.c_id :: t.persisted_index;
+      Sb_music.Store.put store ~from:t.gsb_site ~key:"chains/index"
+        (Chain_index t.persisted_index)
+        (fun _ -> ())
+    end
+  | _ -> ()
+
+let participants_of spec = "edge" :: List.map (Printf.sprintf "vnf_%d") spec.vnfs
+
+let rec gsb_start_2pc t (cs : chain_state) routes ~exclude =
+  let txid = t.next_txid in
+  t.next_txid <- txid + 1;
+  let tx =
+    {
+      tx_id = txid;
+      tx_chain = cs.c_id;
+      tx_routes = routes;
+      tx_spec = cs.c_spec;
+      tx_waiting = participants_of cs.c_spec;
+      tx_rejected = [];
+      tx_exclude = exclude;
+    }
+  in
+  Hashtbl.replace t.txns txid tx;
+  logf t "gsb: 2pc prepare tx%d for chain %d (%d routes)" txid cs.c_id
+    (List.length routes);
+  (* Collect votes for this transaction. *)
+  Bus.subscribe t.bus ~site:t.gsb_site ~topic:(votes_topic ~txid) (function
+    | Vote { txid; participant; accept; rejected } -> gsb_on_vote t ~txid ~participant ~accept ~rejected
+    | _ -> ());
+  List.iter
+    (fun name ->
+      Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
+        (Prepare { txid; chain = cs.c_id; routes; spec = cs.c_spec }))
+    (participants_of cs.c_spec)
+
+and gsb_on_vote t ~txid ~participant ~accept ~rejected =
+  match Hashtbl.find_opt t.txns txid with
+  | None -> ()
+  | Some tx ->
+    if List.mem participant tx.tx_waiting then begin
+      tx.tx_waiting <- List.filter (fun p -> p <> participant) tx.tx_waiting;
+      if not accept then tx.tx_rejected <- rejected @ tx.tx_rejected;
+      if tx.tx_waiting = [] then begin
+        Hashtbl.remove t.txns txid;
+        let cs = Hashtbl.find t.chains tx.tx_chain in
+        if tx.tx_rejected = [] then begin
+          (* Commit. *)
+          List.iter
+            (fun name ->
+              Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
+                (Commit { txid }))
+            (participants_of tx.tx_spec);
+          cs.c_routes <- tx.tx_routes;
+          logf t "gsb: 2pc commit tx%d; chain %d routes installed" txid tx.tx_chain;
+          persist_chain t cs;
+          let egress = Option.get cs.c_egress in
+          let update =
+            Route_update
+              { chain = cs.c_id; egress_label = egress; spec = cs.c_spec; routes = tx.tx_routes }
+          in
+          Bus.publish t.bus ~site:t.gsb_site ~topic:broadcast_topic update;
+          Bus.publish t.bus ~site:t.gsb_site ~topic:(route_topic ~chain:cs.c_id) update
+        end
+        else begin
+          List.iter
+            (fun name ->
+              Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
+                (Abort { txid }))
+            (participants_of tx.tx_spec);
+          let exclude = tx.tx_rejected @ tx.tx_exclude in
+          logf t "gsb: 2pc abort tx%d (%d rejections); recomputing" txid
+            (List.length tx.tx_rejected);
+          if List.length exclude <= 32 then begin
+            match t.route_policy with
+            | Some policy -> (
+              match policy tx.tx_spec ~exclude with
+              | Some routes -> gsb_start_2pc t cs routes ~exclude
+              | None -> logf t "gsb: no feasible route for chain %d" tx.tx_chain)
+            | None -> logf t "gsb: no route policy; chain %d failed" tx.tx_chain
+          end
+        end
+      end
+    end
+
+let gsb_on_request t ~chain ~spec =
+  logf t "gsb: received chain request %s (chain %d)" spec.spec_name chain;
+  let resolve a =
+    match Hashtbl.find_opt t.attachments a with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "System: unknown attachment %s" a)
+  in
+  let ingress = resolve spec.ingress_attachment in
+  let egress = resolve spec.egress_attachment in
+  let cs =
+    { c_id = chain; c_spec = spec; c_routes = []; c_ingress = Some ingress; c_egress = Some egress }
+  in
+  Hashtbl.replace t.chains chain cs;
+  match t.route_policy with
+  | None -> logf t "gsb: no route policy; chain %d failed" chain
+  | Some policy -> (
+    match policy spec ~exclude:[] with
+    | Some routes -> gsb_start_2pc t cs routes ~exclude:[]
+    | None -> logf t "gsb: no feasible route for chain %d" chain)
+
+(* ------------------------------ Assembly ---------------------------- *)
+
+let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.) ~num_sites
+    ~delay ~gsb_site () =
+  let eng = Engine.create () in
+  let bus = Bus.create eng ~mode:Bus.Switchboard ~num_sites ~delay ~egress_rate () in
+  let fabric = Fabric.create ~seed () in
+  let sites =
+    Array.init num_sites (fun i ->
+        let fab_site = Fabric.add_site fabric (Printf.sprintf "site%d" i) in
+        let forwarder = Fabric.add_forwarder fabric ~site:fab_site in
+        { fab_site; forwarders = [ forwarder ]; edge = None })
+  in
+  let locals =
+    Array.init num_sites (fun i ->
+        {
+          ls_site = i;
+          ls_known = Hashtbl.create 8;
+          ls_instance_info = Hashtbl.create 16;
+          ls_fwd_info = Hashtbl.create 16;
+          ls_installed = Hashtbl.create 16;
+          ls_published_weight = Hashtbl.create 8;
+          ls_subscribed = Hashtbl.create 16;
+        })
+  in
+  let t =
+    {
+      eng;
+      bus;
+      fabric;
+      sites;
+      locals;
+      gsb_site;
+      delay;
+      install_latency;
+      vnf_ctls = Hashtbl.create 8;
+      chains = Hashtbl.create 8;
+      txns = Hashtbl.create 8;
+      attachments = Hashtbl.create 8;
+      pending_commits = Hashtbl.create 8;
+      next_chain = 0;
+      next_txid = 0;
+      route_policy = None;
+      store = None;
+      persisted_index = [];
+      events = ref [];
+    }
+  in
+  (* Global Switchboard listens for chain requests. *)
+  Bus.subscribe bus ~site:gsb_site ~topic:chain_request_topic (function
+    | Chain_request { chain; spec } -> gsb_on_request t ~chain ~spec
+    | _ -> ());
+  (* The edge controller trivially accepts two-phase-commit prepares. *)
+  Bus.subscribe bus ~site:gsb_site ~topic:(participant_topic ~name:"edge") (function
+    | Prepare { txid; _ } ->
+      Bus.publish bus ~site:gsb_site ~topic:(votes_topic ~txid)
+        (Vote { txid; participant = "edge"; accept = true; rejected = [] })
+    | _ -> ());
+  (* Every Local Switchboard watches for committed routes. *)
+  Array.iter
+    (fun ls ->
+      Bus.subscribe bus ~site:ls.ls_site ~topic:broadcast_topic (function
+        | Route_update { chain; egress_label; spec; routes } ->
+          let cs =
+            match Hashtbl.find_opt ls.ls_known chain with
+            | Some cs ->
+              cs.c_routes <- routes;
+              cs.c_spec <- spec;
+              cs
+            | None ->
+              let ingress =
+                match routes with r :: _ -> Some r.element_sites.(0) | [] -> None
+              in
+              {
+                c_id = chain;
+                c_spec = spec;
+                c_routes = routes;
+                c_ingress = ingress;
+                c_egress = Some egress_label;
+              }
+          in
+          ls_on_route t ls cs
+        | _ -> ()))
+    locals;
+  t
+
+let set_route_policy t policy = t.route_policy <- Some policy
+
+let deploy_vnf t ~vnf ~site ~capacity ~instances =
+  let v =
+    match Hashtbl.find_opt t.vnf_ctls vnf with
+    | Some v -> v
+    | None ->
+      let v =
+        {
+          v_id = vnf;
+          v_home = site;
+          v_capacity = Hashtbl.create 4;
+          v_committed = Hashtbl.create 4;
+          v_reserved = Hashtbl.create 4;
+          v_instances = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace t.vnf_ctls vnf v;
+      let name = Printf.sprintf "vnf_%d" vnf in
+      Bus.subscribe t.bus ~site ~topic:(participant_topic ~name) (function
+        | Prepare { txid; chain; routes; spec } ->
+          vnf_on_prepare t v ~txid ~chain ~routes ~spec;
+          (* Remember the chain/egress for the commit. *)
+          Hashtbl.replace t.pending_commits txid (chain, spec)
+        | Commit { txid } -> (
+          match Hashtbl.find_opt t.pending_commits txid with
+          | Some (chain, _spec) -> (
+            match Hashtbl.find_opt t.chains chain with
+            | Some cs -> vnf_on_commit t v ~txid ~chain ~egress:(Option.get cs.c_egress)
+            | None -> ())
+          | None -> ())
+        | Abort { txid } -> Hashtbl.remove v.v_reserved txid
+        | _ -> ());
+      v
+  in
+  Hashtbl.replace v.v_capacity site capacity;
+  let fwds = Array.of_list t.sites.(site).forwarders in
+  let ids =
+    List.init instances (fun i ->
+        Fabric.add_vnf_instance t.fabric ~vnf ~site:t.sites.(site).fab_site
+          ~forwarder:fwds.(i mod Array.length fwds) ())
+  in
+  let existing = match Hashtbl.find_opt v.v_instances site with Some l -> l | None -> [] in
+  Hashtbl.replace v.v_instances site (existing @ ids)
+
+let register_edge t ~site ~attachment =
+  let info = t.sites.(site) in
+  let edge =
+    match info.edge with
+    | Some e -> e
+    | None ->
+      let e = Fabric.add_edge t.fabric ~site:info.fab_site ~forwarder:(List.hd info.forwarders) in
+      info.edge <- Some e;
+      e
+  in
+  ignore edge;
+  Hashtbl.replace t.attachments attachment site
+
+let request_chain t spec =
+  let chain = t.next_chain in
+  t.next_chain <- chain + 1;
+  let origin =
+    match Hashtbl.find_opt t.attachments spec.ingress_attachment with
+    | Some s -> s
+    | None -> t.gsb_site
+  in
+  ignore
+    (Engine.schedule t.eng ~delay:0. (fun () ->
+         Bus.publish t.bus ~site:origin ~topic:chain_request_topic
+           (Chain_request { chain; spec })));
+  chain
+
+let chain_routes t ~chain =
+  match Hashtbl.find_opt t.chains chain with Some cs -> cs.c_routes | None -> []
+
+let chain_egress_site t ~chain =
+  match Hashtbl.find_opt t.chains chain with Some cs -> cs.c_egress | None -> None
+
+let chain_ingress_site t ~chain =
+  match Hashtbl.find_opt t.chains chain with Some cs -> cs.c_ingress | None -> None
+
+let add_route t ~chain route =
+  match Hashtbl.find_opt t.chains chain with
+  | None -> invalid_arg "System.add_route: unknown chain"
+  | Some cs ->
+    logf t "gsb: route addition requested for chain %d" chain;
+    (* Rebalance weights evenly across old and new routes. *)
+    let all = cs.c_routes @ [ route ] in
+    let n = float_of_int (List.length all) in
+    let routes = List.map (fun r -> { r with weight = 1. /. n }) all in
+    gsb_start_2pc t cs routes ~exclude:[]
+
+let add_edge_site t ~chain ~site =
+  match Hashtbl.find_opt t.chains chain with
+  | None -> invalid_arg "System.add_edge_site: unknown chain"
+  | Some cs ->
+    let egress = Option.get cs.c_egress in
+    let ls = t.locals.(site) in
+    (* Step 1 (0 ms): choose the first VNF's site on the least-latency
+       existing route. *)
+    let best_route =
+      List.fold_left
+        (fun best r ->
+          let d = t.delay site r.element_sites.(1) in
+          match best with
+          | Some (_, bd) when bd <= d -> best
+          | _ -> Some (r, d))
+        None cs.c_routes
+    in
+    (match best_route with
+    | None -> logf t "site %d: no route to extend for chain %d" site chain
+    | Some (r, _) ->
+      let s1 = r.element_sites.(1) in
+      let first_vnf = List.hd cs.c_spec.vnfs in
+      logf t "site %d: Local SB chose 1st VNF's site %d for chain %d" site s1 chain;
+      (* Step 2: pull the first VNF's forwarder info (retained topic). *)
+      ls_subscribe t ls (forwarders_topic ~chain ~egress ~vnf:first_vnf ~site:s1)
+        (function
+        | Forwarder_info { forwarders; _ } ->
+          logf t "site %d: edge instance's fwrdr received 1st VNF's info" site;
+          (* Step 3: configure the edge forwarder's data plane (stage-0
+             rule + tunnel towards the first VNF's forwarder). *)
+          ignore
+            (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
+                 let rule =
+                   List.map (fun (f, w) -> (Fabric.Forwarder f, Float.max w 1.)) forwarders
+                 in
+                 List.iter
+                   (fun forwarder ->
+                     Fabric.install_rule t.fabric ~forwarder ~chain_label:chain
+                       ~egress_label:egress ~stage:0 rule)
+                   t.sites.(site).forwarders;
+                 logf t "site %d: edge instance's fwrdr dataplane configured" site;
+                 (* Step 4: announce this edge's forwarder so the first
+                    VNF's forwarder can configure the return side. *)
+                 Bus.publish t.bus ~site
+                   ~topic:(edge_forwarders_topic ~chain ~egress)
+                   (Forwarder_info
+                      {
+                        vnf = -1;
+                        site;
+                        forwarders = [ (List.hd t.sites.(site).forwarders, 1.) ];
+                      })))
+        | _ -> ()))
+
+let add_forwarder t ~site =
+  let info = t.sites.(site) in
+  let forwarder = Fabric.add_forwarder t.fabric ~site:info.fab_site in
+  info.forwarders <- info.forwarders @ [ forwarder ];
+  (* The Local Switchboard replays the site's current rules onto the new
+     forwarder once it is configured. *)
+  let ls = t.locals.(site) in
+  ignore
+    (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
+         Hashtbl.iter
+           (fun (chain, egress, stage) rule ->
+             Fabric.install_rule t.fabric ~forwarder ~chain_label:chain
+               ~egress_label:egress ~stage rule)
+           ls.ls_installed;
+         logf t "site %d: forwarder %d joined and configured (%d rules)" site forwarder
+           (Hashtbl.length ls.ls_installed)));
+  forwarder
+
+let scale_vnf_instances t ~vnf ~site ~count =
+  let v =
+    match Hashtbl.find_opt t.vnf_ctls vnf with
+    | Some v -> v
+    | None -> invalid_arg "System.scale_vnf_instances: unknown vnf"
+  in
+  if not (Hashtbl.mem v.v_capacity site) then
+    invalid_arg "System.scale_vnf_instances: vnf not deployed at site";
+  let fwds = Array.of_list t.sites.(site).forwarders in
+  let existing = match Hashtbl.find_opt v.v_instances site with Some l -> l | None -> [] in
+  let fresh =
+    List.init count (fun i ->
+        Fabric.add_vnf_instance t.fabric ~vnf ~site:t.sites.(site).fab_site
+          ~forwarder:fwds.((List.length existing + i) mod Array.length fwds)
+          ())
+  in
+  Hashtbl.replace v.v_instances site (existing @ fresh);
+  logf t "vnf %d: scaled to %d instances at site %d" vnf
+    (List.length existing + count) site;
+  (* Republish instance weights for every chain allocated here so Local
+     Switchboards rebalance onto the new instances. *)
+  let chains_here =
+    Hashtbl.fold
+      (fun (chain, s) _ acc -> if s = site then chain :: acc else acc)
+      v.v_committed []
+    |> List.sort_uniq compare
+  in
+  let all = existing @ fresh in
+  List.iter
+    (fun chain ->
+      match Hashtbl.find_opt t.chains chain with
+      | Some { c_egress = Some egress; _ } ->
+        Bus.publish t.bus ~site:v.v_home
+          ~topic:(instances_topic ~chain ~egress ~vnf ~site)
+          (Instance_info { vnf; site; instances = List.map (fun i -> (i, 1.0)) all })
+      | Some _ | None -> ())
+    chains_here
+
+let probe_chain t ~chain ?ingress_site tuple =
+  match Hashtbl.find_opt t.chains chain with
+  | None -> Error Fabric.Not_an_edge
+  | Some cs -> (
+    let site =
+      match ingress_site with
+      | Some s -> s
+      | None -> ( match cs.c_ingress with Some s -> s | None -> 0)
+    in
+    match (t.sites.(site).edge, cs.c_egress) with
+    | Some edge, Some egress ->
+      Fabric.send_forward t.fabric ~ingress:edge ~chain_label:chain ~egress_label:egress
+        tuple
+    | _ -> Error Fabric.Not_an_edge)
+
+let chain_measurements t ~chain =
+  match Hashtbl.find_opt t.chains chain with
+  | Some { c_egress = Some egress; c_spec; _ } ->
+    let stages = List.length c_spec.vnfs + 1 in
+    Array.init stages (fun stage ->
+        Fabric.stage_counters t.fabric ~chain_label:chain ~egress_label:egress ~stage)
+  | Some _ | None -> [||]
+
+let reset_measurements t = Fabric.reset_counters t.fabric
+
+let vnf_committed_load t ~vnf ~site =
+  match Hashtbl.find_opt t.vnf_ctls vnf with
+  | None -> 0.
+  | Some v ->
+    Hashtbl.fold
+      (fun (_, s) load acc -> if s = site then acc +. load else acc)
+      v.v_committed 0.
+
+let attach_store t store = t.store <- Some store
+
+let recover_from_store t store ~on_done =
+  Sb_music.Store.get store ~from:t.gsb_site ~key:"chains/index" (function
+    | Some (Chain_index ids) ->
+      let pending = ref (List.length ids) in
+      let recovered = ref [] in
+      if !pending = 0 then on_done []
+      else
+        List.iter
+          (fun id ->
+            Sb_music.Store.get store ~from:t.gsb_site
+              ~key:(Printf.sprintf "chain/%d" id)
+              (fun result ->
+                (match result with
+                | Some (Chain_record r) ->
+                  let cs =
+                    {
+                      c_id = id;
+                      c_spec = r.cr_spec;
+                      c_routes = r.cr_routes;
+                      c_ingress = Some r.cr_ingress;
+                      c_egress = Some r.cr_egress;
+                    }
+                  in
+                  Hashtbl.replace t.chains id cs;
+                  if id >= t.next_chain then t.next_chain <- id + 1;
+                  if not (List.mem id t.persisted_index) then
+                    t.persisted_index <- id :: t.persisted_index;
+                  recovered := id :: !recovered;
+                  logf t "gsb(standby): recovered chain %d from MUSIC" id;
+                  (* Re-drive the two-phase commit with the recovered
+                     routes: VNF controllers re-admit and republish their
+                     instance weights, Local Switchboards reinstall rules. *)
+                  gsb_start_2pc t cs r.cr_routes ~exclude:[]
+                | Some (Chain_index _) | None ->
+                  logf t "gsb(standby): chain %d unrecoverable" id);
+                decr pending;
+                if !pending = 0 then on_done (List.sort compare !recovered)))
+          ids
+    | Some (Chain_record _) | None ->
+      logf t "gsb(standby): no chain index in MUSIC";
+      on_done [])

@@ -1,0 +1,136 @@
+(** An assembled Switchboard deployment: Global Switchboard, per-site Local
+    Switchboards, edge controllers, VNF controllers — all exchanging
+    {!Types.msg} over the global message bus ([sb_msgbus]) and installing
+    rules into a data-plane fabric ([sb_dataplane]) — driven by the
+    discrete-event engine.
+
+    This is the machinery behind Section 3's chain-creation flow (Fig. 4),
+    the two-phase commit between Global Switchboard and VNF/edge
+    controllers, the dynamic-chaining experiments of Section 7.1 (Fig. 10
+    and Table 2), and the edge-site extension of Section 6.
+
+    Simplifications vs. the paper's testbed, documented in DESIGN.md: one
+    forwarder per site (forwarder scale-out is evaluated separately in
+    [sb_dataplane]); chain labels are chain ids and egress labels are
+    egress-site ids; infrastructure identities (which forwarder serves a
+    site) are static knowledge while all {e dynamic} state — routes,
+    instance weights, forwarder weights — travels over the bus with real
+    delays. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?install_latency:float ->
+  ?egress_rate:float ->
+  num_sites:int ->
+  delay:(int -> int -> float) ->
+  gsb_site:int ->
+  unit ->
+  t
+(** [delay] is the one-way inter-site control latency.
+    [install_latency] (default 90 ms) models a forwarder data-plane
+    configuration (rule/tunnel install). *)
+
+val engine : t -> Sb_sim.Engine.t
+val bus : t -> Types.msg Sb_msgbus.Bus.t
+val fabric : t -> Sb_dataplane.Fabric.t
+
+val site_forwarder : t -> int -> int
+(** The site's first (edge-facing) forwarder. *)
+
+val site_forwarders : t -> int -> int list
+(** All forwarders at a site, oldest first (Section 5.1: the Local
+    Switchboard scales forwarders elastically). *)
+
+val site_edge : t -> int -> int option
+
+val add_forwarder : t -> site:int -> int
+(** Elastically add a forwarder at a site (Fig. 5). The Local Switchboard
+    replays the site's installed rules onto it after the configuration
+    latency, and subsequent VNF instances are spread across all the site's
+    forwarders. Returns the fabric forwarder id. *)
+
+val scale_vnf_instances : t -> vnf:int -> site:int -> count:int -> unit
+(** Add [count] instances of a deployed VNF at a site (attached round-robin
+    to the site's forwarders) and republish the instance and forwarder
+    weights for every chain allocated there, so load balancing rebalances
+    onto the new instances — existing connections keep their instances
+    (flow affinity). *)
+
+val log : t -> (float * string) list
+(** Timestamped control-plane events, oldest first. *)
+
+val log_between : t -> float -> float -> (float * string) list
+
+(** {2 Provisioning (before any chain exists, per Section 3 phase 1)} *)
+
+val deploy_vnf : t -> vnf:int -> site:int -> capacity:float -> instances:int -> unit
+(** Give a VNF [instances] fabric instances at a site with total admission
+    capacity [capacity] (traffic units); registers the VNF controller on
+    first call. *)
+
+val register_edge : t -> site:int -> attachment:string -> unit
+(** Create an edge instance at a site and bind a customer attachment string
+    to it (the edge controller's mapping). *)
+
+val set_route_policy :
+  t -> (Types.chain_spec -> exclude:(int * int) list -> Types.route list option) -> unit
+(** How Global Switchboard computes routes; [exclude] lists (vnf, site)
+    pairs that rejected the previous two-phase-commit round. *)
+
+(** {2 Chain lifecycle} *)
+
+val request_chain : t -> Types.chain_spec -> int
+(** Submit a chain spec (the customer portal action): publishes the request
+    onto the bus and returns the chain id that will be assigned. Run the
+    engine to make progress. *)
+
+val chain_routes : t -> chain:int -> Types.route list
+(** Currently committed routes (empty until the two-phase commit ends). *)
+
+val chain_egress_site : t -> chain:int -> int option
+val chain_ingress_site : t -> chain:int -> int option
+
+val add_route : t -> chain:int -> Types.route -> unit
+(** Trigger a route addition for an existing chain (the Fig. 10
+    experiment): re-runs two-phase commit over the extended route set and
+    re-publishes; existing connections keep their paths (flow affinity). *)
+
+val add_edge_site : t -> chain:int -> site:int -> unit
+(** Extend a chain to a new edge site on demand (Section 6, Table 2): the
+    new site's Local Switchboard picks the nearest existing route, pulls
+    the first VNF's forwarder info, configures its data plane, and the
+    first VNF's forwarder configures the return side. Steps are logged. *)
+
+val probe_chain : t -> chain:int -> ?ingress_site:int -> Sb_dataplane.Packet.five_tuple ->
+  (Sb_dataplane.Fabric.endpoint list, Sb_dataplane.Fabric.error) result
+(** Send a packet through the chain's data plane from its (or the given)
+    ingress site's edge, as a liveness/timeline probe. *)
+
+val vnf_committed_load : t -> vnf:int -> site:int -> float
+(** Admission-controlled load the VNF controller has accepted at a site. *)
+
+(** {2 Controller fault tolerance (Section 4.5)} *)
+
+val attach_store : t -> Types.persisted Sb_music.Store.t -> unit
+(** Persist every committed chain (spec, routes, endpoints) and the chain
+    index into a MUSIC replicated store, surviving Global Switchboard
+    failure. *)
+
+val recover_from_store :
+  t -> Types.persisted Sb_music.Store.t -> on_done:(int list -> unit) -> unit
+(** Standby takeover: read the chain index and records back from the store
+    (quorum reads over the simulated wide area), restore the chain table,
+    and re-publish every recovered route so Local Switchboards reinstall
+    rules. [on_done] receives the recovered chain ids once every read
+    completes; run the engine to make progress. *)
+
+val chain_measurements : t -> chain:int -> (int * int) array
+(** Per-stage [(packets, bytes)] measured at the chain's forwarders since
+    the last {!reset_measurements} — the feedback Global Switchboard uses
+    to size [w_cz] for existing chains (Section 4.1). Empty array for an
+    unknown or uncommitted chain. *)
+
+val reset_measurements : t -> unit
+(** Start a fresh measurement window on every forwarder. *)

@@ -1,0 +1,59 @@
+type chain_spec = {
+  spec_name : string;
+  ingress_attachment : string;
+  egress_attachment : string;
+  vnfs : int list;
+  traffic : float;
+}
+
+type route = { element_sites : int array; weight : float }
+
+
+type chain_record = {
+  cr_spec : chain_spec;
+  cr_routes : route list;
+  cr_ingress : int;
+  cr_egress : int;
+}
+
+type persisted = Chain_record of chain_record | Chain_index of int list
+
+type msg =
+  | Chain_request of { chain : int; spec : chain_spec }
+  | Prepare of { txid : int; chain : int; routes : route list; spec : chain_spec }
+  | Vote of { txid : int; participant : string; accept : bool; rejected : (int * int) list }
+  | Commit of { txid : int }
+  | Abort of { txid : int }
+  | Route_update of { chain : int; egress_label : int; spec : chain_spec; routes : route list }
+  | Instance_info of { vnf : int; site : int; instances : (int * float) list }
+  | Forwarder_info of { vnf : int; site : int; forwarders : (int * float) list }
+  | Edge_info of { site : int; edge : int; forwarder : int }
+
+let chain_request_topic = "/gsb/chain_requests"
+let votes_topic ~txid = Printf.sprintf "/gsb/votes/%d" txid
+let participant_topic ~name = Printf.sprintf "/ctl/%s" name
+let route_topic ~chain = Printf.sprintf "/chain/%d/route" chain
+
+let instances_topic ~chain ~egress ~vnf ~site =
+  Printf.sprintf "/c%d/e%d/vnf_%d/site_%d_instances" chain egress vnf site
+
+let forwarders_topic ~chain ~egress ~vnf ~site =
+  Printf.sprintf "/c%d/e%d/vnf_%d/site_%d_forwarders" chain egress vnf site
+
+let pp_msg ppf = function
+  | Chain_request { chain; spec } -> Format.fprintf ppf "Chain_request(%d, %s)" chain spec.spec_name
+  | Prepare { txid; chain; routes; _ } ->
+    Format.fprintf ppf "Prepare(tx%d chain%d %d routes)" txid chain (List.length routes)
+  | Vote { txid; participant; accept; rejected } ->
+    Format.fprintf ppf "Vote(tx%d %s %b, %d rejected)" txid participant accept
+      (List.length rejected)
+  | Commit { txid } -> Format.fprintf ppf "Commit(tx%d)" txid
+  | Abort { txid } -> Format.fprintf ppf "Abort(tx%d)" txid
+  | Route_update { chain; routes; _ } ->
+    Format.fprintf ppf "Route_update(chain%d %d routes)" chain (List.length routes)
+  | Instance_info { vnf; site; instances } ->
+    Format.fprintf ppf "Instance_info(vnf%d site%d %d insts)" vnf site (List.length instances)
+  | Forwarder_info { vnf; site; forwarders } ->
+    Format.fprintf ppf "Forwarder_info(vnf%d site%d %d fwds)" vnf site (List.length forwarders)
+  | Edge_info { site; edge; forwarder } ->
+    Format.fprintf ppf "Edge_info(site%d edge%d fwd%d)" site edge forwarder

@@ -1,0 +1,61 @@
+(** Control-plane message vocabulary and topic naming (Sections 3 and 6).
+
+    All controller coordination flows over the global message bus as
+    [msg] payloads on string topics. Topic names follow the paper's
+    convention: per-chain, per-egress, per-VNF, per-site topics such as
+    ["/c1/e3/vnf_G/site_A_instances"]. *)
+
+type chain_spec = {
+  spec_name : string;
+  ingress_attachment : string;
+      (** customer attribute resolved by the edge controller, e.g. a
+          customer edge-router identifier *)
+  egress_attachment : string;
+  vnfs : int list;  (** ordered VNF ids *)
+  traffic : float;  (** expected demand, used for admission *)
+}
+
+type route = {
+  element_sites : int array;
+      (** a site per chain element: ingress edge site, one per VNF, egress
+          edge site *)
+  weight : float;  (** share of the chain's traffic on this route *)
+}
+
+
+(** Durable Global Switchboard state, persisted to the MUSIC store
+    (Section 4.5) so a standby controller can recover committed chains. *)
+type chain_record = {
+  cr_spec : chain_spec;
+  cr_routes : route list;
+  cr_ingress : int;
+  cr_egress : int;
+}
+
+type persisted =
+  | Chain_record of chain_record
+  | Chain_index of int list  (** ids of every committed chain *)
+
+type msg =
+  | Chain_request of { chain : int; spec : chain_spec }
+  | Prepare of { txid : int; chain : int; routes : route list; spec : chain_spec }
+  | Vote of { txid : int; participant : string; accept : bool; rejected : (int * int) list }
+  | Commit of { txid : int }
+  | Abort of { txid : int }
+  | Route_update of { chain : int; egress_label : int; spec : chain_spec; routes : route list }
+  | Instance_info of { vnf : int; site : int; instances : (int * float) list }
+      (** fabric VNF-instance ids and load-balancing weights *)
+  | Forwarder_info of { vnf : int; site : int; forwarders : (int * float) list }
+  | Edge_info of { site : int; edge : int; forwarder : int }
+
+val chain_request_topic : string
+val votes_topic : txid:int -> string
+val participant_topic : name:string -> string
+val route_topic : chain:int -> string
+
+val instances_topic : chain:int -> egress:int -> vnf:int -> site:int -> string
+(** ["/c<chain>/e<egress>/vnf_<vnf>/site_<site>_instances"]. *)
+
+val forwarders_topic : chain:int -> egress:int -> vnf:int -> site:int -> string
+
+val pp_msg : Format.formatter -> msg -> unit

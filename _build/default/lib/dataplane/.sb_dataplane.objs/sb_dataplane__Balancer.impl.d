@@ -1,0 +1,1 @@
+lib/dataplane/balancer.ml: Array List Sb_util

@@ -1,0 +1,1 @@
+lib/dataplane/balancer.mli: Sb_util

@@ -1,0 +1,1 @@
+lib/dataplane/dht_table.ml: Array Flow_table Hashtbl List

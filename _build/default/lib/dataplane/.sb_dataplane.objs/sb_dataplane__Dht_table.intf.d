@@ -1,0 +1,1 @@
+lib/dataplane/dht_table.mli: Flow_table

@@ -1,0 +1,1 @@
+lib/dataplane/dpdk_model.ml: Float

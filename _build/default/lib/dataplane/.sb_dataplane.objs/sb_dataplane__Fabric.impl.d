@@ -1,0 +1,1 @@
+lib/dataplane/fabric.ml: Balancer Dht_table Flow_table Format Hashtbl List Packet Sb_util

@@ -1,0 +1,1 @@
+lib/dataplane/fabric.mli: Format Packet

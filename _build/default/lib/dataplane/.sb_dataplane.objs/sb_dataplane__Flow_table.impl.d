@@ -1,0 +1,1 @@
+lib/dataplane/flow_table.ml: Hashtbl List Packet

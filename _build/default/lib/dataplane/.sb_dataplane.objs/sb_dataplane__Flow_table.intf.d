@@ -1,0 +1,1 @@
+lib/dataplane/flow_table.mli: Packet

@@ -1,0 +1,1 @@
+lib/dataplane/ovs_model.ml:

@@ -1,0 +1,1 @@
+lib/dataplane/ovs_pipeline.ml: Array Hashtbl Ovs_model Packet

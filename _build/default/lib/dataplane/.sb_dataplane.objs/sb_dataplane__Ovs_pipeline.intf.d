@@ -1,0 +1,1 @@
+lib/dataplane/ovs_pipeline.mli: Ovs_model Packet

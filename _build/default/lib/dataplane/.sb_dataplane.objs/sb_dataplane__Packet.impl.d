@@ -1,0 +1,1 @@
+lib/dataplane/packet.ml: Format Sb_util

@@ -1,0 +1,1 @@
+lib/dataplane/packet.mli: Format Sb_util

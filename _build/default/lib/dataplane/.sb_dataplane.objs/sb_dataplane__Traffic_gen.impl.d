@@ -1,0 +1,1 @@
+lib/dataplane/traffic_gen.ml: Array List Packet Sb_util

@@ -1,0 +1,1 @@
+lib/dataplane/traffic_gen.mli: Packet Sb_util

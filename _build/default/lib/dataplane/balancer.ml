@@ -1,0 +1,22 @@
+type 'hop rule = ('hop * float) list
+
+let pick rng rule =
+  if rule = [] then invalid_arg "Balancer.pick: empty rule";
+  let weights = Array.of_list (List.map snd rule) in
+  let hops = Array.of_list (List.map fst rule) in
+  hops.(Sb_util.Rng.weighted_index rng weights)
+
+let normalize rule =
+  let rule = List.filter (fun (_, w) -> w > 0.) rule in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. rule in
+  if total <= 0. then [] else List.map (fun (h, w) -> (h, w /. total)) rule
+
+let forwarder_weight ~instance_weights = List.fold_left ( +. ) 0. instance_weights
+
+let compose ~site_fraction ~per_site =
+  List.concat_map
+    (fun (site, frac) ->
+      if frac <= 0. then []
+      else
+        List.map (fun (hop, w) -> (hop, frac *. w)) (normalize (per_site site)))
+    site_fraction

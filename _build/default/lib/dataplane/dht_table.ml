@@ -1,0 +1,120 @@
+type 'v t = {
+  replication : int;
+  virtual_nodes : int;
+  (* Ring: sorted (hash, node) pairs; rebuilt on membership change. *)
+  mutable ring : (int * int) array;
+  stores : (int, (Flow_table.key, 'v) Hashtbl.t) Hashtbl.t;
+}
+
+(* SplitMix-style avalanche over the OCaml structural hash, so ring
+   positions are well spread even for sequential ids. *)
+let mix h =
+  let h = h * 0x9E3779B1 land max_int in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85EBCA6B land max_int in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0xC2B2AE35 land max_int in
+  h lxor (h lsr 16)
+
+let hash_key (key : Flow_table.key) = mix (Hashtbl.hash key)
+let hash_vnode node i = mix ((node * 1_000_003) + i)
+
+let create ?(replication = 2) ?(virtual_nodes = 64) () =
+  if replication <= 0 then invalid_arg "Dht_table.create: replication must be positive";
+  if virtual_nodes <= 0 then invalid_arg "Dht_table.create: virtual_nodes must be positive";
+  { replication; virtual_nodes; ring = [||]; stores = Hashtbl.create 8 }
+
+let rebuild_ring t =
+  let points = ref [] in
+  Hashtbl.iter
+    (fun node _ ->
+      for i = 0 to t.virtual_nodes - 1 do
+        points := (hash_vnode node i, node) :: !points
+      done)
+    t.stores;
+  let arr = Array.of_list !points in
+  Array.sort compare arr;
+  t.ring <- arr
+
+let nodes t = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.stores [])
+
+(* First ring index at or after [h] (wrapping). *)
+let ring_start t h =
+  let n = Array.length t.ring in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owners t ~key =
+  let n = Array.length t.ring in
+  if n = 0 then []
+  else begin
+    let start = ring_start t (hash_key key) in
+    let found = ref [] in
+    let i = ref 0 in
+    while List.length !found < t.replication && !i < n do
+      let node = snd t.ring.((start + !i) mod n) in
+      if not (List.mem node !found) then found := node :: !found;
+      incr i
+    done;
+    List.rev !found
+  end
+
+let store_of t node = Hashtbl.find t.stores node
+
+let put t ~key value =
+  match owners t ~key with
+  | [] -> invalid_arg "Dht_table.put: no nodes in the ring"
+  | os -> List.iter (fun node -> Hashtbl.replace (store_of t node) key value) os
+
+let get t ~key =
+  let rec first = function
+    | [] -> None
+    | node :: rest -> (
+      match Hashtbl.find_opt (store_of t node) key with
+      | Some v -> Some v
+      | None -> first rest)
+    in
+  first (owners t ~key)
+
+let remove t ~key =
+  Hashtbl.iter (fun _ store -> Hashtbl.remove store key) t.stores
+
+(* Re-establish the replication invariant: every stored key lives on
+   exactly its current owner set. Walk all replicas, recompute owners, add
+   missing copies, drop stale ones. *)
+let rereplicate t =
+  let all = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ store -> Hashtbl.iter (fun k v -> Hashtbl.replace all k v) store)
+    t.stores;
+  Hashtbl.iter (fun _ store -> Hashtbl.reset store) t.stores;
+  Hashtbl.iter (fun key value -> put t ~key value) all
+
+let add_node t node =
+  if Hashtbl.mem t.stores node then invalid_arg "Dht_table.add_node: node already present";
+  Hashtbl.replace t.stores node (Hashtbl.create 64);
+  rebuild_ring t;
+  rereplicate t
+
+let remove_node t node =
+  if Hashtbl.mem t.stores node then begin
+    Hashtbl.remove t.stores node;
+    rebuild_ring t;
+    if Hashtbl.length t.stores > 0 then rereplicate t
+  end
+
+let size t =
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ store -> Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) store)
+    t.stores;
+  Hashtbl.length keys
+
+let node_key_count t node =
+  match Hashtbl.find_opt t.stores node with
+  | Some store -> Hashtbl.length store
+  | None -> 0

@@ -1,0 +1,49 @@
+(** Replicated distributed-hash-table flow state (Section 5.3).
+
+    The paper notes that elastic scaling or failure of a forwarder remaps
+    VNF instances and breaks flow affinity, and describes (as work in
+    progress) "maintaining the flow table as a replicated distributed hash
+    table across forwarder nodes" so connection state survives; the same
+    mechanism locates the original edge instance of a flow for global
+    symmetric return. This module implements that DHT: a consistent-hash
+    ring over forwarder nodes with virtual nodes for balance and [k]-way
+    successor replication.
+
+    Entries are written to the [k] distinct nodes that succeed the key's
+    hash on the ring; reads fall back across replicas, so any [k - 1]
+    simultaneous node failures lose nothing. Adding or removing a node
+    re-replicates only the affected key ranges (consistent hashing's
+    minimal-disruption property, which the tests pin down). *)
+
+type 'v t
+
+val create : ?replication:int -> ?virtual_nodes:int -> unit -> 'v t
+(** [replication] defaults to 2, [virtual_nodes] per physical node to 64.
+    Raises [Invalid_argument] on non-positive values. *)
+
+val add_node : 'v t -> int -> unit
+(** Join a forwarder node (id must be fresh); existing entries are
+    re-replicated onto it where it became an owner. *)
+
+val remove_node : 'v t -> int -> unit
+(** Fail/decommission a node; entries it held are re-replicated from the
+    surviving copies. Unknown node ids are ignored. *)
+
+val nodes : 'v t -> int list
+
+val owners : 'v t -> key:Flow_table.key -> int list
+(** The (up to [k]) nodes currently responsible for a key, primary first. *)
+
+val put : 'v t -> key:Flow_table.key -> 'v -> unit
+(** Store on every owner. Raises [Invalid_argument] if the ring is empty. *)
+
+val get : 'v t -> key:Flow_table.key -> 'v option
+(** Read from the first owner holding the key. *)
+
+val remove : 'v t -> key:Flow_table.key -> unit
+
+val size : 'v t -> int
+(** Number of distinct keys stored (not replica count). *)
+
+val node_key_count : 'v t -> int -> int
+(** Keys (replicas) physically held by one node — for balance checks. *)

@@ -1,0 +1,31 @@
+let clock_hz = 2.3e9
+
+(* ~16 MB shared LLC / 64 B per flow-table entry. *)
+let cache_entries = 262_144
+
+let c_io = 290. (* rx burst + parse + label match + tx burst, amortized *)
+let c_hit = 40. (* flow-table lookup resident in LLC *)
+let c_miss = 300. (* flow-table lookup from DRAM *)
+
+let cycles_per_packet ~cores ~flows_per_core =
+  if cores <= 0 then invalid_arg "Dpdk_model: cores must be positive";
+  if flows_per_core <= 0 then invalid_arg "Dpdk_model: flows_per_core must be positive";
+  let total_flows = float_of_int (cores * flows_per_core) in
+  let hit = Float.min 1. (float_of_int cache_entries /. total_flows) in
+  c_io +. (hit *. c_hit) +. ((1. -. hit) *. c_miss)
+
+let throughput_mpps ~cores ~flows_per_core =
+  float_of_int cores *. clock_hz /. cycles_per_packet ~cores ~flows_per_core /. 1e6
+
+let throughput_gbps ~cores ~flows_per_core ~packet_bytes =
+  throughput_mpps ~cores ~flows_per_core *. 1e6 *. float_of_int (packet_bytes * 8) /. 1e9
+
+let ring_depth = 4096.
+
+let latency_s ~cores ~flows_per_core ~load =
+  if load < 0. || load >= 1. then invalid_arg "Dpdk_model.latency_s: load must be in [0, 1)";
+  let service = cycles_per_packet ~cores ~flows_per_core /. clock_hz in
+  (* Batched I/O adds ~half a 32-packet burst of base delay. *)
+  let base = service *. 16. in
+  let queue = Float.min (service *. load /. (1. -. load)) (service *. ring_depth) in
+  base +. queue

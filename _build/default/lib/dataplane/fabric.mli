@@ -1,0 +1,173 @@
+(** A functional simulation of the Switchboard data plane: edges, VNF
+    instances, and forwarders wired per Section 5, over which packets are
+    driven hop by hop.
+
+    Every VNF instance and edge instance is attached to exactly one
+    forwarder at its site (Section 5.1: the instance's routing table points
+    at the forwarder as its proxy gateway). Forwarders hold weighted rules
+    keyed by (chain label, egress label, stage) and a {!Flow_table} that
+    pins each connection's choices, delivering the safety properties of
+    Section 5.3: conformity, flow affinity, and symmetric return. Tests
+    drive random traffic and weight churn through a fabric and assert those
+    properties; the control plane ([sb_ctrl]) installs rules into one. *)
+
+type t
+
+type endpoint =
+  | Edge of int
+  | Forwarder of int
+  | Vnf_instance of int
+      (** Values are ids returned by the [add_*] functions. *)
+
+type flow_store =
+  | Local  (** per-forwarder flow tables (the prototype's default) *)
+  | Replicated of int
+      (** connection state in a DHT spread over the forwarder nodes with
+          the given replication factor — the Section 5.3 design that keeps
+          flow affinity and symmetric return across forwarder failures and
+          elastic scale-in *)
+
+val create : ?seed:int -> ?flow_store:flow_store -> unit -> t
+(** [seed] drives the weighted load-balancing choices; [flow_store]
+    defaults to {!Local}. *)
+
+(** {2 Building the fabric} *)
+
+val add_site : t -> string -> int
+val add_forwarder : t -> site:int -> int
+val add_edge : t -> site:int -> forwarder:int -> int
+val add_vnf_instance : t -> vnf:int -> site:int -> forwarder:int -> ?weight:float -> unit -> int
+
+val instance_vnf : t -> int -> int
+val instance_site : t -> int -> int
+val instance_weight : t -> int -> float
+val set_instance_weight : t -> int -> float -> unit
+
+val instance_alive : t -> int -> bool
+(** Whether an instance is still serving traffic. *)
+
+val forwarder_alive : t -> int -> bool
+(** Whether a forwarder is still processing packets. *)
+
+val fail_forwarder : t -> int -> unit
+(** Kill a forwarder. In {!Local} mode its flow table dies with it: even
+    after edges and instances are reattached, established connections have
+    lost their state. In {!Replicated} mode the DHT re-replicates the
+    failed node's key ranges from the surviving copies, so reattached
+    traffic keeps its affinity — exactly the fault-tolerance story of
+    Section 5.3. *)
+
+val reattach_edge : t -> int -> forwarder:int -> unit
+(** Point an edge instance at a (live) forwarder, e.g. after its proxy
+    failed. *)
+
+val reattach_instance : t -> int -> forwarder:int -> unit
+(** Re-home a VNF instance onto another forwarder (elastic scale-in or
+    failure recovery). *)
+
+val fail_instance : t -> int -> unit
+(** Kill a VNF instance. Connections pinned to it by their flow-table
+    entries start failing with [Instance_down] — the flow-affinity
+    violation Section 5.3 warns about for instance failure; {!Dht_table}
+    is the replicated-state remedy the paper sketches. New connections
+    avoid the instance only once the controller installs updated rules. *)
+
+val forwarder_site : t -> int -> int
+val site_name : t -> int -> string
+
+val attached_instances : t -> forwarder:int -> int list
+(** VNF instances proxied by a forwarder. *)
+
+val forwarder_published_weight : t -> int -> int -> float
+(** [forwarder_published_weight t fwd vnf]: sum of the weights of [vnf]'s
+    instances attached to [fwd] — what the forwarder publishes on the
+    message bus (Section 5.2). *)
+
+(** {2 Rules} *)
+
+val install_rule :
+  t ->
+  forwarder:int ->
+  chain_label:int ->
+  egress_label:int ->
+  stage:int ->
+  (endpoint * float) list ->
+  unit
+(** Replace the weighted rule for one (chain, egress, stage) at a
+    forwarder. Targets must be [Vnf_instance], [Forwarder], or [Edge].
+    Installing a new rule leaves existing flow-table entries untouched, so
+    established connections keep their path (Section 5.3). *)
+
+val rule : t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:int ->
+  (endpoint * float) list option
+
+val flow_table_size : t -> forwarder:int -> int
+
+(** {2 Driving packets} *)
+
+type error =
+  | No_rule of { forwarder : int; stage : int }
+  | No_reverse_entry of { forwarder : int; stage : int }
+  | Instance_down of int
+  | Forwarder_down of int
+  | Ttl_exceeded
+  | Not_an_edge
+
+val pp_error : Format.formatter -> error -> unit
+
+val send_forward :
+  t ->
+  ingress:int ->
+  chain_label:int ->
+  egress_label:int ->
+  ?size:int ->
+  Packet.five_tuple ->
+  (endpoint list, error) result
+(** Inject a forward packet at an ingress edge; returns the full hop trace
+    (ending at an [Edge]) or the first error. Flow-table entries are
+    created for new connections and reused for existing ones. *)
+
+val send_reverse :
+  t ->
+  egress:int ->
+  chain_label:int ->
+  egress_label:int ->
+  ?size:int ->
+  Packet.five_tuple ->
+  (endpoint list, error) result
+(** Inject the reply at the egress edge; [five_tuple] is the {e forward}
+    orientation of the connection. Follows stored [prev] hops; fails with
+    [No_reverse_entry] if the forward direction never established state. *)
+
+val vnfs_in_trace : t -> endpoint list -> int list
+(** VNF ids in visit order — for conformity checks. *)
+
+val instances_in_trace : endpoint list -> int list
+(** VNF instance ids in visit order — for affinity checks. *)
+
+val end_flow : t -> Packet.five_tuple -> unit
+(** Drop every forwarder's entries for a connection (teardown / timeout). *)
+
+val transfer_flows : t -> from_instance:int -> to_instance:int -> int
+(** (Local flow-store mode.) OpenNF-style flow-state transfer (Section 5.3: "flow table entries can
+    be transferred across forwarders using recent proposals such as
+    OpenNF"): rewrite every flow-table entry that pins a connection to
+    [from_instance] so it points at [to_instance] instead — both the
+    forward next-hops and the reverse prev-hops — preserving flow affinity
+    and symmetric return across an instance migration or failure. Both
+    instances must run the same VNF (raises [Invalid_argument] otherwise).
+    Returns the number of rewritten entries. *)
+
+(** {2 Measurement}
+
+    Global Switchboard sizes chain traffic from "measurements at
+    Switchboard forwarders" (Sections 4.1 and 7.2). Each forwarder counts
+    the forward packets and bytes it delivers into a stage's destination
+    element (VNF instance or egress edge), so every packet is counted
+    exactly once per stage regardless of how many forwarders relay it. *)
+
+val stage_counters : t -> chain_label:int -> egress_label:int -> stage:int -> int * int
+(** Aggregated [(packets, bytes)] for one stage of one chain. *)
+
+val reset_counters : t -> unit
+(** Start a fresh measurement window. *)

@@ -1,0 +1,25 @@
+type key = {
+  chain_label : int;
+  egress_label : int;
+  stage : int;
+  flow : Packet.five_tuple;
+}
+
+type 'hop entry = { next : 'hop; prev : 'hop }
+
+type 'hop t = (key, 'hop entry) Hashtbl.t
+
+let create () = Hashtbl.create 64
+let size t = Hashtbl.length t
+let find t k = Hashtbl.find_opt t k
+let insert t k e = Hashtbl.replace t k e
+let remove t k = Hashtbl.remove t k
+
+let remove_flow t flow =
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if k.flow = flow then k :: acc else acc) t []
+  in
+  List.iter (Hashtbl.remove t) doomed
+
+let entries t = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t []
+let clear t = Hashtbl.reset t

@@ -1,0 +1,32 @@
+(** Per-forwarder connection state (Section 3, "connection setup time").
+
+    Maps a connection at one stage of one chain to the load-balancing
+    decision made for its first packet: the chosen next hop and the
+    previous hop it arrived from. Later packets of the connection hit the
+    entry instead of the balancer (flow affinity); reverse-direction
+    packets follow [prev] (symmetric return). *)
+
+type key = {
+  chain_label : int;
+  egress_label : int;
+  stage : int;
+  flow : Packet.five_tuple;  (** forward orientation *)
+}
+
+type 'hop entry = { next : 'hop; prev : 'hop }
+
+type 'hop t
+
+val create : unit -> 'hop t
+val size : 'hop t -> int
+val find : 'hop t -> key -> 'hop entry option
+val insert : 'hop t -> key -> 'hop entry -> unit
+(** Overwrites any existing entry for the key. *)
+
+val remove : 'hop t -> key -> unit
+val remove_flow : 'hop t -> Packet.five_tuple -> unit
+(** Drop every entry of a connection (all stages/chains) — connection
+    teardown. *)
+
+val entries : 'hop t -> (key * 'hop entry) list
+val clear : 'hop t -> unit

@@ -1,0 +1,40 @@
+type config = Bridge | Labels | Labels_affinity
+
+(* Per-action cycle costs (2.3 GHz core). The megaflow lookup dilates with
+   concurrent flows (more megaflow entries and cache pressure); the learn
+   path pays an exact-match lookup every packet plus an amortized entry
+   install (~100 packets per connection). *)
+let c_rx = 1200.
+let c_tx = 800.
+let c_megaflow_base = 500.
+let c_megaflow_per_flow = 28.
+let c_vxlan_encap = 400.
+let c_mpls_push = 140.
+let c_recirculation = 200.
+let c_exact_match = 1406.
+let c_learn_install = 3000.
+let packets_per_connection = 100.
+let c_exact_per_flow = 1.9
+
+let cycles_per_packet config ~flows =
+  if flows <= 0 then invalid_arg "Ovs_model.cycles_per_packet: flows must be positive";
+  let n = float_of_int flows in
+  let bridge = c_rx +. c_megaflow_base +. (c_megaflow_per_flow *. n) +. c_tx in
+  match config with
+  | Bridge -> bridge
+  | Labels -> bridge +. c_vxlan_encap +. c_mpls_push +. c_recirculation
+  | Labels_affinity ->
+    bridge +. c_vxlan_encap +. c_mpls_push +. c_recirculation +. c_exact_match
+    +. (c_learn_install /. packets_per_connection)
+    +. (c_exact_per_flow *. n)
+
+let throughput_kpps ?(clock_ghz = 2.3) config ~flows =
+  clock_ghz *. 1e9 /. cycles_per_packet config ~flows /. 1e3
+
+let overhead_vs_bridge config ~flows =
+  cycles_per_packet config ~flows /. cycles_per_packet Bridge ~flows -. 1.
+
+let overhead_vs_labels ~flows =
+  cycles_per_packet Labels_affinity ~flows /. cycles_per_packet Labels ~flows -. 1.
+
+let clock_hz = 2.3e9

@@ -1,0 +1,47 @@
+(** Cost model of the OVS-based forwarder (Section 5.4, Fig. 7).
+
+    The paper measures three configurations of an Open vSwitch datapath:
+    (c) a plain bridge, (b) bridge + overlay labels (VXLAN tunnel + MPLS
+    chain/route labels, which cost an encap and a recirculated second
+    lookup), and (a) labels + flow-affinity rules (OVS [learn] actions that
+    install and then match per-connection exact entries). We reproduce the
+    experiment with a per-packet CPU-cycle model whose terms mirror those
+    datapath actions; constants are calibrated so a 2.3 GHz core lands in
+    OVS's ~1 Mpps range and the relative overheads fall in the measured
+    bands (labels +19-29 %, affinity a further +33-44 %, both shrinking as
+    flow count grows because the baseline's megaflow lookup itself dilates
+    with more flows). *)
+
+type config =
+  | Bridge  (** (c): plain L2 forwarding *)
+  | Labels  (** (b): + VXLAN + MPLS overlay labels *)
+  | Labels_affinity  (** (a): + learn-action flow affinity *)
+
+val cycles_per_packet : config -> flows:int -> float
+(** Mean per-packet cost for a steady stream uniformly spread over [flows]
+    concurrent connections. Raises [Invalid_argument] if [flows <= 0]. *)
+
+val throughput_kpps : ?clock_ghz:float -> config -> flows:int -> float
+(** Single-core packets/s (in thousands); clock defaults to 2.3 GHz. *)
+
+val overhead_vs_bridge : config -> flows:int -> float
+(** Relative cost increase over {!Bridge} at the same flow count. *)
+
+val overhead_vs_labels : flows:int -> float
+(** Extra cost of {!Labels_affinity} over {!Labels}: the flow-affinity
+    overhead band. *)
+
+(**/**)
+
+(* Cycle constants shared with the executable pipeline ({!Ovs_pipeline}). *)
+val c_rx : float
+val c_tx : float
+val c_megaflow_base : float
+val c_megaflow_per_flow : float
+val c_vxlan_encap : float
+val c_mpls_push : float
+val c_recirculation : float
+val c_exact_match : float
+val c_learn_install : float
+val c_exact_per_flow : float
+val clock_hz : float

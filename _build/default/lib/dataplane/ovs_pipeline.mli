@@ -1,0 +1,43 @@
+(** An executable Open vSwitch-style datapath (Section 5.4's OVS-based
+    forwarder, as running code rather than the closed-form model of
+    {!Ovs_model}).
+
+    The pipeline processes packets through the stages a real OVS datapath
+    runs: header parse, an exact-match flow cache (EMC-style: per-flow
+    entries installed by slow-path upcalls), the configured overlay actions
+    (MPLS chain/route label push + VXLAN encap, which cost a
+    recirculation), the learn-action affinity table, and output. Each
+    stage charges the cycle constants shared with {!Ovs_model}, so the
+    measured mean cost of an executed stream agrees with the analytic
+    model, while correctness (cache hits after first packet, stable
+    learned output per connection) is tested on the real tables. *)
+
+type t
+
+val create : ?outputs:int -> Ovs_model.config -> t
+(** A fresh datapath with [outputs] ports (default 2) to load-balance
+    across in the affinity configuration. *)
+
+type verdict = {
+  port : int;  (** chosen output port *)
+  cycles : float;  (** cost of this packet *)
+  upcall : bool;  (** slow-path miss (first packet of a flow) *)
+}
+
+val process : t -> Packet.five_tuple -> verdict
+(** Push one packet through. For {!Ovs_model.Labels_affinity}, the first
+    packet of a connection picks a port and installs a learn entry; later
+    packets hit it and keep the port. *)
+
+type stats = {
+  packets : int;
+  mean_cycles : float;
+  throughput_kpps : float;  (** at {!Ovs_model}'s 2.3 GHz clock *)
+  upcalls : int;
+  exact_entries : int;  (** resident flow-cache entries *)
+  learn_entries : int;
+}
+
+val run_stream : t -> flows:int -> packets:int -> stats
+(** Drive [packets] packets round-robin over [flows] synthetic
+    connections (the Fig. 7 workload) and report steady statistics. *)

@@ -1,0 +1,42 @@
+type five_tuple = {
+  src_ip : int;
+  dst_ip : int;
+  proto : int;
+  src_port : int;
+  dst_port : int;
+}
+
+let reverse_tuple t =
+  { t with src_ip = t.dst_ip; dst_ip = t.src_ip; src_port = t.dst_port; dst_port = t.src_port }
+
+let canonical t =
+  let r = reverse_tuple t in
+  if compare t r <= 0 then t else r
+
+let random_tuple rng =
+  {
+    src_ip = Sb_util.Rng.int rng 0x1000000;
+    dst_ip = Sb_util.Rng.int rng 0x1000000;
+    proto = (if Sb_util.Rng.bool rng then 6 else 17);
+    src_port = 1024 + Sb_util.Rng.int rng 64000;
+    dst_port = 1 + Sb_util.Rng.int rng 1023;
+  }
+
+type direction = Forward | Reverse
+
+type t = {
+  chain_label : int;
+  egress_label : int;
+  flow : five_tuple;
+  direction : direction;
+  stage : int;
+  size : int;
+}
+
+let forward ~chain_label ~egress_label ?(size = 500) flow =
+  { chain_label; egress_label; flow; direction = Forward; stage = 0; size }
+
+let reverse_of p ~last_stage = { p with direction = Reverse; stage = last_stage }
+
+let pp_tuple ppf t =
+  Format.fprintf ppf "%d:%d->%d:%d/%d" t.src_ip t.src_port t.dst_ip t.dst_port t.proto

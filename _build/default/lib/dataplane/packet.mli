@@ -1,0 +1,46 @@
+(** Packets and connection identity for the Switchboard data plane.
+
+    A connection is identified by its 5-tuple; packets additionally carry
+    the two labels affixed by the ingress edge instance (Section 3): the
+    chain label (customer + chain) and the egress-site label. Labelled
+    packets also carry their current {e stage} — which chain element they
+    last left — standing in for the interface/label demultiplexing a real
+    forwarder performs. *)
+
+type five_tuple = {
+  src_ip : int;
+  dst_ip : int;
+  proto : int;
+  src_port : int;
+  dst_port : int;
+}
+
+val reverse_tuple : five_tuple -> five_tuple
+(** Swap source and destination (the header of a reply packet). *)
+
+val canonical : five_tuple -> five_tuple
+(** Orientation-independent key: the lexicographically smaller of the tuple
+    and its reverse, so both directions of a connection map to one flow
+    table entry family. *)
+
+val random_tuple : Sb_util.Rng.t -> five_tuple
+
+type direction = Forward | Reverse
+
+type t = {
+  chain_label : int;
+  egress_label : int;
+  flow : five_tuple;  (** always in forward orientation *)
+  direction : direction;
+  stage : int;  (** index of the stage the packet is traversing *)
+  size : int;  (** bytes *)
+}
+
+val forward : chain_label:int -> egress_label:int -> ?size:int -> five_tuple -> t
+(** A fresh forward packet at stage 0. *)
+
+val reverse_of : t -> last_stage:int -> t
+(** The reply packet entering at the egress, traversing [last_stage]
+    backwards. *)
+
+val pp_tuple : Format.formatter -> five_tuple -> unit

@@ -1,0 +1,45 @@
+type size_model = Fixed of int | Imix
+
+type flow_selection = Uniform | Zipfian of float
+
+type t = {
+  rng : Sb_util.Rng.t;
+  tuples : Packet.five_tuple array;
+  sizes : size_model;
+  zipf : Sb_util.Zipf.t option;
+}
+
+let create ~rng ~flows ?(sizes = Fixed 64) ?(selection = Uniform) () =
+  if flows <= 0 then invalid_arg "Traffic_gen.create: flows must be positive";
+  (match sizes with
+  | Fixed n when n <= 0 -> invalid_arg "Traffic_gen.create: non-positive packet size"
+  | Fixed _ | Imix -> ());
+  let tuples = Array.init flows (fun _ -> Packet.random_tuple rng) in
+  let zipf =
+    match selection with
+    | Uniform -> None
+    | Zipfian s -> Some (Sb_util.Zipf.create ~n:flows ~s)
+  in
+  { rng; tuples; sizes; zipf }
+
+let pick_size t =
+  match t.sizes with
+  | Fixed n -> n
+  | Imix -> (
+    (* Classic IMIX: 7 small, 4 medium, 1 large per 12 packets. *)
+    match Sb_util.Rng.int t.rng 12 with
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 -> 64
+    | 7 | 8 | 9 | 10 -> 570
+    | _ -> 1514)
+
+let next t =
+  let i =
+    match t.zipf with
+    | None -> Sb_util.Rng.int t.rng (Array.length t.tuples)
+    | Some z -> Sb_util.Zipf.sample z t.rng
+  in
+  (t.tuples.(i), pick_size t)
+
+let burst t n = List.init n (fun _ -> next t)
+
+let flow_tuples t = Array.copy t.tuples

@@ -1,0 +1,32 @@
+(** Synthetic packet-stream generation (the MoonGen stand-in for the
+    Section 5.4 experiments and the data-plane tests).
+
+    A generator owns a population of connections and emits packets drawn
+    from them. Flow selection is uniform (as in the paper's DPDK
+    experiment) or Zipf-skewed; packet sizes are fixed (64 B minimum-size
+    UDP, the paper's choice), the standard IMIX mix, or a custom value. *)
+
+type size_model =
+  | Fixed of int
+  | Imix  (** 7:4:1 mix of 64 / 570 / 1514-byte packets *)
+
+type flow_selection = Uniform | Zipfian of float
+
+type t
+
+val create :
+  rng:Sb_util.Rng.t ->
+  flows:int ->
+  ?sizes:size_model ->
+  ?selection:flow_selection ->
+  unit ->
+  t
+(** Raises [Invalid_argument] if [flows <= 0] or a size is non-positive. *)
+
+val next : t -> Packet.five_tuple * int
+(** Draw the next packet: its connection 5-tuple and size in bytes. *)
+
+val burst : t -> int -> (Packet.five_tuple * int) list
+
+val flow_tuples : t -> Packet.five_tuple array
+(** The generator's connection population (index = flow id). *)

@@ -1,0 +1,1 @@
+lib/flowsim/e2e.ml: Array Float Hashtbl List Maxmin Sb_core Sb_net

@@ -1,0 +1,1 @@
+lib/flowsim/e2e.mli: Sb_core

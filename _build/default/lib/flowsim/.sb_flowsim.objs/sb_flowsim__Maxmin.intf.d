@@ -1,0 +1,1 @@
+lib/flowsim/maxmin.mli:

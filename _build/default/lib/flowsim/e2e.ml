@@ -1,0 +1,117 @@
+module Model = Sb_core.Model
+module Routing = Sb_core.Routing
+
+type result = {
+  total_throughput : float;
+  mean_rtt : float;
+  per_chain : (float * float) list;
+}
+
+(* A TCP connection's rate through a VNF consumes compute on both its
+   inbound and outbound halves (Eq. 4), hence the factor 2. *)
+let vnf_rate_capacity m ~vnf ~site =
+  Model.vnf_site_capacity m ~vnf ~site /. (2. *. Model.vnf_cpu_per_unit m vnf)
+
+let evaluate ?(flows_per_chain = 16) ?(window_rtt_cap = 2.0) ?(vnf_service_time = 0.001)
+    routing =
+  let m = Routing.model routing in
+  let topo = Model.topology m in
+  let paths = Model.paths m in
+  let mm = Maxmin.create () in
+  (* Wide-area link resources (headroom after background traffic). *)
+  let link_res =
+    Array.init (Sb_net.Topology.num_links topo) (fun e ->
+        let l = Sb_net.Topology.link topo e in
+        let headroom = (Model.beta m *. l.bandwidth) -. Model.background m e in
+        if headroom > 1e-9 then Some (Maxmin.add_resource mm ~capacity:headroom)
+        else None)
+  in
+  (* VNF deployment resources. *)
+  let vnf_res = Hashtbl.create 16 in
+  for f = 0 to Model.num_vnfs m - 1 do
+    List.iter
+      (fun (s, _) ->
+        let cap = vnf_rate_capacity m ~vnf:f ~site:s in
+        if cap > 1e-9 then
+          Hashtbl.replace vnf_res (f, s) (Maxmin.add_resource mm ~capacity:cap))
+      (Model.vnf_sites m f)
+  done;
+  (* One max-min flow per TCP connection; remember (chain, rtt, vnf passes). *)
+  let flow_meta = ref [] in
+  let nflows = ref 0 in
+  for c = 0 to Model.num_chains m - 1 do
+    let chain_paths = Routing.decompose_paths routing ~chain:c in
+    List.iter
+      (fun (nodes, frac) ->
+        if frac > 1e-6 then begin
+          let count =
+            max 1 (int_of_float (Float.round (float_of_int flows_per_chain *. frac)))
+          in
+          (* Links and VNFs this path traverses, and its propagation RTT. *)
+          let resources = ref [] in
+          let vnf_passes = ref [] in
+          let prop = ref 0. in
+          for z = 0 to Array.length nodes - 2 do
+            let src = nodes.(z) and dst = nodes.(z + 1) in
+            prop := !prop +. Sb_net.Paths.delay paths src dst;
+            List.iter
+              (fun (e, f) ->
+                (* Charge the links that carry the bulk of the hop's
+                   traffic; minor ECMP slivers are ignored. *)
+                if f > 0.25 then
+                  match link_res.(e) with
+                  | Some r -> resources := r :: !resources
+                  | None -> ())
+              (Sb_net.Paths.fractions paths ~src ~dst);
+            match (Model.stage_dst_vnf m ~chain:c ~stage:z, Model.site_of_node m dst) with
+            | Some f, Some s -> (
+              vnf_passes := (f, s) :: !vnf_passes;
+              match Hashtbl.find_opt vnf_res (f, s) with
+              | Some r -> resources := r :: !resources
+              | None -> ())
+            | _ -> ()
+          done;
+          let rtt = 2. *. !prop in
+          let demand = if rtt > 1e-9 then window_rtt_cap /. rtt else infinity in
+          for _ = 1 to count do
+            let id = Maxmin.add_flow mm ~demand !resources in
+            flow_meta := (id, c, rtt, !vnf_passes) :: !flow_meta;
+            incr nflows
+          done
+        end)
+      chain_paths
+  done;
+  let rates = Maxmin.solve mm in
+  (* Queueing at hot deployments, from the realized utilizations. *)
+  let util = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun key r -> Hashtbl.replace util key (Maxmin.resource_utilization mm rates r))
+    vnf_res;
+  let queue_delay key =
+    match Hashtbl.find_opt util key with
+    | None -> 0.
+    | Some u ->
+      let u = Float.min u 0.98 in
+      vnf_service_time *. u /. (1. -. u)
+  in
+  let chain_tput = Array.make (Model.num_chains m) 0. in
+  let chain_rtt = Array.make (Model.num_chains m) 0. in
+  let chain_flows = Array.make (Model.num_chains m) 0 in
+  List.iter
+    (fun (id, c, rtt, passes) ->
+      let q = List.fold_left (fun acc key -> acc +. (2. *. queue_delay key)) 0. passes in
+      chain_tput.(c) <- chain_tput.(c) +. rates.(id);
+      chain_rtt.(c) <- chain_rtt.(c) +. rtt +. q;
+      chain_flows.(c) <- chain_flows.(c) + 1)
+    !flow_meta;
+  let per_chain =
+    List.init (Model.num_chains m) (fun c ->
+        ( chain_tput.(c),
+          if chain_flows.(c) = 0 then 0. else chain_rtt.(c) /. float_of_int chain_flows.(c) ))
+  in
+  let total_rtt = Array.fold_left ( +. ) 0. chain_rtt in
+  {
+    total_throughput = Maxmin.total_rate rates;
+    mean_rtt = (if !nflows = 0 then 0. else total_rtt /. float_of_int !nflows);
+    per_chain;
+  }

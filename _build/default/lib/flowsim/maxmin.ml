@@ -1,0 +1,88 @@
+type t = {
+  mutable capacities : float list; (* reverse order *)
+  mutable nres : int;
+  mutable flows : (float * int list) list; (* (demand, resources), reverse *)
+  mutable nflows : int;
+}
+
+let create () = { capacities = []; nres = 0; flows = []; nflows = 0 }
+
+let add_resource t ~capacity =
+  if capacity <= 0. then invalid_arg "Maxmin.add_resource: non-positive capacity";
+  let id = t.nres in
+  t.capacities <- capacity :: t.capacities;
+  t.nres <- id + 1;
+  id
+
+let add_flow t ?(demand = infinity) resources =
+  List.iter
+    (fun r -> if r < 0 || r >= t.nres then invalid_arg "Maxmin.add_flow: unknown resource")
+    resources;
+  let id = t.nflows in
+  t.flows <- (demand, List.sort_uniq compare resources) :: t.flows;
+  t.nflows <- id + 1;
+  id
+
+(* Progressive filling. *)
+let solve t =
+  let caps = Array.of_list (List.rev t.capacities) in
+  let flows = Array.of_list (List.rev t.flows) in
+  let n = Array.length flows in
+  let rates = Array.make n 0. in
+  let frozen = Array.make n false in
+  let remaining = Array.copy caps in
+  let active_on r =
+    let count = ref 0 in
+    Array.iteri
+      (fun i (_, res) -> if (not frozen.(i)) && List.mem r res then incr count)
+      flows;
+    !count
+  in
+  let continue = ref true in
+  while !continue do
+    (* Smallest increment that saturates a resource or meets a demand. *)
+    let best = ref infinity in
+    for r = 0 to Array.length caps - 1 do
+      let k = active_on r in
+      if k > 0 then best := Float.min !best (remaining.(r) /. float_of_int k)
+    done;
+    Array.iteri
+      (fun i (demand, _) ->
+        if not frozen.(i) then best := Float.min !best (demand -. rates.(i)))
+      flows;
+    if !best = infinity || !best < 0. then begin
+      (* Unconstrained flows remain (no capped resource, no demand). *)
+      continue := false
+    end
+    else begin
+      let inc = !best in
+      (* Grow all active flows by [inc], charge resources. *)
+      Array.iteri
+        (fun i (_, res) ->
+          if not frozen.(i) then begin
+            rates.(i) <- rates.(i) +. inc;
+            List.iter (fun r -> remaining.(r) <- remaining.(r) -. inc) res
+          end)
+        flows;
+      (* Freeze flows on saturated resources or at their demand. *)
+      Array.iteri
+        (fun i (demand, res) ->
+          if not frozen.(i) then
+            if rates.(i) >= demand -. 1e-12 then frozen.(i) <- true
+            else if List.exists (fun r -> remaining.(r) <= 1e-9) res then
+              frozen.(i) <- true)
+        flows;
+      if Array.for_all (fun f -> f) frozen || n = 0 then continue := false
+    end
+  done;
+  rates
+
+let rate _t rates i = rates.(i)
+let total_rate rates = Array.fold_left ( +. ) 0. rates
+
+let resource_utilization t rates r =
+  let caps = Array.of_list (List.rev t.capacities) in
+  let flows = Array.of_list (List.rev t.flows) in
+  let load = ref 0. in
+  Array.iteri (fun i (_, res) -> if List.mem r res then load := !load +. rates.(i)) flows;
+  !load /. caps.(r)

@@ -1,0 +1,30 @@
+(** Max-min fair rate allocation — the fluid model of competing TCP flows
+    used for the end-to-end throughput comparisons (Section 7.2, Figs. 10b
+    and 11b).
+
+    Flows traverse sets of capacitated resources (wide-area links, VNF
+    instances). Progressive filling: all flows grow at the same rate; when
+    a resource saturates, the flows through it freeze at the fair share and
+    filling continues for the rest. *)
+
+type t
+
+val create : unit -> t
+
+val add_resource : t -> capacity:float -> int
+(** Returns the resource id. Raises [Invalid_argument] if
+    [capacity <= 0]. *)
+
+val add_flow : t -> ?demand:float -> int list -> int
+(** [add_flow t resources] adds a flow through the given resources and
+    returns its flow id. [demand] (default unlimited) caps the flow's
+    rate. *)
+
+val solve : t -> float array
+(** Per-flow max-min fair rates, indexed by flow id. *)
+
+val rate : t -> float array -> int -> float
+val total_rate : float array -> float
+
+val resource_utilization : t -> float array -> int -> float
+(** Load/capacity of a resource under an allocation. *)

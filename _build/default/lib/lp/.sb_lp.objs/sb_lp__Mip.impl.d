@@ -1,0 +1,1 @@
+lib/lp/mip.ml: Float List Lp

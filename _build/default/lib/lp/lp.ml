@@ -1,0 +1,392 @@
+type var = { id : int; vname : string; lb : float; ub : float; integer : bool }
+
+type relation = Le | Ge | Eq
+type expr = (float * var) list
+type sense = Minimize | Maximize
+
+type constr = { cname : string; terms : expr; rel : relation; rhs : float }
+
+type problem = {
+  pname : string;
+  mutable vars : var list; (* reverse order of creation *)
+  mutable nvars : int;
+  mutable constrs : constr list; (* reverse order *)
+  mutable obj_sense : sense;
+  mutable obj : expr;
+}
+
+let create ?(name = "lp") () =
+  { pname = name; vars = []; nvars = 0; constrs = []; obj_sense = Minimize; obj = [] }
+
+let add_var p ?(lb = 0.) ?(ub = infinity) ?(integer = false) vname =
+  if lb > ub then invalid_arg "Lp.add_var: lb > ub";
+  let v = { id = p.nvars; vname; lb; ub; integer } in
+  p.nvars <- p.nvars + 1;
+  p.vars <- v :: p.vars;
+  v
+
+let var_name v = v.vname
+let var_is_integer _p v = v.integer
+let all_vars p = List.rev p.vars
+
+let add_constraint p ?(name = "") terms rel rhs =
+  p.constrs <- { cname = name; terms; rel; rhs } :: p.constrs
+
+let set_objective p sense terms =
+  p.obj_sense <- sense;
+  p.obj <- terms
+
+let num_vars p = p.nvars
+let num_constraints p = List.length p.constrs
+let objective_sense p = p.obj_sense
+
+let clone_with_bounds p extra =
+  let q =
+    {
+      pname = p.pname;
+      vars = p.vars;
+      nvars = p.nvars;
+      constrs = p.constrs;
+      obj_sense = p.obj_sense;
+      obj = p.obj;
+    }
+  in
+  List.iter
+    (fun (v, lo, hi) ->
+      if lo > neg_infinity then add_constraint q [ (1., v) ] Ge lo;
+      if hi < infinity then add_constraint q [ (1., v) ] Le hi)
+    extra;
+  q
+
+type solution = { values : float array; obj_value : float }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let value sol v = sol.values.(v.id)
+let objective_value sol = sol.obj_value
+
+let pp_outcome ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal (objective %.6g)" s.obj_value
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase dense simplex.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eps = 1e-9
+
+(* A variable [v] maps to one or two non-negative tableau columns:
+   - finite lb: v = lb + col        (plus a row col <= ub - lb if ub finite)
+   - free:      v = col_pos - col_neg (plus a row v <= ub / v >= lb if finite) *)
+type col_map = Shifted of { col : int; shift : float } | Split of { pos : int; neg : int }
+
+type tableau = {
+  mutable m : int; (* rows *)
+  n : int; (* structural + slack/surplus columns (no artificials) *)
+  a : float array array; (* m x total_cols *)
+  b : float array; (* m *)
+  basis : int array; (* m, column index basic in each row *)
+  total : int; (* n + number of artificials *)
+  art_start : int; (* columns >= art_start are artificial *)
+}
+
+exception Unbounded_exn
+
+(* One simplex phase: minimize [cost] (length [t.total]) over the current
+   tableau; [allowed j] says whether column j may enter the basis.
+   Returns the phase objective value. *)
+let simplex_phase t cost allowed =
+  let m = t.m and total = t.total in
+  (* Reduced costs r_j = c_j - sum_i c_basis(i) * a_ij ; obj = sum c_basis(i) b_i *)
+  let r = Array.make total 0. in
+  let obj = ref 0. in
+  let recompute () =
+    for j = 0 to total - 1 do
+      r.(j) <- cost.(j)
+    done;
+    obj := 0.;
+    for i = 0 to m - 1 do
+      let cb = cost.(t.basis.(i)) in
+      if cb <> 0. then begin
+        let row = t.a.(i) in
+        for j = 0 to total - 1 do
+          r.(j) <- r.(j) -. (cb *. row.(j))
+        done;
+        obj := !obj +. (cb *. t.b.(i))
+      end
+    done
+  in
+  recompute ();
+  let degenerate_streak = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* Entering column: Dantzig normally, Bland after a degenerate streak. *)
+    let entering = ref (-1) in
+    if !degenerate_streak > 2 * (m + total) then begin
+      (* Bland: smallest eligible index. *)
+      (try
+         for j = 0 to total - 1 do
+           if allowed j && r.(j) < -.eps then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ())
+    end
+    else begin
+      let best = ref (-.eps) in
+      for j = 0 to total - 1 do
+        if allowed j && r.(j) < !best then begin
+          best := r.(j);
+          entering := j
+        end
+      done
+    end;
+    if !entering < 0 then continue := false
+    else begin
+      let j = !entering in
+      (* Ratio test; ties broken by smallest basis index (lexicographic-ish,
+         pairs with Bland for anti-cycling). *)
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        let aij = t.a.(i).(j) in
+        if aij > eps then begin
+          let ratio = t.b.(i) /. aij in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!leave < 0 || t.basis.(i) < t.basis.(!leave)))
+          then begin
+            best_ratio := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then raise Unbounded_exn;
+      let i = !leave in
+      if !best_ratio < eps then incr degenerate_streak else degenerate_streak := 0;
+      (* Pivot on (i, j). *)
+      let piv = t.a.(i).(j) in
+      let rowi = t.a.(i) in
+      for k = 0 to total - 1 do
+        rowi.(k) <- rowi.(k) /. piv
+      done;
+      t.b.(i) <- t.b.(i) /. piv;
+      for i' = 0 to m - 1 do
+        if i' <> i then begin
+          let f = t.a.(i').(j) in
+          if Float.abs f > eps then begin
+            let row' = t.a.(i') in
+            for k = 0 to total - 1 do
+              row'.(k) <- row'.(k) -. (f *. rowi.(k))
+            done;
+            t.b.(i') <- t.b.(i') -. (f *. t.b.(i));
+            if t.b.(i') < 0. && t.b.(i') > -.eps then t.b.(i') <- 0.
+          end
+          else t.a.(i').(j) <- 0.
+        end
+      done;
+      (* Update reduced-cost row. *)
+      let f = r.(j) in
+      for k = 0 to total - 1 do
+        r.(k) <- r.(k) -. (f *. rowi.(k))
+      done;
+      (* Entering variable takes value t.b.(i); objective moves by r_j * theta. *)
+      obj := !obj +. (f *. t.b.(i));
+      t.basis.(i) <- j
+    end
+  done;
+  !obj
+
+let solve p =
+  let vars = Array.of_list (all_vars p) in
+  let nv = Array.length vars in
+  (* 1. Map each variable to non-negative columns and collect bound rows. *)
+  let col_of = Array.make nv (Shifted { col = 0; shift = 0. }) in
+  let next_col = ref 0 in
+  let bound_rows = ref [] in
+  Array.iter
+    (fun v ->
+      if v.lb > neg_infinity then begin
+        let col = !next_col in
+        incr next_col;
+        col_of.(v.id) <- Shifted { col; shift = v.lb };
+        if v.ub < infinity then
+          (* col <= ub - lb *)
+          bound_rows := ([ (col, 1.) ], Le, v.ub -. v.lb) :: !bound_rows
+      end
+      else begin
+        let pos = !next_col and neg = !next_col + 1 in
+        next_col := !next_col + 2;
+        col_of.(v.id) <- Split { pos; neg };
+        if v.ub < infinity then
+          bound_rows := ([ (pos, 1.); (neg, -1.) ], Le, v.ub) :: !bound_rows
+      end)
+    vars;
+  let nstruct = !next_col in
+  (* 2. Expand each constraint into (column, coef) list with adjusted rhs. *)
+  let expand terms rhs =
+    let acc = Hashtbl.create 8 in
+    let rhs = ref rhs in
+    let add col coef =
+      let cur = try Hashtbl.find acc col with Not_found -> 0. in
+      Hashtbl.replace acc col (cur +. coef)
+    in
+    List.iter
+      (fun (coef, v) ->
+        match col_of.(v.id) with
+        | Shifted { col; shift } ->
+          add col coef;
+          rhs := !rhs -. (coef *. shift)
+        | Split { pos; neg } ->
+          add pos coef;
+          add neg (-.coef))
+      terms;
+    (Hashtbl.fold (fun col coef l -> (col, coef) :: l) acc [], !rhs)
+  in
+  let rows =
+    List.rev_map (fun c -> let terms, rhs = expand c.terms c.rhs in (terms, c.rel, rhs)) p.constrs
+    @ !bound_rows
+  in
+  let m = List.length rows in
+  (* 3. Count extra columns: slack (Le), surplus (Ge); artificials where needed.
+     Normalize to b >= 0 first (flip row sign, swapping Le/Ge). *)
+  let rows =
+    List.map
+      (fun (terms, rel, rhs) ->
+        if rhs < 0. then
+          ( List.map (fun (c, k) -> (c, -.k)) terms,
+            (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.rhs )
+        else (terms, rel, rhs))
+      rows
+  in
+  let n_slack = List.length (List.filter (fun (_, rel, _) -> rel = Le || rel = Ge) rows) in
+  let n = nstruct + n_slack in
+  (* Artificials: rows with Ge or Eq need one; Le rows use their slack as the
+     initial basic variable. *)
+  let n_art = List.length (List.filter (fun (_, rel, _) -> rel <> Le) rows) in
+  let total = n + n_art in
+  let a = Array.init m (fun _ -> Array.make total 0.) in
+  let b = Array.make m 0. in
+  let basis = Array.make m 0 in
+  let slack = ref nstruct in
+  let art = ref n in
+  List.iteri
+    (fun i (terms, rel, rhs) ->
+      List.iter (fun (col, coef) -> a.(i).(col) <- a.(i).(col) +. coef) terms;
+      b.(i) <- rhs;
+      (match rel with
+      | Le ->
+        a.(i).(!slack) <- 1.;
+        basis.(i) <- !slack;
+        incr slack
+      | Ge ->
+        a.(i).(!slack) <- -1.;
+        incr slack;
+        a.(i).(!art) <- 1.;
+        basis.(i) <- !art;
+        incr art
+      | Eq ->
+        a.(i).(!art) <- 1.;
+        basis.(i) <- !art;
+        incr art))
+    rows;
+  let t = { m; n; a; b; basis; total; art_start = n } in
+  (* Phase 1: minimize the sum of artificials (skip if there are none). *)
+  let feasible =
+    if n_art = 0 then true
+    else begin
+      let cost1 = Array.make total 0. in
+      for j = n to total - 1 do
+        cost1.(j) <- 1.
+      done;
+      match simplex_phase t cost1 (fun _ -> true) with
+      | exception Unbounded_exn -> assert false (* phase 1 is bounded below by 0 *)
+      | v when v > 1e-6 -> false
+      | _ ->
+        (* Drive remaining basic artificials out; drop redundant rows. *)
+        let keep = Array.make t.m true in
+        for i = 0 to t.m - 1 do
+          if t.basis.(i) >= t.art_start then begin
+            let found = ref (-1) in
+            for j = 0 to t.art_start - 1 do
+              if !found < 0 && Float.abs t.a.(i).(j) > 1e-7 then found := j
+            done;
+            match !found with
+            | -1 -> keep.(i) <- false
+            | j ->
+              (* Pivot artificial out on column j. *)
+              let piv = t.a.(i).(j) in
+              let rowi = t.a.(i) in
+              for k = 0 to total - 1 do
+                rowi.(k) <- rowi.(k) /. piv
+              done;
+              t.b.(i) <- t.b.(i) /. piv;
+              for i' = 0 to t.m - 1 do
+                if i' <> i then begin
+                  let f = t.a.(i').(j) in
+                  if Float.abs f > eps then begin
+                    let row' = t.a.(i') in
+                    for k = 0 to total - 1 do
+                      row'.(k) <- row'.(k) -. (f *. rowi.(k))
+                    done;
+                    t.b.(i') <- t.b.(i') -. (f *. t.b.(i))
+                  end
+                end
+              done;
+              t.basis.(i) <- j
+          end
+        done;
+        (* Compact rows marked dropped. *)
+        let w = ref 0 in
+        for i = 0 to t.m - 1 do
+          if keep.(i) then begin
+            if !w <> i then begin
+              t.a.(!w) <- t.a.(i);
+              t.b.(!w) <- t.b.(i);
+              t.basis.(!w) <- t.basis.(i)
+            end;
+            incr w
+          end
+        done;
+        t.m <- !w;
+        true
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    (* Phase 2: original objective (as minimization) on non-artificial cols. *)
+    let sign = match p.obj_sense with Minimize -> 1. | Maximize -> -1. in
+    let cost2 = Array.make total 0. in
+    let const_term = ref 0. in
+    List.iter
+      (fun (coef, v) ->
+        match col_of.(v.id) with
+        | Shifted { col; shift } ->
+          cost2.(col) <- cost2.(col) +. (sign *. coef);
+          const_term := !const_term +. (coef *. shift)
+        | Split { pos; neg } ->
+          cost2.(pos) <- cost2.(pos) +. (sign *. coef);
+          cost2.(neg) <- cost2.(neg) -. (sign *. coef))
+      p.obj;
+    match simplex_phase t cost2 (fun j -> j < t.art_start) with
+    | exception Unbounded_exn -> Unbounded
+    | min_obj ->
+      let col_values = Array.make total 0. in
+      for i = 0 to t.m - 1 do
+        col_values.(t.basis.(i)) <- t.b.(i)
+      done;
+      let values =
+        Array.map
+          (fun v ->
+            match col_of.(v.id) with
+            | Shifted { col; shift } -> shift +. col_values.(col)
+            | Split { pos; neg } -> col_values.(pos) -. col_values.(neg))
+          vars
+      in
+      let obj_value = (sign *. min_obj) +. !const_term in
+      Optimal { values; obj_value }
+  end

@@ -1,0 +1,75 @@
+(** Linear-programming modelling API and solver.
+
+    This module replaces the CPLEX dependency of the paper's prototype
+    (Section 4.5). It provides a small modelling layer (variables, linear
+    expressions, constraints, objective) and solves problems exactly with a
+    two-phase dense simplex method. Mixed-integer problems are solved by
+    branch-and-bound in {!Mip}.
+
+    The intended problem scale is the scaled-down instances described in
+    DESIGN.md (thousands of variables, hundreds of constraints); the dense
+    tableau is quadratic in memory, so this is not a production solver for
+    CPLEX-scale inputs — it is, however, exact, dependency-free, and fast
+    enough for every experiment in the reproduction. *)
+
+type problem
+type var
+
+val create : ?name:string -> unit -> problem
+(** A fresh, empty problem. *)
+
+val add_var : problem -> ?lb:float -> ?ub:float -> ?integer:bool -> string -> var
+(** [add_var p name] adds a decision variable.
+    - [lb] defaults to [0.]; it may be any finite value or
+      [neg_infinity] (free variable).
+    - [ub] defaults to [infinity].
+    - [integer] (default [false]) marks the variable integral; plain
+      {!solve} ignores integrality (LP relaxation), {!Mip.solve} enforces it.
+    Raises [Invalid_argument] if [lb > ub]. *)
+
+val var_name : var -> string
+
+type expr = (float * var) list
+(** A linear expression: sum of [coefficient * variable] terms. Repeated
+    variables are allowed and their coefficients are summed. *)
+
+type relation = Le | Ge | Eq
+
+val add_constraint : problem -> ?name:string -> expr -> relation -> float -> unit
+(** [add_constraint p e rel rhs] adds the constraint [e rel rhs]. *)
+
+type sense = Minimize | Maximize
+
+val set_objective : problem -> sense -> expr -> unit
+
+val num_vars : problem -> int
+val num_constraints : problem -> int
+
+val objective_sense : problem -> sense
+
+type solution
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome
+(** Solve the LP relaxation with two-phase simplex. *)
+
+val value : solution -> var -> float
+(** Value of a variable in an optimal solution. *)
+
+val objective_value : solution -> float
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(**/**)
+
+(* Internal accessors used by Mip. *)
+val var_is_integer : problem -> var -> bool
+val all_vars : problem -> var list
+val clone_with_bounds : problem -> (var * float * float) list -> problem
+(* [clone_with_bounds p extra] copies [p] adding bound constraints
+   lb <= v <= ub for each [(v, lb, ub)]. Variables are shared between the
+   clone and the original, so [value] lookups use the original vars. *)

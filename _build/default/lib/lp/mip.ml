@@ -1,0 +1,64 @@
+type result =
+  | Optimal of Lp.solution
+  | Infeasible
+  | Unbounded
+  | Node_limit of Lp.solution option
+
+let solve ?(max_nodes = 10_000) ?(int_tol = 1e-6) problem =
+  let int_vars = List.filter (Lp.var_is_integer problem) (Lp.all_vars problem) in
+  let maximizing = Lp.objective_sense problem = Lp.Maximize in
+  (* Compare incumbents in minimization terms regardless of sense. *)
+  let key sol =
+    let obj = Lp.objective_value sol in
+    if maximizing then -.obj else obj
+  in
+  let fractional sol =
+    let best = ref None in
+    List.iter
+      (fun v ->
+        let x = Lp.value sol v in
+        let frac = Float.abs (x -. Float.round x) in
+        if frac > int_tol then
+          match !best with
+          | Some (_, f) when f >= frac -> ()
+          | _ -> best := Some (v, frac))
+      int_vars;
+    !best
+  in
+  let incumbent = ref None in
+  let better k =
+    match !incumbent with None -> true | Some (bk, _) -> k < bk -. 1e-9
+  in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let unbounded_root = ref false in
+  let rec branch bounds =
+    if !nodes >= max_nodes then truncated := true
+    else begin
+      incr nodes;
+      let sub = Lp.clone_with_bounds problem bounds in
+      match Lp.solve sub with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded -> if bounds = [] then unbounded_root := true
+      | Lp.Optimal sol ->
+        let k = key sol in
+        (* The relaxation bound prunes: a node whose relaxation is no better
+           than the incumbent cannot contain a better integral solution. *)
+        if better k then begin
+          match fractional sol with
+          | None -> incumbent := Some (k, sol)
+          | Some (v, _) ->
+            let x = Lp.value sol v in
+            branch ((v, neg_infinity, Float.floor x) :: bounds);
+            branch ((v, Float.ceil x, infinity) :: bounds)
+        end
+    end
+  in
+  branch [];
+  if !unbounded_root then Unbounded
+  else
+    match (!incumbent, !truncated) with
+    | Some (_, sol), false -> Optimal sol
+    | Some (_, sol), true -> Node_limit (Some sol)
+    | None, true -> Node_limit None
+    | None, false -> Infeasible

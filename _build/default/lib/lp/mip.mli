@@ -1,0 +1,17 @@
+(** Mixed-integer programming by branch-and-bound over {!Lp}.
+
+    Used for the VNF capacity-planning MIP of Section 4.3, where binary
+    variables select deployment sites. Depth-first search with incumbent
+    pruning; node count is bounded to keep worst cases in check (the
+    reproduction's instances are small). *)
+
+type result =
+  | Optimal of Lp.solution
+  | Infeasible
+  | Unbounded
+  | Node_limit of Lp.solution option
+      (** Search hit the node budget; carries the best incumbent if any. *)
+
+val solve : ?max_nodes:int -> ?int_tol:float -> Lp.problem -> result
+(** [solve p] enforces integrality of every variable created with
+    [~integer:true]. [max_nodes] defaults to 10_000; [int_tol] to 1e-6. *)

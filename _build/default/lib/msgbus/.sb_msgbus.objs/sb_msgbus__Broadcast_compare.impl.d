@@ -1,0 +1,1 @@
+lib/msgbus/broadcast_compare.ml: Bus Sb_sim Sb_util

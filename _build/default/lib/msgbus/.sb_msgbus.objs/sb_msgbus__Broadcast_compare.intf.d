@@ -1,0 +1,1 @@
+lib/msgbus/broadcast_compare.mli: Bus

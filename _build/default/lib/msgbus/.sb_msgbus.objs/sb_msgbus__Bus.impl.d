@@ -1,0 +1,1 @@
+lib/msgbus/bus.ml: Array Float Hashtbl List Sb_sim

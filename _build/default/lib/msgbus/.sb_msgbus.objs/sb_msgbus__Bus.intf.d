@@ -1,0 +1,1 @@
+lib/msgbus/bus.mli: Sb_sim

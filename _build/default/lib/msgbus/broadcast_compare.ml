@@ -1,0 +1,67 @@
+type setup = {
+  num_sites : int;
+  subscribers_per_site : int;
+  wan_delay : float;
+  egress_rate : float;
+  buffer : int;
+  duration : float;
+}
+
+let default_setup =
+  {
+    num_sites = 11;
+    subscribers_per_site = 8;
+    wan_delay = 0.050;
+    egress_rate = 2000.;
+    buffer = 1024;
+    duration = 10.;
+  }
+
+type result = {
+  offered_rate : float;
+  goodput : float;
+  drop_fraction : float;
+  median_latency : float;
+  p99_latency : float;
+  wan_messages : int;
+}
+
+let run setup ~mode ~rate =
+  let eng = Sb_sim.Engine.create () in
+  let delay s1 s2 = if s1 = s2 then 0. else setup.wan_delay in
+  let bus =
+    Bus.create eng ~mode ~num_sites:setup.num_sites ~delay
+      ~egress_rate:setup.egress_rate ~buffer:setup.buffer ()
+  in
+  let topic = "/c1/e3/vnf_O/site_0_forwarders" in
+  for site = 1 to setup.num_sites - 1 do
+    for _ = 1 to setup.subscribers_per_site do
+      Bus.subscribe bus ~site ~topic (fun () -> ())
+    done
+  done;
+  (* Warm-up lets the subscription filters reach the publisher's proxy. *)
+  let warmup = (2. *. setup.wan_delay) +. 0.1 in
+  let n_msgs = int_of_float (rate *. setup.duration) in
+  for i = 0 to n_msgs - 1 do
+    let time = warmup +. (float_of_int i /. rate) in
+    ignore
+      (Sb_sim.Engine.schedule_at eng ~time (fun () ->
+           Bus.publish bus ~site:0 ~topic ()))
+  done;
+  Sb_sim.Engine.run eng;
+  let stats = Bus.stats bus in
+  let n_subs = (setup.num_sites - 1) * setup.subscribers_per_site in
+  let attempted = stats.Bus.wan_messages + stats.Bus.dropped in
+  {
+    offered_rate = rate;
+    goodput = float_of_int stats.Bus.delivered /. float_of_int n_subs /. setup.duration;
+    drop_fraction =
+      (if attempted = 0 then 0.
+       else float_of_int stats.Bus.dropped /. float_of_int attempted);
+    median_latency =
+      (if stats.Bus.latencies = [] then nan else Sb_util.Stats.median stats.Bus.latencies);
+    p99_latency =
+      (if stats.Bus.latencies = [] then nan
+       else Sb_util.Stats.percentile 99. stats.Bus.latencies);
+    wan_messages = stats.Bus.wan_messages;
+  }

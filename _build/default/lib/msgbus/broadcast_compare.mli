@@ -1,0 +1,32 @@
+(** The message-bus vs full-mesh broadcast experiment (Fig. 9).
+
+    One control-plane publisher (e.g. a VNF controller) at site 0 publishes
+    state updates on a topic subscribed to by several consumers at each of
+    the other sites, across emulated wide-area delays. Full-mesh sends a
+    copy per subscriber and melts its egress (queueing then drops);
+    Switchboard sends one copy per site. *)
+
+type setup = {
+  num_sites : int;  (** including the publisher's site *)
+  subscribers_per_site : int;
+  wan_delay : float;  (** uniform one-way inter-site delay, seconds *)
+  egress_rate : float;  (** proxy egress, messages/s *)
+  buffer : int;  (** proxy egress buffer, messages *)
+  duration : float;  (** publishing window, seconds *)
+}
+
+val default_setup : setup
+(** 10 sites + publisher, 8 subscribers each, 50 ms WAN delay, 2000 msg/s
+    egress, 1024-message buffers, 10 s window. *)
+
+type result = {
+  offered_rate : float;  (** publish rate, messages/s *)
+  goodput : float;  (** per-subscriber deliveries/s *)
+  drop_fraction : float;  (** of attempted WAN sends *)
+  median_latency : float;
+  p99_latency : float;
+  wan_messages : int;
+}
+
+val run : setup -> mode:Bus.mode -> rate:float -> result
+(** Run one publishing rate under one dissemination mode. *)

@@ -1,0 +1,204 @@
+type 'a sub = { s_site : int; s_time : float; s_callback : 'a -> unit }
+
+type 'a proxy = {
+  mutable busy_until : float;
+  mutable queued : int;
+}
+
+type 'a t = {
+  eng : Sb_sim.Engine.t;
+  mode : mode;
+  delay : int -> int -> float;
+  egress_rate : float;
+  buffer : int;
+  proxies : 'a proxy array;
+  subs : (string, 'a sub list ref) Hashtbl.t;
+  retained : (string, 'a * int) Hashtbl.t; (* payload, publisher site *)
+  mutable published : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable wan_messages : int;
+  mutable latencies : float list;
+}
+
+and mode = Switchboard | Full_mesh | Route_reflector of int
+(* Route_reflector r: every update is sent to the reflector at site [r],
+   which floods one copy to every other site, interested or not — the
+   iBGP-style dissemination Section 6 argues against. *)
+
+type stats = {
+  published : int;
+  delivered : int;
+  dropped : int;
+  wan_messages : int;
+  latencies : float list;
+}
+
+let local_delay = 0.0005
+
+let create eng ~mode ~num_sites ~delay ?(egress_rate = 20_000.) ?(buffer = 64) () =
+  {
+    eng;
+    mode;
+    delay;
+    egress_rate;
+    buffer;
+    proxies = Array.init num_sites (fun _ -> { busy_until = 0.; queued = 0 });
+    subs = Hashtbl.create 64;
+    retained = Hashtbl.create 64;
+    published = 0;
+    delivered = 0;
+    dropped = 0;
+    wan_messages = 0;
+    latencies = [];
+  }
+
+let topic_subs t topic =
+  match Hashtbl.find_opt t.subs topic with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.subs topic r;
+    r
+
+(* Serialize one message onto [src]'s egress; [deliver] fires after queueing
+   plus the wide-area delay. Buffer overflow drops the message. *)
+let send_wan (t : _ t) ~src ~dst deliver =
+  let proxy = t.proxies.(src) in
+  if proxy.queued >= t.buffer then t.dropped <- t.dropped + 1
+  else begin
+    proxy.queued <- proxy.queued + 1;
+    let now = Sb_sim.Engine.now t.eng in
+    let start = Float.max now proxy.busy_until in
+    let finish = start +. (1. /. t.egress_rate) in
+    proxy.busy_until <- finish;
+    t.wan_messages <- t.wan_messages + 1;
+    let arrival = finish +. t.delay src dst in
+    ignore
+      (Sb_sim.Engine.schedule_at t.eng ~time:finish (fun () ->
+           proxy.queued <- proxy.queued - 1));
+    ignore (Sb_sim.Engine.schedule_at t.eng ~time:arrival deliver)
+  end
+
+(* A subscription from site S is visible to a publish from site P at time t
+   once its filter has had time to reach P's proxy. *)
+let visible t ~publisher ~time (s : 'a sub) =
+  if s.s_site = publisher then time >= s.s_time
+  else time >= s.s_time +. t.delay s.s_site publisher
+
+let deliver_one (t : _ t) ~publish_time ~count_latency (s : 'a sub) payload =
+  t.delivered <- t.delivered + 1;
+  if count_latency then
+    t.latencies <- (Sb_sim.Engine.now t.eng -. publish_time) :: t.latencies;
+  s.s_callback payload
+
+let subscribe (t : _ t) ~site ~topic callback =
+  let now = Sb_sim.Engine.now t.eng in
+  let s = { s_site = site; s_time = now; s_callback = callback } in
+  let r = topic_subs t topic in
+  r := s :: !r;
+  (* Replay the retained payload once the filter reaches the publisher's
+     proxy and the payload ships back. *)
+  match Hashtbl.find_opt t.retained topic with
+  | None -> ()
+  | Some (payload, publisher) ->
+    let rtt = if publisher = site then local_delay else 2. *. t.delay site publisher in
+    ignore
+      (Sb_sim.Engine.schedule t.eng ~delay:rtt (fun () ->
+           t.delivered <- t.delivered + 1;
+           callback payload))
+
+let publish (t : _ t) ~site ~topic payload =
+  let now = Sb_sim.Engine.now t.eng in
+  t.published <- t.published + 1;
+  Hashtbl.replace t.retained topic (payload, site);
+  let all_subs = !(topic_subs t topic) in
+  let subs = List.filter (visible t ~publisher:site ~time:now) all_subs in
+  (* A subscriber whose filter is still in flight towards this proxy gets
+     the payload as a retained replay once the filter lands (the proxy
+     replays the topic's last value), so publishes in that window are not
+     lost. *)
+  List.iter
+    (fun s ->
+      if s.s_time <= now && not (visible t ~publisher:site ~time:now s) then begin
+        let install = s.s_time +. t.delay s.s_site site in
+        let arrival = install +. t.delay site s.s_site in
+        ignore
+          (Sb_sim.Engine.schedule_at t.eng ~time:(Float.max arrival now) (fun () ->
+               t.delivered <- t.delivered + 1;
+               s.s_callback payload))
+      end)
+    all_subs;
+  match t.mode with
+  | Full_mesh ->
+    (* One copy per subscriber. *)
+    List.iter
+      (fun s ->
+        if s.s_site = site then
+          ignore
+            (Sb_sim.Engine.schedule t.eng ~delay:local_delay (fun () ->
+                 deliver_one t ~publish_time:now ~count_latency:true s payload))
+        else
+          send_wan t ~src:site ~dst:s.s_site (fun () ->
+              deliver_one t ~publish_time:now ~count_latency:true s payload))
+      subs
+  | Route_reflector reflector ->
+    (* One copy to the reflector, which floods every site. Sites without
+       subscribers still receive (and queue) the update. *)
+    let nsites = Array.length t.proxies in
+    let flood () =
+      for dst = 0 to nsites - 1 do
+        if dst <> reflector then begin
+          let local_subs = List.filter (fun s -> s.s_site = dst) subs in
+          let fan_out () =
+            List.iter
+              (fun s -> deliver_one t ~publish_time:now ~count_latency:true s payload)
+              local_subs
+          in
+          send_wan t ~src:reflector ~dst fan_out
+        end
+      done;
+      (* Subscribers at the reflector site itself. *)
+      List.iter
+        (fun s ->
+          if s.s_site = reflector then
+            deliver_one t ~publish_time:now ~count_latency:true s payload)
+        subs
+    in
+    if site = reflector then
+      ignore (Sb_sim.Engine.schedule t.eng ~delay:local_delay flood)
+    else send_wan t ~src:site ~dst:reflector flood
+  | Switchboard ->
+    (* One copy per subscribing site; the remote proxy fans out locally. *)
+    let sites = List.sort_uniq compare (List.map (fun s -> s.s_site) subs) in
+    List.iter
+      (fun dst ->
+        let local_subs = List.filter (fun s -> s.s_site = dst) subs in
+        let fan_out () =
+          List.iter
+            (fun s -> deliver_one t ~publish_time:now ~count_latency:true s payload)
+            local_subs
+        in
+        if dst = site then
+          ignore (Sb_sim.Engine.schedule t.eng ~delay:local_delay fan_out)
+        else send_wan t ~src:site ~dst fan_out)
+      sites
+
+let stats (t : _ t) =
+  {
+    published = t.published;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    wan_messages = t.wan_messages;
+    latencies = t.latencies;
+  }
+
+let reset_stats (t : _ t) =
+  t.published <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.wan_messages <- 0;
+  t.latencies <- []
+
+let subscriber_sites t ~topic =
+  List.sort_uniq compare (List.map (fun s -> s.s_site) !(topic_subs t topic))

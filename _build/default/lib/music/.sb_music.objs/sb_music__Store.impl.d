@@ -1,0 +1,1 @@
+lib/music/store.ml: Hashtbl List Option Sb_sim

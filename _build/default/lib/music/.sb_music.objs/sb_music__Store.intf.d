@@ -1,0 +1,1 @@
+lib/music/store.mli: Sb_sim

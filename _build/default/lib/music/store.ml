@@ -1,0 +1,120 @@
+module Engine = Sb_sim.Engine
+
+type 'v replica = {
+  site : int;
+  mutable alive : bool;
+  data : (string, int * 'v) Hashtbl.t; (* key -> version, value *)
+  leases : (string, string * float) Hashtbl.t; (* key -> owner, expiry *)
+}
+
+type 'v t = {
+  eng : Engine.t;
+  replicas : 'v replica list;
+  delay : int -> int -> float;
+  mutable next_version : int;
+}
+
+let create eng ~replica_sites ~delay =
+  if replica_sites = [] then invalid_arg "Music.create: need at least one replica";
+  {
+    eng;
+    replicas =
+      List.map
+        (fun site ->
+          { site; alive = true; data = Hashtbl.create 64; leases = Hashtbl.create 16 })
+        replica_sites;
+    delay;
+    next_version = 0;
+  }
+
+let num_replicas t = List.length t.replicas
+let quorum t = (num_replicas t / 2) + 1
+
+let find_replica t site = List.find_opt (fun r -> r.site = site) t.replicas
+
+let fail_replica t site =
+  match find_replica t site with Some r -> r.alive <- false | None -> ()
+
+let recover_replica t site =
+  match find_replica t site with Some r -> r.alive <- true | None -> ()
+
+(* Run one round: send a request to every replica; live ones answer after
+   the round trip with [answer replica]; after all attempts resolve, call
+   [finish] with the collected answers (quorum judgement is the caller's).
+   Dead replicas "time out" after the same round trip. *)
+let round t ~from ~answer ~finish =
+  let pending = ref (num_replicas t) in
+  let answers = ref [] in
+  let resolve a =
+    (match a with Some x -> answers := x :: !answers | None -> ());
+    decr pending;
+    if !pending = 0 then finish !answers
+  in
+  List.iter
+    (fun r ->
+      let rtt = 2. *. t.delay from r.site in
+      ignore
+        (Engine.schedule t.eng ~delay:rtt (fun () ->
+             if r.alive then resolve (Some (answer r)) else resolve None)))
+    t.replicas
+
+let put t ~from ~key value callback =
+  let version = t.next_version in
+  t.next_version <- version + 1;
+  round t ~from
+    ~answer:(fun r ->
+      (match Hashtbl.find_opt r.data key with
+      | Some (v, _) when v > version -> () (* newer write already applied *)
+      | _ -> Hashtbl.replace r.data key (version, value));
+      ())
+    ~finish:(fun acks -> callback (List.length acks >= quorum t))
+
+let get t ~from ~key callback =
+  round t ~from
+    ~answer:(fun r -> Hashtbl.find_opt r.data key)
+    ~finish:(fun answers ->
+      if List.length answers < quorum t then callback None
+      else begin
+        let best =
+          List.fold_left
+            (fun acc a ->
+              match (acc, a) with
+              | None, x -> x
+              | Some (v1, _), Some (v2, x2) when v2 > v1 -> Some (v2, x2)
+              | acc, _ -> acc)
+            None answers
+        in
+        callback (Option.map snd best)
+      end)
+
+let acquire_lease t ~from ~key ~owner ~duration callback =
+  round t ~from
+    ~answer:(fun r ->
+      let now = Engine.now t.eng in
+      let free =
+        match Hashtbl.find_opt r.leases key with
+        | Some (holder, expiry) -> holder = owner || expiry <= now
+        | None -> true
+      in
+      if free then begin
+        (* The grant's expiry is stamped at the replica. *)
+        Hashtbl.replace r.leases key (owner, now +. duration);
+        true
+      end
+      else false)
+    ~finish:(fun grants ->
+      let yes = List.length (List.filter (fun g -> g) grants) in
+      callback (yes >= quorum t))
+
+let release_lease t ~from ~key ~owner callback =
+  round t ~from
+    ~answer:(fun r ->
+      match Hashtbl.find_opt r.leases key with
+      | Some (holder, _) when holder = owner ->
+        Hashtbl.remove r.leases key;
+        true
+      | Some _ -> false
+      | None -> true)
+    ~finish:(fun oks ->
+      let yes = List.length (List.filter (fun g -> g) oks) in
+      callback (yes >= quorum t))

@@ -1,0 +1,57 @@
+(** A MUSIC-style replicated key-value store for controller state.
+
+    The paper plans controller fault-tolerance "using a replication recipe
+    based on MUSIC, a resilient key-value store optimized for wide-area
+    deployments" (Section 4.5). This module provides that substrate over
+    the discrete-event engine: values are replicated across a set of
+    replica sites with majority-quorum writes and reads (so any minority of
+    replica failures loses nothing and never serves a lost update), plus
+    MUSIC's other signature primitive — per-key leased locks, with which a
+    standby Global Switchboard can take over safely after the incumbent's
+    lease lapses.
+
+    All operations are asynchronous: they complete via callback after the
+    quorum round-trips play out on the simulated wide area. Versions are
+    totally ordered per store; a read returns the highest-versioned value
+    any majority member holds, which intersects every acknowledged write's
+    majority. *)
+
+type 'v t
+
+val create :
+  Sb_sim.Engine.t ->
+  replica_sites:int list ->
+  delay:(int -> int -> float) ->
+  'v t
+(** Replicas at the given sites (at least one). [delay] is the one-way
+    client/replica network latency. *)
+
+val num_replicas : 'v t -> int
+val quorum : 'v t -> int
+(** Majority size. *)
+
+val fail_replica : 'v t -> int -> unit
+(** Crash a replica (stops acknowledging; state frozen). Unknown sites are
+    ignored. *)
+
+val recover_replica : 'v t -> int -> unit
+(** Bring a crashed replica back with the state it had when it failed; it
+    catches up lazily through subsequent quorum writes. *)
+
+val put : 'v t -> from:int -> key:string -> 'v -> (bool -> unit) -> unit
+(** Replicate [key -> value] from the client site [from]; the callback
+    fires with [true] once a majority acknowledged, or [false] if a
+    majority is unreachable (fires after the slowest attempt). *)
+
+val get : 'v t -> from:int -> key:string -> ('v option -> unit) -> unit
+(** Quorum read: freshest value among a majority, [None] if the key is
+    unknown (or no majority is reachable). *)
+
+val acquire_lease :
+  'v t -> from:int -> key:string -> owner:string -> duration:float -> (bool -> unit) -> unit
+(** Try to take the leased lock on [key] for [owner] (MUSIC's locking API).
+    Succeeds iff a majority of replicas have no unexpired lease held by a
+    different owner; re-acquisition by the same owner extends the lease. *)
+
+val release_lease : 'v t -> from:int -> key:string -> owner:string -> (bool -> unit) -> unit
+(** Release, if held by [owner]. *)

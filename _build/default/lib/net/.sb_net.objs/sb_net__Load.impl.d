@@ -1,0 +1,1 @@
+lib/net/load.ml: Array Float List Paths Sb_util Topology

@@ -1,0 +1,1 @@
+lib/net/load.mli: Paths Topology

@@ -1,0 +1,1 @@
+lib/net/paths.ml: Array Float Hashtbl List Topology

@@ -1,0 +1,1 @@
+lib/net/paths.mli: Topology

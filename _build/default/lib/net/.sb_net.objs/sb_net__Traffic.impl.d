@@ -1,0 +1,1 @@
+lib/net/traffic.ml: Array Sb_util

@@ -1,0 +1,1 @@
+lib/net/traffic.mli: Sb_util

@@ -1,0 +1,45 @@
+type t = { topo : Topology.t; paths : Paths.t; loads : float array }
+
+let create topo paths = { topo; paths; loads = Array.make (Topology.num_links topo) 0. }
+
+let copy t = { t with loads = Array.copy t.loads }
+
+let add_background t link_id volume = t.loads.(link_id) <- t.loads.(link_id) +. volume
+
+let add_flow t ~src ~dst ~volume =
+  if src <> dst then
+    List.iter
+      (fun (link_id, frac) -> t.loads.(link_id) <- t.loads.(link_id) +. (volume *. frac))
+      (Paths.fractions t.paths ~src ~dst)
+
+let remove_flow t ~src ~dst ~volume = add_flow t ~src ~dst ~volume:(-.volume)
+
+let link_load t id = t.loads.(id)
+
+let utilization t id =
+  let l = Topology.link t.topo id in
+  t.loads.(id) /. l.bandwidth
+
+let mlu t =
+  let best = ref 0. in
+  for id = 0 to Array.length t.loads - 1 do
+    let u = utilization t id in
+    if u > !best then best := u
+  done;
+  !best
+
+let path_max_utilization t ~src ~dst =
+  List.fold_left
+    (fun acc (link_id, _) -> Float.max acc (utilization t link_id))
+    0.
+    (Paths.fractions t.paths ~src ~dst)
+
+let path_network_cost t ~src ~dst ~extra =
+  List.fold_left
+    (fun acc (link_id, frac) ->
+      let l = Topology.link t.topo link_id in
+      let before = t.loads.(link_id) /. l.bandwidth in
+      let after = (t.loads.(link_id) +. (extra *. frac)) /. l.bandwidth in
+      acc +. (Sb_util.Convex_cost.cost after -. Sb_util.Convex_cost.cost before))
+    0.
+    (Paths.fractions t.paths ~src ~dst)

@@ -1,0 +1,113 @@
+let eps = 1e-12
+
+type t = {
+  topo : Topology.t;
+  dist : float array array; (* dist.(s).(v): shortest delay s -> v *)
+  hops : int array array;
+  frac_cache : (int * int, (int * float) list) Hashtbl.t;
+}
+
+(* Dijkstra without a heap: fine for the <=100-node topologies used here. *)
+let dijkstra topo src =
+  let n = Topology.num_nodes topo in
+  let dist = Array.make n infinity in
+  let hops = Array.make n max_int in
+  let visited = Array.make n false in
+  dist.(src) <- 0.;
+  hops.(src) <- 0;
+  let rec loop () =
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && dist.(v) < infinity
+         && (!u < 0 || dist.(v) < dist.(!u))
+      then u := v
+    done;
+    if !u >= 0 then begin
+      visited.(!u) <- true;
+      List.iter
+        (fun (l : Topology.link) ->
+          let nd = dist.(!u) +. l.delay in
+          if nd < dist.(l.dst) -. eps then begin
+            dist.(l.dst) <- nd;
+            hops.(l.dst) <- hops.(!u) + 1
+          end
+          else if nd < dist.(l.dst) +. eps then
+            hops.(l.dst) <- min hops.(l.dst) (hops.(!u) + 1))
+        (Topology.out_links topo !u);
+      loop ()
+    end
+  in
+  loop ();
+  (dist, hops)
+
+let compute topo =
+  let n = Topology.num_nodes topo in
+  let dist = Array.make n [||] in
+  let hops = Array.make n [||] in
+  for s = 0 to n - 1 do
+    let d, h = dijkstra topo s in
+    dist.(s) <- d;
+    hops.(s) <- h
+  done;
+  { topo; dist; hops; frac_cache = Hashtbl.create 64 }
+
+let delay t n1 n2 = t.dist.(n1).(n2)
+let reachable t n1 n2 = t.dist.(n1).(n2) < infinity
+let hop_count t n1 n2 = t.hops.(n1).(n2)
+
+(* ECMP split: process nodes in increasing distance from [src]; each node's
+   incoming flow divides evenly among its outgoing shortest-path-DAG links
+   that can still reach [dst] along shortest paths. An edge (u,v) is on a
+   shortest src->dst path iff dist(src,u) + delay(u,v) + dist(v,dst) =
+   dist(src,dst). *)
+let compute_fractions t ~src ~dst =
+  if src = dst || not (reachable t src dst) then []
+  else begin
+    let topo = t.topo in
+    let n = Topology.num_nodes topo in
+    let total = t.dist.(src).(dst) in
+    let on_path u (l : Topology.link) =
+      let via = t.dist.(src).(u) +. l.delay +. t.dist.(l.dst).(dst) in
+      Float.abs (via -. total) < 1e-9
+    in
+    (* Nodes on the DAG sorted by distance from src. *)
+    let order =
+      List.init n (fun v -> v)
+      |> List.filter (fun v ->
+             t.dist.(src).(v) +. t.dist.(v).(dst) -. total < 1e-9
+             && t.dist.(src).(v) < infinity
+             && t.dist.(v).(dst) < infinity)
+      |> List.sort (fun a b -> compare t.dist.(src).(a) t.dist.(src).(b))
+    in
+    let inflow = Array.make n 0. in
+    inflow.(src) <- 1.;
+    let link_flow = Hashtbl.create 16 in
+    List.iter
+      (fun u ->
+        if inflow.(u) > 0. && u <> dst then begin
+          let next = List.filter (on_path u) (Topology.out_links topo u) in
+          let share = inflow.(u) /. float_of_int (List.length next) in
+          List.iter
+            (fun (l : Topology.link) ->
+              inflow.(l.dst) <- inflow.(l.dst) +. share;
+              let cur = try Hashtbl.find link_flow l.id with Not_found -> 0. in
+              Hashtbl.replace link_flow l.id (cur +. share))
+            next
+        end)
+      order;
+    Hashtbl.fold (fun id f acc -> (id, f) :: acc) link_flow []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  end
+
+let fractions t ~src ~dst =
+  match Hashtbl.find_opt t.frac_cache (src, dst) with
+  | Some f -> f
+  | None ->
+    let f = compute_fractions t ~src ~dst in
+    Hashtbl.replace t.frac_cache (src, dst) f;
+    f
+
+let link_fraction t ~src ~dst ~link =
+  match List.assoc_opt link (fractions t ~src ~dst) with
+  | Some f -> f
+  | None -> 0.

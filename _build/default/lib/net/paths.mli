@@ -1,0 +1,33 @@
+(** Shortest-path routing with ECMP splitting.
+
+    Derives from a {!Topology.t} the two routing inputs of the network model
+    (Table 1): the node-to-node propagation delay [d(n1,n2)] and the routing
+    fractions [r(n1,n2,e)] — the fraction of traffic from [n1] to [n2] that
+    crosses link [e]. Routing follows delay-weighted shortest paths with
+    OSPF-style equal-cost multipath: at every node, traffic splits evenly
+    across all outgoing links that lie on a shortest path to the
+    destination. *)
+
+type t
+
+val compute : Topology.t -> t
+(** Run all-sources Dijkstra (forward and reverse). *)
+
+val delay : t -> int -> int -> float
+(** [delay t n1 n2] is the shortest-path propagation delay in seconds;
+    [infinity] if unreachable; [0.] if [n1 = n2]. *)
+
+val reachable : t -> int -> int -> bool
+
+val fractions : t -> src:int -> dst:int -> (int * float) list
+(** [(link_id, fraction)] for every link carrying a non-zero fraction of
+    [src -> dst] traffic. Fractions of links out of any single node sum to
+    the flow through that node; total conservation holds. Empty when
+    [src = dst] or unreachable. Results are memoized. *)
+
+val link_fraction : t -> src:int -> dst:int -> link:int -> float
+(** The [r(n1,n2,e)] lookup; 0. when the link is off every shortest path. *)
+
+val hop_count : t -> int -> int -> int
+(** Number of links on one (arbitrary) shortest path; 0 for [n1 = n2],
+    [max_int] if unreachable. *)

@@ -1,0 +1,129 @@
+type link = { id : int; src : int; dst : int; bandwidth : float; delay : float }
+
+type node = { name : string; x : float; y : float }
+
+type t = {
+  mutable nodes : node array;
+  mutable nnodes : int;
+  mutable link_arr : link array;
+  mutable nlinks : int;
+  mutable adj : link list array; (* outgoing links per node *)
+}
+
+let create () =
+  { nodes = Array.make 8 { name = ""; x = 0.; y = 0. };
+    nnodes = 0;
+    link_arr = Array.make 8 { id = 0; src = 0; dst = 0; bandwidth = 0.; delay = 0. };
+    nlinks = 0;
+    adj = Array.make 8 [] }
+
+let grow arr n filler = if n = Array.length arr then Array.append arr (Array.make (max 8 n) filler) else arr
+
+let add_node t ?(x = 0.) ?(y = 0.) name =
+  t.nodes <- grow t.nodes t.nnodes { name = ""; x = 0.; y = 0. };
+  t.adj <- grow t.adj t.nnodes [];
+  let id = t.nnodes in
+  t.nodes.(id) <- { name; x; y };
+  t.adj.(id) <- [];
+  t.nnodes <- id + 1;
+  id
+
+let add_link t ~src ~dst ~bandwidth ~delay =
+  if src < 0 || src >= t.nnodes || dst < 0 || dst >= t.nnodes then
+    invalid_arg "Topology.add_link: unknown endpoint";
+  if bandwidth <= 0. then invalid_arg "Topology.add_link: non-positive bandwidth";
+  if delay < 0. then invalid_arg "Topology.add_link: negative delay";
+  let id = t.nlinks in
+  let l = { id; src; dst; bandwidth; delay } in
+  t.link_arr <- grow t.link_arr t.nlinks l;
+  t.link_arr.(id) <- l;
+  t.nlinks <- id + 1;
+  t.adj.(src) <- l :: t.adj.(src);
+  id
+
+let add_duplex t a b ~bandwidth ~delay =
+  ignore (add_link t ~src:a ~dst:b ~bandwidth ~delay);
+  ignore (add_link t ~src:b ~dst:a ~bandwidth ~delay)
+
+let num_nodes t = t.nnodes
+let num_links t = t.nlinks
+let links t = Array.sub t.link_arr 0 t.nlinks
+let link t id = if id < 0 || id >= t.nlinks then invalid_arg "Topology.link" else t.link_arr.(id)
+let out_links t n = t.adj.(n)
+let node_name t n = t.nodes.(n).name
+let node_pos t n = (t.nodes.(n).x, t.nodes.(n).y)
+
+(* Propagation delay in seconds for a distance in km at 2/3 the speed of
+   light (~200 000 km/s), the usual figure for fiber. *)
+let fiber_delay km = km /. 200_000.
+
+let distance t a b =
+  let xa, ya = node_pos t a and xb, yb = node_pos t b in
+  sqrt (((xa -. xb) ** 2.) +. ((ya -. yb) ** 2.))
+
+let jitter rng v = v *. Sb_util.Rng.uniform_in rng 0.75 1.25
+
+let backbone ~rng ~num_core ~pops_per_core ?(core_bandwidth = 100.) ?(pop_bandwidth = 40.) () =
+  if num_core < 3 then invalid_arg "Topology.backbone: need at least 3 core nodes";
+  let t = create () in
+  (* Core routers on an ellipse spanning a continental-US-scale plane. *)
+  let cores =
+    Array.init num_core (fun i ->
+        let angle = 2. *. Float.pi *. float_of_int i /. float_of_int num_core in
+        let x = 2250. +. (2000. *. cos angle) in
+        let y = 1500. +. (1200. *. sin angle) in
+        add_node t ~x ~y (Printf.sprintf "core%d" i))
+  in
+  let connect a b bw =
+    add_duplex t a b ~bandwidth:(jitter rng bw) ~delay:(fiber_delay (distance t a b))
+  in
+  (* Ring. *)
+  for i = 0 to num_core - 1 do
+    connect cores.(i) cores.((i + 1) mod num_core) core_bandwidth
+  done;
+  (* Random chords for degree ~3-4 and shorter diameters. *)
+  let chords = max 1 (num_core / 2) in
+  let added = Hashtbl.create 16 in
+  let tries = ref 0 in
+  let made = ref 0 in
+  while !made < chords && !tries < 50 * chords do
+    incr tries;
+    let a = Sb_util.Rng.int rng num_core in
+    let b = Sb_util.Rng.int rng num_core in
+    let gap = min ((a - b + num_core) mod num_core) ((b - a + num_core) mod num_core) in
+    if gap >= 2 && not (Hashtbl.mem added (min a b, max a b)) then begin
+      Hashtbl.replace added (min a b, max a b) ();
+      connect cores.(a) cores.(b) core_bandwidth;
+      incr made
+    end
+  done;
+  (* PoPs attach to their core and, for redundancy, to the next core. *)
+  Array.iteri
+    (fun ci core ->
+      for p = 0 to pops_per_core - 1 do
+        let cx, cy = node_pos t core in
+        let x = cx +. Sb_util.Rng.uniform_in rng (-250.) 250. in
+        let y = cy +. Sb_util.Rng.uniform_in rng (-250.) 250. in
+        let pop = add_node t ~x ~y (Printf.sprintf "pop%d_%d" ci p) in
+        connect pop core pop_bandwidth;
+        connect pop cores.((ci + 1) mod num_core) (pop_bandwidth /. 2.)
+      done)
+    cores;
+  t
+
+let line ~delays ~bandwidth =
+  let t = create () in
+  let n = List.length delays + 1 in
+  let ids = Array.init n (fun i -> add_node t (Printf.sprintf "n%d" i)) in
+  List.iteri (fun i d -> add_duplex t ids.(i) ids.(i + 1) ~bandwidth ~delay:d) delays;
+  t
+
+let full_mesh ~n ~bandwidth ~delay =
+  let t = create () in
+  let ids = Array.init n (fun i -> add_node t (Printf.sprintf "n%d" i)) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      add_duplex t ids.(i) ids.(j) ~bandwidth ~delay
+    done
+  done;
+  t

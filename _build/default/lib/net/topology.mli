@@ -1,0 +1,60 @@
+(** Wide-area network topology: nodes and capacitated, delay-weighted links.
+
+    This is the substrate for the network model of Table 1: the node set
+    [N], link set [E] with bandwidths [b_e], and the inputs from which
+    inter-node delays [d] and routing fractions [r] are derived
+    (see {!Paths}). The paper evaluates on a proprietary tier-1 backbone;
+    {!backbone} generates a synthetic stand-in with the same structure
+    (core mesh + PoP spokes, geographic delays, heterogeneous capacities). *)
+
+type t
+
+type link = {
+  id : int;
+  src : int;
+  dst : int;
+  bandwidth : float;  (** capacity in traffic units/second (e.g. Gbps) *)
+  delay : float;  (** one-way propagation delay in seconds *)
+}
+
+val create : unit -> t
+
+val add_node : t -> ?x:float -> ?y:float -> string -> int
+(** [add_node t name] returns the new node's index. [x], [y] are optional
+    plane coordinates (used by generators to derive link delays). *)
+
+val add_link : t -> src:int -> dst:int -> bandwidth:float -> delay:float -> int
+(** Add a directed link; returns its id. Raises [Invalid_argument] on an
+    unknown endpoint or non-positive bandwidth. *)
+
+val add_duplex : t -> int -> int -> bandwidth:float -> delay:float -> unit
+(** Add both directions with identical parameters. *)
+
+val num_nodes : t -> int
+val num_links : t -> int
+val links : t -> link array
+val link : t -> int -> link
+val out_links : t -> int -> link list
+val node_name : t -> int -> string
+val node_pos : t -> int -> float * float
+
+val backbone :
+  rng:Sb_util.Rng.t ->
+  num_core:int ->
+  pops_per_core:int ->
+  ?core_bandwidth:float ->
+  ?pop_bandwidth:float ->
+  unit ->
+  t
+(** Synthetic two-tier ISP backbone: [num_core] core routers on a ring with
+    random chords (degree ~3-4), each with [pops_per_core] PoP nodes
+    attached. Nodes are placed in a 4500 x 3000 km plane (continental-US
+    scale); link delay is distance at 2/3 c. Core links default to 100
+    units of bandwidth, PoP uplinks to 40, each jittered +-25%%. *)
+
+val line : delays:float list -> bandwidth:float -> t
+(** A simple directed-duplex path topology [n0 - n1 - ... - nk] with the
+    given per-hop delays, for unit tests and small experiments. *)
+
+val full_mesh : n:int -> bandwidth:float -> delay:float -> t
+(** Complete graph with uniform parameters. *)

@@ -1,0 +1,36 @@
+type t = float array array
+
+(* A heavy-tailed positive mass: exp of a centered gaussian-ish sum of
+   uniforms (Irwin–Hall approximation), sigma ~ 1. *)
+let lognormal_mass rng =
+  let g = ref 0. in
+  for _ = 1 to 12 do
+    g := !g +. Sb_util.Rng.float rng 1.0
+  done;
+  exp (!g -. 6.)
+
+let gravity ~rng ~n ~total:target =
+  let mass = Array.init n (fun _ -> lognormal_mass rng) in
+  let tm = Array.make_matrix n n 0. in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        tm.(i).(j) <- mass.(i) *. mass.(j);
+        sum := !sum +. tm.(i).(j)
+      end
+    done
+  done;
+  if !sum > 0. then
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        tm.(i).(j) <- tm.(i).(j) /. !sum *. target
+      done
+    done;
+  tm
+
+let node_mass tm i = Array.fold_left ( +. ) 0. tm.(i)
+
+let total tm = Array.fold_left (fun acc row -> acc +. Array.fold_left ( +. ) 0. row) 0. tm
+
+let scale tm f = Array.map (Array.map (fun v -> v *. f)) tm

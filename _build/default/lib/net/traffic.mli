@@ -1,0 +1,21 @@
+(** Traffic-matrix generation.
+
+    The paper derives chain traffic from a March-2015 tier-1 backbone
+    traffic-matrix snapshot; we substitute the standard gravity model, in
+    which node [i] has a mass [w_i] (skewed, lognormal-like) and demand
+    from [i] to [j] is proportional to [w_i * w_j]. *)
+
+type t = float array array
+(** [t.(i).(j)] is the demand from node [i] to node [j] (0 on the
+    diagonal). *)
+
+val gravity : rng:Sb_util.Rng.t -> n:int -> total:float -> t
+(** [gravity ~rng ~n ~total] draws node masses and scales demands so they
+    sum to [total]. *)
+
+val node_mass : t -> int -> float
+(** Total traffic originating at a node (row sum) — the paper sizes a
+    chain's traffic proportionally to the traffic at its ingress site. *)
+
+val total : t -> float
+val scale : t -> float -> t

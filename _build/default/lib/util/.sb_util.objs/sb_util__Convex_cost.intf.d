@@ -1,0 +1,1 @@
+lib/util/convex_cost.mli:

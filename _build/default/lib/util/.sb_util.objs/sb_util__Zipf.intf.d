@@ -1,0 +1,1 @@
+lib/util/zipf.mli: Rng

@@ -1,0 +1,23 @@
+(* Classic Fortz–Thorup breakpoints and slopes. *)
+let segment_slopes =
+  [ (0., 1.); (1. /. 3., 3.); (2. /. 3., 10.); (0.9, 70.); (1.0, 500.); (1.1, 5000.) ]
+
+let marginal_cost u =
+  let rec go slope = function
+    | [] -> slope
+    | (bp, s) :: rest -> if u >= bp then go s rest else slope
+  in
+  go 1. segment_slopes
+
+let cost u =
+  if u < 0. then invalid_arg "Convex_cost.cost: negative utilization";
+  (* Integrate the piecewise-constant slope from 0 to u. *)
+  let rec go acc prev_bp prev_slope = function
+    | [] -> acc +. ((u -. prev_bp) *. prev_slope)
+    | (bp, slope) :: rest ->
+      if u <= bp then acc +. ((u -. prev_bp) *. prev_slope)
+      else go (acc +. ((bp -. prev_bp) *. prev_slope)) bp slope rest
+  in
+  match segment_slopes with
+  | (bp0, s0) :: rest -> go 0. bp0 s0 rest
+  | [] -> assert false

@@ -1,0 +1,18 @@
+(** Piecewise-linear convex congestion cost, after Fortz & Thorup
+    ("Internet traffic engineering by optimizing OSPF weights",
+    INFOCOM 2000), used by SB-DP as the network- and compute-utilization
+    cost (paper Section 4.4: "a piecewise-linear convex function that
+    increases exponentially with utilization at values above 0.5"). *)
+
+val cost : float -> float
+(** [cost u] evaluates the Fortz–Thorup penalty at utilization [u >= 0.].
+    The function is increasing and convex: slope 1 on [\[0, 1/3)], then 3,
+    10, 70, 500, and 5000 beyond utilization 1.1. *)
+
+val marginal_cost : float -> float
+(** [marginal_cost u] is the slope of {!cost} at utilization [u]
+    (right-derivative at breakpoints). *)
+
+val segment_slopes : (float * float) list
+(** [(breakpoint, slope)] pairs: the slope applies from that breakpoint to
+    the next. Exposed so the LP formulation can linearize the same cost. *)

@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finalizer: Stafford's mix13 variant. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to OCaml's native non-negative int range before reducing. *)
+  let r = Int64.to_int (bits64 t) land max_int in
+  r mod bound
+
+let float t bound =
+  (* 53 random bits scaled to [0, 1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1. -. float t 1.0 in
+  -.log u /. rate
+
+let uniform_in t lo hi = lo +. float t (hi -. lo)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  Array.to_list (Array.sub a 0 k)
+
+let weighted_index t weights =
+  let total =
+    Array.fold_left
+      (fun acc w ->
+        if w < 0. then invalid_arg "Rng.weighted_index: negative weight";
+        acc +. w)
+      0. weights
+  in
+  if total <= 0. then invalid_arg "Rng.weighted_index: zero total weight";
+  let target = float t total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else go (i + 1) acc
+  in
+  go 0 0.

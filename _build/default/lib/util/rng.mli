@@ -1,0 +1,50 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All stochastic components of Switchboard take an explicit generator so
+    that every simulation, test, and benchmark is reproducible from a seed.
+    The implementation is SplitMix64, which has good statistical quality and
+    supports cheap splitting into independent streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] snapshots the generator state. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate); mean [1. /. rate]. *)
+
+val uniform_in : t -> float -> float -> float
+(** [uniform_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct ints from
+    [\[0, n)]. Raises [Invalid_argument] if [k > n]. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t weights] samples an index with probability
+    proportional to its (non-negative) weight. Raises [Invalid_argument]
+    if all weights are zero or any is negative. *)

@@ -1,0 +1,36 @@
+(** Small descriptive-statistics toolkit used by experiment harnesses. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty list or [p]
+    out of range. *)
+
+val median : float list -> float
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val weighted_mean : (float * float) list -> float
+(** [weighted_mean \[(value, weight); ...\]]; 0. if total weight is 0. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit

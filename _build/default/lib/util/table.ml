@@ -1,0 +1,28 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: arity mismatch with header";
+  t.rows <- t.rows @ [ row ]
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.3g") xs)
+
+let render t =
+  let all = t.header :: t.rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    String.concat "  " (List.map2 pad row widths) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row t.header :: sep :: List.map render_row t.rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()

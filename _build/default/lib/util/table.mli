@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints every reproduced paper table/figure as an
+    aligned text table so shapes can be compared against the paper. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] appends a row with [label] followed by each
+    float rendered with ["%.3g"]. *)
+
+val render : t -> string
+(** Render with aligned columns and a separator under the header. *)
+
+val print : t -> unit
+(** [render] then print to stdout with a trailing newline. *)

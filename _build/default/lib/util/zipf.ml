@@ -1,0 +1,32 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+  let mass = Array.init n (fun i -> 1. /. ((float_of_int i +. 1.) ** s)) in
+  let total = Array.fold_left ( +. ) 0. mass in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (mass.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; s; cdf }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first index whose CDF exceeds u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  if rank = 0 then t.cdf.(0) else t.cdf.(rank) -. t.cdf.(rank - 1)
+
+let n t = t.n
+let exponent t = t.s

@@ -1,0 +1,20 @@
+(** Zipf-distributed sampling over a finite catalog.
+
+    Used to generate the web-cache workload of Table 3 (Zipf exponent 1.0)
+    and skewed traffic matrices. Item ranks are 0-based: rank 0 is the most
+    popular item, with probability proportional to [1 / (rank + 1) ** s]. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over [n] items with exponent [s].
+    Raises [Invalid_argument] if [n <= 0] or [s < 0.]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank in [\[0, n)], inverse-CDF over the precomputed mass. *)
+
+val probability : t -> int -> float
+(** [probability t rank] is the exact probability of [rank]. *)
+
+val n : t -> int
+val exponent : t -> float

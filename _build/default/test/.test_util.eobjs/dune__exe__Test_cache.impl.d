@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Sb_cache Sb_util

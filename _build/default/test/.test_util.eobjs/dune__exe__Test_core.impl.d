@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sb_core Sb_lp Sb_net Sb_util String

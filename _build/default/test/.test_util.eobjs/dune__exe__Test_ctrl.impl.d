@@ -1,0 +1,1 @@
+test/test_ctrl.ml: Alcotest Array Hashtbl List Printf Sb_ctrl Sb_dataplane Sb_music Sb_sim Sb_util String

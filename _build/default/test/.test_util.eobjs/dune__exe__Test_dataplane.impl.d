@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Sb_dataplane Sb_util

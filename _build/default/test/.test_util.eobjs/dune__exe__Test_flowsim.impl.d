@@ -1,0 +1,1 @@
+test/test_flowsim.ml: Alcotest Array List QCheck QCheck_alcotest Sb_core Sb_flowsim Sb_net Sb_util

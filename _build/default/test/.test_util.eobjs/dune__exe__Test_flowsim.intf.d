@@ -1,0 +1,1 @@
+test/test_flowsim.mli:

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sb_lp Sb_util

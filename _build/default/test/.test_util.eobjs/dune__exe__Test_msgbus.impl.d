@@ -1,0 +1,1 @@
+test/test_msgbus.ml: Alcotest Array Printf QCheck QCheck_alcotest Sb_msgbus Sb_sim Sb_util

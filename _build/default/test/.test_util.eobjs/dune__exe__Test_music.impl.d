@@ -1,0 +1,1 @@
+test/test_music.ml: Alcotest List Printf QCheck QCheck_alcotest Sb_music Sb_sim Sb_util

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sb_net Sb_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen List QCheck QCheck_alcotest Sb_sim Sb_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Sb_util String

@@ -1,0 +1,138 @@
+module Lru = Sb_cache.Lru
+module Sharing = Sb_cache.Sharing
+
+let test_hit_after_insert () =
+  let c = Lru.create ~capacity:100 in
+  Alcotest.(check bool) "first access misses" true (Lru.access c ~key:1 ~size:10 = `Miss);
+  Alcotest.(check bool) "second access hits" true (Lru.access c ~key:1 ~size:10 = `Hit)
+
+let test_eviction_lru_order () =
+  let c = Lru.create ~capacity:30 in
+  ignore (Lru.access c ~key:1 ~size:10);
+  ignore (Lru.access c ~key:2 ~size:10);
+  ignore (Lru.access c ~key:3 ~size:10);
+  (* Touch 1 so 2 becomes LRU; insert 4, evicting 2. *)
+  ignore (Lru.access c ~key:1 ~size:10);
+  ignore (Lru.access c ~key:4 ~size:10);
+  Alcotest.(check bool) "1 survives" true (Lru.mem c 1);
+  Alcotest.(check bool) "2 evicted" false (Lru.mem c 2);
+  Alcotest.(check bool) "3 survives" true (Lru.mem c 3);
+  Alcotest.(check bool) "4 present" true (Lru.mem c 4)
+
+let test_capacity_respected () =
+  let c = Lru.create ~capacity:50 in
+  for k = 0 to 99 do
+    ignore (Lru.access c ~key:k ~size:7)
+  done;
+  Alcotest.(check bool) "used within capacity" true (Lru.used_bytes c <= 50);
+  Alcotest.(check int) "entry count consistent" (Lru.used_bytes c / 7) (Lru.entry_count c)
+
+let test_oversized_object_not_cached () =
+  let c = Lru.create ~capacity:10 in
+  Alcotest.(check bool) "miss" true (Lru.access c ~key:1 ~size:100 = `Miss);
+  Alcotest.(check bool) "still miss" true (Lru.access c ~key:1 ~size:100 = `Miss);
+  Alcotest.(check int) "nothing stored" 0 (Lru.entry_count c)
+
+let test_stats () =
+  let c = Lru.create ~capacity:100 in
+  ignore (Lru.access c ~key:1 ~size:10);
+  ignore (Lru.access c ~key:1 ~size:10);
+  ignore (Lru.access c ~key:2 ~size:10);
+  Alcotest.(check int) "hits" 1 (Lru.hits c);
+  Alcotest.(check int) "misses" 2 (Lru.misses c);
+  Alcotest.(check (float 1e-9)) "hit rate" (1. /. 3.) (Lru.hit_rate c);
+  Lru.reset_stats c;
+  Alcotest.(check (float 1e-9)) "reset" 0. (Lru.hit_rate c)
+
+let test_polymorphic_keys () =
+  let c = Lru.create ~capacity:100 in
+  ignore (Lru.access c ~key:("tenant1", 5) ~size:10);
+  Alcotest.(check bool) "tuple key hit" true (Lru.access c ~key:("tenant1", 5) ~size:10 = `Hit);
+  Alcotest.(check bool) "other tenant misses" true
+    (Lru.access c ~key:("tenant2", 5) ~size:10 = `Miss)
+
+let test_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+(* Reference-model cross-check: drive random accesses against the LRU and a
+   naive list-based model; hit/miss decisions must agree. *)
+let test_lru_matches_reference_model () =
+  let capacity = 100 in
+  let c = Lru.create ~capacity in
+  let model = ref [] in (* (key, size), most recent first *)
+  let model_used () = List.fold_left (fun a (_, s) -> a + s) 0 !model in
+  let rng = Sb_util.Rng.create 13 in
+  for _ = 1 to 5000 do
+    let key = Sb_util.Rng.int rng 40 in
+    let size = 5 + (key mod 7) in
+    let model_hit = List.mem_assoc key !model in
+    (if model_hit then model := (key, size) :: List.remove_assoc key !model
+     else begin
+       model := (key, size) :: !model;
+       while model_used () > capacity do
+         model := List.rev (List.tl (List.rev !model))
+       done
+     end);
+    let got = Lru.access c ~key ~size in
+    Alcotest.(check bool)
+      (Printf.sprintf "key %d agreement" key)
+      model_hit (got = `Hit)
+  done
+
+let test_hit_rate_monotone_in_capacity () =
+  let rng1 = Sb_util.Rng.create 7 and rng2 = Sb_util.Rng.create 7 in
+  let p = { Sharing.default_params with Sharing.requests = 20_000; catalog_size = 50_000 } in
+  let small = Sharing.run_shared ~rng:rng1 { p with Sharing.total_cache_bytes = 20_000_000 } in
+  let large = Sharing.run_shared ~rng:rng2 { p with Sharing.total_cache_bytes = 200_000_000 } in
+  Alcotest.(check bool) "bigger cache, higher hit rate" true
+    (large.Sharing.hit_rate > small.Sharing.hit_rate)
+
+let test_shared_beats_siloed () =
+  let p = { Sharing.default_params with Sharing.requests = 30_000 } in
+  let shared = Sharing.run_shared ~rng:(Sb_util.Rng.create 42) p in
+  let siloed = Sharing.run_siloed ~rng:(Sb_util.Rng.create 42) p in
+  Alcotest.(check bool) "shared hit rate higher" true
+    (shared.Sharing.hit_rate > siloed.Sharing.hit_rate);
+  Alcotest.(check bool) "shared download faster" true
+    (shared.Sharing.mean_download_time < siloed.Sharing.mean_download_time)
+
+let test_download_time_model () =
+  let p = Sharing.default_params in
+  let hit = Sharing.download_time p ~hit:true ~size:50_000 in
+  let miss = Sharing.download_time p ~hit:false ~size:50_000 in
+  Alcotest.(check bool) "miss slower than hit" true (miss > hit);
+  Alcotest.(check bool) "miss includes WAN RTT" true (miss -. hit >= p.Sharing.wan_rtt)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"LRU never exceeds capacity" ~count:50
+    QCheck.(pair (int_range 10 500) (list_of_size Gen.(1 -- 200) (pair (int_range 0 50) (int_range 1 60))))
+    (fun (capacity, accesses) ->
+      let c = Lru.create ~capacity in
+      List.iter (fun (key, size) -> ignore (Lru.access c ~key ~size)) accesses;
+      Lru.used_bytes c <= capacity)
+
+let () =
+  Alcotest.run "sb_cache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "hit after insert" `Quick test_hit_after_insert;
+          Alcotest.test_case "LRU eviction order" `Quick test_eviction_lru_order;
+          Alcotest.test_case "capacity respected" `Quick test_capacity_respected;
+          Alcotest.test_case "oversized not cached" `Quick test_oversized_object_not_cached;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "polymorphic keys" `Quick test_polymorphic_keys;
+          Alcotest.test_case "rejects bad capacity" `Quick test_rejects_bad_capacity;
+          Alcotest.test_case "matches reference model" `Slow test_lru_matches_reference_model;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "hit rate monotone in capacity" `Slow
+            test_hit_rate_monotone_in_capacity;
+          Alcotest.test_case "shared beats siloed (Table 3)" `Slow test_shared_beats_siloed;
+          Alcotest.test_case "download-time model" `Quick test_download_time_model;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity ]);
+    ]

@@ -1,0 +1,181 @@
+module Maxmin = Sb_flowsim.Maxmin
+
+let solve_simple () =
+  (* One link of capacity 9 shared by 3 flows -> 3 each. *)
+  let t = Maxmin.create () in
+  let r = Maxmin.add_resource t ~capacity:9. in
+  let f1 = Maxmin.add_flow t [ r ] in
+  let f2 = Maxmin.add_flow t [ r ] in
+  let f3 = Maxmin.add_flow t [ r ] in
+  let rates = Maxmin.solve t in
+  (rates, f1, f2, f3)
+
+let test_equal_share () =
+  let rates, f1, f2, f3 = solve_simple () in
+  List.iter
+    (fun f -> Alcotest.(check (float 1e-9)) "fair share" 3. rates.(f))
+    [ f1; f2; f3 ]
+
+let test_demand_cap_redistributes () =
+  (* Capacity 9, one flow capped at 1 -> others get 4 each. *)
+  let t = Maxmin.create () in
+  let r = Maxmin.add_resource t ~capacity:9. in
+  let f1 = Maxmin.add_flow t ~demand:1. [ r ] in
+  let f2 = Maxmin.add_flow t [ r ] in
+  let f3 = Maxmin.add_flow t [ r ] in
+  let rates = Maxmin.solve t in
+  Alcotest.(check (float 1e-9)) "capped" 1. rates.(f1);
+  Alcotest.(check (float 1e-9)) "f2 grows" 4. rates.(f2);
+  Alcotest.(check (float 1e-9)) "f3 grows" 4. rates.(f3)
+
+let test_two_bottlenecks () =
+  (* Classic: link A cap 1 (flows 1,3), link B cap 2 (flows 2,3).
+     Max-min: f1 = f3 = 0.5, f2 = 1.5. *)
+  let t = Maxmin.create () in
+  let a = Maxmin.add_resource t ~capacity:1. in
+  let b = Maxmin.add_resource t ~capacity:2. in
+  let f1 = Maxmin.add_flow t [ a ] in
+  let f2 = Maxmin.add_flow t [ b ] in
+  let f3 = Maxmin.add_flow t [ a; b ] in
+  let rates = Maxmin.solve t in
+  Alcotest.(check (float 1e-9)) "f1" 0.5 rates.(f1);
+  Alcotest.(check (float 1e-9)) "f2" 1.5 rates.(f2);
+  Alcotest.(check (float 1e-9)) "f3" 0.5 rates.(f3)
+
+let test_no_resources_unbounded_demand () =
+  let t = Maxmin.create () in
+  let f = Maxmin.add_flow t ~demand:7. [] in
+  let rates = Maxmin.solve t in
+  Alcotest.(check (float 1e-9)) "meets demand" 7. rates.(f)
+
+let test_utilization () =
+  let t = Maxmin.create () in
+  let r = Maxmin.add_resource t ~capacity:10. in
+  let _ = Maxmin.add_flow t ~demand:4. [ r ] in
+  let rates = Maxmin.solve t in
+  Alcotest.(check (float 1e-9)) "40%" 0.4 (Maxmin.resource_utilization t rates r)
+
+let test_rejects_bad_resource () =
+  let t = Maxmin.create () in
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Maxmin.add_resource: non-positive capacity") (fun () ->
+      ignore (Maxmin.add_resource t ~capacity:0.));
+  Alcotest.check_raises "unknown resource"
+    (Invalid_argument "Maxmin.add_flow: unknown resource") (fun () ->
+      ignore (Maxmin.add_flow t [ 3 ]))
+
+(* Property: no resource oversubscribed; allocation is max-min (no flow can
+   grow without shrinking a slower-or-equal flow: verified via bottleneck
+   condition: every unfrozen... simplified: every flow either meets demand
+   or crosses a saturated resource). *)
+let prop_maxmin_valid =
+  QCheck.Test.make ~name:"max-min allocation validity" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Sb_util.Rng.create seed in
+      let t = Maxmin.create () in
+      let nres = 1 + Sb_util.Rng.int rng 6 in
+      let caps = Array.init nres (fun _ -> Sb_util.Rng.uniform_in rng 1. 20.) in
+      let res = Array.map (fun c -> Maxmin.add_resource t ~capacity:c) caps in
+      let nflows = 1 + Sb_util.Rng.int rng 10 in
+      let flows =
+        Array.init nflows (fun _ ->
+            let k = 1 + Sb_util.Rng.int rng nres in
+            let rs = Sb_util.Rng.sample_without_replacement rng k nres in
+            let demand =
+              if Sb_util.Rng.bool rng then Sb_util.Rng.uniform_in rng 0.5 10. else infinity
+            in
+            let rs = List.map (fun i -> res.(i)) rs in
+            (Maxmin.add_flow t ~demand rs, rs, demand))
+      in
+      let rates = Maxmin.solve t in
+      (* 1. capacities respected *)
+      let caps_ok =
+        Array.for_all
+          (fun r -> Maxmin.resource_utilization t rates r <= 1. +. 1e-6)
+          res
+      in
+      (* 2. each flow meets demand or crosses a saturated resource *)
+      let bottleneck_ok =
+        Array.for_all
+          (fun (f, rs, demand) ->
+            rates.(f) >= demand -. 1e-6
+            || List.exists
+                 (fun r -> Maxmin.resource_utilization t rates r >= 1. -. 1e-6)
+                 rs)
+          flows
+      in
+      caps_ok && bottleneck_ok)
+
+(* ------------------------- e2e evaluation -------------------------- *)
+
+module Model = Sb_core.Model
+module Routing = Sb_core.Routing
+module Topology = Sb_net.Topology
+
+(* Two sites, one firewall VNF, one chain. *)
+let two_site_model () =
+  let topo = Topology.line ~delays:[ 0.040 ] ~bandwidth:100. in
+  let b = Model.builder topo in
+  let sa = Model.add_site b ~node:0 ~capacity:10. in
+  let sb = Model.add_site b ~node:1 ~capacity:10. in
+  let fw = Model.add_vnf b ~name:"fw" ~cpu_per_unit:1. in
+  Model.deploy b ~vnf:fw ~site:sa ~capacity:10.;
+  Model.deploy b ~vnf:fw ~site:sb ~capacity:10.;
+  let _c = Model.add_chain b ~ingress:0 ~egress:1 ~vnfs:[ fw ] ~fwd:4. () in
+  Model.finalize b ()
+
+let test_e2e_throughput_bounded () =
+  let m = two_site_model () in
+  let r = Sb_core.Greedy.anycast m in
+  let result = Sb_flowsim.E2e.evaluate r in
+  (* Firewall at site A caps rate at m_sf / (2 l_f) = 5. *)
+  Alcotest.(check bool) "throughput within VNF capacity" true
+    (result.Sb_flowsim.E2e.total_throughput <= 5. +. 1e-6);
+  Alcotest.(check bool) "throughput positive" true
+    (result.Sb_flowsim.E2e.total_throughput > 0.)
+
+let test_e2e_rtt_includes_propagation () =
+  let m = two_site_model () in
+  let r = Sb_core.Greedy.anycast m in
+  let result = Sb_flowsim.E2e.evaluate r in
+  (* One WAN crossing of 40 ms -> RTT at least 80 ms. *)
+  Alcotest.(check bool) "rtt >= 2x prop" true (result.Sb_flowsim.E2e.mean_rtt >= 0.080)
+
+let test_e2e_per_chain_consistent () =
+  let m = two_site_model () in
+  let r = Sb_core.Greedy.anycast m in
+  let result = Sb_flowsim.E2e.evaluate r in
+  let sum = List.fold_left (fun acc (t, _) -> acc +. t) 0. result.Sb_flowsim.E2e.per_chain in
+  Alcotest.(check (float 1e-6)) "per-chain sums to total"
+    result.Sb_flowsim.E2e.total_throughput sum
+
+let test_e2e_window_cap () =
+  let m = two_site_model () in
+  let r = Sb_core.Greedy.anycast m in
+  let tight = Sb_flowsim.E2e.evaluate ~window_rtt_cap:0.001 r in
+  let loose = Sb_flowsim.E2e.evaluate ~window_rtt_cap:100. r in
+  Alcotest.(check bool) "window cap limits throughput" true
+    (tight.Sb_flowsim.E2e.total_throughput < loose.Sb_flowsim.E2e.total_throughput)
+
+let () =
+  Alcotest.run "sb_flowsim"
+    [
+      ( "maxmin",
+        [
+          Alcotest.test_case "equal share" `Quick test_equal_share;
+          Alcotest.test_case "demand cap redistributes" `Quick test_demand_cap_redistributes;
+          Alcotest.test_case "two bottlenecks" `Quick test_two_bottlenecks;
+          Alcotest.test_case "unconstrained demand" `Quick test_no_resources_unbounded_demand;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+          Alcotest.test_case "rejects bad inputs" `Quick test_rejects_bad_resource;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "throughput bounded" `Quick test_e2e_throughput_bounded;
+          Alcotest.test_case "rtt includes propagation" `Quick test_e2e_rtt_includes_propagation;
+          Alcotest.test_case "per-chain consistent" `Quick test_e2e_per_chain_consistent;
+          Alcotest.test_case "window cap" `Quick test_e2e_window_cap;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_maxmin_valid ]);
+    ]

@@ -1,0 +1,442 @@
+module Lp = Sb_lp.Lp
+module Mip = Sb_lp.Mip
+
+let solve_opt p =
+  match Lp.solve p with
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let check_obj = Alcotest.(check (float 1e-6))
+let check_val = Alcotest.(check (float 1e-6))
+
+(* ---------------------- textbook instances ----------------------- *)
+
+let test_maximize_basic () =
+  (* max 3x + 5y; x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2, 6) *)
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" and y = Lp.add_var p "y" in
+  Lp.add_constraint p [ (1., x) ] Lp.Le 4.;
+  Lp.add_constraint p [ (2., y) ] Lp.Le 12.;
+  Lp.add_constraint p [ (3., x); (2., y) ] Lp.Le 18.;
+  Lp.set_objective p Lp.Maximize [ (3., x); (5., y) ];
+  let s = solve_opt p in
+  check_obj "objective" 36. (Lp.objective_value s);
+  check_val "x" 2. (Lp.value s x);
+  check_val "y" 6. (Lp.value s y)
+
+let test_minimize_with_ge_and_eq () =
+  (* min a + b; a + b >= 3; a - b = 1 -> 3 at (2, 1) *)
+  let p = Lp.create () in
+  let a = Lp.add_var p "a" and b = Lp.add_var p "b" in
+  Lp.add_constraint p [ (1., a); (1., b) ] Lp.Ge 3.;
+  Lp.add_constraint p [ (1., a); (-1., b) ] Lp.Eq 1.;
+  Lp.set_objective p Lp.Minimize [ (1., a); (1., b) ];
+  let s = solve_opt p in
+  check_obj "objective" 3. (Lp.objective_value s);
+  check_val "a" 2. (Lp.value s a);
+  check_val "b" 1. (Lp.value s b)
+
+let test_infeasible () =
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" in
+  Lp.add_constraint p [ (1., x) ] Lp.Le 1.;
+  Lp.add_constraint p [ (1., x) ] Lp.Ge 2.;
+  Lp.set_objective p Lp.Minimize [ (1., x) ];
+  match Lp.solve p with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" in
+  Lp.set_objective p Lp.Maximize [ (1., x) ];
+  match Lp.solve p with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_degenerate_trivial () =
+  (* No constraints, minimize x -> 0 at lower bound. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" in
+  Lp.set_objective p Lp.Minimize [ (1., x) ];
+  let s = solve_opt p in
+  check_obj "objective" 0. (Lp.objective_value s)
+
+let test_variable_upper_bound () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~ub:2.5 "x" in
+  Lp.set_objective p Lp.Maximize [ (1., x) ];
+  let s = solve_opt p in
+  check_obj "hits ub" 2.5 (Lp.objective_value s)
+
+let test_variable_lower_bound_shift () =
+  (* lb = 3: min x subject to nothing -> 3 *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:3. "x" in
+  Lp.set_objective p Lp.Minimize [ (1., x) ];
+  let s = solve_opt p in
+  check_obj "sits at lb" 3. (Lp.objective_value s);
+  check_val "x value" 3. (Lp.value s x)
+
+let test_free_variable () =
+  (* Free variable can go negative: min x s.t. x >= -5 via constraint. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:neg_infinity "x" in
+  Lp.add_constraint p [ (1., x) ] Lp.Ge (-5.);
+  Lp.set_objective p Lp.Minimize [ (1., x) ];
+  let s = solve_opt p in
+  check_obj "objective" (-5.) (Lp.objective_value s);
+  check_val "x" (-5.) (Lp.value s x)
+
+let test_free_variable_with_ub () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:neg_infinity ~ub:7. "x" in
+  Lp.set_objective p Lp.Maximize [ (1., x) ];
+  let s = solve_opt p in
+  check_obj "hits ub" 7. (Lp.objective_value s)
+
+let test_negative_rhs_row () =
+  (* x - y <= -2 with min x + y -> x=0, y=2. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" and y = Lp.add_var p "y" in
+  Lp.add_constraint p [ (1., x); (-1., y) ] Lp.Le (-2.);
+  Lp.set_objective p Lp.Minimize [ (1., x); (1., y) ];
+  let s = solve_opt p in
+  check_obj "objective" 2. (Lp.objective_value s)
+
+let test_duplicate_terms_summed () =
+  (* 2x expressed as x + x. max (x+x) s.t. x + x <= 10 -> x = 5, obj 10. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" in
+  Lp.add_constraint p [ (1., x); (1., x) ] Lp.Le 10.;
+  Lp.set_objective p Lp.Maximize [ (1., x); (1., x) ];
+  let s = solve_opt p in
+  check_obj "objective" 10. (Lp.objective_value s);
+  check_val "x" 5. (Lp.value s x)
+
+let test_redundant_equalities () =
+  (* Two identical equalities must not break phase 1 (dependent rows). *)
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" and y = Lp.add_var p "y" in
+  Lp.add_constraint p [ (1., x); (1., y) ] Lp.Eq 4.;
+  Lp.add_constraint p [ (1., x); (1., y) ] Lp.Eq 4.;
+  Lp.set_objective p Lp.Minimize [ (1., x) ];
+  let s = solve_opt p in
+  check_obj "objective" 0. (Lp.objective_value s);
+  check_val "y" 4. (Lp.value s y)
+
+let test_transportation_problem () =
+  (* 2 supplies (10, 20), 2 demands (15, 15), costs [[1 4][2 1]].
+     Optimal: s0->d0 10, s1->d0 5, s1->d1 15 -> 10 + 10 + 15 = 35. *)
+  let p = Lp.create () in
+  let x = Array.init 2 (fun i -> Array.init 2 (fun j -> Lp.add_var p (Printf.sprintf "x%d%d" i j))) in
+  Lp.add_constraint p [ (1., x.(0).(0)); (1., x.(0).(1)) ] Lp.Le 10.;
+  Lp.add_constraint p [ (1., x.(1).(0)); (1., x.(1).(1)) ] Lp.Le 20.;
+  Lp.add_constraint p [ (1., x.(0).(0)); (1., x.(1).(0)) ] Lp.Eq 15.;
+  Lp.add_constraint p [ (1., x.(0).(1)); (1., x.(1).(1)) ] Lp.Eq 15.;
+  Lp.set_objective p Lp.Minimize
+    [ (1., x.(0).(0)); (4., x.(0).(1)); (2., x.(1).(0)); (1., x.(1).(1)) ];
+  let s = solve_opt p in
+  check_obj "transportation optimum" 35. (Lp.objective_value s)
+
+let test_larger_random_feasibility () =
+  (* A bigger random-ish LP: verify the optimum respects all constraints. *)
+  let rng = Sb_util.Rng.create 31 in
+  let p = Lp.create () in
+  let n = 30 and m = 20 in
+  let vars = Array.init n (fun i -> Lp.add_var p (Printf.sprintf "v%d" i)) in
+  let rows =
+    Array.init m (fun _ ->
+        let terms =
+          Array.to_list vars
+          |> List.filter_map (fun v ->
+                 if Sb_util.Rng.float rng 1. < 0.3 then
+                   Some (Sb_util.Rng.uniform_in rng 0.1 2.0, v)
+                 else None)
+        in
+        let rhs = Sb_util.Rng.uniform_in rng 5. 50. in
+        (terms, rhs))
+  in
+  Array.iter (fun (terms, rhs) -> if terms <> [] then Lp.add_constraint p terms Lp.Le rhs) rows;
+  Lp.set_objective p Lp.Maximize (Array.to_list (Array.map (fun v -> (1., v)) vars));
+  match Lp.solve p with
+  | Lp.Optimal s ->
+    Array.iter
+      (fun (terms, rhs) ->
+        let lhs = List.fold_left (fun acc (c, v) -> acc +. (c *. Lp.value s v)) 0. terms in
+        Alcotest.(check bool) "constraint satisfied" true (lhs <= rhs +. 1e-6))
+      rows;
+    Array.iter
+      (fun v -> Alcotest.(check bool) "non-negative" true (Lp.value s v >= -1e-9))
+      vars
+  | Lp.Unbounded ->
+    (* Possible if some variable appears in no constraint. *)
+    ()
+  | Lp.Infeasible -> Alcotest.fail "all-Le problem with positive rhs is feasible"
+
+(* Brute-force cross-check on tiny random 2-var LPs: compare simplex with a
+   fine grid search. *)
+let test_grid_crosscheck () =
+  let rng = Sb_util.Rng.create 77 in
+  for _ = 1 to 25 do
+    let a1 = Sb_util.Rng.uniform_in rng 0.2 2. and b1 = Sb_util.Rng.uniform_in rng 0.2 2. in
+    let a2 = Sb_util.Rng.uniform_in rng 0.2 2. and b2 = Sb_util.Rng.uniform_in rng 0.2 2. in
+    let r1 = Sb_util.Rng.uniform_in rng 1. 10. and r2 = Sb_util.Rng.uniform_in rng 1. 10. in
+    let c1 = Sb_util.Rng.uniform_in rng 0.1 3. and c2 = Sb_util.Rng.uniform_in rng 0.1 3. in
+    let p = Lp.create () in
+    let x = Lp.add_var p "x" and y = Lp.add_var p "y" in
+    Lp.add_constraint p [ (a1, x); (b1, y) ] Lp.Le r1;
+    Lp.add_constraint p [ (a2, x); (b2, y) ] Lp.Le r2;
+    Lp.set_objective p Lp.Maximize [ (c1, x); (c2, y) ];
+    let s = solve_opt p in
+    (* Grid search over the feasible box. *)
+    let best = ref 0. in
+    let steps = 400 in
+    let xmax = Float.min (r1 /. a1) (r2 /. a2) in
+    let ymax = Float.min (r1 /. b1) (r2 /. b2) in
+    for i = 0 to steps do
+      for j = 0 to steps do
+        let xv = float_of_int i /. float_of_int steps *. xmax in
+        let yv = float_of_int j /. float_of_int steps *. ymax in
+        if (a1 *. xv) +. (b1 *. yv) <= r1 && (a2 *. xv) +. (b2 *. yv) <= r2 then begin
+          let obj = (c1 *. xv) +. (c2 *. yv) in
+          if obj > !best then best := obj
+        end
+      done
+    done;
+    Alcotest.(check bool) "simplex >= grid - eps" true
+      (Lp.objective_value s >= !best -. 0.05);
+    Alcotest.(check bool) "simplex optimal within grid resolution" true
+      (Lp.objective_value s <= !best +. (0.05 *. Float.max 1. !best))
+  done
+
+
+let test_beale_cycling_example () =
+  (* Beale's classic degenerate LP, which cycles under naive Dantzig
+     pivoting: min -0.75x4 + 150x5 - 0.02x6 + 6x7 subject to
+     0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+     0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+     x6 <= 1.  Optimum -0.05. *)
+  let p = Lp.create () in
+  let x4 = Lp.add_var p "x4" and x5 = Lp.add_var p "x5" in
+  let x6 = Lp.add_var p "x6" and x7 = Lp.add_var p "x7" in
+  Lp.add_constraint p [ (0.25, x4); (-60., x5); (-0.04, x6); (9., x7) ] Lp.Le 0.;
+  Lp.add_constraint p [ (0.5, x4); (-90., x5); (-0.02, x6); (3., x7) ] Lp.Le 0.;
+  Lp.add_constraint p [ (1., x6) ] Lp.Le 1.;
+  Lp.set_objective p Lp.Minimize
+    [ (-0.75, x4); (150., x5); (-0.02, x6); (6., x7) ];
+  let s = solve_opt p in
+  check_obj "Beale optimum" (-0.05) (Lp.objective_value s)
+
+let test_highly_degenerate () =
+  (* Many redundant constraints through the origin. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" and y = Lp.add_var p "y" in
+  for _ = 1 to 10 do
+    Lp.add_constraint p [ (1., x); (-1., y) ] Lp.Le 0.;
+    Lp.add_constraint p [ (-1., x); (1., y) ] Lp.Le 0.
+  done;
+  Lp.add_constraint p [ (1., x); (1., y) ] Lp.Le 4.;
+  Lp.set_objective p Lp.Maximize [ (1., x); (2., y) ];
+  let s = solve_opt p in
+  (* x = y forced; x + y <= 4 -> x = y = 2, objective 6. *)
+  check_obj "degenerate optimum" 6. (Lp.objective_value s)
+
+let test_equality_only_system () =
+  (* Pure equality system with a unique solution: x=1, y=2. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p "x" and y = Lp.add_var p "y" in
+  Lp.add_constraint p [ (1., x); (1., y) ] Lp.Eq 3.;
+  Lp.add_constraint p [ (2., x); (1., y) ] Lp.Eq 4.;
+  Lp.set_objective p Lp.Minimize [ (1., x) ];
+  let s = solve_opt p in
+  check_val "x" 1. (Lp.value s x);
+  check_val "y" 2. (Lp.value s y)
+
+(* ------------------------------ MIP ------------------------------ *)
+
+let test_mip_basic () =
+  (* max x + y; 2x + 3y <= 12; x <= 4; integers -> 5 (e.g. 4 + 1). *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~integer:true "x" in
+  let y = Lp.add_var p ~integer:true "y" in
+  Lp.add_constraint p [ (2., x); (3., y) ] Lp.Le 12.;
+  Lp.add_constraint p [ (1., x) ] Lp.Le 4.;
+  Lp.set_objective p Lp.Maximize [ (1., x); (1., y) ];
+  match Mip.solve p with
+  | Mip.Optimal s ->
+    check_obj "objective" 5. (Lp.objective_value s);
+    Alcotest.(check bool) "x integral" true
+      (Float.abs (Lp.value s x -. Float.round (Lp.value s x)) < 1e-6)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_mip_knapsack () =
+  (* Knapsack: values 60,100,120; weights 10,20,30; cap 50 -> 220. *)
+  let p = Lp.create () in
+  let items = [| (60., 10.); (100., 20.); (120., 30.) |] in
+  let vars =
+    Array.mapi (fun i _ -> Lp.add_var p ~ub:1. ~integer:true (Printf.sprintf "i%d" i)) items
+  in
+  Lp.add_constraint p
+    (Array.to_list (Array.mapi (fun i v -> (snd items.(i), v)) vars))
+    Lp.Le 50.;
+  Lp.set_objective p Lp.Maximize
+    (Array.to_list (Array.mapi (fun i v -> (fst items.(i), v)) vars));
+  match Mip.solve p with
+  | Mip.Optimal s -> check_obj "knapsack optimum" 220. (Lp.objective_value s)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_mip_infeasible () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~integer:true "x" in
+  Lp.add_constraint p [ (1., x) ] Lp.Le 1.;
+  Lp.add_constraint p [ (1., x) ] Lp.Ge 2.;
+  Lp.set_objective p Lp.Minimize [ (1., x) ];
+  match Mip.solve p with
+  | Mip.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_mip_fractional_gap () =
+  (* LP relaxation is fractional: x + y <= 1.5, max x + y integral -> 1. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~ub:1. ~integer:true "x" in
+  let y = Lp.add_var p ~ub:1. ~integer:true "y" in
+  Lp.add_constraint p [ (1., x); (1., y) ] Lp.Le 1.5;
+  Lp.set_objective p Lp.Maximize [ (1., x); (1., y) ];
+  match Mip.solve p with
+  | Mip.Optimal s -> check_obj "integral optimum" 1. (Lp.objective_value s)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_mip_minimize () =
+  (* min 3x + 2y s.t. x + y >= 2.5, integer -> x=0,y=3 cost 6 or x=1,y=2
+     cost 7; optimum 6. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~integer:true "x" in
+  let y = Lp.add_var p ~integer:true "y" in
+  Lp.add_constraint p [ (1., x); (1., y) ] Lp.Ge 2.5;
+  Lp.set_objective p Lp.Minimize [ (3., x); (2., y) ];
+  match Mip.solve p with
+  | Mip.Optimal s -> check_obj "objective" 6. (Lp.objective_value s)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_mip_mixed_integer () =
+  (* x integer, y continuous: max x + y; x + y <= 3.7; x <= 2.2 ->
+     x = 2, y = 1.7. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~integer:true "x" in
+  let y = Lp.add_var p "y" in
+  Lp.add_constraint p [ (1., x); (1., y) ] Lp.Le 3.7;
+  Lp.add_constraint p [ (1., x) ] Lp.Le 2.2;
+  Lp.set_objective p Lp.Maximize [ (1., x); (1., y) ];
+  match Mip.solve p with
+  | Mip.Optimal s ->
+    check_obj "objective" 3.7 (Lp.objective_value s);
+    check_val "x integral part" 2. (Lp.value s x)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* --------------------------- properties ---------------------------- *)
+
+(* Random small LPs: the solver never reports Optimal with a violated
+   constraint, and maximization objectives never exceed an obvious bound. *)
+let prop_optimal_is_feasible =
+  QCheck.Test.make ~name:"optimal solutions are feasible" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Sb_util.Rng.create seed in
+      let n = 2 + Sb_util.Rng.int rng 6 in
+      let m = 1 + Sb_util.Rng.int rng 6 in
+      let p = Lp.create () in
+      let vars = Array.init n (fun i -> Lp.add_var p (Printf.sprintf "v%d" i)) in
+      let rows = ref [] in
+      for _ = 1 to m do
+        let terms =
+          Array.to_list vars
+          |> List.filter_map (fun v ->
+                 if Sb_util.Rng.bool rng then Some (Sb_util.Rng.uniform_in rng 0.1 3., v)
+                 else None)
+        in
+        if terms <> [] then begin
+          let rhs = Sb_util.Rng.uniform_in rng 1. 20. in
+          Lp.add_constraint p terms Lp.Le rhs;
+          rows := (terms, rhs) :: !rows
+        end
+      done;
+      Lp.set_objective p Lp.Maximize
+        (Array.to_list (Array.map (fun v -> (Sb_util.Rng.uniform_in rng 0.1 2., v)) vars));
+      match Lp.solve p with
+      | Lp.Optimal s ->
+        List.for_all
+          (fun (terms, rhs) ->
+            List.fold_left (fun acc (c, v) -> acc +. (c *. Lp.value s v)) 0. terms
+            <= rhs +. 1e-6)
+          !rows
+        && Array.for_all (fun v -> Lp.value s v >= -1e-9) vars
+      | Lp.Unbounded -> true (* some var in no row *)
+      | Lp.Infeasible -> false (* impossible for Le-only with rhs > 0 *))
+
+let prop_mip_at_most_lp =
+  QCheck.Test.make ~name:"MIP optimum <= LP relaxation (maximize)" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Sb_util.Rng.create seed in
+      let build () =
+        let p = Lp.create () in
+        let n = 2 + Sb_util.Rng.int rng 3 in
+        let vars =
+          Array.init n (fun i ->
+              Lp.add_var p ~ub:10. ~integer:true (Printf.sprintf "v%d" i))
+        in
+        let terms = Array.to_list (Array.map (fun v -> (Sb_util.Rng.uniform_in rng 0.5 2., v)) vars) in
+        Lp.add_constraint p terms Lp.Le (Sb_util.Rng.uniform_in rng 3. 15.);
+        Lp.set_objective p Lp.Maximize
+          (Array.to_list (Array.map (fun v -> (Sb_util.Rng.uniform_in rng 0.5 2., v)) vars));
+        p
+      in
+      let rng_copy = Sb_util.Rng.copy rng in
+      ignore rng_copy;
+      let p = build () in
+      match (Mip.solve p, Lp.solve p) with
+      | Mip.Optimal mi, Lp.Optimal lp ->
+        Lp.objective_value mi <= Lp.objective_value lp +. 1e-6
+      | _ -> true)
+
+let () =
+  Alcotest.run "sb_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "maximize basic" `Quick test_maximize_basic;
+          Alcotest.test_case "ge and eq" `Quick test_minimize_with_ge_and_eq;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "trivial" `Quick test_degenerate_trivial;
+          Alcotest.test_case "upper bound" `Quick test_variable_upper_bound;
+          Alcotest.test_case "lower bound shift" `Quick test_variable_lower_bound_shift;
+          Alcotest.test_case "free variable" `Quick test_free_variable;
+          Alcotest.test_case "free with ub" `Quick test_free_variable_with_ub;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs_row;
+          Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms_summed;
+          Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+          Alcotest.test_case "transportation" `Quick test_transportation_problem;
+          Alcotest.test_case "random feasibility" `Quick test_larger_random_feasibility;
+          Alcotest.test_case "grid cross-check" `Slow test_grid_crosscheck;
+          Alcotest.test_case "Beale cycling example" `Quick test_beale_cycling_example;
+          Alcotest.test_case "highly degenerate" `Quick test_highly_degenerate;
+          Alcotest.test_case "equality-only system" `Quick test_equality_only_system;
+        ] );
+      ( "mip",
+        [
+          Alcotest.test_case "basic" `Quick test_mip_basic;
+          Alcotest.test_case "knapsack" `Quick test_mip_knapsack;
+          Alcotest.test_case "infeasible" `Quick test_mip_infeasible;
+          Alcotest.test_case "fractional gap" `Quick test_mip_fractional_gap;
+          Alcotest.test_case "minimize" `Quick test_mip_minimize;
+          Alcotest.test_case "mixed integer" `Quick test_mip_mixed_integer;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_optimal_is_feasible;
+          QCheck_alcotest.to_alcotest prop_mip_at_most_lp;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+module Store = Sb_music.Store
+module Engine = Sb_sim.Engine
+
+let delay20 a b = if a = b then 0. else 0.020
+
+let make ?(replicas = [ 1; 2; 3 ]) () =
+  let eng = Engine.create () in
+  let store = Store.create eng ~replica_sites:replicas ~delay:delay20 in
+  (eng, store)
+
+let test_quorum_size () =
+  let _, s3 = make () in
+  Alcotest.(check int) "3 replicas" 3 (Store.num_replicas s3);
+  Alcotest.(check int) "quorum of 3" 2 (Store.quorum s3);
+  let _, s5 = make ~replicas:[ 1; 2; 3; 4; 5 ] () in
+  Alcotest.(check int) "quorum of 5" 3 (Store.quorum s5)
+
+let test_put_get_roundtrip () =
+  let eng, store = make () in
+  let acked = ref false and got = ref None in
+  Store.put store ~from:0 ~key:"k" 42 (fun ok -> acked := ok);
+  Engine.run eng;
+  Alcotest.(check bool) "write acked" true !acked;
+  Store.get store ~from:0 ~key:"k" (fun v -> got := v);
+  Engine.run eng;
+  Alcotest.(check (option int)) "read back" (Some 42) !got
+
+let test_get_unknown_key () =
+  let eng, store = make () in
+  let got = ref (Some 1) in
+  Store.get store ~from:0 ~key:"nope" (fun v -> got := v);
+  Engine.run eng;
+  Alcotest.(check (option int)) "unknown is None" None !got
+
+let test_survives_minority_failure () =
+  let eng, store = make () in
+  let acked = ref false in
+  Store.put store ~from:0 ~key:"k" 7 (fun ok -> acked := ok);
+  Engine.run eng;
+  Alcotest.(check bool) "acked" true !acked;
+  (* Any single replica can die; the value must still be readable. *)
+  List.iter
+    (fun victim ->
+      Store.fail_replica store victim;
+      let got = ref None in
+      Store.get store ~from:0 ~key:"k" (fun v -> got := v);
+      Engine.run eng;
+      Alcotest.(check (option int))
+        (Printf.sprintf "readable after replica %d fails" victim)
+        (Some 7) !got;
+      Store.recover_replica store victim)
+    [ 1; 2; 3 ]
+
+let test_majority_failure_blocks () =
+  let eng, store = make () in
+  Store.fail_replica store 1;
+  Store.fail_replica store 2;
+  let acked = ref true and got = ref (Some 1) in
+  Store.put store ~from:0 ~key:"k" 5 (fun ok -> acked := ok);
+  Store.get store ~from:0 ~key:"k" (fun v -> got := v);
+  Engine.run eng;
+  Alcotest.(check bool) "write not acked without majority" false !acked;
+  Alcotest.(check (option int)) "read has no quorum" None !got
+
+let test_freshest_version_wins () =
+  let eng, store = make () in
+  (* First write reaches everyone; second write lands while replica 3 is
+     down. A later quorum read must return the newer value even if the
+     stale replica answers. *)
+  Store.put store ~from:0 ~key:"k" 1 (fun _ -> ());
+  Engine.run eng;
+  Store.fail_replica store 3;
+  Store.put store ~from:0 ~key:"k" 2 (fun _ -> ());
+  Engine.run eng;
+  Store.recover_replica store 3;
+  let got = ref None in
+  Store.get store ~from:0 ~key:"k" (fun v -> got := v);
+  Engine.run eng;
+  Alcotest.(check (option int)) "newer version wins" (Some 2) !got
+
+let test_write_latency_is_round_trip () =
+  let eng, store = make () in
+  let done_at = ref nan in
+  ignore
+    (Engine.schedule eng ~delay:1. (fun () ->
+         Store.put store ~from:0 ~key:"k" 1 (fun _ -> done_at := Engine.now eng)));
+  Engine.run eng;
+  (* All replicas are 20 ms away: quorum completes at the 40 ms round trip. *)
+  Alcotest.(check (float 1e-6)) "one WAN round trip" 1.04 !done_at
+
+let test_lease_exclusive () =
+  let eng, store = make () in
+  let a = ref false and b = ref true in
+  Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-1" ~duration:10. (fun ok ->
+      a := ok);
+  Engine.run eng;
+  Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-2" ~duration:10. (fun ok ->
+      b := ok);
+  Engine.run eng;
+  Alcotest.(check bool) "first acquires" true !a;
+  Alcotest.(check bool) "second is refused" false !b
+
+let test_lease_reacquire_same_owner () =
+  let eng, store = make () in
+  let first = ref false and again = ref false in
+  Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-1" ~duration:10. (fun ok ->
+      first := ok);
+  Engine.run eng;
+  Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-1" ~duration:10. (fun ok ->
+      again := ok);
+  Engine.run eng;
+  Alcotest.(check bool) "extend own lease" true (!first && !again)
+
+let test_lease_expires () =
+  let eng, store = make () in
+  Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-1" ~duration:0.5 (fun _ -> ());
+  Engine.run eng;
+  let taken = ref false in
+  ignore
+    (Engine.schedule eng ~delay:1. (fun () ->
+         Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-2" ~duration:1.
+           (fun ok -> taken := ok)));
+  Engine.run eng;
+  Alcotest.(check bool) "standby takes over after expiry" true !taken
+
+let test_lease_release () =
+  let eng, store = make () in
+  Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-1" ~duration:100. (fun _ -> ());
+  Engine.run eng;
+  let released = ref false and taken = ref false in
+  Store.release_lease store ~from:0 ~key:"leader" ~owner:"gsb-1" (fun ok -> released := ok);
+  Engine.run eng;
+  Store.acquire_lease store ~from:0 ~key:"leader" ~owner:"gsb-2" ~duration:1. (fun ok ->
+      taken := ok);
+  Engine.run eng;
+  Alcotest.(check bool) "released" true !released;
+  Alcotest.(check bool) "available again" true !taken
+
+let prop_any_minority_failure_preserves_acked_writes =
+  QCheck.Test.make ~name:"acked writes survive any minority failure" ~count:50
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 20))
+    (fun (seed, nkeys) ->
+      let rng = Sb_util.Rng.create seed in
+      let eng, store = make ~replicas:[ 1; 2; 3; 4; 5 ] () in
+      let acked = ref [] in
+      for k = 0 to nkeys - 1 do
+        Store.put store ~from:0 ~key:(string_of_int k) k (fun ok ->
+            if ok then acked := k :: !acked)
+      done;
+      Engine.run eng;
+      (* Fail any two of five replicas. *)
+      let victims = Sb_util.Rng.sample_without_replacement rng 2 5 in
+      List.iter (fun v -> Store.fail_replica store (v + 1)) victims;
+      let ok = ref true in
+      List.iter
+        (fun k ->
+          Store.get store ~from:0 ~key:(string_of_int k) (fun v ->
+              if v <> Some k then ok := false))
+        !acked;
+      Engine.run eng;
+      !ok)
+
+let () =
+  Alcotest.run "sb_music"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "quorum size" `Quick test_quorum_size;
+          Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+          Alcotest.test_case "unknown key" `Quick test_get_unknown_key;
+          Alcotest.test_case "survives minority failure" `Quick test_survives_minority_failure;
+          Alcotest.test_case "majority failure blocks" `Quick test_majority_failure_blocks;
+          Alcotest.test_case "freshest version wins" `Quick test_freshest_version_wins;
+          Alcotest.test_case "write latency" `Quick test_write_latency_is_round_trip;
+        ] );
+      ( "leases",
+        [
+          Alcotest.test_case "exclusive" `Quick test_lease_exclusive;
+          Alcotest.test_case "reacquire same owner" `Quick test_lease_reacquire_same_owner;
+          Alcotest.test_case "expiry allows takeover" `Quick test_lease_expires;
+          Alcotest.test_case "release" `Quick test_lease_release;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_any_minority_failure_preserves_acked_writes ] );
+    ]

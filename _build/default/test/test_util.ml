@@ -1,0 +1,342 @@
+module Rng = Sb_util.Rng
+module Zipf = Sb_util.Zipf
+module Stats = Sb_util.Stats
+module Convex_cost = Sb_util.Convex_cost
+module Table = Sb_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg ~tolerance expected actual =
+  Alcotest.(check (float tolerance)) msg expected actual
+
+(* ------------------------------ Rng ------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in [0, 13)" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  check_close "mean near 0.5" ~tolerance:0.01 0.5 (!sum /. float_of_int n)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* Child and parent produce different streams after the split. *)
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.bits64 parent = Rng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 3)
+
+let test_rng_copy_snapshot () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 21 in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 2.0
+  done;
+  check_close "mean near 1/rate" ~tolerance:0.01 0.5 (!sum /. float_of_int n)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 17 in
+  let s = Rng.sample_without_replacement rng 10 100 in
+  Alcotest.(check int) "10 samples" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 100)) s
+
+let test_rng_sample_full_range () =
+  let rng = Rng.create 19 in
+  let s = Rng.sample_without_replacement rng 5 5 in
+  Alcotest.(check (list int)) "all items" [ 0; 1; 2; 3; 4 ] (List.sort compare s)
+
+let test_rng_weighted_index () =
+  let rng = Rng.create 23 in
+  let weights = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = Rng.weighted_index rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never chosen" 0 counts.(1);
+  let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+  check_close "3:1 ratio" ~tolerance:0.2 3.0 ratio
+
+let test_rng_weighted_index_rejects () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.weighted_index: zero total weight") (fun () ->
+      ignore (Rng.weighted_index rng [| 0.; 0. |]))
+
+(* ------------------------------ Zipf ------------------------------ *)
+
+let test_zipf_probabilities_sum () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let sum = ref 0. in
+  for r = 0 to 99 do
+    sum := !sum +. Zipf.probability z r
+  done;
+  check_close "probabilities sum to 1" ~tolerance:1e-9 1.0 !sum
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:50 ~s:1.2 in
+  for r = 1 to 49 do
+    Alcotest.(check bool) "decreasing popularity" true
+      (Zipf.probability z (r - 1) >= Zipf.probability z r)
+  done
+
+let test_zipf_sample_range () =
+  let z = Zipf.create ~n:10 ~s:1.0 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let r = Zipf.sample z rng in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 10)
+  done
+
+let test_zipf_empirical_matches () =
+  let n = 20 in
+  let z = Zipf.create ~n ~s:1.0 in
+  let rng = Rng.create 7 in
+  let counts = Array.make n 0 in
+  let trials = 200_000 in
+  for _ = 1 to trials do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  for r = 0 to 4 do
+    let emp = float_of_int counts.(r) /. float_of_int trials in
+    check_close (Printf.sprintf "rank %d frequency" r) ~tolerance:0.01
+      (Zipf.probability z r) emp
+  done
+
+let test_zipf_uniform_when_s_zero () =
+  let z = Zipf.create ~n:4 ~s:0. in
+  for r = 0 to 3 do
+    check_float "uniform" 0.25 (Zipf.probability z r)
+  done
+
+(* ------------------------------ Stats ------------------------------ *)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "empty mean" 0. (Stats.mean [])
+
+let test_stats_stddev () =
+  check_float "constant stddev" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  check_close "known stddev" ~tolerance:1e-9 2.0 (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check_float "p0" 1. (Stats.percentile 0. xs);
+  check_float "p50" 3. (Stats.percentile 50. xs);
+  check_float "p100" 5. (Stats.percentile 100. xs);
+  check_float "p25 interpolates" 2. (Stats.percentile 25. xs)
+
+let test_stats_percentile_single () =
+  check_float "singleton" 7. (Stats.percentile 99. [ 7. ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.; 1.; 2. ] in
+  check_float "min" 1. lo;
+  check_float "max" 3. hi
+
+let test_stats_weighted_mean () =
+  check_float "weighted" 3.0 (Stats.weighted_mean [ (2., 1.); (4., 1.) ]);
+  check_float "weights matter" 3.5 (Stats.weighted_mean [ (2., 1.); (4., 3.) ])
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check int) "count" 5 s.Stats.count;
+  check_float "mean" 3. s.Stats.mean;
+  check_float "p50" 3. s.Stats.p50
+
+(* --------------------------- Convex cost --------------------------- *)
+
+let test_convex_zero () = check_float "cost at 0" 0. (Convex_cost.cost 0.)
+
+let test_convex_increasing () =
+  let prev = ref (-1.) in
+  List.iter
+    (fun u ->
+      let c = Convex_cost.cost u in
+      Alcotest.(check bool) "increasing" true (c > !prev);
+      prev := c)
+    [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0; 1.2 ]
+
+let test_convex_convexity () =
+  (* Midpoint rule on a few sample pairs. *)
+  List.iter
+    (fun (a, b) ->
+      let mid = Convex_cost.cost ((a +. b) /. 2.) in
+      let avg = (Convex_cost.cost a +. Convex_cost.cost b) /. 2. in
+      Alcotest.(check bool) "midpoint below average" true (mid <= avg +. 1e-9))
+    [ (0., 1.); (0.2, 0.9); (0.5, 1.3); (0.8, 1.2) ]
+
+let test_convex_slopes () =
+  check_float "slope below 1/3" 1. (Convex_cost.marginal_cost 0.1);
+  check_float "slope near 1" 500. (Convex_cost.marginal_cost 1.05);
+  check_float "slope beyond 1.1" 5000. (Convex_cost.marginal_cost 2.)
+
+let test_convex_piecewise_value () =
+  (* cost(2/3) = 1/3 * 1 + 1/3 * 3 = 4/3 *)
+  check_close "breakpoint value" ~tolerance:1e-9 (4. /. 3.) (Convex_cost.cost (2. /. 3.))
+
+let test_convex_rejects_negative () =
+  Alcotest.check_raises "negative utilization"
+    (Invalid_argument "Convex_cost.cost: negative utilization") (fun () ->
+      ignore (Convex_cost.cost (-0.1)))
+
+(* ------------------------------ Table ------------------------------ *)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 1 = "a")
+
+let test_table_arity () =
+  let t = Table.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Table.add_row: arity mismatch with header") (fun () ->
+      Table.add_row t [ "only one" ])
+
+(* --------------------------- properties ---------------------------- *)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:500
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let xs = List.map Float.abs xs in
+      QCheck.assume (xs <> []);
+      let v = Stats.percentile p xs in
+      let lo, hi = Stats.min_max xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_zipf_cdf_complete =
+  QCheck.Test.make ~name:"zipf sample always in range" ~count:200
+    QCheck.(pair (int_range 1 200) (float_bound_inclusive 2.5))
+    (fun (n, s) ->
+      let z = Zipf.create ~n ~s in
+      let rng = Rng.create (n + int_of_float (s *. 100.)) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let r = Zipf.sample z rng in
+        if r < 0 || r >= n then ok := false
+      done;
+      !ok)
+
+let prop_convex_monotone =
+  QCheck.Test.make ~name:"convex cost monotone" ~count:500
+    QCheck.(pair (float_bound_inclusive 3.) (float_bound_inclusive 3.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Convex_cost.cost lo <= Convex_cost.cost hi +. 1e-9)
+
+let () =
+  Alcotest.run "sb_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int rejects bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy snapshot" `Quick test_rng_copy_snapshot;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "sample full range" `Quick test_rng_sample_full_range;
+          Alcotest.test_case "weighted index" `Quick test_rng_weighted_index;
+          Alcotest.test_case "weighted index rejects" `Quick test_rng_weighted_index_rejects;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "probabilities sum" `Quick test_zipf_probabilities_sum;
+          Alcotest.test_case "monotone" `Quick test_zipf_monotone;
+          Alcotest.test_case "sample range" `Quick test_zipf_sample_range;
+          Alcotest.test_case "empirical match" `Slow test_zipf_empirical_matches;
+          Alcotest.test_case "uniform at s=0" `Quick test_zipf_uniform_when_s_zero;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile singleton" `Quick test_stats_percentile_single;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "weighted mean" `Quick test_stats_weighted_mean;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "convex_cost",
+        [
+          Alcotest.test_case "zero" `Quick test_convex_zero;
+          Alcotest.test_case "increasing" `Quick test_convex_increasing;
+          Alcotest.test_case "convex" `Quick test_convex_convexity;
+          Alcotest.test_case "slopes" `Quick test_convex_slopes;
+          Alcotest.test_case "piecewise value" `Quick test_convex_piecewise_value;
+          Alcotest.test_case "rejects negative" `Quick test_convex_rejects_negative;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_percentile_bounded;
+          QCheck_alcotest.to_alcotest prop_zipf_cdf_complete;
+          QCheck_alcotest.to_alcotest prop_convex_monotone;
+        ] );
+    ]
