@@ -765,6 +765,134 @@ let scale () =
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* The seed's list-based path fabric (tuple-keyed Hashtbl memo of assoc
+   lists, selection-scan Dijkstra), kept verbatim as the microbenchmark
+   baseline: the packed-CSR speedup is measured against it rather than
+   asserted. *)
+module Legacy_paths = struct
+  let eps = 1e-12
+
+  (* The seed's list-walking Fortz–Thorup evaluation (Convex_cost is now
+     straight-line code; the baseline keeps the original). *)
+  let segment_slopes =
+    [ (0., 1.); (1. /. 3., 3.); (2. /. 3., 10.); (0.9, 70.); (1.0, 500.); (1.1, 5000.) ]
+
+  let legacy_cost u =
+    if u < 0. then invalid_arg "Convex_cost.cost: negative utilization";
+    let rec go acc prev_bp prev_slope = function
+      | [] -> acc +. ((u -. prev_bp) *. prev_slope)
+      | (bp, slope) :: rest ->
+        if u <= bp then acc +. ((u -. prev_bp) *. prev_slope)
+        else go (acc +. ((bp -. prev_bp) *. prev_slope)) bp slope rest
+    in
+    match segment_slopes with
+    | (bp0, s0) :: rest -> go 0. bp0 s0 rest
+    | [] -> assert false
+
+  type t = {
+    topo : Topology.t;
+    dist : float array array;
+    frac_cache : (int * int, (int * float) list) Hashtbl.t;
+  }
+
+  let dijkstra topo src =
+    let n = Topology.num_nodes topo in
+    let dist = Array.make n infinity in
+    let visited = Array.make n false in
+    dist.(src) <- 0.;
+    let rec loop () =
+      let u = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not visited.(v)) && dist.(v) < infinity && (!u < 0 || dist.(v) < dist.(!u)) then
+          u := v
+      done;
+      if !u >= 0 then begin
+        visited.(!u) <- true;
+        List.iter
+          (fun (l : Topology.link) ->
+            let nd = dist.(!u) +. l.Topology.delay in
+            if nd < dist.(l.Topology.dst) -. eps then dist.(l.Topology.dst) <- nd)
+          (Topology.out_links topo !u);
+        loop ()
+      end
+    in
+    loop ();
+    dist
+
+  let compute topo =
+    let n = Topology.num_nodes topo in
+    let dist = Array.init n (fun s -> dijkstra topo s) in
+    { topo; dist; frac_cache = Hashtbl.create 64 }
+
+  let compute_fractions t ~src ~dst =
+    if src = dst || t.dist.(src).(dst) = infinity then []
+    else begin
+      let topo = t.topo in
+      let n = Topology.num_nodes topo in
+      let total = t.dist.(src).(dst) in
+      let on_path u (l : Topology.link) =
+        let via = t.dist.(src).(u) +. l.Topology.delay +. t.dist.(l.Topology.dst).(dst) in
+        Float.abs (via -. total) < 1e-9
+      in
+      let order =
+        List.init n (fun v -> v)
+        |> List.filter (fun v ->
+               t.dist.(src).(v) +. t.dist.(v).(dst) -. total < 1e-9
+               && t.dist.(src).(v) < infinity
+               && t.dist.(v).(dst) < infinity)
+        |> List.sort (fun a b -> compare t.dist.(src).(a) t.dist.(src).(b))
+      in
+      let inflow = Array.make n 0. in
+      inflow.(src) <- 1.;
+      let link_flow = Hashtbl.create 16 in
+      List.iter
+        (fun u ->
+          if inflow.(u) > 0. && u <> dst then begin
+            let next = List.filter (on_path u) (Topology.out_links topo u) in
+            let share = inflow.(u) /. float_of_int (List.length next) in
+            List.iter
+              (fun (l : Topology.link) ->
+                inflow.(l.Topology.dst) <- inflow.(l.Topology.dst) +. share;
+                let cur = try Hashtbl.find link_flow l.Topology.id with Not_found -> 0. in
+                Hashtbl.replace link_flow l.Topology.id (cur +. share))
+              next
+          end)
+        order;
+      Hashtbl.fold (fun id f acc -> (id, f) :: acc) link_flow []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    end
+
+  let fractions t ~src ~dst =
+    match Hashtbl.find_opt t.frac_cache (src, dst) with
+    | Some f -> f
+    | None ->
+      let f = compute_fractions t ~src ~dst in
+      Hashtbl.replace t.frac_cache (src, dst) f;
+      f
+
+  let path_network_cost t loads ~src ~dst ~extra =
+    List.fold_left
+      (fun acc (link_id, frac) ->
+        let l = Topology.link t.topo link_id in
+        let before = loads.(link_id) /. l.Topology.bandwidth in
+        let after = (loads.(link_id) +. (extra *. frac)) /. l.Topology.bandwidth in
+        acc +. (legacy_cost after -. legacy_cost before))
+      0.
+      (fractions t ~src ~dst)
+end
+
+(* ~100-node synthetic backbone (20 core x 4 PoPs) with a mid-size chain
+   workload: the scale at which SB-DP's constant factors start to matter. *)
+let big_topo () =
+  Topology.backbone ~rng:(Rng.create 21) ~num_core:20 ~pops_per_core:4 ()
+
+let big_model () =
+  let rng = Rng.create 21 in
+  let topo = big_topo () in
+  Workload.synthesize ~rng topo { Workload.default with Workload.num_chains = 128 }
+
+let json_mode = ref false
+
 let micro () =
   header "Microbenchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -873,18 +1001,108 @@ let micro () =
            done;
            ignore (Sb_flowsim.Maxmin.solve t)))
   in
+  (* Before/after kernels of the flattened routing hot path: the legacy
+     list-based fabric vs the packed CSR one, on the ~100-node backbone. *)
+  let big = big_topo () in
+  let big_paths = Sb_net.Paths.compute big in
+  let legacy = Legacy_paths.compute big in
+  let nbig = Topology.num_nodes big in
+  let pairs =
+    let rng = Rng.create 13 in
+    Array.init 512 (fun _ ->
+        let src = Rng.int rng nbig in
+        let dst = (src + 1 + Rng.int rng (nbig - 1)) mod nbig in
+        (src, dst))
+  in
+  (* Identical link loads on both sides so the kernels do the same math. *)
+  let big_load = Sb_net.Load.create big big_paths in
+  let legacy_loads = Array.make (Topology.num_links big) 0. in
+  let () =
+    let rng = Rng.create 17 in
+    for e = 0 to Topology.num_links big - 1 do
+      let v = Rng.uniform_in rng 0. (0.8 *. (Topology.link big e).Topology.bandwidth) in
+      Sb_net.Load.add_background big_load e v;
+      legacy_loads.(e) <- v
+    done;
+    (* Warm the legacy memo so its kernel measures the lookup, not the
+       one-time compute (the packed side precomputes eagerly). *)
+    Array.iter (fun (src, dst) -> ignore (Legacy_paths.fractions legacy ~src ~dst)) pairs
+  in
+  (* Each staged run covers a 32-pair batch: the kernels are tens of ns, so
+     a single call would drown in the harness's per-run floor and flatten
+     the measured ratio. *)
+  let batch = 32 in
+  let fractions_legacy_bench =
+    let i = ref 0 in
+    Test.make ~name:"paths_fractions x32/legacy-list"
+      (Staged.stage (fun () ->
+           let acc = ref 0. in
+           for _ = 1 to batch do
+             incr i;
+             let src, dst = pairs.(!i land 511) in
+             List.iter
+               (fun (_, f) -> acc := !acc +. f)
+               (Legacy_paths.fractions legacy ~src ~dst)
+           done;
+           ignore !acc))
+  in
+  let fractions_packed_bench =
+    let i = ref 0 in
+    Test.make ~name:"paths_fractions x32/packed-csr"
+      (Staged.stage (fun () ->
+           let acc = ref 0. in
+           for _ = 1 to batch do
+             incr i;
+             let src, dst = pairs.(!i land 511) in
+             Sb_net.Paths.iter_fractions big_paths ~src ~dst (fun _ f ->
+                 acc := !acc +. f)
+           done;
+           ignore !acc))
+  in
+  let net_cost_legacy_bench =
+    let i = ref 0 in
+    Test.make ~name:"path_network_cost x32/legacy-list"
+      (Staged.stage (fun () ->
+           let acc = ref 0. in
+           for _ = 1 to batch do
+             incr i;
+             let src, dst = pairs.(!i land 511) in
+             acc :=
+               !acc
+               +. Legacy_paths.path_network_cost legacy legacy_loads ~src ~dst ~extra:1.
+           done;
+           ignore !acc))
+  in
+  let net_cost_packed_bench =
+    let i = ref 0 in
+    Test.make ~name:"path_network_cost x32/packed-csr"
+      (Staged.stage (fun () ->
+           let acc = ref 0. in
+           for _ = 1 to batch do
+             incr i;
+             let src, dst = pairs.(!i land 511) in
+             acc := !acc +. Sb_net.Load.path_network_cost big_load ~src ~dst ~extra:1.
+           done;
+           ignore !acc))
+  in
+  let big_m = big_model () in
+  let dp_solve_big_bench =
+    Test.make ~name:"dp_solve (100 nodes, 128 chains)"
+      (Staged.stage (fun () -> ignore (Sb_core.Dp_routing.solve big_m)))
+  in
   let tests =
     Test.make_grouped ~name:"switchboard"
       [
         flow_table_bench; fabric_bench; dp_bench; dp_full_bench; lp_bench; lru_bench;
-        bus_bench; maxmin_bench;
+        bus_bench; maxmin_bench; fractions_legacy_bench; fractions_packed_bench;
+        net_cost_legacy_bench; net_cost_packed_bench; dp_solve_big_bench;
       ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let t = Table.create ~header:[ "benchmark"; "ns/run" ] in
@@ -893,13 +1111,68 @@ let micro () =
     (fun name ols_result ->
       let est =
         match Analyze.OLS.estimates ols_result with
-        | Some [ v ] -> Printf.sprintf "%.0f" v
-        | _ -> "n/a"
+        | Some [ v ] -> Some v
+        | _ -> None
       in
       rows := (name, est) :: !rows)
     results;
-  List.iter (fun (n, e) -> Table.add_row t [ n; e ]) (List.sort compare !rows);
-  Table.print t
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (n, e) ->
+      Table.add_row t
+        [ n; (match e with Some v -> Printf.sprintf "%.0f" v | None -> "n/a") ])
+    rows;
+  Table.print t;
+  let ns name =
+    match List.assoc_opt ("switchboard/" ^ name) rows with
+    | Some (Some v) -> v
+    | _ -> nan
+  in
+  let speedup before after =
+    let b = ns before and a = ns after in
+    if Float.is_nan b || Float.is_nan a || a <= 0. then nan else b /. a
+  in
+  Printf.printf "\npath_network_cost speedup (legacy-list / packed-csr): %.1fx\n"
+    (speedup "path_network_cost x32/legacy-list" "path_network_cost x32/packed-csr");
+  Printf.printf "paths_fractions speedup (legacy-list / packed-csr): %.1fx\n"
+    (speedup "paths_fractions x32/legacy-list" "paths_fractions x32/packed-csr");
+  (* Fig-level wall times: one full SB-DP solve at both scales, plus the
+     all-pairs precompute on the 100-node backbone. *)
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let wall_paths = wall (fun () -> ignore (Sb_net.Paths.compute big)) in
+  let wall_dp_big = wall (fun () -> ignore (Sb_core.Dp_routing.solve big_m)) in
+  let te = te_model () in
+  let wall_dp_te = wall (fun () -> ignore (Sb_core.Dp_routing.solve te)) in
+  Printf.printf "wall: paths_compute_100=%.3fs dp_solve_100=%.3fs dp_solve_16=%.3fs\n"
+    wall_paths wall_dp_big wall_dp_te;
+  if !json_mode then begin
+    let oc = open_out "BENCH_dp.json" in
+    let kernel_lines =
+      List.filter_map
+        (fun (name, est) ->
+          match est with
+          | Some v -> Some (Printf.sprintf "    %S: %.1f" name v)
+          | None -> None)
+        rows
+    in
+    Printf.fprintf oc "{\n  \"kernels_ns_per_op\": {\n%s\n  },\n"
+      (String.concat ",\n" kernel_lines);
+    Printf.fprintf oc "  \"speedup\": {\n";
+    Printf.fprintf oc "    \"path_network_cost\": %.2f,\n"
+      (speedup "path_network_cost x32/legacy-list" "path_network_cost x32/packed-csr");
+    Printf.fprintf oc "    \"paths_fractions\": %.2f\n  },\n"
+      (speedup "paths_fractions x32/legacy-list" "paths_fractions x32/packed-csr");
+    Printf.fprintf oc "  \"wall_seconds\": {\n";
+    Printf.fprintf oc "    \"paths_compute_100_nodes\": %.4f,\n" wall_paths;
+    Printf.fprintf oc "    \"dp_solve_100_nodes_128_chains\": %.4f,\n" wall_dp_big;
+    Printf.fprintf oc "    \"dp_solve_8_nodes_16_chains\": %.4f\n  }\n}\n" wall_dp_te;
+    close_out oc;
+    print_endline "wrote BENCH_dp.json"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -930,8 +1203,18 @@ let experiments =
 
 let () =
   ignore fmt_or_dash;
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
   let requested =
-    match Array.to_list Sys.argv with _ :: [] -> [] | _ :: rest -> rest | [] -> []
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_mode := true;
+          false
+        end
+        else true)
+      args
   in
   let selected =
     if requested = [] then experiments

@@ -3,55 +3,68 @@ let default_util_weight = 0.05
 (* Candidate nodes for element [z] of a chain (0 = ingress, L+1 = egress). *)
 let element_nodes m chain ~ingress ~egress z =
   let len = Model.chain_length m chain in
-  if z = 0 then [ ingress ]
-  else if z = len + 1 then [ egress ]
-  else Model.stage_dst_nodes m ~chain ~stage:(z - 1)
+  if z = 0 then [| ingress |]
+  else if z = len + 1 then [| egress |]
+  else Array.of_list (Model.stage_dst_nodes m ~chain ~stage:(z - 1))
 
 let best_path ?ingress ?egress state ~util_weight ~chain =
   let m = Load_state.model state in
   let ingress = match ingress with Some i -> i | None -> Model.chain_ingress m chain in
   let egress = match egress with Some e -> e | None -> Model.chain_egress m chain in
   let len = Model.chain_length m chain in
-  (* cost.(z) : (node, best cost, parent node) list for element z *)
-  let table = Array.make (len + 2) [] in
-  table.(0) <- [ (ingress, 0., -1) ];
+  (* Per-element candidate arrays plus parallel cost/parent tables — the DP
+     scans them with plain loops instead of rebuilding List.map/fold chains
+     per element. *)
+  let nodes_of = Array.init (len + 2) (element_nodes m chain ~ingress ~egress) in
+  let cost = Array.map (fun ns -> Array.make (Array.length ns) infinity) nodes_of in
+  let parent = Array.map (fun ns -> Array.make (Array.length ns) (-1)) nodes_of in
+  cost.(0).(0) <- 0.;
   for z = 1 to len + 1 do
-    table.(z) <-
-      List.map
-        (fun node ->
-          let best =
-            List.fold_left
-              (fun (bc, bp) (prev_node, prev_cost, _) ->
-                if prev_cost = infinity then (bc, bp)
-                else
-                  let c =
-                    prev_cost
-                    +. Load_state.stage_cost state ~util_weight ~chain ~stage:(z - 1)
-                         ~src:prev_node ~dst:node
-                  in
-                  if c < bc then (c, prev_node) else (bc, bp))
-              (infinity, -1)
-              table.(z - 1)
+    let prev_nodes = nodes_of.(z - 1) and prev_cost = cost.(z - 1) in
+    let cur_nodes = nodes_of.(z) in
+    for j = 0 to Array.length cur_nodes - 1 do
+      let node = cur_nodes.(j) in
+      (* The compute-utilization term depends only on (stage, dst): hoist it
+         out of the source scan. *)
+      let cc =
+        if util_weight = 0. then 0.
+        else Load_state.stage_compute_cost state ~chain ~stage:(z - 1) ~dst:node
+      in
+      let bc = ref infinity and bp = ref (-1) in
+      for i = 0 to Array.length prev_nodes - 1 do
+        let pc = prev_cost.(i) in
+        if pc < infinity then begin
+          let c =
+            pc
+            +. Load_state.stage_cost_hinted state ~util_weight ~chain
+                 ~stage:(z - 1) ~src:prev_nodes.(i) ~dst:node ~compute_cost:cc
           in
-          (node, fst best, snd best))
-        (element_nodes m chain ~ingress ~egress z)
+          if c < !bc then begin
+            bc := c;
+            bp := prev_nodes.(i)
+          end
+        end
+      done;
+      cost.(z).(j) <- !bc;
+      parent.(z).(j) <- !bp
+    done
   done;
   (* Walk parents back from the egress. *)
-  match table.(len + 1) with
-  | [ (egress, cost, parent) ] when cost < infinity ->
+  if Array.length nodes_of.(len + 1) = 1 && cost.(len + 1).(0) < infinity then begin
     let nodes = Array.make (len + 2) egress in
     let rec back z node =
       nodes.(z) <- node;
-      if z > 0 then
-        let _, _, parent =
-          List.find (fun (n, _, _) -> n = node) table.(z)
-        in
-        back (z - 1) parent
+      if z > 0 then begin
+        let idx = ref (-1) in
+        Array.iteri (fun i n -> if !idx < 0 && n = node then idx := i) nodes_of.(z);
+        back (z - 1) parent.(z).(!idx)
+      end
     in
-    back len parent;
+    back len parent.(len + 1).(0);
     nodes.(len + 1) <- egress;
     Some nodes
-  | _ -> None
+  end
+  else None
 
 (* Largest fraction of the chain the path can carry within remaining link,
    site, and deployment capacities. Demand is accumulated per resource over
@@ -81,12 +94,10 @@ let path_headroom state chain nodes =
     let src = nodes.(z) and dst = nodes.(z + 1) in
     let w = Model.fwd_traffic m ~chain ~stage:z in
     let v = Model.rev_traffic m ~chain ~stage:z in
-    List.iter
-      (fun (e, frac) -> bump link_demand e (w *. frac))
-      (Sb_net.Paths.fractions paths ~src ~dst);
-    List.iter
-      (fun (e, frac) -> bump link_demand e (v *. frac))
-      (Sb_net.Paths.fractions paths ~src:dst ~dst:src);
+    Sb_net.Paths.iter_fractions paths ~src ~dst (fun e frac ->
+        bump link_demand e (w *. frac));
+    Sb_net.Paths.iter_fractions paths ~src:dst ~dst:src (fun e frac ->
+        bump link_demand e (v *. frac));
     let src_vnf = if z = 0 then None else Model.stage_dst_vnf m ~chain ~stage:(z - 1) in
     charge_compute src_vnf src (w +. v);
     charge_compute (Model.stage_dst_vnf m ~chain ~stage:z) dst (w +. v)

@@ -3,25 +3,65 @@ type t = {
   net : Sb_net.Load.t; (* Switchboard traffic only; background added on demand *)
   site_loads : float array;
   vnf_loads : float array array; (* vnf_loads.(f).(s) *)
+  mutable generation : int;
+      (* bumped by every commit; stage-cost cache entries from an older
+         generation are invalid (the committed load may touch their links
+         or VNF sites) *)
+  (* Generation-stamped direct-mapped stage-cost cache. A slot is valid iff
+     its stamp equals the current generation and its key matches, so a
+     commit invalidates everything implicitly — no reset pass, no
+     allocation, O(1) probes on both hit and miss. Collisions simply
+     evict; entries are pure functions of (key, generation), so eviction
+     only costs recomputation. *)
+  cache_keys : int array; (* packed (chain,stage,src,dst); -1 = empty *)
+  cache_stamps : int array; (* generation the slot was written at *)
+  cache_vals : float array;
+  mutable cache_weight : float; (* util_weight the cache contents belong to *)
+  key_n : int; (* num_nodes, for key packing *)
+  key_stages : int; (* max stages over chains, for key packing *)
 }
 
+let cache_bits = 14
+let cache_slots = 1 lsl cache_bits
+
+let cache_slot key =
+  (* Fibonacci hashing of the packed key; [lsr] keeps it non-negative. *)
+  (key * 0x2545F4914F6CDD1D) lsr (63 - cache_bits) land (cache_slots - 1)
+
 let create m =
+  let num_nodes = Sb_net.Topology.num_nodes (Model.topology m) in
+  let max_stages = ref 1 in
+  for c = 0 to Model.num_chains m - 1 do
+    if Model.num_stages m c > !max_stages then max_stages := Model.num_stages m c
+  done;
   {
     m;
     net = Sb_net.Load.create (Model.topology m) (Model.paths m);
     site_loads = Array.make (Model.num_sites m) 0.;
     vnf_loads = Array.init (Model.num_vnfs m) (fun _ -> Array.make (Model.num_sites m) 0.);
+    generation = 0;
+    cache_keys = Array.make cache_slots (-1);
+    cache_stamps = Array.make cache_slots (-1);
+    cache_vals = Array.make cache_slots 0.;
+    cache_weight = nan;
+    key_n = num_nodes;
+    key_stages = !max_stages;
   }
 
 let copy t =
   {
-    m = t.m;
+    t with
     net = Sb_net.Load.copy t.net;
     site_loads = Array.copy t.site_loads;
     vnf_loads = Array.map Array.copy t.vnf_loads;
+    (* The copy diverges from here on: give it an empty cache of its own. *)
+    cache_keys = Array.make cache_slots (-1);
+    cache_stamps = Array.make cache_slots (-1);
+    cache_vals = Array.make cache_slots 0.;
   }
 
 let model t = t.m
+let generation t = t.generation
 
 let site_load t s = t.site_loads.(s)
 let vnf_load t ~vnf ~site = t.vnf_loads.(vnf).(site)
@@ -51,6 +91,7 @@ let charge_compute t ~vnf_opt ~node ~volume =
       t.site_loads.(s) <- t.site_loads.(s) +. load)
 
 let add_stage_flow t ~chain ~stage ~src ~dst ~frac =
+  t.generation <- t.generation + 1;
   let w = Model.fwd_traffic t.m ~chain ~stage in
   let v = Model.rev_traffic t.m ~chain ~stage in
   Sb_net.Load.add_flow t.net ~src ~dst ~volume:(w *. frac);
@@ -115,33 +156,69 @@ let bottleneck t =
   | Vnf (f, s, a) ->
     Printf.sprintf "vnf %s at site %d, alpha=%.3f" (Model.vnf_name t.m f) s a
 
-let stage_cost t ~util_weight ~chain ~stage ~src ~dst =
+let stage_compute_cost t ~chain ~stage ~dst =
   let m = t.m in
-  let delay = Sb_net.Paths.delay (Model.paths m) src dst in
-  if delay = infinity then infinity
-  else if util_weight = 0. then delay
-  else begin
-    let w = Model.fwd_traffic m ~chain ~stage in
-    let v = Model.rev_traffic m ~chain ~stage in
-    let net_cost =
-      Sb_net.Load.path_network_cost t.net ~src ~dst ~extra:w
-      +. Sb_net.Load.path_network_cost t.net ~src:dst ~dst:src ~extra:v
-    in
-    let compute_cost =
-      match Model.stage_dst_vnf m ~chain ~stage with
-      | None -> 0.
-      | Some f -> (
-        match Model.site_of_node m dst with
-        | None -> infinity
-        | Some s ->
-          let cap = Model.vnf_site_capacity m ~vnf:f ~site:s in
-          if cap <= 0. then infinity
-          else begin
-            let added = Model.vnf_cpu_per_unit m f *. (w +. v) in
-            let before = t.vnf_loads.(f).(s) /. cap in
-            let after = (t.vnf_loads.(f).(s) +. added) /. cap in
-            Sb_util.Convex_cost.cost after -. Sb_util.Convex_cost.cost before
-          end)
-    in
-    delay +. (util_weight *. (net_cost +. compute_cost))
+  match Model.stage_dst_vnf m ~chain ~stage with
+  | None -> 0.
+  | Some f -> (
+    match Model.site_of_node m dst with
+    | None -> infinity
+    | Some s ->
+      let cap = Model.vnf_site_capacity m ~vnf:f ~site:s in
+      if cap <= 0. then infinity
+      else begin
+        let w = Model.fwd_traffic m ~chain ~stage in
+        let v = Model.rev_traffic m ~chain ~stage in
+        let added = Model.vnf_cpu_per_unit m f *. (w +. v) in
+        let before = t.vnf_loads.(f).(s) /. cap in
+        let after = (t.vnf_loads.(f).(s) +. added) /. cap in
+        Sb_util.Convex_cost.cost after -. Sb_util.Convex_cost.cost before
+      end)
+
+(* A weight change orphans every cached entry; it happens at most once per
+   solve, so a full stamp wipe is fine. *)
+let cache_set_weight t util_weight =
+  if t.cache_weight <> util_weight then begin
+    Array.fill t.cache_stamps 0 cache_slots (-1);
+    t.cache_weight <- util_weight
   end
+
+let stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst ~compute_cost =
+  (* The pure-delay component is a single flat-array lookup in Paths. *)
+  let delay = Sb_net.Paths.delay (Model.paths t.m) src dst in
+  if delay = infinity then infinity
+  else begin
+    cache_set_weight t util_weight;
+    let key =
+      ((((chain * t.key_stages) + stage) * t.key_n) + src) * t.key_n + dst
+    in
+    let slot = cache_slot key in
+    if t.cache_stamps.(slot) = t.generation && t.cache_keys.(slot) = key then
+      t.cache_vals.(slot)
+    else begin
+      let m = t.m in
+      let w = Model.fwd_traffic m ~chain ~stage in
+      let v = Model.rev_traffic m ~chain ~stage in
+      let net_cost = Sb_net.Load.path_network_cost_pair t.net ~src ~dst ~fwd:w ~rev:v in
+      let compute_cost =
+        match compute_cost with
+        | Some c -> c
+        | None -> stage_compute_cost t ~chain ~stage ~dst
+      in
+      let c = delay +. (util_weight *. (net_cost +. compute_cost)) in
+      t.cache_keys.(slot) <- key;
+      t.cache_stamps.(slot) <- t.generation;
+      t.cache_vals.(slot) <- c;
+      c
+    end
+  end
+
+let stage_cost t ~util_weight ~chain ~stage ~src ~dst =
+  if util_weight = 0. then Sb_net.Paths.delay (Model.paths t.m) src dst
+  else stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst ~compute_cost:None
+
+let stage_cost_hinted t ~util_weight ~chain ~stage ~src ~dst ~compute_cost =
+  if util_weight = 0. then Sb_net.Paths.delay (Model.paths t.m) src dst
+  else
+    stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst
+      ~compute_cost:(Some compute_cost)

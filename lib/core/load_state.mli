@@ -20,6 +20,12 @@ val create : Model.t -> t
 val copy : t -> t
 val model : t -> Model.t
 
+val generation : t -> int
+(** Commit counter: incremented by every {!add_stage_flow}. The stage-cost
+    cache (see {!stage_cost}) is valid for exactly one generation — any
+    commit may touch the links or VNF sites behind a cached entry, so a
+    bump conservatively invalidates all of them. *)
+
 val site_load : t -> int -> float
 val vnf_load : t -> vnf:int -> site:int -> float
 val link_sb_load : t -> int -> float
@@ -55,4 +61,32 @@ val stage_cost :
     (Section 4.4): propagation delay plus [util_weight] times the sum of
     the Fortz–Thorup network-utilization cost (over links on the path) and
     the compute-utilization cost of the receiving VNF at the destination.
-    [util_weight = 0.] recovers the DP-LATENCY ablation. *)
+    [util_weight = 0.] recovers the DP-LATENCY ablation.
+
+    Results are memoized in a generation-stamped direct-mapped cache keyed
+    by [(chain, stage, src, dst)]: entries are valid until the next commit
+    ({!generation} bump) or a different [util_weight], so repeated DP
+    evaluations against an unchanged load state (e.g. control-plane route
+    recomputation after a two-phase-commit reject) cost one array probe.
+    Misses cost one probe plus the recomputation — commits never pay a
+    cache-clearing pass. *)
+
+val stage_compute_cost : t -> chain:int -> stage:int -> dst:int -> float
+(** The compute-utilization term of {!stage_cost} alone: the convex-cost
+    increase of the VNF deployment receiving the stage at [dst] (0. when
+    the stage ends at the egress; [infinity] when the element is a VNF with
+    no usable deployment at [dst]). Independent of [src] — the DP hoists it
+    out of its inner loop. *)
+
+val stage_cost_hinted :
+  t ->
+  util_weight:float ->
+  chain:int ->
+  stage:int ->
+  src:int ->
+  dst:int ->
+  compute_cost:float ->
+  float
+(** {!stage_cost} with the [compute_cost] term supplied by the caller
+    (obtained from {!stage_compute_cost} once per [(stage, dst)] rather
+    than once per [(src, dst)] pair). Same value, same cache. *)

@@ -38,4 +38,12 @@ val path_max_utilization : t -> src:int -> dst:int -> float
 val path_network_cost : t -> src:int -> dst:int -> extra:float -> float
 (** Fortz–Thorup cost of sending [extra] more volume from [src] to [dst]:
     the increase in the summed piecewise-linear link costs, weighted by each
-    link's carried fraction (paper Section 4.4). *)
+    link's carried fraction (paper Section 4.4). Iterates the packed ECMP
+    arrays directly — no allocation. *)
+
+val path_network_cost_pair :
+  t -> src:int -> dst:int -> fwd:float -> rev:float -> float
+(** [path_network_cost ~src ~dst ~extra:fwd +.
+    path_network_cost ~src:dst ~dst:src ~extra:rev] fused into one call:
+    charges a stage's forward and reverse traffic in a single pass — the
+    shape SB-DP's stage cost needs. *)

@@ -1,113 +1,241 @@
 let eps = 1e-12
+let sp_eps = 1e-9
 
+(* All-pairs state is stored flat ([src * n + dst] indexing) and the ECMP
+   splits CSR-style: pair (s, d) owns the half-open span
+   [frac_off.(s*n+d), frac_off.(s*n+d+1)) of the packed parallel arrays
+   [frac_links] / [frac_coeffs]. Everything is precomputed eagerly at
+   {!compute} time, so the routing hot path is pure array indexing — no
+   hashing, no list traversal, no allocation. *)
 type t = {
   topo : Topology.t;
-  dist : float array array; (* dist.(s).(v): shortest delay s -> v *)
-  hops : int array array;
-  frac_cache : (int * int, (int * float) list) Hashtbl.t;
+  n : int;
+  dist : float array; (* dist.(s*n + v): shortest delay s -> v *)
+  hops : int array; (* min hop count over all shortest s -> v paths *)
+  frac_off : int array; (* n*n + 1 offsets into the packed arrays *)
+  frac_links : int array;
+  frac_coeffs : float array;
 }
 
-(* Dijkstra without a heap: fine for the <=100-node topologies used here. *)
-let dijkstra topo src =
-  let n = Topology.num_nodes topo in
-  let dist = Array.make n infinity in
-  let hops = Array.make n max_int in
-  let visited = Array.make n false in
-  dist.(src) <- 0.;
-  hops.(src) <- 0;
-  let rec loop () =
-    let u = ref (-1) in
-    for v = 0 to n - 1 do
-      if (not visited.(v)) && dist.(v) < infinity
-         && (!u < 0 || dist.(v) < dist.(!u))
-      then u := v
-    done;
-    if !u >= 0 then begin
-      visited.(!u) <- true;
+(* Binary-heap Dijkstra with lazy deletion. The heap orders ties on
+   (priority, node id), so finalization order — and hence which of several
+   eps-equal distances is kept — is deterministic and matches the seed
+   selection-scan implementation. Writes row [src] of [dist]/[hops]. *)
+let dijkstra_into topo ~n ~heap ~order src dist hops =
+  let base = src * n in
+  Array.fill dist base n infinity;
+  dist.(base + src) <- 0.;
+  Sb_util.Heap.clear heap;
+  Sb_util.Heap.push heap ~prio:0. src;
+  let finalized = ref 0 in
+  (* Lazy deletion: a node may sit in the heap several times; only its
+     first (smallest-key) pop finalizes it. *)
+  let seen = Array.make n false in
+  let rec drain () =
+    match Sb_util.Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        order.(!finalized) <- u;
+        incr finalized;
+        List.iter
+          (fun (l : Topology.link) ->
+            if not seen.(l.dst) then begin
+              let nd = d +. l.delay in
+              if nd < dist.(base + l.dst) -. eps then begin
+                dist.(base + l.dst) <- nd;
+                Sb_util.Heap.push heap ~prio:nd l.dst
+              end
+            end)
+          (Topology.out_links topo u)
+      end;
+      drain ()
+  in
+  drain ();
+  (* Hop counts over the shortest-path DAG: processing reached nodes in
+     finalization order guarantees every shortest predecessor of [v] is
+     relaxed before [v], so hops.(v) ends up as the minimum hop count over
+     *all* shortest paths (the seed implementation could leave a stale
+     larger count depending on relaxation interleaving). *)
+  Array.fill hops base n max_int;
+  hops.(base + src) <- 0;
+  for i = 0 to !finalized - 1 do
+    let u = order.(i) in
+    if hops.(base + u) < max_int then
       List.iter
         (fun (l : Topology.link) ->
-          let nd = dist.(!u) +. l.delay in
-          if nd < dist.(l.dst) -. eps then begin
-            dist.(l.dst) <- nd;
-            hops.(l.dst) <- hops.(!u) + 1
-          end
-          else if nd < dist.(l.dst) +. eps then
-            hops.(l.dst) <- min hops.(l.dst) (hops.(!u) + 1))
-        (Topology.out_links topo !u);
-      loop ()
-    end
-  in
-  loop ();
-  (dist, hops)
+          if
+            Float.abs (dist.(base + u) +. l.delay -. dist.(base + l.dst))
+            < sp_eps
+          then
+            hops.(base + l.dst) <- min hops.(base + l.dst) (hops.(base + u) + 1))
+        (Topology.out_links topo u)
+  done
+
+(* ECMP split for one pair: process DAG nodes in increasing distance from
+   [src] (ties on node id — the same order as a stable sort of the node
+   list, which the seed used); each node's incoming flow divides evenly
+   among its outgoing shortest-path-DAG links that still reach [dst] along
+   shortest paths. An edge (u,v) is on a shortest src->dst path iff
+   dist(src,u) + delay(u,v) + dist(v,dst) = dist(src,dst).
+
+   [scratch] buffers (inflow, link_flow, candidate order) are reused across
+   pairs by one worker; touched entries are reset before use. *)
+type scratch = {
+  inflow : float array;
+  link_flow : float array;
+  cand : int array;
+  touched_links : int array;
+  mutable num_touched : int;
+}
+
+let make_scratch ~n ~num_links =
+  {
+    inflow = Array.make n 0.;
+    link_flow = Array.make (max num_links 1) 0.;
+    cand = Array.make n 0;
+    touched_links = Array.make (max num_links 1) 0;
+    num_touched = 0;
+  }
+
+(* Returns (link id, fraction) pairs sorted by link id. *)
+let compute_pair_fractions topo ~n dist scratch ~src ~dst =
+  let total = dist.((src * n) + dst) in
+  if src = dst || total = infinity then ([||], [||])
+  else begin
+    let sc = scratch in
+    (* Candidate DAG nodes, ascending id, then sorted by (dist, id). *)
+    let k = ref 0 in
+    for v = 0 to n - 1 do
+      let dsv = dist.((src * n) + v) and dvd = dist.((v * n) + dst) in
+      if dsv < infinity && dvd < infinity && dsv +. dvd -. total < sp_eps
+      then begin
+        sc.cand.(!k) <- v;
+        incr k
+      end
+    done;
+    let cand = Array.sub sc.cand 0 !k in
+    Array.sort
+      (fun a b ->
+        let c = compare dist.((src * n) + a) dist.((src * n) + b) in
+        if c <> 0 then c else compare a b)
+      cand;
+    Array.iter (fun v -> sc.inflow.(v) <- 0.) cand;
+    sc.inflow.(src) <- 1.;
+    sc.num_touched <- 0;
+    Array.iter
+      (fun u ->
+        if sc.inflow.(u) > 0. && u <> dst then begin
+          let next =
+            List.filter
+              (fun (l : Topology.link) ->
+                let via =
+                  dist.((src * n) + u) +. l.delay +. dist.((l.dst * n) + dst)
+                in
+                Float.abs (via -. total) < sp_eps)
+              (Topology.out_links topo u)
+          in
+          let share = sc.inflow.(u) /. float_of_int (List.length next) in
+          List.iter
+            (fun (l : Topology.link) ->
+              sc.inflow.(l.dst) <- sc.inflow.(l.dst) +. share;
+              if sc.link_flow.(l.id) = 0. then begin
+                sc.touched_links.(sc.num_touched) <- l.id;
+                sc.num_touched <- sc.num_touched + 1
+              end;
+              sc.link_flow.(l.id) <- sc.link_flow.(l.id) +. share)
+            next
+        end)
+      cand;
+    let ids = Array.sub sc.touched_links 0 sc.num_touched in
+    Array.sort compare ids;
+    let coeffs = Array.map (fun id -> sc.link_flow.(id)) ids in
+    Array.iter (fun id -> sc.link_flow.(id) <- 0.) ids;
+    (ids, coeffs)
+  end
+
+(* Below this node count the domain fork/join overhead dominates the
+   precompute itself; run sequentially. *)
+let par_threshold = 48
 
 let compute topo =
   let n = Topology.num_nodes topo in
-  let dist = Array.make n [||] in
-  let hops = Array.make n [||] in
-  for s = 0 to n - 1 do
-    let d, h = dijkstra topo s in
-    dist.(s) <- d;
-    hops.(s) <- h
+  let num_links = Topology.num_links topo in
+  let dist = Array.make (max (n * n) 1) infinity in
+  let hops = Array.make (max (n * n) 1) max_int in
+  let pair_links = Array.make (max (n * n) 1) [||] in
+  let pair_coeffs = Array.make (max (n * n) 1) [||] in
+  let domains =
+    if n < par_threshold then 1 else Sb_util.Par.default_domains ()
+  in
+  (* Phase 1: one Dijkstra per source; each worker owns disjoint rows. *)
+  Sb_util.Par.map_chunks ~domains ~n (fun lo hi ->
+      let heap = Sb_util.Heap.create ~capacity:n () in
+      let order = Array.make n 0 in
+      for s = lo to hi - 1 do
+        dijkstra_into topo ~n ~heap ~order s dist hops
+      done);
+  (* Phase 2 (after the all-sources barrier — fractions need distances *to*
+     every destination): ECMP splits for every reachable pair. *)
+  Sb_util.Par.map_chunks ~domains ~n (fun lo hi ->
+      let scratch = make_scratch ~n ~num_links in
+      for src = lo to hi - 1 do
+        for dst = 0 to n - 1 do
+          let ids, coeffs =
+            compute_pair_fractions topo ~n dist scratch ~src ~dst
+          in
+          pair_links.((src * n) + dst) <- ids;
+          pair_coeffs.((src * n) + dst) <- coeffs
+        done
+      done);
+  (* Pack into CSR. *)
+  let frac_off = Array.make ((n * n) + 1) 0 in
+  for p = 0 to (n * n) - 1 do
+    frac_off.(p + 1) <- frac_off.(p) + Array.length pair_links.(p)
   done;
-  { topo; dist; hops; frac_cache = Hashtbl.create 64 }
+  let nnz = frac_off.(n * n) in
+  let frac_links = Array.make (max nnz 1) 0 in
+  let frac_coeffs = Array.make (max nnz 1) 0. in
+  for p = 0 to (n * n) - 1 do
+    Array.blit pair_links.(p) 0 frac_links frac_off.(p)
+      (Array.length pair_links.(p));
+    Array.blit pair_coeffs.(p) 0 frac_coeffs frac_off.(p)
+      (Array.length pair_coeffs.(p))
+  done;
+  { topo; n; dist; hops; frac_off; frac_links; frac_coeffs }
 
-let delay t n1 n2 = t.dist.(n1).(n2)
-let reachable t n1 n2 = t.dist.(n1).(n2) < infinity
-let hop_count t n1 n2 = t.hops.(n1).(n2)
+let delay t n1 n2 = t.dist.((n1 * t.n) + n2)
+let reachable t n1 n2 = t.dist.((n1 * t.n) + n2) < infinity
+let hop_count t n1 n2 = t.hops.((n1 * t.n) + n2)
 
-(* ECMP split: process nodes in increasing distance from [src]; each node's
-   incoming flow divides evenly among its outgoing shortest-path-DAG links
-   that can still reach [dst] along shortest paths. An edge (u,v) is on a
-   shortest src->dst path iff dist(src,u) + delay(u,v) + dist(v,dst) =
-   dist(src,dst). *)
-let compute_fractions t ~src ~dst =
-  if src = dst || not (reachable t src dst) then []
-  else begin
-    let topo = t.topo in
-    let n = Topology.num_nodes topo in
-    let total = t.dist.(src).(dst) in
-    let on_path u (l : Topology.link) =
-      let via = t.dist.(src).(u) +. l.delay +. t.dist.(l.dst).(dst) in
-      Float.abs (via -. total) < 1e-9
-    in
-    (* Nodes on the DAG sorted by distance from src. *)
-    let order =
-      List.init n (fun v -> v)
-      |> List.filter (fun v ->
-             t.dist.(src).(v) +. t.dist.(v).(dst) -. total < 1e-9
-             && t.dist.(src).(v) < infinity
-             && t.dist.(v).(dst) < infinity)
-      |> List.sort (fun a b -> compare t.dist.(src).(a) t.dist.(src).(b))
-    in
-    let inflow = Array.make n 0. in
-    inflow.(src) <- 1.;
-    let link_flow = Hashtbl.create 16 in
-    List.iter
-      (fun u ->
-        if inflow.(u) > 0. && u <> dst then begin
-          let next = List.filter (on_path u) (Topology.out_links topo u) in
-          let share = inflow.(u) /. float_of_int (List.length next) in
-          List.iter
-            (fun (l : Topology.link) ->
-              inflow.(l.dst) <- inflow.(l.dst) +. share;
-              let cur = try Hashtbl.find link_flow l.id with Not_found -> 0. in
-              Hashtbl.replace link_flow l.id (cur +. share))
-            next
-        end)
-      order;
-    Hashtbl.fold (fun id f acc -> (id, f) :: acc) link_flow []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  end
+let pair_index t ~src ~dst = (src * t.n) + dst
+let frac_offsets t = t.frac_off
+let frac_link_ids t = t.frac_links
+let frac_values t = t.frac_coeffs
 
 let fractions t ~src ~dst =
-  match Hashtbl.find_opt t.frac_cache (src, dst) with
-  | Some f -> f
-  | None ->
-    let f = compute_fractions t ~src ~dst in
-    Hashtbl.replace t.frac_cache (src, dst) f;
-    f
+  let p = (src * t.n) + dst in
+  let lo = t.frac_off.(p) and hi = t.frac_off.(p + 1) in
+  List.init (hi - lo) (fun i ->
+      (t.frac_links.(lo + i), t.frac_coeffs.(lo + i)))
+
+let iter_fractions t ~src ~dst f =
+  let p = (src * t.n) + dst in
+  for i = t.frac_off.(p) to t.frac_off.(p + 1) - 1 do
+    f t.frac_links.(i) t.frac_coeffs.(i)
+  done
 
 let link_fraction t ~src ~dst ~link =
-  match List.assoc_opt link (fractions t ~src ~dst) with
-  | Some f -> f
-  | None -> 0.
+  let p = (src * t.n) + dst in
+  let result = ref 0. in
+  (let lo = t.frac_off.(p) and hi = t.frac_off.(p + 1) in
+   let i = ref lo in
+   while !i < hi do
+     if t.frac_links.(!i) = link then begin
+       result := t.frac_coeffs.(!i);
+       i := hi
+     end
+     else incr i
+   done);
+  !result

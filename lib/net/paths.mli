@@ -6,12 +6,19 @@
     crosses link [e]. Routing follows delay-weighted shortest paths with
     OSPF-style equal-cost multipath: at every node, traffic splits evenly
     across all outgoing links that lie on a shortest path to the
-    destination. *)
+    destination.
+
+    Everything is precomputed eagerly by {!compute}: all-sources Dijkstra
+    runs with a binary heap ({!Sb_util.Heap}) and is parallelized across
+    OCaml 5 domains on large topologies, and the ECMP splits for every
+    reachable pair are packed CSR-style into flat parallel arrays. All
+    queries are O(1) array indexing (plus span length for per-link
+    iteration) with zero allocation. *)
 
 type t
 
 val compute : Topology.t -> t
-(** Run all-sources Dijkstra (forward and reverse). *)
+(** Run all-sources Dijkstra and precompute every pair's ECMP split. *)
 
 val delay : t -> int -> int -> float
 (** [delay t n1 n2] is the shortest-path propagation delay in seconds;
@@ -21,13 +28,33 @@ val reachable : t -> int -> int -> bool
 
 val fractions : t -> src:int -> dst:int -> (int * float) list
 (** [(link_id, fraction)] for every link carrying a non-zero fraction of
-    [src -> dst] traffic. Fractions of links out of any single node sum to
-    the flow through that node; total conservation holds. Empty when
-    [src = dst] or unreachable. Results are memoized. *)
+    [src -> dst] traffic, in increasing link id. Fractions of links out of
+    any single node sum to the flow through that node; total conservation
+    holds. Empty when [src = dst] or unreachable. The list is rebuilt from
+    the packed representation on each call — hot paths should use
+    {!iter_fractions} or the packed accessors instead. *)
+
+val iter_fractions : t -> src:int -> dst:int -> (int -> float -> unit) -> unit
+(** Allocation-free iteration over the [(link_id, fraction)] split, in
+    increasing link id. *)
 
 val link_fraction : t -> src:int -> dst:int -> link:int -> float
 (** The [r(n1,n2,e)] lookup; 0. when the link is off every shortest path. *)
 
 val hop_count : t -> int -> int -> int
-(** Number of links on one (arbitrary) shortest path; 0 for [n1 = n2],
-    [max_int] if unreachable. *)
+(** Minimum number of links over {e all} shortest [n1 -> n2] paths; 0 for
+    [n1 = n2], [max_int] if unreachable. *)
+
+(** {2 Packed representation}
+
+    The ECMP splits of all pairs live in two parallel arrays indexed by a
+    CSR offsets table: pair [(src, dst)] owns the half-open span
+    [frac_offsets t.(p) .. frac_offsets t.(p + 1)) with
+    [p = pair_index t ~src ~dst]. Exposed so the link-load hot path
+    ({!Load}) can iterate without closure or list overhead. The arrays are
+    owned by [t] — callers must not mutate them. *)
+
+val pair_index : t -> src:int -> dst:int -> int
+val frac_offsets : t -> int array
+val frac_link_ids : t -> int array
+val frac_values : t -> float array

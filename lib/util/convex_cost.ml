@@ -2,22 +2,38 @@
 let segment_slopes =
   [ (0., 1.); (1. /. 3., 3.); (2. /. 3., 10.); (0.9, 70.); (1.0, 500.); (1.1, 5000.) ]
 
-let marginal_cost u =
-  let rec go slope = function
-    | [] -> slope
-    | (bp, s) :: rest -> if u >= bp then go s rest else slope
-  in
-  go 1. segment_slopes
+let b1 = 1. /. 3.
+let b2 = 2. /. 3.
+let b3 = 0.9
+let b4 = 1.0
+let b5 = 1.1
 
-let cost u =
+(* Cost accumulated up to each breakpoint, summed left-to-right in the same
+   order as integrating [segment_slopes] segment by segment, so the
+   straight-line evaluation below is bit-identical to the list walk it
+   replaced. *)
+let c1 = (b1 -. 0.) *. 1.
+let c2 = c1 +. ((b2 -. b1) *. 3.)
+let c3 = c2 +. ((b3 -. b2) *. 10.)
+let c4 = c3 +. ((b4 -. b3) *. 70.)
+let c5 = c4 +. ((b5 -. b4) *. 500.)
+
+(* Branchy straight-line evaluation: this runs twice per link per stage-cost
+   probe inside SB-DP's inner loop, so no list nodes, closures, or boxed
+   tuples. Typical utilizations fall in the first segments, tested first. *)
+let[@inline always] cost u =
   if u < 0. then invalid_arg "Convex_cost.cost: negative utilization";
-  (* Integrate the piecewise-constant slope from 0 to u. *)
-  let rec go acc prev_bp prev_slope = function
-    | [] -> acc +. ((u -. prev_bp) *. prev_slope)
-    | (bp, slope) :: rest ->
-      if u <= bp then acc +. ((u -. prev_bp) *. prev_slope)
-      else go (acc +. ((bp -. prev_bp) *. prev_slope)) bp slope rest
-  in
-  match segment_slopes with
-  | (bp0, s0) :: rest -> go 0. bp0 s0 rest
-  | [] -> assert false
+  if u <= b1 then (u -. 0.) *. 1.
+  else if u <= b2 then c1 +. ((u -. b1) *. 3.)
+  else if u <= b3 then c2 +. ((u -. b2) *. 10.)
+  else if u <= b4 then c3 +. ((u -. b3) *. 70.)
+  else if u <= b5 then c4 +. ((u -. b4) *. 500.)
+  else c5 +. ((u -. b5) *. 5000.)
+
+let marginal_cost u =
+  if u < b1 then 1.
+  else if u < b2 then 3.
+  else if u < b3 then 10.
+  else if u < b4 then 70.
+  else if u < b5 then 500.
+  else 5000.

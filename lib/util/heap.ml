@@ -1,0 +1,80 @@
+(* Binary min-heap over (float priority, int payload) pairs, stored as two
+   parallel growable arrays to avoid boxing the pairs. Ordering is
+   lexicographic on (priority, payload) so pop order is deterministic even
+   among equal priorities — Dijkstra relies on this for reproducible
+   tie-breaking. *)
+
+type t = {
+  mutable prio : float array;
+  mutable data : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { prio = Array.make capacity 0.; data = Array.make capacity 0; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let clear t = t.size <- 0
+
+let grow t =
+  let cap = Array.length t.prio in
+  let prio = Array.make (2 * cap) 0. in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit t.prio 0 prio 0 t.size;
+  Array.blit t.data 0 data 0 t.size;
+  t.prio <- prio;
+  t.data <- data
+
+let less t i j =
+  t.prio.(i) < t.prio.(j)
+  || (t.prio.(i) = t.prio.(j) && t.data.(i) < t.data.(j))
+
+let swap t i j =
+  let p = t.prio.(i) and d = t.data.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.data.(i) <- t.data.(j);
+  t.prio.(j) <- p;
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let smallest = if l + 1 < t.size && less t (l + 1) l then l + 1 else l in
+    if less t smallest i then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+  end
+
+let push t ~prio v =
+  if t.size = Array.length t.prio then grow t;
+  t.prio.(t.size) <- prio;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let p = t.prio.(0) and v = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.prio.(0) <- t.prio.(t.size);
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (p, v)
+  end
+
+let peek_min t = if t.size = 0 then None else Some (t.prio.(0), t.data.(0))

@@ -1,0 +1,25 @@
+(** Binary min-heap of (float priority, int payload) pairs.
+
+    Backed by parallel unboxed arrays (no per-element allocation). Ties on
+    priority break on the smaller payload, so pop order is a deterministic
+    function of the pushed multiset — algorithms built on it (notably
+    {!Heap} Dijkstra in [Sb_net.Paths]) are reproducible across runs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty heap; [capacity] (default 16) pre-sizes the backing arrays, which
+    grow automatically on overflow. *)
+
+val push : t -> prio:float -> int -> unit
+
+val pop_min : t -> (float * int) option
+(** Remove and return the smallest (priority, payload); [None] when empty. *)
+
+val peek_min : t -> (float * int) option
+
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all elements, keeping the backing arrays. *)

@@ -1,0 +1,24 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+let map_chunks ?domains ~n f =
+  if n > 0 then begin
+    let domains =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    let domains = min domains n in
+    if domains <= 1 then f 0 n
+    else begin
+      (* Contiguous ranges; workers write into caller-owned slots, so no
+         result marshalling is needed and no two workers touch the same
+         index. *)
+      let chunk = (n + domains - 1) / domains in
+      let spawned =
+        List.init (domains - 1) (fun i ->
+            let lo = (i + 1) * chunk in
+            let hi = min n (lo + chunk) in
+            Domain.spawn (fun () -> if lo < hi then f lo hi))
+      in
+      f 0 (min n chunk);
+      List.iter Domain.join spawned
+    end
+  end

@@ -1,0 +1,16 @@
+(** Minimal fork-join parallelism over index ranges (OCaml 5 [Domain]s).
+
+    No dependencies and no task runtime: work is split into contiguous
+    chunks, one domain per chunk, joined before returning. Intended for
+    embarrassingly parallel precomputes (e.g. per-source all-pairs shortest
+    paths) where each chunk writes disjoint slots of caller-owned arrays. *)
+
+val map_chunks : ?domains:int -> n:int -> (int -> int -> unit) -> unit
+(** [map_chunks ~n f] covers the index range [0, n)] with disjoint chunks
+    and calls [f lo hi] (half-open) once per chunk, in parallel across up
+    to [domains] (default {!Domain.recommended_domain_count}) domains.
+    Runs [f 0 n] sequentially in the calling domain when [domains <= 1] or
+    [n <= 1]. [f] must only write state private to its range. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

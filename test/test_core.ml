@@ -958,6 +958,72 @@ let prop_lp_dominates_dp =
         >= Routing.max_alpha (Dp.solve ~rng:(Sb_util.Rng.create seed) m) -. 1e-6
       | Error _ -> false)
 
+(* ------------------- DP determinism and goldens -------------------- *)
+
+(* The Fig. 12/13 scenario at its default scale (see bench/main.ml). *)
+let golden_te_model ~coverage () =
+  let rng = Sb_util.Rng.create 42 in
+  let topo = Topology.backbone ~rng ~num_core:4 ~pops_per_core:1 () in
+  Workload.synthesize ~rng topo
+    { Workload.default with Workload.coverage; num_chains = 16 }
+
+let test_dp_deterministic_without_rng () =
+  (* Without [?rng] the solve must be a pure function of the model: chains
+     are routed in id order and every tie-break is deterministic. *)
+  let m = golden_te_model ~coverage:0.5 () in
+  let r1 = Dp.solve m in
+  let r2 = Dp.solve m in
+  Alcotest.(check (float 0.)) "alpha reproducible" (Routing.max_alpha r1)
+    (Routing.max_alpha r2);
+  Alcotest.(check (float 0.)) "latency reproducible"
+    (Routing.propagation_latency r1)
+    (Routing.propagation_latency r2);
+  for c = 0 to Model.num_chains m - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "chain %d same path decomposition" c)
+      true
+      (Routing.decompose_paths r1 ~chain:c = Routing.decompose_paths r2 ~chain:c)
+  done
+
+(* Golden Eval metrics captured from the seed implementation (pre-dating
+   the packed path fabric, heap Dijkstra, and stage-cost cache): the
+   rewrite must not change any routing decision, so these reproduce to
+   float tolerance. Columns: with rng seed 1 (alpha, propagation latency,
+   mean latency), then without rng (alpha, propagation latency). *)
+let dp_golden_cases =
+  [
+    (0.25, (0.60323767217758595, 0.0093533713980553362, infinity),
+     (0.50427490356457028, 0.0093108567852043418));
+    (0.50, (1., 0.0061128698955647889, 0.012508888241686398),
+     (1., 0.0062414536217129876));
+    (0.75, (1., 0.004580620845436395, 0.013261243539377557),
+     (1., 0.0062986409779017104));
+    (1.00, (1., 0.003187872999863315, 0.025520269554236991),
+     (0.99999999999999978, 0.0043748460553561476));
+  ]
+
+let test_dp_matches_seed_goldens () =
+  List.iter
+    (fun (coverage, (g_alpha, g_lat, g_mean), (g_alpha0, g_lat0)) ->
+      let m = golden_te_model ~coverage () in
+      let r = Dp.solve ~rng:(Sb_util.Rng.create 1) m in
+      let label fmt = Printf.sprintf "%s at coverage %.2f" fmt coverage in
+      Alcotest.(check (float 1e-9)) (label "alpha") g_alpha (Routing.max_alpha r);
+      Alcotest.(check (float 1e-9)) (label "prop latency") g_lat
+        (Routing.propagation_latency r);
+      (if g_mean = infinity then
+         Alcotest.(check bool) (label "mean latency saturated") true
+           (Routing.mean_latency r = infinity)
+       else
+         Alcotest.(check (float 1e-9)) (label "mean latency") g_mean
+           (Routing.mean_latency r));
+      let r0 = Dp.solve m in
+      Alcotest.(check (float 1e-9)) (label "alpha, no rng") g_alpha0
+        (Routing.max_alpha r0);
+      Alcotest.(check (float 1e-9)) (label "prop latency, no rng") g_lat0
+        (Routing.propagation_latency r0))
+    dp_golden_cases
+
 let () =
   Alcotest.run "sb_core"
     [
@@ -1019,6 +1085,9 @@ let () =
           Alcotest.test_case "beats latency-only on throughput" `Quick
             test_dp_beats_latency_only_on_throughput;
           Alcotest.test_case "deterministic given seed" `Quick test_dp_deterministic_given_seed;
+          Alcotest.test_case "deterministic without rng" `Quick
+            test_dp_deterministic_without_rng;
+          Alcotest.test_case "matches seed goldens" `Quick test_dp_matches_seed_goldens;
         ] );
       ( "lp",
         [

@@ -205,6 +205,164 @@ let test_unreachable () =
   Alcotest.(check (list (pair int (float 0.)))) "no fractions" []
     (Paths.fractions p ~src:a ~dst:b)
 
+let test_hop_count_equal_cost_paths () =
+  (* Diamond with a direct equal-cost shortcut: a->d directly (one hop,
+     delay 0.02) and a->b->d (two hops, 0.01 + 0.01). Both are shortest;
+     hop_count must report the minimum over all shortest paths (1), not
+     whichever path Dijkstra relaxed last. *)
+  let t = Topology.create () in
+  let a = Topology.add_node t "a" in
+  let b = Topology.add_node t "b" in
+  let d = Topology.add_node t "d" in
+  Topology.add_duplex t a b ~bandwidth:1. ~delay:0.01;
+  Topology.add_duplex t b d ~bandwidth:1. ~delay:0.01;
+  Topology.add_duplex t a d ~bandwidth:1. ~delay:0.02;
+  let p = Paths.compute t in
+  check_float "both routes shortest" 0.02 (Paths.delay p a d);
+  Alcotest.(check int) "min hops over shortest paths" 1 (Paths.hop_count p a d);
+  Alcotest.(check int) "reverse too" 1 (Paths.hop_count p d a);
+  Alcotest.(check int) "via-node unaffected" 1 (Paths.hop_count p a b)
+
+let test_fractions_dag_cut () =
+  (* Every distance cut of the shortest-path DAG must carry the full unit
+     of flow: ECMP links only go strictly forward in distance from [src],
+     so the fractions crossing any threshold between 0 and dist(src,dst)
+     sum to exactly 1. *)
+  let rng = Sb_util.Rng.create 12 in
+  let t = Topology.backbone ~rng ~num_core:5 ~pops_per_core:2 () in
+  let p = Paths.compute t in
+  let n = Topology.num_nodes t in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let total = Paths.delay p src dst in
+        let fracs = Paths.fractions p ~src ~dst in
+        List.iter
+          (fun frac_of_total ->
+            let theta = frac_of_total *. total in
+            (* Skip degenerate cuts through a node (a link endpoint sitting
+               exactly on the threshold would be counted ambiguously). *)
+            let on_node =
+              List.exists
+                (fun (e, _) ->
+                  let l = Topology.link t e in
+                  Float.abs (Paths.delay p src l.Topology.src -. theta) < 1e-9
+                  || Float.abs (Paths.delay p src l.Topology.dst -. theta) < 1e-9)
+                fracs
+            in
+            if not on_node then begin
+              let crossing =
+                List.fold_left
+                  (fun acc (e, f) ->
+                    let l = Topology.link t e in
+                    if
+                      Paths.delay p src l.Topology.src < theta
+                      && Paths.delay p src l.Topology.dst > theta
+                    then acc +. f
+                    else acc)
+                  0. fracs
+              in
+              Alcotest.(check (float 1e-6))
+                (Printf.sprintf "unit flow across cut %.2f of (%d,%d)" frac_of_total src dst)
+                1. crossing
+            end)
+          [ 0.25; 0.5; 0.75 ]
+      end
+    done
+  done
+
+(* Naive reference ECMP splitter, written against the spec rather than the
+   packed implementation: distances from an independent Floyd–Warshall,
+   link flows accumulated into plain association lists. *)
+let reference_fractions t ~src ~dst =
+  let n = Topology.num_nodes t in
+  let dist = Array.make_matrix n n infinity in
+  for i = 0 to n - 1 do
+    dist.(i).(i) <- 0.
+  done;
+  Array.iter
+    (fun (l : Topology.link) ->
+      if l.Topology.delay < dist.(l.Topology.src).(l.Topology.dst) then
+        dist.(l.Topology.src).(l.Topology.dst) <- l.Topology.delay)
+    (Topology.links t);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if dist.(i).(k) +. dist.(k).(j) < dist.(i).(j) then
+          dist.(i).(j) <- dist.(i).(k) +. dist.(k).(j)
+      done
+    done
+  done;
+  if src = dst || dist.(src).(dst) = infinity then []
+  else begin
+    let total = dist.(src).(dst) in
+    let on_path u (l : Topology.link) =
+      Float.abs (dist.(src).(u) +. l.Topology.delay +. dist.(l.Topology.dst).(dst) -. total)
+      < 1e-9
+    in
+    let order =
+      List.init n (fun v -> v)
+      |> List.filter (fun v ->
+             dist.(src).(v) < infinity
+             && dist.(v).(dst) < infinity
+             && dist.(src).(v) +. dist.(v).(dst) -. total < 1e-9)
+      |> List.sort (fun a b -> compare dist.(src).(a) dist.(src).(b))
+    in
+    let inflow = Array.make n 0. in
+    inflow.(src) <- 1.;
+    let link_flow = ref [] in
+    List.iter
+      (fun u ->
+        if inflow.(u) > 0. && u <> dst then begin
+          let next = List.filter (on_path u) (Topology.out_links t u) in
+          let share = inflow.(u) /. float_of_int (List.length next) in
+          List.iter
+            (fun (l : Topology.link) ->
+              inflow.(l.Topology.dst) <- inflow.(l.Topology.dst) +. share;
+              let cur = try List.assoc l.Topology.id !link_flow with Not_found -> 0. in
+              link_flow := (l.Topology.id, cur +. share) :: List.remove_assoc l.Topology.id !link_flow)
+            next
+        end)
+      order;
+    List.sort (fun (a, _) (b, _) -> compare a b) !link_flow
+  end
+
+let test_packed_fractions_match_reference () =
+  let rng = Sb_util.Rng.create 14 in
+  let t = Topology.backbone ~rng ~num_core:4 ~pops_per_core:2 () in
+  let p = Paths.compute t in
+  let n = Topology.num_nodes t in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      let expect = reference_fractions t ~src ~dst in
+      let got = Paths.fractions p ~src ~dst in
+      Alcotest.(check int)
+        (Printf.sprintf "same link set for (%d,%d)" src dst)
+        (List.length expect) (List.length got);
+      List.iter2
+        (fun (ee, ef) (ge, gf) ->
+          Alcotest.(check int) "same link id" ee ge;
+          Alcotest.(check (float 1e-9)) "same fraction" ef gf)
+        expect got
+    done
+  done
+
+let test_iter_fractions_agrees_with_list () =
+  let rng = Sb_util.Rng.create 15 in
+  let t = Topology.backbone ~rng ~num_core:4 ~pops_per_core:1 () in
+  let p = Paths.compute t in
+  let n = Topology.num_nodes t in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      let via_iter = ref [] in
+      Paths.iter_fractions p ~src ~dst (fun e f -> via_iter := (e, f) :: !via_iter);
+      Alcotest.(check (list (pair int (float 0.))))
+        (Printf.sprintf "iter = list for (%d,%d)" src dst)
+        (Paths.fractions p ~src ~dst)
+        (List.rev !via_iter)
+    done
+  done
+
 (* ----------------------------- traffic ----------------------------- *)
 
 let test_gravity_total () =
@@ -381,7 +539,14 @@ let () =
           Alcotest.test_case "ECMP even split" `Quick test_ecmp_even_split;
           Alcotest.test_case "link fraction lookup" `Quick test_link_fraction_lookup;
           Alcotest.test_case "hop count" `Quick test_hop_count;
+          Alcotest.test_case "hop count over equal-cost paths" `Quick
+            test_hop_count_equal_cost_paths;
           Alcotest.test_case "unreachable" `Quick test_unreachable;
+          Alcotest.test_case "DAG-cut flow conservation" `Quick test_fractions_dag_cut;
+          Alcotest.test_case "packed fractions match naive reference" `Quick
+            test_packed_fractions_match_reference;
+          Alcotest.test_case "iter_fractions agrees with list" `Quick
+            test_iter_fractions_agrees_with_list;
         ] );
       ( "traffic",
         [

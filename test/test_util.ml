@@ -248,7 +248,124 @@ let test_table_arity () =
     (Invalid_argument "Table.add_row: arity mismatch with header") (fun () ->
       Table.add_row t [ "only one" ])
 
+(* ------------------------------ Heap ------------------------------- *)
+
+module Heap = Sb_util.Heap
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length 0" 0 (Heap.length h);
+  Alcotest.(check (option (pair (float 0.) int))) "pop on empty" None (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) int))) "peek on empty" None (Heap.peek_min h)
+
+let test_heap_sorted_drain () =
+  let h = Heap.create () in
+  let rng = Rng.create 31 in
+  let n = 500 in
+  for v = 0 to n - 1 do
+    Heap.push h ~prio:(Rng.float rng 100.) v
+  done;
+  Alcotest.(check int) "length after pushes" n (Heap.length h);
+  let prev = ref neg_infinity in
+  let popped = ref 0 in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (p, _) ->
+      Alcotest.(check bool) "non-decreasing priorities" true (p >= !prev);
+      prev := p;
+      incr popped;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all elements popped" n !popped;
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_tie_break_on_payload () =
+  (* Equal priorities must pop in ascending payload order: Dijkstra's
+     determinism (and hence the routing goldens) depends on it. *)
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~prio:1. v) [ 9; 3; 7; 1; 5 ];
+  let order = List.init 5 (fun _ -> match Heap.pop_min h with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "ascending payloads" [ 1; 3; 5; 7; 9 ] order
+
+let test_heap_grows_past_capacity () =
+  let h = Heap.create ~capacity:2 () in
+  for v = 0 to 99 do
+    Heap.push h ~prio:(float_of_int (100 - v)) v
+  done;
+  Alcotest.(check int) "all retained" 100 (Heap.length h);
+  Alcotest.(check (option (pair (float 0.) int))) "min is last pushed"
+    (Some (1., 99)) (Heap.pop_min h)
+
+let test_heap_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h ~prio:2. 1;
+  Heap.push h ~prio:1. 2;
+  Alcotest.(check (option (pair (float 0.) int))) "peek min" (Some (1., 2)) (Heap.peek_min h);
+  Alcotest.(check int) "length unchanged" 2 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~prio:1. 1;
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Heap.push h ~prio:3. 7;
+  Alcotest.(check (option (pair (float 0.) int))) "usable after clear" (Some (3., 7))
+    (Heap.pop_min h)
+
+(* ------------------------------- Par ------------------------------- *)
+
+module Par = Sb_util.Par
+
+let check_par_covers ~domains n =
+  let hits = Array.make (max n 1) 0 in
+  Par.map_chunks ?domains ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Array.iteri
+    (fun i c ->
+      if i < n then
+        Alcotest.(check int) (Printf.sprintf "index %d covered once" i) 1 c)
+    hits
+
+let test_par_covers_sequential () = check_par_covers ~domains:(Some 1) 100
+let test_par_covers_parallel () = check_par_covers ~domains:(Some 4) 1000
+let test_par_more_domains_than_work () = check_par_covers ~domains:(Some 8) 3
+let test_par_empty_range () = check_par_covers ~domains:(Some 4) 0
+let test_par_default_domains () =
+  Alcotest.(check bool) "at least one domain" true (Par.default_domains () >= 1);
+  check_par_covers ~domains:None 257
+
+let test_par_parallel_sum_matches () =
+  let n = 10_000 in
+  let out = Array.make n 0 in
+  Par.map_chunks ~domains:4 ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- i * i
+      done);
+  let expect = Array.init n (fun i -> i * i) in
+  Alcotest.(check bool) "disjoint writes compose" true (out = expect)
+
 (* --------------------------- properties ---------------------------- *)
+
+let prop_heap_matches_sorted =
+  QCheck.Test.make ~name:"heap drains as a stable sort" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 64) (int_range 0 9))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iteri (fun v p -> Heap.push h ~prio:(float_of_int p) v) prios;
+      let rec drain acc =
+        match Heap.pop_min h with None -> List.rev acc | Some pv -> drain (pv :: acc)
+      in
+      let got = drain [] in
+      let expect =
+        List.mapi (fun v p -> (float_of_int p, v)) prios
+        |> List.sort compare
+      in
+      got = expect)
 
 let prop_percentile_bounded =
   QCheck.Test.make ~name:"percentile within min/max" ~count:500
@@ -333,10 +450,29 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity" `Quick test_table_arity;
         ] );
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
+          Alcotest.test_case "tie-break on payload" `Quick test_heap_tie_break_on_payload;
+          Alcotest.test_case "grows past capacity" `Quick test_heap_grows_past_capacity;
+          Alcotest.test_case "peek non-destructive" `Quick test_heap_peek_does_not_remove;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "sequential coverage" `Quick test_par_covers_sequential;
+          Alcotest.test_case "parallel coverage" `Quick test_par_covers_parallel;
+          Alcotest.test_case "more domains than work" `Quick test_par_more_domains_than_work;
+          Alcotest.test_case "empty range" `Quick test_par_empty_range;
+          Alcotest.test_case "default domains" `Quick test_par_default_domains;
+          Alcotest.test_case "disjoint writes compose" `Quick test_par_parallel_sum_matches;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_percentile_bounded;
           QCheck_alcotest.to_alcotest prop_zipf_cdf_complete;
           QCheck_alcotest.to_alcotest prop_convex_monotone;
+          QCheck_alcotest.to_alcotest prop_heap_matches_sorted;
         ] );
     ]
