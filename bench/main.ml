@@ -1175,6 +1175,189 @@ let micro () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* sb_adapt: closed-loop telemetry aggregation + incremental re-routing *)
+(* ------------------------------------------------------------------ *)
+
+module Adapt = Sb_adapt.Loop
+
+(* Diurnal demand drift plus a mid-run failure of the hottest core-core
+   duplex; closed loop (measured telemetry -> incremental resolve ->
+   two-phase-commit rollout) vs the frozen epoch-0 routing and the
+   full-knowledge full-re-solve oracle. *)
+let adapt () =
+  header "Extension: closed-loop adaptation (diurnal drift + link failure)";
+  (* Scale the tier-1 TE scenario so the full re-solve can satisfy every
+     epoch's demand (alpha >= 1): the oracle is then a genuine upper bound
+     and "fraction of oracle" reads as fraction of satisfiable demand. *)
+  let m = Model.with_scaled_traffic (te_model ()) 0.75 in
+  let n = Model.num_chains m in
+  let epochs = 12 and epoch_len = 2.0 and fail_epoch = 6 in
+  (* Control epochs are minutes while diurnal drift spans a day, so demand
+     moves a small phase step per epoch (period >> horizon). *)
+  let demand = Adapt.diurnal_demand ~period:16 ~seed:7 n in
+  (* Pick the failure: the core-core duplex carrying the most Switchboard
+     traffic under the epoch-0 solve (the most disruptive single failure
+     that keeps the core ring connected). *)
+  let topo = Model.topology m in
+  let is_core node =
+    let name = Topology.node_name topo node in
+    String.length name >= 4 && String.sub name 0 4 = "core"
+  in
+  let m0 =
+    Model.with_chain_traffic_factors m
+      (Array.init n (fun c -> demand ~epoch:0 ~chain:c))
+  in
+  let ls0 = Routing.load_state (Sb_core.Dp_routing.solve m0) in
+  let links = Topology.links topo in
+  let failed_links =
+    let best = ref (-1., []) in
+    Array.iter
+      (fun (l : Topology.link) ->
+        if
+          l.Topology.src < l.Topology.dst
+          && is_core l.Topology.src
+          && is_core l.Topology.dst
+        then begin
+          let ids =
+            Array.to_list links
+            |> List.filter_map (fun (k : Topology.link) ->
+                   if
+                     (k.Topology.src = l.Topology.src && k.Topology.dst = l.Topology.dst)
+                     || (k.Topology.src = l.Topology.dst
+                        && k.Topology.dst = l.Topology.src)
+                   then Some k.Topology.id
+                   else None)
+          in
+          let load =
+            List.fold_left
+              (fun acc i -> acc +. Sb_core.Load_state.link_sb_load ls0 i)
+              0. ids
+          in
+          if load > fst !best then best := (load, ids)
+        end)
+      links;
+    snd !best
+  in
+  let sc =
+    {
+      Adapt.sc_model = m;
+      sc_epochs = epochs;
+      sc_epoch_len = epoch_len;
+      sc_demand = demand;
+      sc_failures = [ (fail_epoch, failed_links) ];
+    }
+  in
+  let params = Adapt.default_params in
+  let static = Adapt.run ~params sc Adapt.Static in
+  let closed = Adapt.run ~params sc Adapt.Closed_loop in
+  let oracle = Adapt.run ~params sc Adapt.Oracle in
+  let s = Array.of_list static.Adapt.epochs in
+  let c = Array.of_list closed.Adapt.epochs in
+  let o = Array.of_list oracle.Adapt.epochs in
+  let ratio arr e =
+    if o.(e).Adapt.ep_supported <= 0. then 1.
+    else arr.(e).Adapt.ep_supported /. o.(e).Adapt.ep_supported
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "epoch"; "oracle tput"; "closed tput"; "static tput"; "closed/oracle";
+          "moved"; "down" ]
+  in
+  for e = 0 to epochs - 1 do
+    Table.add_row t
+      [
+        (if e = fail_epoch then Printf.sprintf "%d*" e else string_of_int e);
+        Printf.sprintf "%.2f" o.(e).Adapt.ep_supported;
+        Printf.sprintf "%.2f" c.(e).Adapt.ep_supported;
+        Printf.sprintf "%.2f" s.(e).Adapt.ep_supported;
+        Printf.sprintf "%.0f%%" (100. *. ratio c e);
+        string_of_int c.(e).Adapt.ep_rerouted;
+        string_of_int c.(e).Adapt.ep_down_links;
+      ]
+  done;
+  Table.print t;
+  Printf.printf "(* = %d links fail at epoch %d)\n" (List.length failed_links) fail_epoch;
+  let first_recovered from =
+    let rec go e =
+      if e >= epochs then epochs else if ratio c e >= 0.9 then e else go (e + 1)
+    in
+    go from
+  in
+  let conv_start = first_recovered 0 in
+  (* The failure's damage can surface a few epochs later (demand has to
+     grow into the lost capacity): recovery is measured from the first
+     post-failure epoch that actually drops below the bar. *)
+  let dip_fail =
+    let rec go e =
+      if e >= epochs then fail_epoch else if ratio c e < 0.9 then e else go (e + 1)
+    in
+    go fail_epoch
+  in
+  let conv_fail = first_recovered dip_fail in
+  let max_moved =
+    Array.fold_left (fun acc r -> max acc r.Adapt.ep_rerouted) 0 c
+  in
+  Printf.printf
+    "closed loop: >=90%% of oracle from epoch %d; back >=90%% at epoch %d (%d epochs \
+     after failure)\n"
+    conv_start conv_fail (conv_fail - fail_epoch);
+  Printf.printf
+    "final epoch: closed %.0f%% vs static %.0f%% of oracle; max churn %d/epoch \
+     (budget %d)\n"
+    (100. *. ratio c (epochs - 1))
+    (100. *. ratio s (epochs - 1))
+    max_moved params.Adapt.churn_budget;
+  if !json_mode then begin
+    let oc = open_out "BENCH_adapt.json" in
+    let floats get arr =
+      String.concat ", "
+        (List.map (fun r -> Printf.sprintf "%.4f" (get r)) (Array.to_list arr))
+    in
+    let ints get arr =
+      String.concat ", "
+        (List.map (fun r -> string_of_int (get r)) (Array.to_list arr))
+    in
+    let series name arr =
+      Printf.sprintf
+        "    %S: {\n\
+        \      \"supported\": [%s],\n\
+        \      \"flow_throughput\": [%s],\n\
+        \      \"mean_rtt_ms\": [%s],\n\
+        \      \"rerouted\": [%s],\n\
+        \      \"down_links\": [%s],\n\
+        \      \"reports\": [%s]\n\
+        \    }"
+        name
+        (floats (fun r -> r.Adapt.ep_supported) arr)
+        (floats (fun r -> r.Adapt.ep_throughput) arr)
+        (floats (fun r -> 1000. *. r.Adapt.ep_mean_rtt) arr)
+        (ints (fun r -> r.Adapt.ep_rerouted) arr)
+        (ints (fun r -> r.Adapt.ep_down_links) arr)
+        (ints (fun r -> r.Adapt.ep_reports) arr)
+    in
+    Printf.fprintf oc "{\n  \"params\": {\n";
+    Printf.fprintf oc "    \"epochs\": %d,\n    \"epoch_len\": %.1f,\n" epochs epoch_len;
+    Printf.fprintf oc "    \"fail_epoch\": %d,\n    \"failed_links\": [%s],\n" fail_epoch
+      (String.concat ", " (List.map string_of_int failed_links));
+    Printf.fprintf oc "    \"hysteresis\": %.3f,\n    \"churn_budget\": %d\n  },\n"
+      params.Adapt.hysteresis params.Adapt.churn_budget;
+    Printf.fprintf oc "  \"series\": {\n%s,\n%s,\n%s\n  },\n" (series "oracle" o)
+      (series "closed" c) (series "static" s);
+    Printf.fprintf oc "  \"recovery\": {\n";
+    Printf.fprintf oc "    \"converged_epoch\": %d,\n" conv_start;
+    Printf.fprintf oc "    \"failure_recovered_epoch\": %d,\n" conv_fail;
+    Printf.fprintf oc "    \"epochs_after_failure\": %d,\n" (conv_fail - fail_epoch);
+    Printf.fprintf oc "    \"final_closed_over_oracle\": %.4f,\n" (ratio c (epochs - 1));
+    Printf.fprintf oc "    \"final_static_over_oracle\": %.4f,\n" (ratio s (epochs - 1));
+    Printf.fprintf oc "    \"max_rerouted_per_epoch\": %d,\n" max_moved;
+    Printf.fprintf oc "    \"churn_budget_respected\": %b\n  }\n}\n"
+      (max_moved <= params.Adapt.churn_budget);
+    close_out oc;
+    print_endline "wrote BENCH_adapt.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1196,6 +1379,7 @@ let experiments =
     ("fig13c", fig13c);
     ("failures", failures);
     ("timevar", timevar);
+    ("adapt", adapt);
     ("ablation", ablation);
     ("scale", scale);
     ("micro", micro);

@@ -155,6 +155,165 @@ let plan_cloud_cmd =
        ~doc:"Place additional cloud capacity to maximize supported demand (Section 4.2).")
     term
 
+(* ------------------------------ adapt ------------------------------ *)
+
+let adapt_cmd =
+  let module Adapt = Sb_adapt.Loop in
+  let module Topology = Sb_net.Topology in
+  let epochs =
+    Arg.(value & opt int 12 & info [ "epochs" ] ~docv:"N" ~doc:"Control epochs to simulate.")
+  in
+  let epoch_len =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "epoch-len" ] ~docv:"S" ~doc:"Simulated seconds per control epoch.")
+  in
+  let fail_epoch =
+    Arg.(
+      value
+      & opt int 6
+      & info [ "fail-epoch" ] ~docv:"E"
+          ~doc:"Epoch at which links fail (negative: no failure).")
+  in
+  let fail_links =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "fail-links" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated link ids to fail at $(b,--fail-epoch); default picks the \
+             busiest core-core duplex under the epoch-0 solve.")
+  in
+  let hysteresis =
+    Arg.(
+      value
+      & opt float Adapt.default_params.Adapt.hysteresis
+      & info [ "hysteresis" ] ~docv:"F"
+          ~doc:"Relative cost gain a chain must show before it is re-routed.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Adapt.default_params.Adapt.churn_budget
+      & info [ "budget" ] ~docv:"N" ~doc:"Max chains re-routed per control epoch.")
+  in
+  let run seed cores chains coverage file epochs epoch_len fail_epoch fail_links
+      hysteresis budget =
+    let m = build_model ?file seed cores chains coverage in
+    let topo = Model.topology m in
+    (* The closed loop stands up a site agent at every routable node. *)
+    let unsited = ref [] in
+    for node = Topology.num_nodes topo - 1 downto 0 do
+      if Model.site_of_node m node = None then unsited := node :: !unsited
+    done;
+    if !unsited <> [] then begin
+      Printf.eprintf
+        "scenario unusable for adaptation: %d node(s) have no Switchboard site (e.g. node %d)\n"
+        (List.length !unsited) (List.hd !unsited);
+      exit 2
+    end;
+    let n = Model.num_chains m in
+    let demand = Adapt.diurnal_demand ~period:(2 * epochs) ~seed n in
+    let failed_links =
+      if fail_epoch < 0 || fail_epoch >= epochs then []
+      else if fail_links <> [] then fail_links
+      else begin
+        (* Busiest core-core duplex under the epoch-0 solve: the most
+           disruptive single failure that keeps the core ring connected. *)
+        let is_core node =
+          let name = Topology.node_name topo node in
+          String.length name >= 4 && String.sub name 0 4 = "core"
+        in
+        let m0 =
+          Model.with_chain_traffic_factors m
+            (Array.init n (fun c -> demand ~epoch:0 ~chain:c))
+        in
+        let ls0 = Routing.load_state (Sb_core.Dp_routing.solve m0) in
+        let links = Topology.links topo in
+        let best = ref (-1., []) in
+        Array.iter
+          (fun (l : Topology.link) ->
+            if l.Topology.src < l.Topology.dst && is_core l.Topology.src
+               && is_core l.Topology.dst
+            then begin
+              let ids =
+                Array.to_list links
+                |> List.filter_map (fun (k : Topology.link) ->
+                       if
+                         (k.Topology.src = l.Topology.src && k.Topology.dst = l.Topology.dst)
+                         || (k.Topology.src = l.Topology.dst
+                            && k.Topology.dst = l.Topology.src)
+                       then Some k.Topology.id
+                       else None)
+              in
+              let load =
+                List.fold_left
+                  (fun acc i -> acc +. Sb_core.Load_state.link_sb_load ls0 i)
+                  0. ids
+              in
+              if load > fst !best then best := (load, ids)
+            end)
+          links;
+        snd !best
+      end
+    in
+    let sc =
+      {
+        Adapt.sc_model = m;
+        sc_epochs = epochs;
+        sc_epoch_len = epoch_len;
+        sc_demand = demand;
+        sc_failures = (if failed_links = [] then [] else [ (fail_epoch, failed_links) ]);
+      }
+    in
+    let params =
+      { Adapt.default_params with Adapt.hysteresis; churn_budget = budget; seed }
+    in
+    Printf.printf "scenario: %d nodes, %d chains, %d epochs x %.1fs" (Model.num_sites m)
+      n epochs epoch_len;
+    if failed_links <> [] then
+      Printf.printf "; %d link(s) fail at epoch %d" (List.length failed_links) fail_epoch;
+    print_newline ();
+    let static = Adapt.run ~params sc Adapt.Static in
+    let closed = Adapt.run ~params sc Adapt.Closed_loop in
+    let oracle = Adapt.run ~params sc Adapt.Oracle in
+    let s = Array.of_list static.Adapt.epochs in
+    let c = Array.of_list closed.Adapt.epochs in
+    let o = Array.of_list oracle.Adapt.epochs in
+    let ratio arr e =
+      if o.(e).Adapt.ep_supported <= 0. then 1.
+      else arr.(e).Adapt.ep_supported /. o.(e).Adapt.ep_supported
+    in
+    Printf.printf "%-6s %12s %12s %12s %15s %6s %5s\n" "epoch" "oracle tput"
+      "closed tput" "static tput" "closed/oracle" "moved" "down";
+    for e = 0 to epochs - 1 do
+      Printf.printf "%-6s %12.2f %12.2f %12.2f %14.0f%% %6d %5d\n"
+        (if failed_links <> [] && e = fail_epoch then Printf.sprintf "%d*" e
+         else string_of_int e)
+        o.(e).Adapt.ep_supported c.(e).Adapt.ep_supported s.(e).Adapt.ep_supported
+        (100. *. ratio c e) c.(e).Adapt.ep_rerouted c.(e).Adapt.ep_down_links
+    done;
+    Printf.printf
+      "closed loop moved %d chain route(s) in total (budget %d/epoch); final epoch: \
+       closed %.0f%%, static %.0f%% of oracle\n"
+      closed.Adapt.total_rerouted budget
+      (100. *. ratio c (epochs - 1))
+      (100. *. ratio s (epochs - 1));
+    0
+  in
+  let term =
+    Term.(
+      const run $ seed $ cores $ chains $ coverage $ file $ epochs $ epoch_len
+      $ fail_epoch $ fail_links $ hysteresis $ budget)
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Run the closed telemetry/re-routing loop on a scenario (synthetic or from a \
+          file) against static and oracle baselines.")
+    term
+
 (* ----------------------------- plan-vnf ---------------------------- *)
 
 let plan_vnf_cmd =
@@ -186,4 +345,6 @@ let () =
     Cmd.info "switchboard_cli" ~version:"1.0"
       ~doc:"Wide-area service chaining traffic engineering (Switchboard reproduction)."
   in
-  exit (Cmd.eval' (Cmd.group info [ route_cmd; compare_cmd; plan_cloud_cmd; plan_vnf_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ route_cmd; compare_cmd; adapt_cmd; plan_cloud_cmd; plan_vnf_cmd ]))

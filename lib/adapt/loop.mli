@@ -1,0 +1,79 @@
+(** The closed control loop (Section 4.1's feedback path, run end to end):
+    telemetry exporters measure the data-plane fabric, the aggregator at
+    the Global Switchboard reassembles a measured traffic matrix and
+    failure view, {!Sb_core.Dp_routing.resolve} re-routes only the chains
+    worth moving (hysteresis + churn budget), and the deltas roll out
+    through the control plane's two-phase commit while the flow simulator
+    scores each epoch.
+
+    Three arms share one scenario so adaptation can be isolated:
+    [Static] solves once at epoch 0 and never reacts; [Oracle] fully
+    re-solves each epoch with perfect instantaneous knowledge (the upper
+    bound); [Closed_loop] runs the whole measured pipeline, including
+    report latency/loss and rollout delay. *)
+
+type scenario = {
+  sc_model : Sb_core.Model.t;
+      (** base model; the closed loop requires a site at every node that
+          routes can visit (true of [Workload.synthesize] models) *)
+  sc_epochs : int;
+  sc_epoch_len : float;  (** seconds of simulated time per epoch *)
+  sc_demand : epoch:int -> chain:int -> float;
+      (** ground-truth multiplicative demand factor *)
+  sc_failures : (int * int list) list;
+      (** [(epoch, base-model link ids)]: links failed from that epoch on
+          (cumulative; no repair) *)
+}
+
+type arm = Static | Closed_loop | Oracle
+
+val arm_name : arm -> string
+
+type params = {
+  hysteresis : float;  (** relative-gain threshold for a re-route (0.05) *)
+  churn_budget : int;  (** max chains re-routed per epoch (6) *)
+  util_weight : float;
+      (** utilization-cost weight the incremental resolver optimizes with
+          (0.10, 2x the solver default) *)
+  pkts_per_unit : int;
+      (** probe packets injected per traffic unit per epoch (16) — the
+          telemetry signal's resolution *)
+  staleness : int;  (** epochs before an aggregator sample ages out (3) *)
+  control_lag : float;
+      (** seconds after the epoch boundary the control tick waits for
+          reports to arrive (0.5) *)
+  vnf_headroom : float;
+      (** provisioned VNF admission capacity over the model's (4.0), so
+          admission never vetoes a capacity-feasible re-route *)
+  seed : int;
+}
+
+val default_params : params
+
+type epoch_report = {
+  ep_epoch : int;
+  ep_supported : float;
+      (** satisfied demand of the routes in force against the epoch's
+          ground truth: [min(1, max_alpha) * total_demand] — full demand
+          when the routing has headroom, the feasible fraction when not *)
+  ep_throughput : float;  (** flow-level total throughput ([E2e.evaluate]) *)
+  ep_mean_rtt : float;
+  ep_rerouted : int;
+      (** chains whose routes changed going into this epoch (for
+          [Closed_loop], what the previous control tick rolled out) *)
+  ep_down_links : int;
+      (** [Closed_loop]: links the aggregator believed down at the last
+          control tick; other arms: ground-truth failed links *)
+  ep_reports : int;  (** cumulative telemetry reports received (closed loop) *)
+}
+
+type run_result = { epochs : epoch_report list; total_rerouted : int }
+
+val diurnal_demand :
+  ?amplitude:float -> ?period:int -> seed:int -> int -> epoch:int -> chain:int -> float
+(** Per-chain diurnal curve [1 + amplitude * sin(phase_c + 2*pi*e/period)]
+    with deterministic random phases for [n] chains. *)
+
+val run : ?params:params -> scenario -> arm -> run_result
+(** Run one arm over the scenario. Fully deterministic for a fixed
+    scenario and params. *)

@@ -1,0 +1,175 @@
+module Engine = Sb_sim.Engine
+module Bus = Sb_msgbus.Bus
+module System = Sb_ctrl.System
+module Types = Sb_ctrl.Types
+
+module Exporter = struct
+  type t = {
+    system : System.t;
+    site : int;
+    period : float;
+    down_links : unit -> int list;
+    prev : (int, (int * int) array) Hashtbl.t;
+    mutable epoch : int;
+    mutable running : bool;
+    mutable exported : int;
+  }
+
+  let rec tick t =
+    if t.running then begin
+      let down = t.down_links () in
+      List.iter
+        (fun (chain, _egress, _num_stages) ->
+          let cur = System.site_chain_measurements t.system ~site:t.site ~chain in
+          if Array.length cur > 0 then begin
+            let prev =
+              match Hashtbl.find_opt t.prev chain with
+              | Some p when Array.length p = Array.length cur -> p
+              | _ -> Array.make (Array.length cur) (0, 0)
+            in
+            let delta =
+              Array.mapi
+                (fun i (pkts, bytes) ->
+                  let pp, pb = prev.(i) in
+                  (pkts - pp, bytes - pb))
+                cur
+            in
+            Hashtbl.replace t.prev chain cur;
+            (* Export even an all-zero window: to the aggregator silence is
+               indistinguishable from loss, so a zero report is
+               information (the chain really carried nothing). *)
+            Bus.publish (System.bus t.system) ~site:t.site
+              ~topic:(Types.telemetry_topic ~chain)
+              (Types.Telemetry_report
+                 {
+                   site = t.site;
+                   epoch = t.epoch;
+                   chain;
+                   stages = delta;
+                   down_links = down;
+                 });
+            t.exported <- t.exported + 1
+          end)
+        (System.site_known_chains t.system ~site:t.site);
+      t.epoch <- t.epoch + 1;
+      ignore (Engine.schedule (System.engine t.system) ~delay:t.period (fun () -> tick t))
+    end
+
+  let start ~system ~site ~period ?(down_links = fun () -> []) () =
+    let t =
+      {
+        system;
+        site;
+        period;
+        down_links;
+        prev = Hashtbl.create 16;
+        epoch = 0;
+        running = true;
+        exported = 0;
+      }
+    in
+    ignore (Engine.schedule (System.engine system) ~delay:period (fun () -> tick t));
+    t
+
+  let stop t = t.running <- false
+  let exported t = t.exported
+end
+
+module Aggregator = struct
+  type sample = { s_epoch : int; s_stages : (int * int) array; s_down : int list }
+
+  type t = {
+    chains : int list;
+    num_sites : int;
+    staleness : int;
+    cells : (int, sample option array) Hashtbl.t;
+    mutable reports : int;
+    mutable last_epoch : int;
+  }
+
+  let handle t = function
+    | Types.Telemetry_report { site; epoch; chain; stages; down_links } -> (
+      match Hashtbl.find_opt t.cells chain with
+      | None -> () (* a chain this aggregator was not asked to watch *)
+      | Some row ->
+        if site >= 0 && site < t.num_sites then begin
+          t.reports <- t.reports + 1;
+          if epoch > t.last_epoch then t.last_epoch <- epoch;
+          let newer =
+            match row.(site) with None -> true | Some s -> epoch >= s.s_epoch
+          in
+          if newer then
+            row.(site) <- Some { s_epoch = epoch; s_stages = stages; s_down = down_links }
+        end)
+    | _ -> ()
+
+  let create ~system ~site ~chains ~num_sites ?(staleness = 3) () =
+    let t =
+      {
+        chains;
+        num_sites;
+        staleness;
+        cells = Hashtbl.create (max 1 (List.length chains));
+        reports = 0;
+        last_epoch = -1;
+      }
+    in
+    List.iter
+      (fun chain ->
+        Hashtbl.replace t.cells chain (Array.make num_sites None);
+        Bus.subscribe (System.bus system) ~site
+          ~topic:(Types.telemetry_topic ~chain) (handle t))
+      chains;
+    t
+
+  let fresh t ~epoch s = s.s_epoch > epoch - t.staleness && s.s_epoch <= epoch
+
+  (* Fold over the freshest per-site samples of one chain, in site order —
+     deterministic regardless of report arrival interleaving. *)
+  let fold_fresh t ~epoch ~chain f init =
+    match Hashtbl.find_opt t.cells chain with
+    | None -> init
+    | Some row ->
+      Array.fold_left
+        (fun acc cell ->
+          match cell with Some s when fresh t ~epoch s -> f acc s | _ -> acc)
+        init row
+
+  let chain_packets t ~epoch ~chain =
+    fold_fresh t ~epoch ~chain
+      (fun acc s ->
+        let p = if Array.length s.s_stages > 0 then fst s.s_stages.(0) else 0 in
+        match acc with None -> Some p | Some a -> Some (a + p))
+      None
+
+  let chain_stages t ~epoch ~chain =
+    let width =
+      fold_fresh t ~epoch ~chain (fun w s -> max w (Array.length s.s_stages)) 0
+    in
+    let out = Array.make width (0, 0) in
+    ignore
+      (fold_fresh t ~epoch ~chain
+         (fun () s ->
+           Array.iteri
+             (fun i (p, b) ->
+               let op, ob = out.(i) in
+               out.(i) <- (op + p, ob + b))
+             s.s_stages)
+         ());
+    out
+
+  let down_links t ~epoch =
+    List.fold_left
+      (fun acc chain ->
+        fold_fresh t ~epoch ~chain
+          (fun acc s ->
+            List.fold_left
+              (fun acc l -> if List.mem l acc then acc else l :: acc)
+              acc s.s_down)
+          acc)
+      [] t.chains
+    |> List.sort compare
+
+  let reports t = t.reports
+  let last_epoch t = t.last_epoch
+end

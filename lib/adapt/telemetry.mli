@@ -1,0 +1,74 @@
+(** Closed-loop telemetry: per-site exporters and the Global Switchboard
+    aggregator (the measurement half of the Section 4.1 feedback loop).
+
+    Exporters snapshot the data-plane fabric's per-stage packet/byte
+    counters at their site each epoch, compute the window delta against
+    their previous snapshot, and publish one {!Sb_ctrl.Types.Telemetry_report}
+    per chain on that chain's telemetry topic. Deltas over cumulative
+    counters mean no global counter reset is needed and a lost report
+    costs one window, not the baseline.
+
+    The aggregator subscribes (at the Global Switchboard's site) to the
+    telemetry topics of the chains it watches and reassembles a measured
+    per-chain traffic matrix plus a link-failure view. It keeps only the
+    freshest sample per (chain, site); queries at epoch [e] consider a
+    sample fresh while [e - sample_epoch < staleness], so late or dropped
+    reports are papered over by the previous window until they age out. *)
+
+module Exporter : sig
+  type t
+
+  val start :
+    system:Sb_ctrl.System.t ->
+    site:int ->
+    period:float ->
+    ?down_links:(unit -> int list) ->
+    unit ->
+    t
+  (** Schedule the site's export process on the system's engine: first
+      export fires [period] after the call and every [period] thereafter,
+      numbering epochs from 0. [down_links] is the site's local view of
+      failed topology links (e.g. incident link-liveness detection),
+      included verbatim in every report. *)
+
+  val stop : t -> unit
+  (** Stop exporting; the next pending tick becomes a no-op. *)
+
+  val exported : t -> int
+  (** Total reports published so far. *)
+end
+
+module Aggregator : sig
+  type t
+
+  val create :
+    system:Sb_ctrl.System.t ->
+    site:int ->
+    chains:int list ->
+    num_sites:int ->
+    ?staleness:int ->
+    unit ->
+    t
+  (** Subscribe at [site] to the telemetry topic of every chain in
+      [chains] (system chain ids). [staleness] (default 3) is the number
+      of epochs a (chain, site) sample stays usable. *)
+
+  val chain_packets : t -> epoch:int -> chain:int -> int option
+  (** Measured stage-0 packets for the chain summed over sites with a
+      fresh sample at [epoch] — the chain's offered demand in packets per
+      window. [None] when no site has a fresh sample (the caller should
+      hold its previous estimate). *)
+
+  val chain_stages : t -> epoch:int -> chain:int -> (int * int) array
+  (** Per-stage [(packets, bytes)] summed over fresh sites — the measured
+      row of the chain's traffic matrix. *)
+
+  val down_links : t -> epoch:int -> int list
+  (** Sorted union of the down-link observations in all fresh samples. *)
+
+  val reports : t -> int
+  (** Total telemetry reports received (including superseded ones). *)
+
+  val last_epoch : t -> int
+  (** Highest epoch seen in any report; [-1] before the first. *)
+end

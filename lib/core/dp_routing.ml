@@ -181,3 +181,121 @@ let solve ?(util_weight = default_util_weight) ?(max_routes = 8) ?rng m =
   routing
 
 let dp_latency ?rng m = solve ~util_weight:0. ~max_routes:1 ?rng m
+
+(* ------------------------ Incremental re-solve ---------------------- *)
+
+type resolve_stats = {
+  rerouted : int list;
+  considered : int;
+  over_threshold : int;
+}
+
+let path_cost state ~util_weight chain nodes =
+  let c = ref 0. in
+  for z = 0 to Array.length nodes - 2 do
+    c :=
+      !c
+      +. Load_state.stage_cost state ~util_weight ~chain ~stage:z ~src:nodes.(z)
+           ~dst:nodes.(z + 1)
+  done;
+  !c
+
+(* Cost of the chain's committed route set as a marginal insertion onto
+   the rest of the load (the chain itself must be lifted out first,
+   otherwise its own contribution sits on the steep convex region and
+   inflates every comparison into an apparent gain). *)
+let current_cost state ~util_weight chain paths =
+  List.fold_left
+    (fun acc (nodes, frac) -> acc +. (frac *. path_cost state ~util_weight chain nodes))
+    0. paths
+
+(* Cost of the chain's best single route per endpoint pair on the same
+   lifted-out load — marginal vs marginal, so the hysteresis threshold
+   compares like with like. *)
+let alternative_cost state ~util_weight chain =
+  let m = Load_state.model state in
+  let total = ref 0. and feasible = ref true in
+  List.iter
+    (fun (ingress, ishare) ->
+      List.iter
+        (fun (egress, eshare) ->
+          match best_path ~ingress ~egress state ~util_weight ~chain with
+          | Some nodes ->
+            total := !total +. (ishare *. eshare *. path_cost state ~util_weight chain nodes)
+          | None -> feasible := false)
+        (Model.chain_egresses m chain))
+    (Model.chain_ingresses m chain);
+  if !feasible then Some !total else None
+
+let resolve ?(util_weight = default_util_weight) ?(max_routes = 8) ?(hysteresis = 0.1)
+    ?(churn_budget = max_int) ~prev m =
+  let routing = Routing.create m in
+  let state = Load_state.create m in
+  let n = Model.num_chains m in
+  (* Re-commit the previous paths under [m]'s (possibly measured/shifted)
+     demand and topology. [prev] may belong to a structurally identical
+     sibling of [m] (same chains/stages, different traffic or failed
+     links). *)
+  let prev_paths = Array.init n (fun c -> Routing.decompose_paths prev ~chain:c) in
+  for c = 0 to n - 1 do
+    List.iter
+      (fun (nodes, frac) ->
+        Routing.add_path routing ~chain:c ~nodes ~frac;
+        commit state c nodes frac)
+      prev_paths.(c)
+  done;
+  (* Scan phase: lift each chain out, cost its current route set and its
+     best alternative as the same marginal insertion, put it back. Between
+     the lift and the re-commit nothing else mutates, so the load-state
+     generation is fixed and the stage-cost cache is shared across the
+     chain's current-route costing AND its whole DP sweep. An unrouted
+     chain (dropped by an earlier epoch or unroutable at creation) scores
+     infinite gain: routing it at all is the best move. *)
+  let candidates = ref [] in
+  let considered = ref 0 in
+  for c = 0 to n - 1 do
+    let lifted = prev_paths.(c) <> [] in
+    if lifted then begin
+      incr considered;
+      List.iter (fun (nodes, frac) -> commit state c nodes (-.frac)) prev_paths.(c)
+    end;
+    let cur =
+      if lifted then current_cost state ~util_weight c prev_paths.(c) else infinity
+    in
+    let alt = alternative_cost state ~util_weight c in
+    if lifted then
+      List.iter (fun (nodes, frac) -> commit state c nodes frac) prev_paths.(c);
+    match alt with
+    | None -> () (* no feasible route at all: leave the chain as it is *)
+    | Some alt ->
+      let gain =
+        if cur = infinity then infinity
+        else if alt <= 1e-12 then if cur > 1e-12 then infinity else 0.
+        else (cur -. alt) /. alt
+      in
+      if gain > hysteresis then candidates := (c, gain) :: !candidates
+  done;
+  let ranked =
+    List.sort
+      (fun (c1, g1) (c2, g2) ->
+        match compare (g2 : float) g1 with 0 -> compare (c1 : int) c2 | o -> o)
+      !candidates
+  in
+  let selected = List.filteri (fun i _ -> i < churn_budget) ranked in
+  let rerouted = List.map fst selected in
+  (* Re-route phase: lift each selected chain's load out, then route it
+     afresh against everything else (sequential re-commit, mirroring
+     [solve]; later selections see earlier moves). *)
+  List.iter
+    (fun c ->
+      for stage = 0 to Model.num_stages m c - 1 do
+        List.iter
+          (fun (src, dst, frac) ->
+            if frac > 1e-12 then
+              Load_state.add_stage_flow state ~chain:c ~stage ~src ~dst ~frac:(-.frac))
+          (Routing.stage_flows routing ~chain:c ~stage);
+        Routing.set_stage routing ~chain:c ~stage []
+      done;
+      route_chain state routing ~util_weight ~max_routes c)
+    rerouted;
+  (routing, { rerouted; considered = !considered; over_threshold = List.length ranked })

@@ -44,3 +44,36 @@ val best_path :
     chain's first endpoints (multi-endpoint chains are routed per pair by
     {!solve}). Exposed for the control plane (route recomputation after a
     two-phase-commit reject) and tests. *)
+
+type resolve_stats = {
+  rerouted : int list;
+      (** chains re-routed this round, highest measured gain first — the
+          route delta the control plane must roll out *)
+  considered : int;  (** chains with a committed route that were scanned *)
+  over_threshold : int;
+      (** chains whose relative gain beat the hysteresis (before the churn
+          budget truncated the list) *)
+}
+
+val resolve :
+  ?util_weight:float ->
+  ?max_routes:int ->
+  ?hysteresis:float ->
+  ?churn_budget:int ->
+  prev:Routing.t ->
+  Model.t ->
+  Routing.t * resolve_stats
+(** Incremental re-solve for the [sb_adapt] closed loop: re-commit the
+    previous routing's paths under [m] (a structurally identical model
+    whose traffic matrix and/or failed-link set changed), scan every chain
+    comparing its current-route cost against its best single-path
+    alternative under the same load, and re-route only the chains whose
+    relative gain [(cur - alt) / alt] exceeds [hysteresis] (default 0.1) —
+    at most [churn_budget] of them per call (default unlimited), highest
+    gain first. The scan lifts each chain out before costing, so current
+    and alternative are the same marginal insertion, and performs no other
+    mutation, so the stage-cost cache of the shared load state is reused
+    across the chain's costing and its whole DP sweep. Chains left
+    unrouted by [prev] (or whose current route is infeasible under [m])
+    score infinite gain and are re-routed first.
+    Returns the new routing plus which chains moved. *)

@@ -170,8 +170,9 @@ let stage_compute_cost t ~chain ~stage ~dst =
         let w = Model.fwd_traffic m ~chain ~stage in
         let v = Model.rev_traffic m ~chain ~stage in
         let added = Model.vnf_cpu_per_unit m f *. (w +. v) in
-        let before = t.vnf_loads.(f).(s) /. cap in
-        let after = (t.vnf_loads.(f).(s) +. added) /. cap in
+        (* clamp the tiny negative residue a flow removal can leave *)
+        let before = Float.max 0. (t.vnf_loads.(f).(s) /. cap) in
+        let after = Float.max 0. ((t.vnf_loads.(f).(s) +. added) /. cap) in
         Sb_util.Convex_cost.cost after -. Sb_util.Convex_cost.cost before
       end)
 

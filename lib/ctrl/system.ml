@@ -664,6 +664,14 @@ let add_route t ~chain route =
     let routes = List.map (fun r -> { r with weight = 1. /. n }) all in
     gsb_start_2pc t cs routes ~exclude:[]
 
+let update_routes t ~chain routes =
+  match Hashtbl.find_opt t.chains chain with
+  | None -> invalid_arg "System.update_routes: unknown chain"
+  | Some cs ->
+    logf t "gsb: route update requested for chain %d (%d routes)" chain
+      (List.length routes);
+    gsb_start_2pc t cs routes ~exclude:[]
+
 let add_edge_site t ~chain ~site =
   match Hashtbl.find_opt t.chains chain with
   | None -> invalid_arg "System.add_edge_site: unknown chain"
@@ -794,6 +802,27 @@ let chain_measurements t ~chain =
     let stages = List.length c_spec.vnfs + 1 in
     Array.init stages (fun stage ->
         Fabric.stage_counters t.fabric ~chain_label:chain ~egress_label:egress ~stage)
+  | Some _ | None -> [||]
+
+(* Per-site view of the same counters, via the Local Switchboard's chain
+   knowledge: the Global Switchboard's table is NOT consulted, so this is
+   exactly what a site-local exporter can see. *)
+let site_known_chains t ~site =
+  Hashtbl.fold
+    (fun id (cs : chain_state) acc ->
+      match cs.c_egress with
+      | Some egress -> (id, egress, List.length cs.c_spec.vnfs + 1) :: acc
+      | None -> acc)
+    t.locals.(site).ls_known []
+  |> List.sort compare
+
+let site_chain_measurements t ~site ~chain =
+  match Hashtbl.find_opt t.locals.(site).ls_known chain with
+  | Some { c_egress = Some egress; c_spec; _ } ->
+    let stages = List.length c_spec.vnfs + 1 in
+    Array.init stages (fun stage ->
+        Fabric.site_stage_counters t.fabric ~site:t.sites.(site).fab_site
+          ~chain_label:chain ~egress_label:egress ~stage)
   | Some _ | None -> [||]
 
 let reset_measurements t = Fabric.reset_counters t.fabric

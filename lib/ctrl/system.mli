@@ -97,6 +97,13 @@ val add_route : t -> chain:int -> Types.route -> unit
     experiment): re-runs two-phase commit over the extended route set and
     re-publishes; existing connections keep their paths (flow affinity). *)
 
+val update_routes : t -> chain:int -> Types.route list -> unit
+(** Replace a chain's route set: re-runs the two-phase commit with the
+    given routes (VNF controllers re-admit — a commit replaces the chain's
+    previous allocation — and Local Switchboards recompute and reinstall
+    rules). This is the rollout path of the [sb_adapt] closed loop's route
+    deltas. Run the engine to make progress. *)
+
 val add_edge_site : t -> chain:int -> site:int -> unit
 (** Extend a chain to a new edge site on demand (Section 6, Table 2): the
     new site's Local Switchboard picks the nearest existing route, pulls
@@ -134,3 +141,14 @@ val chain_measurements : t -> chain:int -> (int * int) array
 
 val reset_measurements : t -> unit
 (** Start a fresh measurement window on every forwarder. *)
+
+val site_known_chains : t -> site:int -> (int * int * int) list
+(** [(chain, egress, num_stages)] for every chain the site's Local
+    Switchboard has learned via route updates — the chain universe a
+    site-local telemetry exporter iterates. Sorted by chain id. *)
+
+val site_chain_measurements : t -> site:int -> chain:int -> (int * int) array
+(** Per-stage [(packets, bytes)] measured at this site's forwarders only,
+    based on the Local Switchboard's chain knowledge; empty for a chain the
+    site has not learned. Summed over all sites this equals
+    {!chain_measurements}. *)

@@ -28,6 +28,13 @@ type msg =
   | Instance_info of { vnf : int; site : int; instances : (int * float) list }
   | Forwarder_info of { vnf : int; site : int; forwarders : (int * float) list }
   | Edge_info of { site : int; edge : int; forwarder : int }
+  | Telemetry_report of {
+      site : int;
+      epoch : int;
+      chain : int;
+      stages : (int * int) array;
+      down_links : int list;
+    }
 
 let chain_request_topic = "/gsb/chain_requests"
 let votes_topic ~txid = Printf.sprintf "/gsb/votes/%d" txid
@@ -39,6 +46,8 @@ let instances_topic ~chain ~egress ~vnf ~site =
 
 let forwarders_topic ~chain ~egress ~vnf ~site =
   Printf.sprintf "/c%d/e%d/vnf_%d/site_%d_forwarders" chain egress vnf site
+
+let telemetry_topic ~chain = Printf.sprintf "/telemetry/c%d" chain
 
 let pp_msg ppf = function
   | Chain_request { chain; spec } -> Format.fprintf ppf "Chain_request(%d, %s)" chain spec.spec_name
@@ -57,3 +66,6 @@ let pp_msg ppf = function
     Format.fprintf ppf "Forwarder_info(vnf%d site%d %d fwds)" vnf site (List.length forwarders)
   | Edge_info { site; edge; forwarder } ->
     Format.fprintf ppf "Edge_info(site%d edge%d fwd%d)" site edge forwarder
+  | Telemetry_report { site; epoch; chain; stages; down_links } ->
+    Format.fprintf ppf "Telemetry_report(site%d epoch%d chain%d %d stages, %d down)"
+      site epoch chain (Array.length stages) (List.length down_links)

@@ -47,6 +47,19 @@ type msg =
       (** fabric VNF-instance ids and load-balancing weights *)
   | Forwarder_info of { vnf : int; site : int; forwarders : (int * float) list }
   | Edge_info of { site : int; edge : int; forwarder : int }
+  | Telemetry_report of {
+      site : int;
+      epoch : int;
+      chain : int;
+      stages : (int * int) array;
+          (** per-stage [(packets, bytes)] measured at this site during the
+              epoch's window (a delta, not a cumulative count) *)
+      down_links : int list;
+          (** topology link ids this site's forwarders observe down *)
+    }
+      (** One site's per-chain measurement export for one epoch — the
+          feedback the telemetry aggregator ([sb_adapt]) assembles into a
+          measured traffic matrix (Section 4.1). *)
 
 val chain_request_topic : string
 val votes_topic : txid:int -> string
@@ -57,5 +70,10 @@ val instances_topic : chain:int -> egress:int -> vnf:int -> site:int -> string
 (** ["/c<chain>/e<egress>/vnf_<vnf>/site_<site>_instances"]. *)
 
 val forwarders_topic : chain:int -> egress:int -> vnf:int -> site:int -> string
+
+val telemetry_topic : chain:int -> string
+(** ["/telemetry/c<chain>"] — per-chain telemetry reports; in Switchboard
+    bus mode only sites subscribed to a chain's reports (the Global
+    Switchboard) receive them. *)
 
 val pp_msg : Format.formatter -> msg -> unit

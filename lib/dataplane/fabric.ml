@@ -391,5 +391,15 @@ let stage_counters t ~chain_label ~egress_label ~stage =
       | None -> (pkts, bytes))
     t.fwds (0, 0)
 
+let site_stage_counters t ~site ~chain_label ~egress_label ~stage =
+  Hashtbl.fold
+    (fun _ f (pkts, bytes) ->
+      if f.f_site <> site then (pkts, bytes)
+      else
+        match Hashtbl.find_opt f.counters (chain_label, egress_label, stage) with
+        | Some c -> (pkts + c.packets, bytes + c.bytes)
+        | None -> (pkts, bytes))
+    t.fwds (0, 0)
+
 let reset_counters t =
   Hashtbl.iter (fun _ f -> Hashtbl.reset f.counters) t.fwds

@@ -169,5 +169,11 @@ val transfer_flows : t -> from_instance:int -> to_instance:int -> int
 val stage_counters : t -> chain_label:int -> egress_label:int -> stage:int -> int * int
 (** Aggregated [(packets, bytes)] for one stage of one chain. *)
 
+val site_stage_counters :
+  t -> site:int -> chain_label:int -> egress_label:int -> stage:int -> int * int
+(** Like {!stage_counters} but restricted to the forwarders of one fabric
+    site — the view a per-site telemetry exporter reports. Summing over all
+    sites equals {!stage_counters}. *)
+
 val reset_counters : t -> unit
 (** Start a fresh measurement window. *)

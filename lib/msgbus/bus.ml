@@ -18,7 +18,14 @@ type 'a t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable wan_messages : int;
-  mutable latencies : float list;
+  (* Bounded latency reservoir (Algorithm R with a hash of the sample
+     ordinal as the "random" index, so the retained sample is a
+     deterministic function of the delivery sequence): the first
+     [reservoir_capacity] latencies are kept verbatim, after which each new
+     sample evicts a pseudo-uniform slot with probability cap/n. Memory
+     stays O(capacity) however long the simulation runs. *)
+  lat_reservoir : float array;
+  mutable lat_count : int; (* latencies observed since the last reset *)
 }
 
 and mode = Switchboard | Full_mesh | Route_reflector of int
@@ -32,9 +39,20 @@ type stats = {
   dropped : int;
   wan_messages : int;
   latencies : float list;
+  latency_count : int;
 }
 
 let local_delay = 0.0005
+
+let reservoir_capacity = 16_384
+
+(* Multiply-xorshift finalizer over the native int (the same 62-bit-safe
+   multiplier as the stage-cost cache hash): a deterministic stand-in for
+   the uniform draw of reservoir sampling. *)
+let mix_ordinal n =
+  let h = n * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 29)) * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 32)) land max_int
 
 let create eng ~mode ~num_sites ~delay ?(egress_rate = 20_000.) ?(buffer = 64) () =
   {
@@ -50,8 +68,18 @@ let create eng ~mode ~num_sites ~delay ?(egress_rate = 20_000.) ?(buffer = 64) (
     delivered = 0;
     dropped = 0;
     wan_messages = 0;
-    latencies = [];
+    lat_reservoir = Array.make reservoir_capacity 0.;
+    lat_count = 0;
   }
+
+let record_latency t lat =
+  let n = t.lat_count in
+  t.lat_count <- n + 1;
+  if n < reservoir_capacity then t.lat_reservoir.(n) <- lat
+  else begin
+    let j = mix_ordinal (n + 1) mod (n + 1) in
+    if j < reservoir_capacity then t.lat_reservoir.(j) <- lat
+  end
 
 let topic_subs t topic =
   match Hashtbl.find_opt t.subs topic with
@@ -88,8 +116,7 @@ let visible t ~publisher ~time (s : 'a sub) =
 
 let deliver_one (t : _ t) ~publish_time ~count_latency (s : 'a sub) payload =
   t.delivered <- t.delivered + 1;
-  if count_latency then
-    t.latencies <- (Sb_sim.Engine.now t.eng -. publish_time) :: t.latencies;
+  if count_latency then record_latency t (Sb_sim.Engine.now t.eng -. publish_time);
   s.s_callback payload
 
 let subscribe (t : _ t) ~site ~topic callback =
@@ -185,12 +212,20 @@ let publish (t : _ t) ~site ~topic payload =
       sites
 
 let stats (t : _ t) =
+  let kept = min t.lat_count reservoir_capacity in
+  (* Newest first while the reservoir is not full, matching the historical
+     cons-list order; beyond capacity slot order is arbitrary anyway. *)
+  let latencies = ref [] in
+  for i = 0 to kept - 1 do
+    latencies := t.lat_reservoir.(i) :: !latencies
+  done;
   {
     published = t.published;
     delivered = t.delivered;
     dropped = t.dropped;
     wan_messages = t.wan_messages;
-    latencies = t.latencies;
+    latencies = !latencies;
+    latency_count = t.lat_count;
   }
 
 let reset_stats (t : _ t) =
@@ -198,7 +233,7 @@ let reset_stats (t : _ t) =
   t.delivered <- 0;
   t.dropped <- 0;
   t.wan_messages <- 0;
-  t.latencies <- []
+  t.lat_count <- 0
 
 let subscriber_sites t ~topic =
   List.sort_uniq compare (List.map (fun s -> s.s_site) !(topic_subs t topic))

@@ -37,7 +37,15 @@ type stats = {
   delivered : int;
   dropped : int;  (** egress-buffer overflows *)
   wan_messages : int;  (** messages that crossed between sites *)
-  latencies : float list;  (** publish-to-deliver, newest first *)
+  latencies : float list;
+      (** publish-to-deliver samples. Bounded: a deterministic fixed-size
+          reservoir (16 384 samples) of the deliveries since the last
+          {!reset_stats} — exact (newest first) until the reservoir fills,
+          a uniform sample of the whole run beyond that, so percentile
+          queries stay meaningful while memory stays O(1) in run length. *)
+  latency_count : int;
+      (** total latency observations, including those aged out of the
+          reservoir *)
 }
 
 val create :

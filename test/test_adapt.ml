@@ -1,0 +1,291 @@
+module Engine = Sb_sim.Engine
+module Model = Sb_core.Model
+module Routing = Sb_core.Routing
+module Dp = Sb_core.Dp_routing
+module Workload = Sb_core.Workload
+module Topology = Sb_net.Topology
+module System = Sb_ctrl.System
+module Ct = Sb_ctrl.Types
+module Packet = Sb_dataplane.Packet
+module Telemetry = Sb_adapt.Telemetry
+module Loop = Sb_adapt.Loop
+
+let small_model ?(seed = 11) ?(chains = 10) () =
+  let rng = Sb_util.Rng.create seed in
+  let topo = Topology.backbone ~rng ~num_core:4 ~pops_per_core:2 () in
+  Workload.synthesize ~rng topo
+    { Workload.default with Workload.num_chains = chains; coverage = 0.5 }
+
+(* --------------------------- Dp_routing.resolve --------------------------- *)
+
+let test_resolve_noop_under_infinite_hysteresis () =
+  let m = small_model () in
+  let prev = Dp.solve m in
+  let r, stats = Dp.resolve ~hysteresis:infinity ~prev m in
+  Alcotest.(check (list int)) "nothing re-routed" [] stats.Dp.rerouted;
+  Alcotest.(check int) "every routed chain scanned" (Model.num_chains m)
+    stats.Dp.considered;
+  for c = 0 to Model.num_chains m - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "chain %d paths preserved" c)
+      true
+      (Routing.decompose_paths r ~chain:c = Routing.decompose_paths prev ~chain:c)
+  done;
+  Alcotest.(check (float 1e-9)) "identical alpha" (Routing.max_alpha prev)
+    (Routing.max_alpha r)
+
+let test_resolve_respects_churn_budget () =
+  let m = small_model () in
+  let prev = Dp.solve m in
+  (* Invert the traffic mix so many chains want to move, then cap churn. *)
+  let n = Model.num_chains m in
+  let m' =
+    Model.with_chain_traffic_factors m
+      (Array.init n (fun c -> if c mod 2 = 0 then 3.0 else 0.25))
+  in
+  let _, unbounded = Dp.resolve ~hysteresis:0.0 ~prev m' in
+  let _, bounded = Dp.resolve ~hysteresis:0.0 ~churn_budget:2 ~prev m' in
+  Alcotest.(check bool) "shift creates pressure" true
+    (unbounded.Dp.over_threshold > 2);
+  Alcotest.(check int) "budget binds" 2 (List.length bounded.Dp.rerouted);
+  Alcotest.(check int) "threshold count unchanged by budget"
+    unbounded.Dp.over_threshold bounded.Dp.over_threshold;
+  (* The budget takes the highest-gain chains: the bounded pick is a
+     prefix of the unbounded gain ranking. *)
+  List.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d matches" i)
+        (List.nth unbounded.Dp.rerouted i)
+        c)
+    bounded.Dp.rerouted
+
+let test_resolve_deterministic () =
+  let m = small_model () in
+  let prev = Dp.solve m in
+  let m' =
+    Model.with_chain_traffic_factors m
+      (Array.init (Model.num_chains m) (fun c -> 1. +. (0.3 *. float_of_int (c mod 3))))
+  in
+  let r1, s1 = Dp.resolve ~prev m' in
+  let r2, s2 = Dp.resolve ~prev m' in
+  Alcotest.(check (list int)) "same chains moved" s1.Dp.rerouted s2.Dp.rerouted;
+  Alcotest.(check (float 0.)) "same alpha" (Routing.max_alpha r1) (Routing.max_alpha r2)
+
+let hottest_duplex m routing =
+  let ls = Routing.load_state routing in
+  let topo = Model.topology m in
+  let links = Topology.links topo in
+  let best = ref (-1., []) in
+  Array.iter
+    (fun (l : Topology.link) ->
+      if l.Topology.src < l.Topology.dst then begin
+        let ids =
+          Array.to_list links
+          |> List.filter_map (fun (k : Topology.link) ->
+                 if
+                   (k.Topology.src = l.Topology.src && k.Topology.dst = l.Topology.dst)
+                   || (k.Topology.src = l.Topology.dst && k.Topology.dst = l.Topology.src)
+                 then Some k.Topology.id
+                 else None)
+        in
+        let load =
+          List.fold_left
+            (fun acc i -> acc +. Sb_core.Load_state.link_sb_load ls i)
+            0. ids
+        in
+        if load > fst !best then best := (load, ids)
+      end)
+    links;
+  snd !best
+
+let test_resolve_reacts_to_link_failure () =
+  let m = small_model () in
+  let prev = Dp.solve m in
+  let failed = hottest_duplex m prev in
+  Alcotest.(check bool) "some loaded duplex exists" true (failed <> []);
+  let m' = Model.with_failed_links m failed in
+  let r, stats = Dp.resolve ~hysteresis:0.05 ~prev m' in
+  Alcotest.(check bool) "failure triggers re-routes" true (stats.Dp.rerouted <> []);
+  (match Routing.validate r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "resolved routing invalid: %s" e);
+  (* The re-solve must do at least as well as leaving the old routes in
+     place on the degraded topology. *)
+  let stale = Routing.create m' in
+  for c = 0 to Model.num_chains m - 1 do
+    List.iter
+      (fun (nodes, frac) -> Routing.add_path stale ~chain:c ~nodes ~frac)
+      (Routing.decompose_paths prev ~chain:c)
+  done;
+  Alcotest.(check bool) "alpha not worse than stale routes" true
+    (Routing.max_alpha r >= Routing.max_alpha stale -. 1e-9)
+
+(* ------------------------- telemetry round trip ------------------------- *)
+
+(* Two sites 10 ms apart; one single-VNF chain ingress at 0, VNF and egress
+   at 1. Epoch length 1 s. *)
+let make_system () =
+  let sys =
+    System.create ~seed:5 ~num_sites:2
+      ~delay:(fun a b -> if a = b then 0. else 0.010)
+      ~gsb_site:0 ()
+  in
+  System.deploy_vnf sys ~vnf:0 ~site:1 ~capacity:100. ~instances:1;
+  System.register_edge sys ~site:0 ~attachment:"in";
+  System.register_edge sys ~site:1 ~attachment:"out";
+  System.set_route_policy sys (fun _ ~exclude:_ ->
+      Some [ { Ct.element_sites = [| 0; 1; 1 |]; weight = 1.0 } ]);
+  let chain =
+    System.request_chain sys
+      {
+        Ct.spec_name = "t";
+        ingress_attachment = "in";
+        egress_attachment = "out";
+        vnfs = [ 0 ];
+        traffic = 5.;
+      }
+  in
+  Engine.run (System.engine sys);
+  (sys, chain)
+
+let test_telemetry_roundtrip_and_staleness () =
+  let sys, chain = make_system () in
+  let eng = System.engine sys in
+  let exporters =
+    List.map
+      (fun site -> Telemetry.Exporter.start ~system:sys ~site ~period:1.0 ())
+      [ 0; 1 ]
+  in
+  let agg =
+    Telemetry.Aggregator.create ~system:sys ~site:0 ~chains:[ chain ] ~num_sites:2
+      ~staleness:2 ()
+  in
+  let t0 = Engine.now eng in
+  let rng = Sb_util.Rng.create 9 in
+  let inject count =
+    for _ = 1 to count do
+      ignore (System.probe_chain sys ~chain (Packet.random_tuple rng))
+    done
+  in
+  ignore (Engine.schedule_at eng ~time:(t0 +. 0.2) (fun () -> inject 7));
+  ignore (Engine.schedule_at eng ~time:(t0 +. 1.2) (fun () -> inject 11));
+  (* The aggregator retains only the freshest sample per (chain, site), so
+     each epoch must be read at its control tick — shortly after the
+     epoch's exports land — exactly as the control loop does. *)
+  let q = Array.make 3 None in
+  let stages1 = ref [||] in
+  for e = 0 to 2 do
+    ignore
+      (Engine.schedule_at eng
+         ~time:(t0 +. float_of_int (e + 1) +. 0.3)
+         (fun () ->
+           q.(e) <- Telemetry.Aggregator.chain_packets agg ~epoch:e ~chain;
+           if e = 1 then stages1 := Telemetry.Aggregator.chain_stages agg ~epoch:1 ~chain))
+  done;
+  ignore
+    (Engine.schedule_at eng ~time:(t0 +. 3.5) (fun () ->
+         List.iter Telemetry.Exporter.stop exporters));
+  Engine.run eng;
+  (* Windows 0/1/2 were exported (the stop lands before the epoch-3 tick). *)
+  Alcotest.(check int) "last epoch seen" 2 (Telemetry.Aggregator.last_epoch agg);
+  Alcotest.(check bool) "reports flowed" true (Telemetry.Aggregator.reports agg > 0);
+  Alcotest.(check (option int)) "epoch 0 packets" (Some 7) q.(0);
+  Alcotest.(check (option int)) "epoch 1 packets (delta, not cumulative)" (Some 11) q.(1);
+  Alcotest.(check (option int)) "quiet window still reports" (Some 0) q.(2);
+  (* Per-stage view: a 1-VNF chain has stages 0 (into the VNF) and 1 (to
+     the egress), both carrying every probe of the window. *)
+  Alcotest.(check int) "two stages" 2 (Array.length !stages1);
+  Array.iteri
+    (fun i (pkts, _) -> Alcotest.(check int) (Printf.sprintf "stage %d" i) 11 pkts)
+    !stages1;
+  (* Staleness: with staleness 2, the epoch-2 samples serve queries up to
+     epoch 3 and age out at epoch 4. *)
+  Alcotest.(check (option int)) "held one epoch past last report" (Some 0)
+    (Telemetry.Aggregator.chain_packets agg ~epoch:3 ~chain);
+  Alcotest.(check (option int)) "aged out after staleness window" None
+    (Telemetry.Aggregator.chain_packets agg ~epoch:4 ~chain)
+
+let test_update_routes_rollout () =
+  let sys, chain = make_system () in
+  let eng = System.engine sys in
+  System.update_routes sys ~chain [ { Ct.element_sites = [| 0; 1; 1 |]; weight = 0.5 } ];
+  Engine.run eng;
+  match
+    List.filter (fun (r : Ct.route) -> r.Ct.weight > 0.) (System.chain_routes sys ~chain)
+  with
+  | [ r ] ->
+    Alcotest.(check (float 1e-9)) "new weight installed" 0.5 r.Ct.weight;
+    Alcotest.(check (array int)) "sites preserved" [| 0; 1; 1 |] r.Ct.element_sites
+  | rs -> Alcotest.failf "expected 1 installed route, got %d" (List.length rs)
+
+(* ----------------------------- closed loop ----------------------------- *)
+
+let smoke_scenario () =
+  let m = small_model ~seed:3 ~chains:8 () in
+  {
+    Loop.sc_model = m;
+    sc_epochs = 4;
+    sc_epoch_len = 1.0;
+    sc_demand = (fun ~epoch:_ ~chain:_ -> 1.0);
+    sc_failures = [];
+  }
+
+let test_closed_loop_smoke_deterministic () =
+  let sc = smoke_scenario () in
+  let params = { Loop.default_params with Loop.churn_budget = 3 } in
+  let r1 = Loop.run ~params sc Loop.Closed_loop in
+  let r2 = Loop.run ~params sc Loop.Closed_loop in
+  Alcotest.(check int) "all epochs evaluated" 4 (List.length r1.Loop.epochs);
+  List.iter2
+    (fun (a : Loop.epoch_report) (b : Loop.epoch_report) ->
+      Alcotest.(check (float 0.)) "supported deterministic" a.Loop.ep_supported
+        b.Loop.ep_supported;
+      Alcotest.(check int) "churn deterministic" a.Loop.ep_rerouted b.Loop.ep_rerouted;
+      Alcotest.(check bool) "traffic flows" true (a.Loop.ep_supported > 0.);
+      Alcotest.(check bool) "churn within budget" true
+        (a.Loop.ep_rerouted <= params.Loop.churn_budget))
+    r1.Loop.epochs r2.Loop.epochs
+
+let test_closed_loop_tracks_static_on_steady_demand () =
+  (* Constant demand and no failures: the closed loop has nothing to
+     exploit, so it must at least match the static arm (it may micro-tune
+     the greedy initial solution but never regress it). *)
+  let sc = smoke_scenario () in
+  let closed = Loop.run sc Loop.Closed_loop in
+  let static = Loop.run sc Loop.Static in
+  List.iter2
+    (fun (c : Loop.epoch_report) (s : Loop.epoch_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d closed >= 0.99 static" c.Loop.ep_epoch)
+        true
+        (c.Loop.ep_supported >= (0.99 *. s.Loop.ep_supported) -. 1e-9))
+    closed.Loop.epochs static.Loop.epochs
+
+let () =
+  Alcotest.run "sb_adapt"
+    [
+      ( "resolve",
+        [
+          Alcotest.test_case "noop under infinite hysteresis" `Quick
+            test_resolve_noop_under_infinite_hysteresis;
+          Alcotest.test_case "churn budget respected" `Quick
+            test_resolve_respects_churn_budget;
+          Alcotest.test_case "deterministic" `Quick test_resolve_deterministic;
+          Alcotest.test_case "reacts to link failure" `Quick
+            test_resolve_reacts_to_link_failure;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "export/aggregate round trip + staleness" `Quick
+            test_telemetry_roundtrip_and_staleness;
+          Alcotest.test_case "update_routes rollout" `Quick test_update_routes_rollout;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "closed-loop smoke deterministic" `Quick
+            test_closed_loop_smoke_deterministic;
+          Alcotest.test_case "steady demand: closed >= static" `Quick
+            test_closed_loop_tracks_static_on_steady_demand;
+        ] );
+    ]

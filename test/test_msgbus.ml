@@ -134,6 +134,29 @@ let test_queueing_latency_under_load () =
   (* 200 messages at 100/s: the tail waits ~2 s. *)
   Alcotest.(check bool) "queueing visible in tail latency" true (lat > 1.0)
 
+let test_latency_reservoir_bounded () =
+  (* Push well past the reservoir capacity: memory stays bounded, the
+     total count keeps the true tally, and the retained sample is a
+     deterministic function of the delivery sequence. *)
+  let run () =
+    let eng, bus = make_bus ~num_sites:2 ~egress_rate:1e9 ~buffer:1_000_000 () in
+    Bus.subscribe bus ~site:1 ~topic:"/t" (fun () -> ());
+    for i = 0 to 19_999 do
+      ignore
+        (Engine.schedule eng
+           ~delay:(1. +. (1e-4 *. float_of_int i))
+           (fun () -> Bus.publish bus ~site:0 ~topic:"/t" ()))
+    done;
+    Engine.run eng;
+    Bus.stats bus
+  in
+  let s1 = run () in
+  Alcotest.(check int) "all samples counted" 20_000 s1.Bus.latency_count;
+  Alcotest.(check int) "reservoir capped" 16_384 (List.length s1.Bus.latencies);
+  let s2 = run () in
+  Alcotest.(check bool) "retained sample deterministic" true
+    (s1.Bus.latencies = s2.Bus.latencies)
+
 let test_stats_reset () =
   let eng, bus = make_bus () in
   Bus.subscribe bus ~site:1 ~topic:"/t" (fun () -> ());
@@ -264,6 +287,8 @@ let () =
             test_publish_during_filter_flight;
           Alcotest.test_case "buffer overflow drops" `Quick test_drops_on_buffer_overflow;
           Alcotest.test_case "queueing latency" `Quick test_queueing_latency_under_load;
+          Alcotest.test_case "latency reservoir bounded" `Quick
+            test_latency_reservoir_bounded;
           Alcotest.test_case "stats reset" `Quick test_stats_reset;
           Alcotest.test_case "subscriber sites" `Quick test_subscriber_sites;
           Alcotest.test_case "reflector floods all sites" `Quick
