@@ -431,14 +431,13 @@ let te_model ?(coverage = Workload.default.Workload.coverage)
 let fig12a () =
   header "Figure 12a: supported throughput vs VNF coverage";
   let t = Table.create ~header:[ "coverage"; "ANYCAST"; "SB-DP"; "SB-LP" ] in
-  List.iter
-    (fun coverage ->
-      let m = te_model ~coverage () in
-      let tput s = Eval.throughput m s in
-      Table.add_float_row t
-        (Printf.sprintf "%.2f" coverage)
-        [ tput Eval.Anycast; tput Eval.Sb_dp; tput Eval.Sb_lp ])
-    [ 0.25; 0.5; 0.75; 1.0 ];
+  let coverages = [| 0.25; 0.5; 0.75; 1.0 |] in
+  let models = Array.map (fun coverage -> te_model ~coverage ()) coverages in
+  let grid = Eval.throughput_grid models [| Eval.Anycast; Eval.Sb_dp; Eval.Sb_lp |] in
+  Array.iteri
+    (fun i coverage ->
+      Table.add_float_row t (Printf.sprintf "%.2f" coverage) (Array.to_list grid.(i)))
+    coverages;
   Table.print t;
   print_endline
     "(paper: SB-LP and SB-DP improve with coverage; ANYCAST an order of magnitude lower)"
@@ -446,13 +445,13 @@ let fig12a () =
 let fig12b () =
   header "Figure 12b: supported throughput vs VNF CPU/byte";
   let t = Table.create ~header:[ "CPU/unit"; "ANYCAST"; "SB-DP"; "SB-LP" ] in
-  List.iter
-    (fun cpu ->
-      let m = te_model ~cpu () in
-      let tput s = Eval.throughput m s in
-      Table.add_float_row t (Printf.sprintf "%.2g" cpu)
-        [ tput Eval.Anycast; tput Eval.Sb_dp; tput Eval.Sb_lp ])
-    [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  let cpus = [| 0.25; 0.5; 1.0; 2.0; 4.0 |] in
+  let models = Array.map (fun cpu -> te_model ~cpu ()) cpus in
+  let grid = Eval.throughput_grid models [| Eval.Anycast; Eval.Sb_dp; Eval.Sb_lp |] in
+  Array.iteri
+    (fun i cpu ->
+      Table.add_float_row t (Printf.sprintf "%.2g" cpu) (Array.to_list grid.(i)))
+    cpus;
   Table.print t;
   print_endline
     "(low CPU/unit: network-bound; high: compute-bound. SB-DP within tens of % of SB-LP)"
@@ -461,15 +460,14 @@ let fig12c () =
   header "Figure 12c: mean chain latency vs offered load";
   let m = te_model () in
   let t = Table.create ~header:[ "load factor"; "ANYCAST (ms)"; "SB-DP (ms)"; "SB-LP (ms)" ] in
-  List.iter
-    (fun load ->
-      let lat s =
-        let v = Eval.latency ~load m s in
-        if v = infinity then "-" else Printf.sprintf "%.2f" (1000. *. v)
-      in
+  let loads = [| 0.1; 0.25; 0.5; 0.75; 1.0; 1.25; 1.5 |] in
+  let grid = Eval.latency_grid ~loads m [| Eval.Anycast; Eval.Sb_dp; Eval.Sb_lp |] in
+  Array.iteri
+    (fun i load ->
+      let lat v = if v = infinity then "-" else Printf.sprintf "%.2f" (1000. *. v) in
       Table.add_row t
-        [ Printf.sprintf "%.2f" load; lat Eval.Anycast; lat Eval.Sb_dp; lat Eval.Sb_lp ])
-    [ 0.1; 0.25; 0.5; 0.75; 1.0; 1.25; 1.5 ];
+        [ Printf.sprintf "%.2f" load; lat grid.(i).(0); lat grid.(i).(1); lat grid.(i).(2) ])
+    loads;
   Table.print t;
   print_endline
     "('-' = the scheme cannot carry that load; paper: ANYCAST dies at ~10% of SB-LP's max load,\n SB-DP latency within 8% of SB-LP)"
@@ -881,6 +879,172 @@ module Legacy_paths = struct
       (fractions t ~src ~dst)
 end
 
+(* The seed's copy-per-probe evaluation loop, kept verbatim as the
+   baseline for the packed-arena Eval: every bisection probe builds a
+   scaled model copy, routes it from scratch and allocates a fresh load
+   state for max_alpha. Calls only public APIs, so it keeps measuring the
+   same work even as the library evolves underneath. *)
+module Legacy_eval = struct
+  module Load_state = Sb_core.Load_state
+
+  (* The seed's SB-DP solver loop: the public legacy [best_path] kernel
+     (generation-stamped stage-cost cache, per-call DP tables) driving the
+     seed's Hashtbl-accumulating path_headroom, committing into a fresh
+     model-derived load state per solve. *)
+  let path_headroom state chain nodes =
+    let m = Load_state.model state in
+    let topo = Model.topology m in
+    let paths = Model.paths m in
+    let link_demand = Hashtbl.create 16 in
+    let vnf_demand = Hashtbl.create 8 in
+    let site_demand = Hashtbl.create 8 in
+    let bump tbl key amount =
+      let cur = try Hashtbl.find tbl key with Not_found -> 0. in
+      Hashtbl.replace tbl key (cur +. amount)
+    in
+    let charge_compute vnf_opt node volume =
+      match (vnf_opt, Model.site_of_node m node) with
+      | Some f, Some s ->
+        let load = Model.vnf_cpu_per_unit m f *. volume in
+        bump vnf_demand (f, s) load;
+        bump site_demand s load
+      | _ -> ()
+    in
+    for z = 0 to Array.length nodes - 2 do
+      let src = nodes.(z) and dst = nodes.(z + 1) in
+      let w = Model.fwd_traffic m ~chain ~stage:z in
+      let v = Model.rev_traffic m ~chain ~stage:z in
+      Sb_net.Paths.iter_fractions paths ~src ~dst (fun e frac ->
+          bump link_demand e (w *. frac));
+      Sb_net.Paths.iter_fractions paths ~src:dst ~dst:src (fun e frac ->
+          bump link_demand e (v *. frac));
+      let src_vnf = if z = 0 then None else Model.stage_dst_vnf m ~chain ~stage:(z - 1) in
+      charge_compute src_vnf src (w +. v);
+      charge_compute (Model.stage_dst_vnf m ~chain ~stage:z) dst (w +. v)
+    done;
+    let cap = ref infinity in
+    let consider room per_unit =
+      if per_unit > 1e-12 then cap := Float.min !cap (room /. per_unit)
+    in
+    Hashtbl.iter
+      (fun e demand ->
+        let l = Topology.link topo e in
+        let room =
+          (Model.beta m *. l.Topology.bandwidth) -. Model.background m e
+          -. Load_state.link_sb_load state e
+        in
+        consider room demand)
+      link_demand;
+    Hashtbl.iter
+      (fun (f, s) demand ->
+        consider
+          (Model.vnf_site_capacity m ~vnf:f ~site:s
+          -. Load_state.vnf_load state ~vnf:f ~site:s)
+          demand)
+      vnf_demand;
+    Hashtbl.iter
+      (fun s demand ->
+        consider (Model.site_capacity m s -. Load_state.site_load state s) demand)
+      site_demand;
+    Float.max 0. !cap
+
+  let commit state chain nodes frac =
+    for z = 0 to Array.length nodes - 2 do
+      Load_state.add_stage_flow state ~chain ~stage:z ~src:nodes.(z)
+        ~dst:nodes.(z + 1) ~frac
+    done
+
+  let chain_order ?rng m =
+    let order = Array.init (Model.num_chains m) (fun c -> c) in
+    (match rng with Some r -> Rng.shuffle r order | None -> ());
+    order
+
+  let min_split = 0.02
+
+  let route_pair state routing ~util_weight ~max_routes chain ~ingress ~egress ~share =
+    let rec go remaining routes_left =
+      if remaining > 1e-9 then
+        match Sb_core.Dp_routing.best_path ~ingress ~egress state ~util_weight ~chain with
+        | None -> ()
+        | Some nodes ->
+          let headroom =
+            if util_weight = 0. then remaining else path_headroom state chain nodes
+          in
+          let frac =
+            if routes_left <= 1 || headroom >= remaining -. 1e-9 || headroom < min_split
+            then remaining
+            else Float.min remaining headroom
+          in
+          Routing.add_path routing ~chain ~nodes ~frac;
+          commit state chain nodes frac;
+          go (remaining -. frac) (routes_left - 1)
+    in
+    go share max_routes
+
+  let route_chain state routing ~util_weight ~max_routes chain =
+    let m = Load_state.model state in
+    List.iter
+      (fun (ingress, ishare) ->
+        List.iter
+          (fun (egress, eshare) ->
+            route_pair state routing ~util_weight ~max_routes chain ~ingress ~egress
+              ~share:(ishare *. eshare))
+          (Model.chain_egresses m chain))
+      (Model.chain_ingresses m chain)
+
+  let solve ?(util_weight = Sb_core.Dp_routing.default_util_weight) ?(max_routes = 8)
+      ?rng m =
+    let state = Load_state.create m in
+    let routing = Routing.create m in
+    Array.iter
+      (fun c -> route_chain state routing ~util_weight ~max_routes c)
+      (chain_order ?rng m);
+    routing
+
+  let dp_latency ?rng m = solve ~util_weight:0. ~max_routes:1 ?rng m
+
+  let route_heuristic ?(seed = 1) m = function
+    | Eval.Anycast -> Sb_core.Greedy.anycast m
+    | Eval.Compute_aware -> Sb_core.Greedy.compute_aware m
+    | Eval.Onehop -> Sb_core.Greedy.onehop m
+    | Eval.Dp_latency -> dp_latency ~rng:(Rng.create seed) m
+    | Eval.Sb_dp -> solve ~rng:(Rng.create seed) m
+    | Eval.Sb_lp -> invalid_arg "route_heuristic: Sb_lp"
+
+  let sustains ?seed m scheme factor =
+    let scaled = Model.with_scaled_traffic m factor in
+    let r = route_heuristic ?seed scaled scheme in
+    Routing.max_alpha r >= 1. -. 1e-9
+
+  let max_load_factor ?seed ?(tol = 0.02) m scheme =
+    match scheme with
+    | Eval.Sb_lp -> (
+      match Sb_core.Lp_routing.solve m Sb_core.Lp_routing.Max_throughput with
+      | Ok { objective_value; _ } -> objective_value
+      | Error _ -> 0.)
+    | Eval.Anycast | Eval.Dp_latency ->
+      Routing.max_alpha (route_heuristic ?seed m scheme)
+    | Eval.Compute_aware | Eval.Onehop | Eval.Sb_dp ->
+      if not (sustains ?seed m scheme 1e-6) then 0.
+      else begin
+        let lo = ref 1e-6 and hi = ref 1. in
+        let guard = ref 0 in
+        while sustains ?seed m scheme !hi && !guard < 40 do
+          lo := !hi;
+          hi := !hi *. 2.;
+          incr guard
+        done;
+        if !guard >= 40 then !hi
+        else begin
+          while (!hi -. !lo) /. !hi > tol do
+            let mid = (!lo +. !hi) /. 2. in
+            if sustains ?seed m scheme mid then lo := mid else hi := mid
+          done;
+          !lo
+        end
+      end
+end
+
 (* ~100-node synthetic backbone (20 core x 4 PoPs) with a mid-size chain
    workload: the scale at which SB-DP's constant factors start to matter. *)
 let big_topo () =
@@ -1172,6 +1336,84 @@ let micro () =
     Printf.fprintf oc "    \"dp_solve_8_nodes_16_chains\": %.4f\n  }\n}\n" wall_dp_te;
     close_out oc;
     print_endline "wrote BENCH_dp.json"
+  end;
+  (* Before/after walls of the packed Eval arena: the seed's copy-per-probe
+     bisection (Legacy_eval, scaled model + fresh solve + fresh load state
+     per probe) vs the in-place instance-scaling arena, on the 100-node
+     backbone. The two must agree bit-for-bit — the arena changes where the
+     floats live, not what gets computed. *)
+  let eval_legacy_dp = ref nan and eval_packed_dp = ref nan in
+  let eval_legacy_ca = ref nan and eval_packed_ca = ref nan in
+  let wall_eval_legacy_dp =
+    wall (fun () -> eval_legacy_dp := Legacy_eval.max_load_factor big_m Eval.Sb_dp)
+  in
+  let wall_eval_packed_dp =
+    wall (fun () -> eval_packed_dp := Eval.max_load_factor big_m Eval.Sb_dp)
+  in
+  let wall_eval_legacy_ca =
+    wall (fun () ->
+        eval_legacy_ca := Legacy_eval.max_load_factor big_m Eval.Compute_aware)
+  in
+  let wall_eval_packed_ca =
+    wall (fun () -> eval_packed_ca := Eval.max_load_factor big_m Eval.Compute_aware)
+  in
+  let mlf_identical =
+    !eval_legacy_dp = !eval_packed_dp && !eval_legacy_ca = !eval_packed_ca
+  in
+  let ratio b a = if a > 0. then b /. a else nan in
+  Printf.printf
+    "wall: eval_mlf sb-dp legacy=%.3fs packed=%.3fs (%.1fx); compute-aware \
+     legacy=%.3fs packed=%.3fs (%.1fx); identical=%b\n"
+    wall_eval_legacy_dp wall_eval_packed_dp
+    (ratio wall_eval_legacy_dp wall_eval_packed_dp)
+    wall_eval_legacy_ca wall_eval_packed_ca
+    (ratio wall_eval_legacy_ca wall_eval_packed_ca)
+    mlf_identical;
+  (* The fig12a sweep, sequential vs fanned over domains: same cells, same
+     results, wall clock divided by the grid parallelism. *)
+  let fig12a_models =
+    Array.map (fun coverage -> te_model ~coverage ()) [| 0.25; 0.5; 0.75; 1.0 |]
+  in
+  let fig12a_schemes = [| Eval.Anycast; Eval.Sb_dp; Eval.Sb_lp |] in
+  let grid_seq = ref [||] and grid_par = ref [||] in
+  (* Warm once so neither timed run pays the other's GC debt. *)
+  ignore (Eval.throughput_grid ~domains:1 fig12a_models fig12a_schemes);
+  let wall_fig12a_seq =
+    wall (fun () -> grid_seq := Eval.throughput_grid ~domains:1 fig12a_models fig12a_schemes)
+  in
+  let wall_fig12a_par =
+    wall (fun () -> grid_par := Eval.throughput_grid fig12a_models fig12a_schemes)
+  in
+  let grid_identical = !grid_seq = !grid_par in
+  let domains = Sb_util.Par.default_domains () in
+  Printf.printf
+    "wall: fig12a sweep sequential=%.3fs parallel=%.3fs (%.1fx over %d domains); \
+     identical=%b\n"
+    wall_fig12a_seq wall_fig12a_par
+    (ratio wall_fig12a_seq wall_fig12a_par)
+    domains grid_identical;
+  if !json_mode then begin
+    let oc = open_out "BENCH_eval.json" in
+    Printf.fprintf oc "{\n  \"max_load_factor_wall_seconds\": {\n";
+    Printf.fprintf oc "    \"sb_dp_legacy\": %.4f,\n" wall_eval_legacy_dp;
+    Printf.fprintf oc "    \"sb_dp_packed\": %.4f,\n" wall_eval_packed_dp;
+    Printf.fprintf oc "    \"compute_aware_legacy\": %.4f,\n" wall_eval_legacy_ca;
+    Printf.fprintf oc "    \"compute_aware_packed\": %.4f\n  },\n" wall_eval_packed_ca;
+    Printf.fprintf oc "  \"speedup\": {\n";
+    Printf.fprintf oc "    \"sb_dp\": %.2f,\n" (ratio wall_eval_legacy_dp wall_eval_packed_dp);
+    Printf.fprintf oc "    \"compute_aware\": %.2f\n  },\n"
+      (ratio wall_eval_legacy_ca wall_eval_packed_ca);
+    Printf.fprintf oc "  \"values\": {\n";
+    Printf.fprintf oc "    \"sb_dp_max_load_factor\": %.12g,\n" !eval_packed_dp;
+    Printf.fprintf oc "    \"compute_aware_max_load_factor\": %.12g,\n" !eval_packed_ca;
+    Printf.fprintf oc "    \"legacy_packed_identical\": %b\n  },\n" mlf_identical;
+    Printf.fprintf oc "  \"fig12a_sweep_wall_seconds\": {\n";
+    Printf.fprintf oc "    \"sequential\": %.4f,\n" wall_fig12a_seq;
+    Printf.fprintf oc "    \"parallel\": %.4f,\n" wall_fig12a_par;
+    Printf.fprintf oc "    \"domains\": %d,\n" domains;
+    Printf.fprintf oc "    \"grids_identical\": %b\n  }\n}\n" grid_identical;
+    close_out oc;
+    print_endline "wrote BENCH_eval.json"
   end
 
 (* ------------------------------------------------------------------ *)

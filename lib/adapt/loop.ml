@@ -2,6 +2,8 @@ module Engine = Sb_sim.Engine
 module System = Sb_ctrl.System
 module Ct = Sb_ctrl.Types
 module Model = Sb_core.Model
+module Instance = Sb_core.Instance
+module Load_state = Sb_core.Load_state
 module Routing = Sb_core.Routing
 module Dp = Sb_core.Dp_routing
 module Paths = Sb_net.Paths
@@ -100,12 +102,16 @@ let truth sc e =
    carries everything the epoch offers, an overloaded one only its feasible
    fraction — spare headroom beyond alpha = 1 earns nothing. *)
 let measure tm paths_per_chain =
-  let r = Routing.create tm in
+  (* One compiled instance backs the packed routing AND the alpha
+     evaluation arena — the epoch loop no longer re-walks the model. *)
+  let inst = Instance.compile tm in
+  let r = Routing.of_instance inst in
   Array.iteri
     (fun c paths ->
       List.iter (fun (nodes, frac) -> Routing.add_path r ~chain:c ~nodes ~frac) paths)
     paths_per_chain;
-  let satisfied = Float.min 1. (Routing.max_alpha r) *. Model.total_demand tm in
+  let alpha = Routing.max_alpha_into (Load_state.of_instance inst) r in
+  let satisfied = Float.min 1. alpha *. Model.total_demand tm in
   let e2e = E2e.evaluate r in
   (satisfied, e2e.E2e.total_throughput, e2e.E2e.mean_rtt)
 

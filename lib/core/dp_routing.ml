@@ -1,21 +1,22 @@
 let default_util_weight = 0.05
 
 (* Candidate nodes for element [z] of a chain (0 = ingress, L+1 = egress). *)
-let element_nodes m chain ~ingress ~egress z =
-  let len = Model.chain_length m chain in
+let element_nodes inst chain ~ingress ~egress z =
+  let len = Instance.num_stages inst chain - 1 in
   if z = 0 then [| ingress |]
   else if z = len + 1 then [| egress |]
-  else Array.of_list (Model.stage_dst_nodes m ~chain ~stage:(z - 1))
+  else Array.of_list (Instance.stage_dst_nodes inst ~chain ~stage:(z - 1))
 
 let best_path ?ingress ?egress state ~util_weight ~chain =
-  let m = Load_state.model state in
+  let inst = Load_state.instance state in
+  let m = Instance.model inst in
   let ingress = match ingress with Some i -> i | None -> Model.chain_ingress m chain in
   let egress = match egress with Some e -> e | None -> Model.chain_egress m chain in
-  let len = Model.chain_length m chain in
+  let len = Instance.num_stages inst chain - 1 in
   (* Per-element candidate arrays plus parallel cost/parent tables — the DP
      scans them with plain loops instead of rebuilding List.map/fold chains
      per element. *)
-  let nodes_of = Array.init (len + 2) (element_nodes m chain ~ingress ~egress) in
+  let nodes_of = Array.init (len + 2) (element_nodes inst chain ~ingress ~egress) in
   let cost = Array.map (fun ns -> Array.make (Array.length ns) infinity) nodes_of in
   let parent = Array.map (fun ns -> Array.make (Array.length ns) (-1)) nodes_of in
   cost.(0).(0) <- 0.;
@@ -66,65 +67,247 @@ let best_path ?ingress ?egress state ~util_weight ~chain =
   end
   else None
 
+(* ------------------------- Solve scratch arena ----------------------- *)
+
+(* Per-solve scratch: flat DP tables plus dense per-resource demand
+   accumulators for path_headroom, allocated once per solve (or per reused
+   eval arena) instead of per chain/per probe. The stamp arrays make
+   clearing the dense accumulators O(touched). *)
+type scratch = {
+  mutable stride : int; (* DP table row width *)
+  mutable cost : float array; (* [z * stride + j] *)
+  mutable parent : int array; (* candidate index at element z - 1 *)
+  mutable epoch : int;
+  link_demand : float array;
+  link_stamp : int array;
+  link_touched : int array;
+  mutable link_n : int;
+  site_demand : float array;
+  site_stamp : int array;
+  site_touched : int array;
+  mutable site_n : int;
+  vnf_demand : float array; (* vnf * num_sites + site *)
+  vnf_stamp : int array;
+  vnf_touched : int array;
+  mutable vnf_n : int;
+}
+
+let make_scratch inst =
+  let ns = Instance.num_sites inst in
+  let nf = Instance.num_vnfs inst in
+  let nl = Sb_net.Topology.num_links (Model.topology (Instance.model inst)) in
+  {
+    stride = 0;
+    cost = [||];
+    parent = [||];
+    epoch = 0;
+    link_demand = Array.make (max 1 nl) 0.;
+    link_stamp = Array.make (max 1 nl) 0;
+    link_touched = Array.make (max 1 nl) 0;
+    link_n = 0;
+    site_demand = Array.make (max 1 ns) 0.;
+    site_stamp = Array.make (max 1 ns) 0;
+    site_touched = Array.make (max 1 ns) 0;
+    site_n = 0;
+    vnf_demand = Array.make (max 1 (nf * ns)) 0.;
+    vnf_stamp = Array.make (max 1 (nf * ns)) 0;
+    vnf_touched = Array.make (max 1 (nf * ns)) 0;
+    vnf_n = 0;
+  }
+
+let ensure_tables scr ~rows ~stride =
+  if rows * stride > Array.length scr.cost then begin
+    scr.cost <- Array.make (rows * stride) infinity;
+    scr.parent <- Array.make (rows * stride) (-1)
+  end;
+  scr.stride <- stride
+
+(* The single-sweep DP used by [solve]. Bit-identical to [best_path] but
+   without cache traffic (within one solve every commit bumps the load
+   generation, so the stage-cost cache can never hit) and with a
+   delay-lower-bound prune: [stage_cost = delay + uw * (net + cc)] with
+   [net >= 0] on the monotone non-negative loads a solve accumulates, and
+   float rounding is monotone, so
+   [pc +. (delay +. uw *. cc) >= best] implies the full cost cannot beat
+   [best] under the strict [<] tie-break — the pair is skipped without
+   touching the link arrays. Not used by [resolve]: lift-outs can leave
+   ~1e-16 negative load residues that make [net] infinitesimally negative
+   and void the bound. *)
+let best_path_pruned scr state ~util_weight ~chain ~ingress ~egress =
+  let inst = Load_state.instance state in
+  let paths = Model.paths (Instance.model inst) in
+  let base = (Instance.stage_off inst).(chain) in
+  let len = Instance.num_stages inst chain - 1 in
+  let dst_off = Instance.dst_off inst in
+  let dst_nodes = Instance.dst_nodes inst in
+  let cand_count z =
+    if z = 0 || z = len + 1 then 1 else dst_off.(base + z) - dst_off.(base + z - 1)
+  in
+  let node_at z j =
+    if z = 0 then ingress
+    else if z = len + 1 then egress
+    else dst_nodes.(dst_off.(base + z - 1) + j)
+  in
+  let stride = ref 1 in
+  for z = 1 to len do
+    let c = cand_count z in
+    if c > !stride then stride := c
+  done;
+  ensure_tables scr ~rows:(len + 2) ~stride:!stride;
+  let stride = !stride in
+  let cost = scr.cost and parent = scr.parent in
+  cost.(0) <- 0.;
+  for z = 1 to len + 1 do
+    let prev_n = cand_count (z - 1) in
+    let cur_n = cand_count z in
+    let prow = (z - 1) * stride in
+    let crow = z * stride in
+    for j = 0 to cur_n - 1 do
+      let node = node_at z j in
+      let bc = ref infinity and bp = ref (-1) in
+      if util_weight = 0. then
+        for i = 0 to prev_n - 1 do
+          let pc = cost.(prow + i) in
+          if pc < infinity then begin
+            let c = pc +. Sb_net.Paths.delay paths (node_at (z - 1) i) node in
+            if c < !bc then begin
+              bc := c;
+              bp := i
+            end
+          end
+        done
+      else begin
+        let cc = Load_state.stage_compute_cost state ~chain ~stage:(z - 1) ~dst:node in
+        let uwcc = util_weight *. cc in
+        for i = 0 to prev_n - 1 do
+          let pc = cost.(prow + i) in
+          if pc < infinity then begin
+            let src = node_at (z - 1) i in
+            let delay = Sb_net.Paths.delay paths src node in
+            if pc +. (delay +. uwcc) < !bc then begin
+              let net = Load_state.stage_net_cost state ~chain ~stage:(z - 1) ~src ~dst:node in
+              let c = pc +. (delay +. (util_weight *. (net +. cc))) in
+              if c < !bc then begin
+                bc := c;
+                bp := i
+              end
+            end
+          end
+        done
+      end;
+      cost.(crow + j) <- !bc;
+      parent.(crow + j) <- !bp
+    done
+  done;
+  if cost.(((len + 1) * stride)) < infinity then begin
+    let nodes = Array.make (len + 2) egress in
+    let j = ref parent.(((len + 1) * stride)) in
+    for z = len downto 1 do
+      nodes.(z) <- node_at z !j;
+      j := parent.((z * stride) + !j)
+    done;
+    nodes.(0) <- ingress;
+    Some nodes
+  end
+  else None
+
 (* Largest fraction of the chain the path can carry within remaining link,
    site, and deployment capacities. Demand is accumulated per resource over
    the whole path first (a VNF is charged on both its inbound and outbound
    stages per Eq. 4, and a link may carry several stages), then the binding
-   resource determines the fraction. *)
-let path_headroom state chain nodes =
-  let m = Load_state.model state in
+   resource determines the fraction — an exact min over per-resource
+   ratios, so the dense accumulation order is free to differ from the
+   hashtable iteration order this replaces. *)
+let path_headroom scr state chain nodes =
+  let inst = Load_state.instance state in
+  let m = Instance.model inst in
   let topo = Model.topology m in
   let paths = Model.paths m in
-  let link_demand = Hashtbl.create 16 in
-  let vnf_demand = Hashtbl.create 8 in
-  let site_demand = Hashtbl.create 8 in
-  let bump tbl key amount =
-    let cur = try Hashtbl.find tbl key with Not_found -> 0. in
-    Hashtbl.replace tbl key (cur +. amount)
+  let base = (Instance.stage_off inst).(chain) in
+  let fwd_base = Instance.fwd_base inst in
+  let rev_base = Instance.rev_base inst in
+  let scale = Instance.scale inst in
+  let stage_vnf = Instance.stage_vnf inst in
+  let node_site = Instance.node_site inst in
+  let vnf_cpu = Instance.vnf_cpu inst in
+  let dep_cap = Instance.dep_cap inst in
+  let site_cap = Instance.site_cap inst in
+  let ns = Instance.num_sites inst in
+  scr.epoch <- scr.epoch + 1;
+  let ep = scr.epoch in
+  scr.link_n <- 0;
+  scr.site_n <- 0;
+  scr.vnf_n <- 0;
+  let bump_link e amount =
+    if scr.link_stamp.(e) = ep then
+      scr.link_demand.(e) <- scr.link_demand.(e) +. amount
+    else begin
+      scr.link_stamp.(e) <- ep;
+      scr.link_demand.(e) <- amount;
+      scr.link_touched.(scr.link_n) <- e;
+      scr.link_n <- scr.link_n + 1
+    end
   in
-  let charge_compute vnf_opt node volume =
-    match (vnf_opt, Model.site_of_node m node) with
-    | Some f, Some s ->
-      let load = Model.vnf_cpu_per_unit m f *. volume in
-      bump vnf_demand (f, s) load;
-      bump site_demand s load
-    | _ -> ()
+  let charge_compute f node volume =
+    if f >= 0 then begin
+      let s = node_site.(node) in
+      if s >= 0 then begin
+        let load = vnf_cpu.(f) *. volume in
+        let fs = (f * ns) + s in
+        (if scr.vnf_stamp.(fs) = ep then
+           scr.vnf_demand.(fs) <- scr.vnf_demand.(fs) +. load
+         else begin
+           scr.vnf_stamp.(fs) <- ep;
+           scr.vnf_demand.(fs) <- load;
+           scr.vnf_touched.(scr.vnf_n) <- fs;
+           scr.vnf_n <- scr.vnf_n + 1
+         end);
+        if scr.site_stamp.(s) = ep then
+          scr.site_demand.(s) <- scr.site_demand.(s) +. load
+        else begin
+          scr.site_stamp.(s) <- ep;
+          scr.site_demand.(s) <- load;
+          scr.site_touched.(scr.site_n) <- s;
+          scr.site_n <- scr.site_n + 1
+        end
+      end
+    end
   in
   for z = 0 to Array.length nodes - 2 do
     let src = nodes.(z) and dst = nodes.(z + 1) in
-    let w = Model.fwd_traffic m ~chain ~stage:z in
-    let v = Model.rev_traffic m ~chain ~stage:z in
+    let w = fwd_base.(base + z) *. scale in
+    let v = rev_base.(base + z) *. scale in
     Sb_net.Paths.iter_fractions paths ~src ~dst (fun e frac ->
-        bump link_demand e (w *. frac));
+        bump_link e (w *. frac));
     Sb_net.Paths.iter_fractions paths ~src:dst ~dst:src (fun e frac ->
-        bump link_demand e (v *. frac));
-    let src_vnf = if z = 0 then None else Model.stage_dst_vnf m ~chain ~stage:(z - 1) in
+        bump_link e (v *. frac));
+    let src_vnf = if z = 0 then -1 else stage_vnf.(base + z - 1) in
     charge_compute src_vnf src (w +. v);
-    charge_compute (Model.stage_dst_vnf m ~chain ~stage:z) dst (w +. v)
+    charge_compute stage_vnf.(base + z) dst (w +. v)
   done;
   let cap = ref infinity in
   let consider room per_unit =
     if per_unit > 1e-12 then cap := Float.min !cap (room /. per_unit)
   in
-  Hashtbl.iter
-    (fun e demand ->
-      let l = Sb_net.Topology.link topo e in
-      let room =
-        (Model.beta m *. l.bandwidth) -. Model.background m e
-        -. Load_state.link_sb_load state e
-      in
-      consider room demand)
-    link_demand;
-  Hashtbl.iter
-    (fun (f, s) demand ->
-      consider
-        (Model.vnf_site_capacity m ~vnf:f ~site:s -. Load_state.vnf_load state ~vnf:f ~site:s)
-        demand)
-    vnf_demand;
-  Hashtbl.iter
-    (fun s demand ->
-      consider (Model.site_capacity m s -. Load_state.site_load state s) demand)
-    site_demand;
+  for k = 0 to scr.link_n - 1 do
+    let e = scr.link_touched.(k) in
+    let l = Sb_net.Topology.link topo e in
+    let room =
+      (Model.beta m *. l.bandwidth) -. Model.background m e
+      -. Load_state.link_sb_load state e
+    in
+    consider room scr.link_demand.(e)
+  done;
+  for k = 0 to scr.vnf_n - 1 do
+    let fs = scr.vnf_touched.(k) in
+    consider
+      (dep_cap.(fs) -. Load_state.vnf_load state ~vnf:(fs / ns) ~site:(fs mod ns))
+      scr.vnf_demand.(fs)
+  done;
+  for k = 0 to scr.site_n - 1 do
+    let s = scr.site_touched.(k) in
+    consider (site_cap.(s) -. Load_state.site_load state s) scr.site_demand.(s)
+  done;
   Float.max 0. !cap
 
 let commit state chain nodes frac =
@@ -142,14 +325,22 @@ let min_split = 0.02
 
 (* Route one (ingress, egress) pair of a chain, carrying [share] of the
    chain's traffic; splits across successive least-cost routes as capacity
-   runs out (Section 4.4). *)
-let route_pair state routing ~util_weight ~max_routes chain ~ingress ~egress ~share =
+   runs out (Section 4.4). [pruned] selects the cache-free pruned DP sweep
+   (single solve over monotone loads) vs. the cached one (resolve, where
+   lifted-out loads void the prune's lower bound). *)
+let route_pair scr ~pruned state routing ~util_weight ~max_routes chain ~ingress ~egress ~share =
   let rec go remaining routes_left =
-    if remaining > 1e-9 then
-      match best_path ~ingress ~egress state ~util_weight ~chain with
+    if remaining > 1e-9 then begin
+      let path =
+        if pruned then best_path_pruned scr state ~util_weight ~chain ~ingress ~egress
+        else best_path ~ingress ~egress state ~util_weight ~chain
+      in
+      match path with
       | None -> () (* unroutable chain: leave unrouted; validate will flag *)
       | Some nodes ->
-        let headroom = if util_weight = 0. then remaining else path_headroom state chain nodes in
+        let headroom =
+          if util_weight = 0. then remaining else path_headroom scr state chain nodes
+        in
         let frac =
           if routes_left <= 1 || headroom >= remaining -. 1e-9 || headroom < min_split
           then remaining (* last route, enough room, or saturated: take it all *)
@@ -158,27 +349,37 @@ let route_pair state routing ~util_weight ~max_routes chain ~ingress ~egress ~sh
         Routing.add_path routing ~chain ~nodes ~frac;
         commit state chain nodes frac;
         go (remaining -. frac) (routes_left - 1)
+    end
   in
   go share max_routes
 
-let route_chain state routing ~util_weight ~max_routes chain =
+let route_chain scr ~pruned state routing ~util_weight ~max_routes chain =
   let m = Load_state.model state in
   List.iter
     (fun (ingress, ishare) ->
       List.iter
         (fun (egress, eshare) ->
-          route_pair state routing ~util_weight ~max_routes chain ~ingress ~egress
-            ~share:(ishare *. eshare))
+          route_pair scr ~pruned state routing ~util_weight ~max_routes chain
+            ~ingress ~egress ~share:(ishare *. eshare))
         (Model.chain_egresses m chain))
     (Model.chain_ingresses m chain)
 
-let solve ?(util_weight = default_util_weight) ?(max_routes = 8) ?rng m =
-  let state = Load_state.create m in
-  let routing = Routing.create m in
+let solve_into ?(util_weight = default_util_weight) ?(max_routes = 8) ?rng state routing =
+  let inst = Load_state.instance state in
+  if not (Routing.instance routing == inst) then
+    invalid_arg "Dp_routing.solve_into: routing compiled from a different instance";
+  Load_state.reset state;
+  Routing.reset routing;
+  let scr = make_scratch inst in
   Array.iter
-    (fun c -> route_chain state routing ~util_weight ~max_routes c)
-    (chain_order ?rng m);
+    (fun c -> route_chain scr ~pruned:true state routing ~util_weight ~max_routes c)
+    (chain_order ?rng (Instance.model inst));
   routing
+
+let solve ?util_weight ?max_routes ?rng m =
+  let inst = Instance.compile m in
+  solve_into ?util_weight ?max_routes ?rng (Load_state.of_instance inst)
+    (Routing.of_instance inst)
 
 let dp_latency ?rng m = solve ~util_weight:0. ~max_routes:1 ?rng m
 
@@ -229,8 +430,10 @@ let alternative_cost state ~util_weight chain =
 
 let resolve ?(util_weight = default_util_weight) ?(max_routes = 8) ?(hysteresis = 0.1)
     ?(churn_budget = max_int) ~prev m =
-  let routing = Routing.create m in
-  let state = Load_state.create m in
+  let inst = Instance.compile m in
+  let routing = Routing.of_instance inst in
+  let state = Load_state.of_instance inst in
+  let scr = make_scratch inst in
   let n = Model.num_chains m in
   (* Re-commit the previous paths under [m]'s (possibly measured/shifted)
      demand and topology. [prev] may belong to a structurally identical
@@ -296,6 +499,6 @@ let resolve ?(util_weight = default_util_weight) ?(max_routes = 8) ?(hysteresis 
           (Routing.stage_flows routing ~chain:c ~stage);
         Routing.set_stage routing ~chain:c ~stage []
       done;
-      route_chain state routing ~util_weight ~max_routes c)
+      route_chain scr ~pruned:false state routing ~util_weight ~max_routes c)
     rerouted;
   (routing, { rerouted; considered = !considered; over_threshold = List.length ranked })

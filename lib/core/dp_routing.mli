@@ -24,7 +24,30 @@ val solve :
   Model.t ->
   Routing.t
 (** Full SB-DP. [max_routes] (default 8) bounds per-chain splitting.
-    [rng], when given, shuffles the chain processing order. *)
+    [rng], when given, shuffles the chain processing order. Equivalent to
+    {!solve_into} over a freshly compiled {!Instance}. *)
+
+val solve_into :
+  ?util_weight:float ->
+  ?max_routes:int ->
+  ?rng:Sb_util.Rng.t ->
+  Load_state.t ->
+  Routing.t ->
+  Routing.t
+(** Arena form of {!solve}: resets the given load state and routing (both
+    compiled from the same {!Instance} — [Invalid_argument] otherwise) and
+    solves in place, so a caller probing many demand scales
+    ({!Eval.max_load_factor}'s bisection) allocates nothing per probe.
+    Demand is read through the instance, honouring
+    {!Instance.set_scale}. Returns the routing it was given.
+
+    The DP sweep is cache-free and pruned: within one solve every commit
+    bumps the load generation (the stage-cost cache could never hit), and
+    a candidate pair whose delay-plus-compute lower bound cannot beat the
+    incumbent under the strict [<] tie-break is skipped before its
+    link-cost scan — bit-identical decisions to {!best_path}'s full
+    evaluation because stage costs are [delay + uw * (net + cc)] with
+    [net >= 0] on a solve's monotone loads and float rounding monotone. *)
 
 val dp_latency : ?rng:Sb_util.Rng.t -> Model.t -> Routing.t
 (** The DP-LATENCY ablation of Fig. 13a: same holistic dynamic program but

@@ -5,7 +5,7 @@
     y-axis of Figs. 12a/12b/13a as an absolute volume). For SB-LP this is
     the throughput LP's alpha. Load-aware heuristics (SB-DP, Compute-Aware,
     OneHop) get to re-route at each candidate load, so the value is found
-    by binary search on the scaled model; load-oblivious schemes route the
+    by binary search on the scaled demand; load-oblivious schemes route the
     same way at every scale, so one evaluation suffices. *)
 
 type scheme =
@@ -22,6 +22,34 @@ val scheme_name : scheme -> string
 
 val all_schemes : scheme list
 
+(** {2 Bisection constants}
+
+    The search for {!max_load_factor} probes demand scalings against one
+    reusable arena (a compiled {!Instance} whose scale is set per probe —
+    no model copy, no fresh load state per probe). Its contract:
+
+    - a factor is {e sustained} when the scheme's re-routed scaled demand
+      supports alpha >= {!feasible_alpha} (1 minus a relative epsilon, so
+      routing exactly to capacity counts as feasible);
+    - the search first probes {!probe_floor}; failure there reports 0.;
+    - otherwise the upper bound doubles from 1. while sustained, at most
+      {!growth_guard} times (hitting the guard reports the last bound);
+    - then [lo, hi] bisects until [(hi - lo) / hi <= tol], reporting [lo]
+      — a sustained factor, i.e. the result errs low, within relative
+      [tol] of the true boundary. *)
+
+val feasible_alpha : float
+(** [1. -. 1e-9]. *)
+
+val default_tol : float
+(** [0.02], the default relative bisection tolerance. *)
+
+val probe_floor : float
+(** [1e-6], the initial feasibility probe. *)
+
+val growth_guard : int
+(** [40] doublings maximum while growing the upper bound. *)
+
 val route : ?seed:int -> Model.t -> scheme -> (Routing.t, string) Result.t
 (** Route current demand. [seed] (default 1) drives SB-DP's chain order.
     For [Sb_lp] this solves the min-latency LP and falls back to the
@@ -30,7 +58,17 @@ val route : ?seed:int -> Model.t -> scheme -> (Routing.t, string) Result.t
 val max_load_factor : ?seed:int -> ?tol:float -> Model.t -> scheme -> float
 (** Largest demand multiplier the scheme sustains with every link below
     [beta], every site below [m_s], and every deployment below [m_sf].
-    [tol] is the relative binary-search tolerance (default 0.02). *)
+    [tol] is the relative binary-search tolerance (default
+    {!default_tol}). On an SB-LP solver failure this logs a warning to
+    stderr and returns 0. — use {!max_load_factor_result} to distinguish
+    programmatically. *)
+
+val max_load_factor_result :
+  ?seed:int -> ?tol:float -> Model.t -> scheme -> (float, string) result
+(** {!max_load_factor}, but an SB-LP solver failure is surfaced as
+    [Error]. The throughput LP is feasible at alpha = 0 by construction,
+    so [Error] always means the solver broke, never that the scheme
+    supports nothing; heuristic schemes always return [Ok]. *)
 
 val throughput : ?seed:int -> Model.t -> scheme -> float
 (** [max_load_factor * total_demand]: absolute supported volume. *)
@@ -41,3 +79,27 @@ val latency : ?seed:int -> load:float -> Model.t -> scheme -> float
     demand. [infinity] when the scheme saturates a deployment at that load
     (the paper reports Anycast "cannot handle" loads beyond 10%% of
     SB-LP's). *)
+
+(** {2 Parallel sweeps}
+
+    Figure sweeps evaluate a grid of independent (model/load, scheme)
+    cells; these fan the cells over OCaml domains via {!Sb_util.Par}. Each
+    cell compiles a private arena — the only shared structures are the
+    models and their paths, which are read-only — so results are
+    bit-identical to the sequential loops they replace, in any domain
+    count. *)
+
+val throughput_grid :
+  ?seed:int -> ?domains:int -> Model.t array -> scheme array -> float array array
+(** [(throughput_grid models schemes).(i).(j) =
+    throughput models.(i) schemes.(j)]. *)
+
+val latency_grid :
+  ?seed:int ->
+  ?domains:int ->
+  loads:float array ->
+  Model.t ->
+  scheme array ->
+  float array array
+(** [(latency_grid ~loads m schemes).(i).(j) =
+    latency ~load:loads.(i) m schemes.(j)]. *)

@@ -21,3 +21,15 @@ val anycast : Model.t -> Routing.t
 val compute_aware : Model.t -> Routing.t
 val onehop : ?util_weight:float -> Model.t -> Routing.t
 (** [util_weight] defaults to {!Dp_routing.default_util_weight}. *)
+
+(** {2 Arena forms}
+
+    Each [_into] variant resets the given load state and routing (both
+    compiled from the same {!Instance}; [Invalid_argument] otherwise) and
+    routes in place — no per-call allocation, demand read through the
+    instance so {!Instance.set_scale} is honoured. Used by
+    {!Eval.max_load_factor}'s bisection. *)
+
+val anycast_into : Load_state.t -> Routing.t -> Routing.t
+val compute_aware_into : Load_state.t -> Routing.t -> Routing.t
+val onehop_into : ?util_weight:float -> Load_state.t -> Routing.t -> Routing.t

@@ -1,8 +1,9 @@
 type t = {
-  m : Model.t;
+  inst : Instance.t;
   net : Sb_net.Load.t; (* Switchboard traffic only; background added on demand *)
   site_loads : float array;
-  vnf_loads : float array array; (* vnf_loads.(f).(s) *)
+  vnf_loads : float array; (* flattened: vnf * num_sites + site *)
+  num_sites : int;
   mutable generation : int;
       (* bumped by every commit; stage-cost cache entries from an older
          generation are invalid (the committed load may touch their links
@@ -12,13 +13,23 @@ type t = {
      commit invalidates everything implicitly — no reset pass, no
      allocation, O(1) probes on both hit and miss. Collisions simply
      evict; entries are pure functions of (key, generation), so eviction
-     only costs recomputation. *)
-  cache_keys : int array; (* packed (chain,stage,src,dst); -1 = empty *)
-  cache_stamps : int array; (* generation the slot was written at *)
-  cache_vals : float array;
+     only costs recomputation. Allocated lazily on first probe: single
+     DP sweeps never hit it (every commit bumps the generation), and
+     Eval's bisection arenas don't want ~400 KB of dead arrays. *)
+  mutable cache_keys : int array; (* packed (chain,stage,src,dst); -1 = empty *)
+  mutable cache_stamps : int array; (* generation the slot was written at *)
+  mutable cache_vals : float array;
   mutable cache_weight : float; (* util_weight the cache contents belong to *)
   key_n : int; (* num_nodes, for key packing *)
   key_stages : int; (* max stages over chains, for key packing *)
+  (* Hot fields of [inst], re-exposed to keep commits at field-read cost. *)
+  stage_off : int array;
+  fwd_base : float array;
+  rev_base : float array;
+  stage_vnf : int array;
+  node_site : int array;
+  vnf_cpu : float array;
+  dep_cap : float array;
 }
 
 let cache_bits = 14
@@ -28,87 +39,102 @@ let cache_slot key =
   (* Fibonacci hashing of the packed key; [lsr] keeps it non-negative. *)
   (key * 0x2545F4914F6CDD1D) lsr (63 - cache_bits) land (cache_slots - 1)
 
-let create m =
-  let num_nodes = Sb_net.Topology.num_nodes (Model.topology m) in
-  let max_stages = ref 1 in
-  for c = 0 to Model.num_chains m - 1 do
-    if Model.num_stages m c > !max_stages then max_stages := Model.num_stages m c
-  done;
+let of_instance inst =
+  let m = Instance.model inst in
   {
-    m;
+    inst;
     net = Sb_net.Load.create (Model.topology m) (Model.paths m);
-    site_loads = Array.make (Model.num_sites m) 0.;
-    vnf_loads = Array.init (Model.num_vnfs m) (fun _ -> Array.make (Model.num_sites m) 0.);
+    site_loads = Array.make (Instance.num_sites inst) 0.;
+    vnf_loads = Array.make (Instance.num_vnfs inst * Instance.num_sites inst) 0.;
+    num_sites = Instance.num_sites inst;
     generation = 0;
-    cache_keys = Array.make cache_slots (-1);
-    cache_stamps = Array.make cache_slots (-1);
-    cache_vals = Array.make cache_slots 0.;
+    cache_keys = [||];
+    cache_stamps = [||];
+    cache_vals = [||];
     cache_weight = nan;
-    key_n = num_nodes;
-    key_stages = !max_stages;
+    key_n = Instance.num_nodes inst;
+    key_stages = Instance.max_stages inst;
+    stage_off = Instance.stage_off inst;
+    fwd_base = Instance.fwd_base inst;
+    rev_base = Instance.rev_base inst;
+    stage_vnf = Instance.stage_vnf inst;
+    node_site = Instance.node_site inst;
+    vnf_cpu = Instance.vnf_cpu inst;
+    dep_cap = Instance.dep_cap inst;
   }
+
+let create m = of_instance (Instance.compile m)
 
 let copy t =
   {
     t with
     net = Sb_net.Load.copy t.net;
     site_loads = Array.copy t.site_loads;
-    vnf_loads = Array.map Array.copy t.vnf_loads;
+    vnf_loads = Array.copy t.vnf_loads;
     (* The copy diverges from here on: give it an empty cache of its own. *)
-    cache_keys = Array.make cache_slots (-1);
-    cache_stamps = Array.make cache_slots (-1);
-    cache_vals = Array.make cache_slots 0.;
+    cache_keys = [||];
+    cache_stamps = [||];
+    cache_vals = [||];
   }
 
-let model t = t.m
+let reset t =
+  Sb_net.Load.reset t.net;
+  Array.fill t.site_loads 0 (Array.length t.site_loads) 0.;
+  Array.fill t.vnf_loads 0 (Array.length t.vnf_loads) 0.;
+  (* One bump invalidates every cache entry stamped before the reset. *)
+  t.generation <- t.generation + 1
+
+let model t = Instance.model t.inst
+let instance t = t.inst
 let generation t = t.generation
 
 let site_load t s = t.site_loads.(s)
-let vnf_load t ~vnf ~site = t.vnf_loads.(vnf).(site)
+let vnf_load t ~vnf ~site = t.vnf_loads.((vnf * t.num_sites) + site)
 let link_sb_load t e = Sb_net.Load.link_load t.net e
 
 let link_utilization t e =
-  let l = Sb_net.Topology.link (Model.topology t.m) e in
-  (Model.background t.m e +. Sb_net.Load.link_load t.net e) /. l.bandwidth
+  let m = Instance.model t.inst in
+  let l = Sb_net.Topology.link (Model.topology m) e in
+  (Model.background m e +. Sb_net.Load.link_load t.net e) /. l.bandwidth
 
-let site_utilization t s = t.site_loads.(s) /. Model.site_capacity t.m s
+let site_utilization t s = t.site_loads.(s) /. (Instance.site_cap t.inst).(s)
 
 let vnf_utilization t ~vnf ~site =
-  let cap = Model.vnf_site_capacity t.m ~vnf ~site in
-  if cap <= 0. then 0. else t.vnf_loads.(vnf).(site) /. cap
+  let cap = t.dep_cap.((vnf * t.num_sites) + site) in
+  if cap <= 0. then 0. else t.vnf_loads.((vnf * t.num_sites) + site) /. cap
 
 (* Charge compute for one endpoint of a stage flow: the VNF at [node] (if
-   the element is a VNF) gains l_f * volume * frac. *)
-let charge_compute t ~vnf_opt ~node ~volume =
-  match vnf_opt with
-  | None -> ()
-  | Some f -> (
-    match Model.site_of_node t.m node with
-    | None -> invalid_arg "Load_state: VNF element at a node with no site"
-    | Some s ->
-      let load = Model.vnf_cpu_per_unit t.m f *. volume in
-      t.vnf_loads.(f).(s) <- t.vnf_loads.(f).(s) +. load;
-      t.site_loads.(s) <- t.site_loads.(s) +. load)
+   the element is a VNF, [f >= 0]) gains l_f * volume * frac. *)
+let charge_compute t ~f ~node ~volume =
+  if f >= 0 then begin
+    let s = t.node_site.(node) in
+    if s < 0 then invalid_arg "Load_state: VNF element at a node with no site";
+    let load = t.vnf_cpu.(f) *. volume in
+    let fs = (f * t.num_sites) + s in
+    t.vnf_loads.(fs) <- t.vnf_loads.(fs) +. load;
+    t.site_loads.(s) <- t.site_loads.(s) +. load
+  end
 
 let add_stage_flow t ~chain ~stage ~src ~dst ~frac =
   t.generation <- t.generation + 1;
-  let w = Model.fwd_traffic t.m ~chain ~stage in
-  let v = Model.rev_traffic t.m ~chain ~stage in
+  let gz = t.stage_off.(chain) + stage in
+  let scale = Instance.scale t.inst in
+  let w = t.fwd_base.(gz) *. scale in
+  let v = t.rev_base.(gz) *. scale in
   Sb_net.Load.add_flow t.net ~src ~dst ~volume:(w *. frac);
   Sb_net.Load.add_flow t.net ~src:dst ~dst:src ~volume:(v *. frac);
   let volume = (w +. v) *. frac in
   (* Element [stage] sends this stage's traffic; element [stage + 1]
      receives it (Eq. 4 charges both). Element 0 is the ingress and element
      L+1 the egress — neither is a VNF. *)
-  let src_vnf = if stage = 0 then None else Model.stage_dst_vnf t.m ~chain ~stage:(stage - 1) in
-  let dst_vnf = Model.stage_dst_vnf t.m ~chain ~stage in
-  charge_compute t ~vnf_opt:src_vnf ~node:src ~volume;
-  charge_compute t ~vnf_opt:dst_vnf ~node:dst ~volume
+  let src_vnf = if stage = 0 then -1 else t.stage_vnf.(gz - 1) in
+  charge_compute t ~f:src_vnf ~node:src ~volume;
+  charge_compute t ~f:t.stage_vnf.(gz) ~node:dst ~volume
 
 type binding = No_load | Link of int * float | Site of int * float | Vnf of int * int * float
 
 let find_bottleneck t =
-  let m = t.m in
+  let m = Instance.model t.inst in
   let topo = Model.topology m in
   let best = ref No_load in
   let alpha_of = function
@@ -124,16 +150,20 @@ let find_bottleneck t =
       consider (Link (e, Float.max 0. headroom /. load))
     end
   done;
-  for s = 0 to Model.num_sites m - 1 do
+  let site_cap = Instance.site_cap t.inst in
+  for s = 0 to t.num_sites - 1 do
     if t.site_loads.(s) > 1e-12 then
-      consider (Site (s, Model.site_capacity m s /. t.site_loads.(s)))
+      consider (Site (s, site_cap.(s) /. t.site_loads.(s)))
   done;
-  for f = 0 to Model.num_vnfs m - 1 do
-    List.iter
-      (fun (s, cap) ->
-        if t.vnf_loads.(f).(s) > 1e-12 then
-          consider (Vnf (f, s, cap /. t.vnf_loads.(f).(s))))
-      (Model.vnf_sites m f)
+  let vdep_off = Instance.vdep_off t.inst in
+  let vdep_site = Instance.vdep_site t.inst in
+  let vdep_cap = Instance.vdep_cap t.inst in
+  for f = 0 to Instance.num_vnfs t.inst - 1 do
+    for k = vdep_off.(f) to vdep_off.(f + 1) - 1 do
+      let s = vdep_site.(k) in
+      let load = t.vnf_loads.((f * t.num_sites) + s) in
+      if load > 1e-12 then consider (Vnf (f, s, vdep_cap.(k) /. load))
+    done
   done;
   !best
 
@@ -143,52 +173,73 @@ let max_alpha t =
   | Link (_, a) | Site (_, a) | Vnf (_, _, a) -> a
 
 let bottleneck t =
+  let m = Instance.model t.inst in
   match find_bottleneck t with
   | No_load -> "no load committed"
   | Link (e, a) ->
-    let l = Sb_net.Topology.link (Model.topology t.m) e in
+    let l = Sb_net.Topology.link (Model.topology m) e in
     Printf.sprintf "link %d (%s -> %s), alpha=%.3f"
       e
-      (Sb_net.Topology.node_name (Model.topology t.m) l.src)
-      (Sb_net.Topology.node_name (Model.topology t.m) l.dst)
+      (Sb_net.Topology.node_name (Model.topology m) l.src)
+      (Sb_net.Topology.node_name (Model.topology m) l.dst)
       a
   | Site (s, a) -> Printf.sprintf "site %d compute, alpha=%.3f" s a
   | Vnf (f, s, a) ->
-    Printf.sprintf "vnf %s at site %d, alpha=%.3f" (Model.vnf_name t.m f) s a
+    Printf.sprintf "vnf %s at site %d, alpha=%.3f" (Model.vnf_name m f) s a
 
 let stage_compute_cost t ~chain ~stage ~dst =
-  let m = t.m in
-  match Model.stage_dst_vnf m ~chain ~stage with
-  | None -> 0.
-  | Some f -> (
-    match Model.site_of_node m dst with
-    | None -> infinity
-    | Some s ->
-      let cap = Model.vnf_site_capacity m ~vnf:f ~site:s in
+  let gz = t.stage_off.(chain) + stage in
+  let f = t.stage_vnf.(gz) in
+  if f < 0 then 0.
+  else begin
+    let s = t.node_site.(dst) in
+    if s < 0 then infinity
+    else begin
+      let cap = t.dep_cap.((f * t.num_sites) + s) in
       if cap <= 0. then infinity
       else begin
-        let w = Model.fwd_traffic m ~chain ~stage in
-        let v = Model.rev_traffic m ~chain ~stage in
-        let added = Model.vnf_cpu_per_unit m f *. (w +. v) in
+        let scale = Instance.scale t.inst in
+        let w = t.fwd_base.(gz) *. scale in
+        let v = t.rev_base.(gz) *. scale in
+        let added = t.vnf_cpu.(f) *. (w +. v) in
+        let cur = t.vnf_loads.((f * t.num_sites) + s) in
         (* clamp the tiny negative residue a flow removal can leave *)
-        let before = Float.max 0. (t.vnf_loads.(f).(s) /. cap) in
-        let after = Float.max 0. ((t.vnf_loads.(f).(s) +. added) /. cap) in
+        let before = Float.max 0. (cur /. cap) in
+        let after = Float.max 0. ((cur +. added) /. cap) in
         Sb_util.Convex_cost.cost after -. Sb_util.Convex_cost.cost before
-      end)
+      end
+    end
+  end
+
+let stage_net_cost t ~chain ~stage ~src ~dst =
+  let gz = t.stage_off.(chain) + stage in
+  let scale = Instance.scale t.inst in
+  let w = t.fwd_base.(gz) *. scale in
+  let v = t.rev_base.(gz) *. scale in
+  Sb_net.Load.path_network_cost_pair t.net ~src ~dst ~fwd:w ~rev:v
+
+let ensure_cache t =
+  if Array.length t.cache_stamps = 0 then begin
+    t.cache_keys <- Array.make cache_slots (-1);
+    t.cache_stamps <- Array.make cache_slots (-1);
+    t.cache_vals <- Array.make cache_slots 0.
+  end
 
 (* A weight change orphans every cached entry; it happens at most once per
    solve, so a full stamp wipe is fine. *)
 let cache_set_weight t util_weight =
   if t.cache_weight <> util_weight then begin
-    Array.fill t.cache_stamps 0 cache_slots (-1);
+    if Array.length t.cache_stamps > 0 then
+      Array.fill t.cache_stamps 0 cache_slots (-1);
     t.cache_weight <- util_weight
   end
 
 let stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst ~compute_cost =
   (* The pure-delay component is a single flat-array lookup in Paths. *)
-  let delay = Sb_net.Paths.delay (Model.paths t.m) src dst in
+  let delay = Sb_net.Paths.delay (Model.paths (Instance.model t.inst)) src dst in
   if delay = infinity then infinity
   else begin
+    ensure_cache t;
     cache_set_weight t util_weight;
     let key =
       ((((chain * t.key_stages) + stage) * t.key_n) + src) * t.key_n + dst
@@ -197,10 +248,7 @@ let stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst ~compute_cost =
     if t.cache_stamps.(slot) = t.generation && t.cache_keys.(slot) = key then
       t.cache_vals.(slot)
     else begin
-      let m = t.m in
-      let w = Model.fwd_traffic m ~chain ~stage in
-      let v = Model.rev_traffic m ~chain ~stage in
-      let net_cost = Sb_net.Load.path_network_cost_pair t.net ~src ~dst ~fwd:w ~rev:v in
+      let net_cost = stage_net_cost t ~chain ~stage ~src ~dst in
       let compute_cost =
         match compute_cost with
         | Some c -> c
@@ -215,11 +263,13 @@ let stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst ~compute_cost =
   end
 
 let stage_cost t ~util_weight ~chain ~stage ~src ~dst =
-  if util_weight = 0. then Sb_net.Paths.delay (Model.paths t.m) src dst
+  if util_weight = 0. then
+    Sb_net.Paths.delay (Model.paths (Instance.model t.inst)) src dst
   else stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst ~compute_cost:None
 
 let stage_cost_hinted t ~util_weight ~chain ~stage ~src ~dst ~compute_cost =
-  if util_weight = 0. then Sb_net.Paths.delay (Model.paths t.m) src dst
+  if util_weight = 0. then
+    Sb_net.Paths.delay (Model.paths (Instance.model t.inst)) src dst
   else
     stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst
       ~compute_cost:(Some compute_cost)

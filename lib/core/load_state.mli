@@ -15,10 +15,24 @@
 type t
 
 val create : Model.t -> t
-(** Zero Switchboard load; link background comes from the model. *)
+(** Zero Switchboard load; link background comes from the model.
+    Equivalent to [of_instance (Instance.compile m)]. *)
+
+val of_instance : Instance.t -> t
+(** Zero Switchboard load over a pre-compiled instance. Demand reads go
+    through the instance, so {!Instance.set_scale} changes what subsequent
+    commits charge — the mechanism {!Eval}'s bisection uses to probe scaled
+    demand without allocating a model copy per probe. *)
 
 val copy : t -> t
 val model : t -> Model.t
+val instance : t -> Instance.t
+
+val reset : t -> unit
+(** Return to the all-zero state of a fresh {!of_instance} in place: link,
+    site and deployment loads are zeroed and the generation is bumped (so
+    stale stage-cost cache entries die), but no arrays are reallocated.
+    The arena primitive behind {!Eval}'s bisection. *)
 
 val generation : t -> int
 (** Commit counter: incremented by every {!add_stage_flow}. The stage-cost
@@ -90,3 +104,11 @@ val stage_cost_hinted :
 (** {!stage_cost} with the [compute_cost] term supplied by the caller
     (obtained from {!stage_compute_cost} once per [(stage, dst)] rather
     than once per [(src, dst)] pair). Same value, same cache. *)
+
+val stage_net_cost : t -> chain:int -> stage:int -> src:int -> dst:int -> float
+(** The network-utilization term of {!stage_cost} alone
+    ({!Sb_net.Load.path_network_cost_pair} of the stage's forward and
+    reverse demand), uncached. SB-DP's single-sweep solve uses this
+    directly: within one solve every commit bumps the generation, so the
+    cache could never hit anyway — skipping the probe-and-insert traffic
+    is pure profit. *)

@@ -15,6 +15,11 @@ let solve ?cloud_budget m objective =
   | _ -> ());
   let paths = Model.paths m in
   let topo = Model.topology m in
+  (* Candidate endpoint sets come from a compiled instance: the same lists
+     in the same order as Model.stage_src_nodes/stage_dst_nodes, but built
+     once instead of per stage — variable and constraint construction
+     order (and hence simplex pivots) are unchanged. *)
+  let inst = Instance.compile m in
   let p = Lp.create ~name:"chain_routing" () in
   (* --- variables ------------------------------------------------- *)
   let vars = Hashtbl.create 1024 in
@@ -23,8 +28,8 @@ let solve ?cloud_budget m objective =
   (* (chain, stage) -> (n1, n2, var) list *)
   for c = 0 to Model.num_chains m - 1 do
     for z = 0 to Model.num_stages m c - 1 do
-      let srcs = Model.stage_src_nodes m ~chain:c ~stage:z in
-      let dsts = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      let srcs = Instance.stage_src_nodes inst ~chain:c ~stage:z in
+      let dsts = Instance.stage_dst_nodes inst ~chain:c ~stage:z in
       let vs =
         List.concat_map
           (fun n1 ->
@@ -100,7 +105,7 @@ let solve ?cloud_budget m objective =
   (* --- flow conservation at every VNF element (Eq. 5) ------------ *)
   for c = 0 to Model.num_chains m - 1 do
     for z = 0 to Model.num_stages m c - 2 do
-      let nodes = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      let nodes = Instance.stage_dst_nodes inst ~chain:c ~stage:z in
       List.iter
         (fun node ->
           let inflow =
@@ -220,7 +225,7 @@ let solve ?cloud_budget m objective =
         let av = Lp.value sol a in
         if av > 1e-9 then 1. /. av else 0.
     in
-    let routing = Routing.create m in
+    let routing = Routing.of_instance inst in
     for c = 0 to Model.num_chains m - 1 do
       for z = 0 to Model.num_stages m c - 1 do
         let flows =

@@ -1,35 +1,82 @@
-type t = {
-  m : Model.t;
-  flows : (int * int * float) list array array; (* flows.(c).(z) *)
+(* Packed flow storage: one store of parallel (src, dst, frac) arrays per
+   global stage, in insertion order — the same order the legacy per-stage
+   assoc lists kept, so every fold/commit below accumulates bit-identically
+   to the list-shaped code this replaces. The list API ({!stage_flows},
+   {!set_stage}) survives as a shim. *)
+
+type store = {
+  mutable n : int;
+  mutable src : int array;
+  mutable dst : int array;
+  mutable frac : float array;
 }
 
-let create m =
+type t = {
+  inst : Instance.t;
+  stores : store array; (* indexed by global stage id *)
+}
+
+let of_instance inst =
   {
-    m;
-    flows =
-      Array.init (Model.num_chains m) (fun c ->
-          Array.make (Model.num_stages m c) []);
+    inst;
+    stores =
+      Array.init (Instance.num_stages_total inst) (fun _ ->
+          { n = 0; src = [||]; dst = [||]; frac = [||] });
   }
 
-let model t = t.m
+let create m = of_instance (Instance.compile m)
+let instance t = t.inst
+let model t = Instance.model t.inst
 
-let set_stage t ~chain ~stage flows = t.flows.(chain).(stage) <- flows
+let reset t =
+  Array.iter (fun st -> st.n <- 0) t.stores
 
-let stage_flows t ~chain ~stage = t.flows.(chain).(stage)
+let store t ~chain ~stage = t.stores.(Instance.stage_index t.inst ~chain ~stage)
+
+let append st ~src ~dst ~frac =
+  let cap = Array.length st.src in
+  if st.n = cap then begin
+    let ncap = if cap = 0 then 4 else 2 * cap in
+    let nsrc = Array.make ncap 0 in
+    let ndst = Array.make ncap 0 in
+    let nfrac = Array.make ncap 0. in
+    Array.blit st.src 0 nsrc 0 st.n;
+    Array.blit st.dst 0 ndst 0 st.n;
+    Array.blit st.frac 0 nfrac 0 st.n;
+    st.src <- nsrc;
+    st.dst <- ndst;
+    st.frac <- nfrac
+  end;
+  st.src.(st.n) <- src;
+  st.dst.(st.n) <- dst;
+  st.frac.(st.n) <- frac;
+  st.n <- st.n + 1
+
+let set_stage t ~chain ~stage flows =
+  let st = store t ~chain ~stage in
+  st.n <- 0;
+  List.iter (fun (src, dst, frac) -> append st ~src ~dst ~frac) flows
+
+let stage_flows t ~chain ~stage =
+  let st = store t ~chain ~stage in
+  List.init st.n (fun k -> (st.src.(k), st.dst.(k), st.frac.(k)))
 
 let add_path t ~chain ~nodes ~frac =
-  let stages = Model.num_stages t.m chain in
+  let stages = Instance.num_stages t.inst chain in
   if Array.length nodes <> stages + 1 then
     invalid_arg "Routing.add_path: node sequence length mismatch";
+  let base = (Instance.stage_off t.inst).(chain) in
   for z = 0 to stages - 1 do
     let src = nodes.(z) and dst = nodes.(z + 1) in
-    (* Merge with an existing identical hop if present. *)
-    let rec merge = function
-      | [] -> [ (src, dst, frac) ]
-      | (s, d, f) :: rest when s = src && d = dst -> (s, d, f +. frac) :: rest
-      | hop :: rest -> hop :: merge rest
-    in
-    t.flows.(chain).(z) <- merge t.flows.(chain).(z)
+    let st = t.stores.(base + z) in
+    (* Merge with an existing identical hop if present (first match wins,
+       like the legacy list merge); otherwise append. *)
+    let k = ref 0 in
+    while !k < st.n && not (st.src.(!k) = src && st.dst.(!k) = dst) do
+      incr k
+    done;
+    if !k < st.n then st.frac.(!k) <- st.frac.(!k) +. frac
+    else append st ~src ~dst ~frac
   done
 
 let single_path m path_of_chain =
@@ -42,14 +89,14 @@ let single_path m path_of_chain =
 let close_enough a b = Float.abs (a -. b) < 1e-6
 
 let validate t =
-  let m = t.m in
+  let m = model t in
   let problem = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
   for c = 0 to Model.num_chains m - 1 do
-    let stages = Model.num_stages m c in
+    let stages = Instance.num_stages t.inst c in
     for z = 0 to stages - 1 do
-      let srcs = Model.stage_src_nodes m ~chain:c ~stage:z in
-      let dsts = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      let srcs = Instance.stage_src_nodes t.inst ~chain:c ~stage:z in
+      let dsts = Instance.stage_dst_nodes t.inst ~chain:c ~stage:z in
       List.iter
         (fun (s, d, f) ->
           if f < -1e-9 then fail "chain %d stage %d: negative fraction %g" c z f;
@@ -57,7 +104,7 @@ let validate t =
             fail "chain %d stage %d: invalid source node %d" c z s;
           if not (List.mem d dsts) then
             fail "chain %d stage %d: invalid destination node %d" c z d)
-        t.flows.(c).(z)
+        (stage_flows t ~chain:c ~stage:z)
     done;
     (* Each ingress node emits exactly its traffic share (stage 0), and
        each egress node receives its share (final stage). *)
@@ -66,7 +113,8 @@ let validate t =
         let out =
           List.fold_left
             (fun acc (s, _, f) -> if s = node then acc +. f else acc)
-            0. t.flows.(c).(0)
+            0.
+            (stage_flows t ~chain:c ~stage:0)
         in
         if not (close_enough out share) then
           fail "chain %d: ingress %d emits %g, expected %g" c node out share)
@@ -77,26 +125,27 @@ let validate t =
           List.fold_left
             (fun acc (_, d, f) -> if d = node then acc +. f else acc)
             0.
-            t.flows.(c).(stages - 1)
+            (stage_flows t ~chain:c ~stage:(stages - 1))
         in
         if not (close_enough inflow share) then
           fail "chain %d: egress %d receives %g, expected %g" c node inflow share)
       (Model.chain_egresses m c);
     (* Conservation at each VNF element's sites (Eq. 5). *)
     for z = 0 to stages - 2 do
-      let sites = Model.stage_dst_nodes m ~chain:c ~stage:z in
+      let sites = Instance.stage_dst_nodes t.inst ~chain:c ~stage:z in
       List.iter
         (fun node ->
           let inflow =
             List.fold_left
               (fun acc (_, d, f) -> if d = node then acc +. f else acc)
-              0. t.flows.(c).(z)
+              0.
+              (stage_flows t ~chain:c ~stage:z)
           in
           let outflow =
             List.fold_left
               (fun acc (s, _, f) -> if s = node then acc +. f else acc)
               0.
-              t.flows.(c).(z + 1)
+              (stage_flows t ~chain:c ~stage:(z + 1))
           in
           if not (close_enough inflow outflow) then
             fail "chain %d element %d at node %d: in %g <> out %g" c (z + 1) node
@@ -106,70 +155,97 @@ let validate t =
   done;
   match !problem with None -> Ok () | Some s -> Error s
 
+(* Commit every stage flow into [state]: chains ascending, stages ascending,
+   flows in insertion order — the legacy nested-list commit order, so load
+   accumulation is bit-identical. *)
+let commit_into state t =
+  let stage_off = Instance.stage_off t.inst in
+  for c = 0 to Instance.num_chains t.inst - 1 do
+    let base = stage_off.(c) in
+    for z = 0 to stage_off.(c + 1) - base - 1 do
+      let st = t.stores.(base + z) in
+      for k = 0 to st.n - 1 do
+        let frac = st.frac.(k) in
+        if frac > 1e-12 then
+          Load_state.add_stage_flow state ~chain:c ~stage:z ~src:st.src.(k)
+            ~dst:st.dst.(k) ~frac
+      done
+    done
+  done
+
 let load_state t =
-  let state = Load_state.create t.m in
-  Array.iteri
-    (fun c stages ->
-      Array.iteri
-        (fun z flows ->
-          List.iter
-            (fun (src, dst, frac) ->
-              if frac > 1e-12 then
-                Load_state.add_stage_flow state ~chain:c ~stage:z ~src ~dst ~frac)
-            flows)
-        stages)
-    t.flows;
+  let state = Load_state.of_instance t.inst in
+  commit_into state t;
   state
 
 let max_alpha t = Load_state.max_alpha (load_state t)
 
+let max_alpha_into state t =
+  if not (Load_state.instance state == t.inst) then
+    invalid_arg "Routing.max_alpha_into: load state compiled from a different instance";
+  Load_state.reset state;
+  commit_into state t;
+  Load_state.max_alpha state
+
 let supported_throughput t =
   let a = max_alpha t in
-  if a = infinity then infinity else a *. Model.total_demand t.m
+  if a = infinity then infinity
+  else a *. (Model.total_demand (model t) *. Instance.scale t.inst)
 
 let latency_terms ?(alpha = 1.0) ?(vnf_service_time = 0.001) ~with_queueing t =
-  let m = t.m in
+  let inst = t.inst in
   let state = load_state t in
-  let paths = Model.paths m in
+  let paths = Model.paths (model t) in
+  let stage_off = Instance.stage_off inst in
+  let stage_vnf = Instance.stage_vnf inst in
+  let node_site = Instance.node_site inst in
+  let scale = Instance.scale inst in
+  let fwd_base = Instance.fwd_base inst in
+  let rev_base = Instance.rev_base inst in
   let total_weight = ref 0. in
   let total_latency = ref 0. in
   let saturated = ref false in
-  Array.iteri
-    (fun c stages ->
-      Array.iteri
-        (fun z flows ->
-          let w = Model.fwd_traffic m ~chain:c ~stage:z in
-          let v = Model.rev_traffic m ~chain:c ~stage:z in
-          List.iter
-            (fun (src, dst, frac) ->
-              if frac > 1e-12 then begin
-                let weight = (w +. v) *. frac in
-                let prop = Sb_net.Paths.delay paths src dst in
-                let queue =
-                  if not with_queueing then 0.
-                  else
-                    match Model.stage_dst_vnf m ~chain:c ~stage:z with
-                    | None -> 0.
-                    | Some f -> (
-                      match Model.site_of_node m dst with
-                      | None -> 0.
-                      | Some s ->
-                        let rho = alpha *. Load_state.vnf_utilization state ~vnf:f ~site:s in
-                        (* A deployment loaded beyond capacity cannot carry
-                           the traffic at all; one loaded exactly to its
-                           admission limit queues heavily but finitely. *)
-                        if rho > 1. +. 1e-9 then begin
-                          saturated := true;
-                          0.
-                        end
-                        else vnf_service_time /. (1. -. Float.min rho 0.98))
-                in
-                total_weight := !total_weight +. weight;
-                total_latency := !total_latency +. (weight *. (prop +. queue))
-              end)
-            flows)
-        stages)
-    t.flows;
+  for c = 0 to Instance.num_chains inst - 1 do
+    let base = stage_off.(c) in
+    for z = 0 to stage_off.(c + 1) - base - 1 do
+      let gz = base + z in
+      let w = fwd_base.(gz) *. scale in
+      let v = rev_base.(gz) *. scale in
+      let st = t.stores.(gz) in
+      for k = 0 to st.n - 1 do
+        let frac = st.frac.(k) in
+        if frac > 1e-12 then begin
+          let src = st.src.(k) and dst = st.dst.(k) in
+          let weight = (w +. v) *. frac in
+          let prop = Sb_net.Paths.delay paths src dst in
+          let queue =
+            if not with_queueing then 0.
+            else begin
+              let f = stage_vnf.(gz) in
+              if f < 0 then 0.
+              else begin
+                let s = node_site.(dst) in
+                if s < 0 then 0.
+                else begin
+                  let rho = alpha *. Load_state.vnf_utilization state ~vnf:f ~site:s in
+                  (* A deployment loaded beyond capacity cannot carry the
+                     traffic at all; one loaded exactly to its admission
+                     limit queues heavily but finitely. *)
+                  if rho > 1. +. 1e-9 then begin
+                    saturated := true;
+                    0.
+                  end
+                  else vnf_service_time /. (1. -. Float.min rho 0.98)
+                end
+              end
+            end
+          in
+          total_weight := !total_weight +. weight;
+          total_latency := !total_latency +. (weight *. (prop +. queue))
+        end
+      done
+    done
+  done;
   if !saturated then infinity
   else if !total_weight = 0. then 0.
   else !total_latency /. !total_weight
@@ -180,9 +256,11 @@ let mean_latency ?alpha ?vnf_service_time t =
 let propagation_latency t = latency_terms ~with_queueing:false t
 
 let decompose_paths t ~chain =
-  let stages = Model.num_stages t.m chain in
+  let stages = Instance.num_stages t.inst chain in
   (* Mutable residual copy of the stage flows. *)
-  let residual = Array.map (fun flows -> ref flows) t.flows.(chain) in
+  let residual =
+    Array.init stages (fun z -> ref (stage_flows t ~chain ~stage:z))
+  in
   let take stage node =
     (* First arc with positive fraction leaving [node] at [stage]. *)
     List.find_opt (fun (s, _, f) -> s = node && f > 1e-9) !(residual.(stage))
@@ -230,21 +308,20 @@ let decompose_paths t ~chain =
   List.rev !paths
 
 let pp_chain ppf t c =
-  let m = t.m in
+  let m = model t in
   let topo = Model.topology m in
   Format.fprintf ppf "@[<v>chain %s (%s -> %s):@," (Model.chain_name m c)
     (Sb_net.Topology.node_name topo (Model.chain_ingress m c))
     (Sb_net.Topology.node_name topo (Model.chain_egress m c));
-  Array.iteri
-    (fun z flows ->
-      Format.fprintf ppf "  stage %d:" z;
-      List.iter
-        (fun (s, d, f) ->
-          Format.fprintf ppf " %s->%s:%.2f"
-            (Sb_net.Topology.node_name topo s)
-            (Sb_net.Topology.node_name topo d)
-            f)
-        flows;
-      Format.fprintf ppf "@,")
-    t.flows.(c);
+  for z = 0 to Instance.num_stages t.inst c - 1 do
+    Format.fprintf ppf "  stage %d:" z;
+    let st = store t ~chain:c ~stage:z in
+    for k = 0 to st.n - 1 do
+      Format.fprintf ppf " %s->%s:%.2f"
+        (Sb_net.Topology.node_name topo st.src.(k))
+        (Sb_net.Topology.node_name topo st.dst.(k))
+        st.frac.(k)
+    done;
+    Format.fprintf ppf "@,"
+  done;
   Format.fprintf ppf "@]"

@@ -10,9 +10,20 @@
 type t
 
 val create : Model.t -> t
-(** All-zero routing (no chain routed). *)
+(** All-zero routing (no chain routed). Equivalent to
+    [of_instance (Instance.compile m)]. *)
 
+val of_instance : Instance.t -> t
+(** All-zero routing over a pre-compiled instance. Storage is packed
+    parallel arrays per stage (insertion-ordered, capacity-doubling); the
+    list-shaped API below is a shim over it. *)
+
+val instance : t -> Instance.t
 val model : t -> Model.t
+
+val reset : t -> unit
+(** Drop every stage flow in place (capacities are kept) — the arena
+    primitive behind {!Eval}'s bisection. *)
 
 val set_stage : t -> chain:int -> stage:int -> (int * int * float) list -> unit
 (** Replace a stage's flow list [(src_node, dst_node, fraction)]. *)
@@ -38,6 +49,14 @@ val load_state : t -> Load_state.t
 
 val max_alpha : t -> float
 (** {!Load_state.max_alpha} of {!load_state}: the throughput metric. *)
+
+val max_alpha_into : Load_state.t -> t -> float
+(** {!max_alpha} evaluated in a caller-owned arena: {!Load_state.reset}s
+    the state, commits the packed flows (chains ascending, stages
+    ascending, insertion order — the exact {!load_state} commit order, so
+    the result is bit-identical) and reads the bottleneck. No allocation.
+    Raises [Invalid_argument] unless the state was compiled from this
+    routing's instance (physical equality). *)
 
 val supported_throughput : t -> float
 (** [max_alpha * total model demand] — the absolute supported throughput

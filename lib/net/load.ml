@@ -47,6 +47,10 @@ let update_cost t e =
      behind the same way instead of raising. *)
   t.cost_now.(e) <- (if u > 0. then convex_cost u else 0.)
 
+let reset t =
+  Array.fill t.loads 0 (Array.length t.loads) 0.;
+  Array.fill t.cost_now 0 (Array.length t.cost_now) 0.
+
 let create topo paths =
   {
     topo;

@@ -13,6 +13,12 @@ val create : Topology.t -> Paths.t -> t
 
 val copy : t -> t
 
+val reset : t -> unit
+(** Zero every link load (and the maintained per-link costs), restoring the
+    state a fresh {!create} would produce. Background traffic added with
+    {!add_background} is cleared too — callers that keep background around
+    must re-add it. *)
+
 val add_background : t -> int -> float -> unit
 (** [add_background t link_id volume] adds non-Switchboard traffic to one
     link. *)

@@ -958,6 +958,61 @@ let prop_lp_dominates_dp =
         >= Routing.max_alpha (Dp.solve ~rng:(Sb_util.Rng.create seed) m) -. 1e-6
       | Error _ -> false)
 
+let prop_routing_packed_roundtrip =
+  QCheck.Test.make ~name:"packed Routing round-trips the legacy list API" ~count:10
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Sb_util.Rng.create seed in
+      let topo = Topology.backbone ~rng ~num_core:4 ~pops_per_core:1 () in
+      let params =
+        { Workload.default with Workload.num_chains = 8; num_vnfs = 6; max_chain_len = 4 }
+      in
+      let m = Workload.synthesize ~rng topo params in
+      (* Every engine's output must validate, and must survive a rebuild
+         through the legacy list API: stage_flows -> set_stage reproduces
+         the packed stores exactly, decompose_paths -> add_path yields an
+         equivalent routing. *)
+      let engines =
+        [ Greedy.anycast m; Greedy.compute_aware m; Greedy.onehop m;
+          Dp.solve ~rng:(Sb_util.Rng.create seed) m; Dp.dp_latency m ]
+        @
+        match Lpr.solve m Lpr.Max_throughput with
+        | Ok { routing; _ } -> [ routing ]
+        | Error _ -> []
+      in
+      List.for_all
+        (fun r ->
+          Routing.validate r = Ok ()
+          &&
+          let r2 = Routing.create m in
+          let same = ref true in
+          for c = 0 to Model.num_chains m - 1 do
+            for z = 0 to Model.num_stages m c - 1 do
+              Routing.set_stage r2 ~chain:c ~stage:z
+                (Routing.stage_flows r ~chain:c ~stage:z)
+            done
+          done;
+          for c = 0 to Model.num_chains m - 1 do
+            for z = 0 to Model.num_stages m c - 1 do
+              if
+                Routing.stage_flows r2 ~chain:c ~stage:z
+                <> Routing.stage_flows r ~chain:c ~stage:z
+              then same := false
+            done
+          done;
+          !same
+          && Routing.max_alpha r2 = Routing.max_alpha r
+          &&
+          let r3 = Routing.create m in
+          for c = 0 to Model.num_chains m - 1 do
+            List.iter
+              (fun (nodes, frac) -> Routing.add_path r3 ~chain:c ~nodes ~frac)
+              (Routing.decompose_paths r ~chain:c)
+          done;
+          Routing.validate r3 = Ok ()
+          && Float.abs (Routing.max_alpha r3 -. Routing.max_alpha r) < 1e-6)
+        engines)
+
 (* ------------------- DP determinism and goldens -------------------- *)
 
 (* The Fig. 12/13 scenario at its default scale (see bench/main.ml). *)
@@ -1023,6 +1078,64 @@ let test_dp_matches_seed_goldens () =
       Alcotest.(check (float 1e-9)) (label "prop latency, no rng") g_lat0
         (Routing.propagation_latency r0))
     dp_golden_cases
+
+(* Golden Eval metrics for every scheme on the coverage-0.5 TE scenario,
+   captured from the seed implementation (pre-dating the packed instance,
+   routing stores and evaluation arena): throughput = max_load_factor *
+   total demand with the default seed, and mean latency at load 0.5. The
+   instance rewrite must not change a single routing decision, so these
+   reproduce to float tolerance. *)
+let eval_golden_cases =
+  [
+    (Eval.Anycast, 89.675120167187061, infinity);
+    (Eval.Compute_aware, 166.44956062310848, 0.0055859034078466303);
+    (Eval.Onehop, 153.92111631429898, 0.0063078491054413969);
+    (Eval.Dp_latency, 96.421010947344882, infinity);
+    (Eval.Sb_dp, 236.25090035987967, 0.0043402356235188603);
+    (Eval.Sb_lp, 238.88346859901498, 0.0039278231771229036);
+  ]
+
+let test_eval_matches_seed_goldens () =
+  let m = golden_te_model ~coverage:0.5 () in
+  List.iter
+    (fun (scheme, g_tput, g_lat) ->
+      let label fmt = Printf.sprintf "%s %s" (Eval.scheme_name scheme) fmt in
+      Alcotest.(check (float 1e-9)) (label "throughput") g_tput
+        (Eval.throughput m scheme);
+      let lat = Eval.latency ~load:0.5 m scheme in
+      if g_lat = infinity then
+        Alcotest.(check bool) (label "latency saturated") true (lat = infinity)
+      else Alcotest.(check (float 1e-9)) (label "latency at load 0.5") g_lat lat)
+    eval_golden_cases
+
+let test_eval_grids_match_scalar () =
+  (* The domain-fanned grids must agree exactly with the scalar entry
+     points, whatever the domain count. *)
+  let m = golden_te_model ~coverage:0.5 () in
+  let schemes = [| Eval.Anycast; Eval.Sb_dp |] in
+  let tg = Eval.throughput_grid [| m |] schemes in
+  Array.iteri
+    (fun j s ->
+      Alcotest.(check (float 0.)) (Eval.scheme_name s ^ " grid throughput")
+        (Eval.throughput m s) tg.(0).(j))
+    schemes;
+  let loads = [| 0.25; 0.5 |] in
+  let lg = Eval.latency_grid ~loads m schemes in
+  Array.iteri
+    (fun i load ->
+      Array.iteri
+        (fun j s ->
+          let v = Eval.latency ~load m s in
+          if v = infinity then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s grid latency inf at %.2f" (Eval.scheme_name s) load)
+              true (lg.(i).(j) = infinity)
+          else
+            Alcotest.(check (float 0.))
+              (Printf.sprintf "%s grid latency at %.2f" (Eval.scheme_name s) load)
+              v lg.(i).(j))
+        schemes)
+    loads
 
 let () =
   Alcotest.run "sb_core"
@@ -1107,6 +1220,8 @@ let () =
           Alcotest.test_case "latency grows with load" `Slow test_eval_latency_increases_with_load;
           Alcotest.test_case "anycast dies early" `Slow test_eval_anycast_dies_early;
           Alcotest.test_case "routes valid" `Slow test_eval_route_returns_valid;
+          Alcotest.test_case "matches seed goldens" `Slow test_eval_matches_seed_goldens;
+          Alcotest.test_case "grids match scalar" `Slow test_eval_grids_match_scalar;
         ] );
       ( "workload",
         [
@@ -1155,5 +1270,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_schemes_always_valid;
           QCheck_alcotest.to_alcotest prop_lp_dominates_dp;
+          QCheck_alcotest.to_alcotest prop_routing_packed_roundtrip;
         ] );
     ]
