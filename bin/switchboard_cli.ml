@@ -350,6 +350,72 @@ let plan_vnf_cmd =
        ~doc:"Suggest new VNF deployment sites that minimize chain latency (Section 4.2).")
     term
 
+(* ------------------------------ chaos ------------------------------ *)
+
+let chaos_cmd =
+  let module Schedule = Sb_chaos.Schedule in
+  let module Harness = Sb_chaos.Harness in
+  let search =
+    Arg.(value & flag & info [ "search" ] ~doc:"Search seeds for a violating schedule.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N" ~doc:"Schedules to try under $(b,--search).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the (shrunk) violating schedule to FILE, for CI artifacts.")
+  in
+  let run seed search budget out =
+    let print_result (r : Harness.result) =
+      Format.printf "schedule (seed %d):@.%a@.%a@." r.schedule.Schedule.seed
+        Schedule.pp r.schedule Harness.pp_result r
+    in
+    if search then begin
+      match Harness.search ~base_seed:seed ~budget with
+      | None ->
+        Format.printf
+          "chaos: %d schedules (seeds %d..%d), zero invariant violations@." budget
+          seed
+          (seed + budget - 1);
+        0
+      | Some r ->
+        Format.printf "chaos: VIOLATION — minimal failing schedule:@.";
+        print_result r;
+        Format.printf "replay: switchboard_cli chaos --seed %d@."
+          r.schedule.Schedule.seed;
+        (match out with
+        | Some file ->
+          let oc = open_out file in
+          output_string oc (Schedule.to_string r.schedule);
+          output_string oc "\n";
+          List.iter
+            (fun v ->
+              output_string oc (Format.asprintf "%a\n" Sb_chaos.Invariant.pp_violation v))
+            r.violations;
+          close_out oc
+        | None -> ());
+        1
+    end
+    else begin
+      let r = Harness.run_seed seed in
+      print_result r;
+      if r.violations = [] then 0 else 1
+    end
+  in
+  let term = Term.(const run $ seed $ search $ budget $ out) in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay one fault schedule ($(b,--seed)) or search many ($(b,--search)) against \
+          the whole-system invariant checker. Deterministic: the same seed replays \
+          bit-identically.")
+    term
+
 let () =
   let info =
     Cmd.info "switchboard_cli" ~version:"1.0"
@@ -357,4 +423,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ route_cmd; compare_cmd; adapt_cmd; plan_cloud_cmd; plan_vnf_cmd ]))
+       (Cmd.group info
+          [ route_cmd; compare_cmd; adapt_cmd; plan_cloud_cmd; plan_vnf_cmd; chaos_cmd ]))

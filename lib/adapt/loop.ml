@@ -183,7 +183,7 @@ let run_oracle sc =
   in
   { epochs; total_rerouted = !total }
 
-let run_closed sc p =
+let run_closed ?(on_system = fun _ -> ()) sc p =
   let m = sc.sc_model in
   let n = Model.num_chains m in
   let num_sites = Model.num_sites m in
@@ -245,6 +245,9 @@ let run_closed sc p =
   in
   Engine.run eng;
   (* --- chains established; start the loop on a fresh epoch grid --- *)
+  (* Hand the assembled system to the caller before the epochs are laid
+     out: [sb_chaos] arms its fault schedule and invariant probes here. *)
+  on_system sys;
   let t0 = Engine.now eng in
   let failed_now = ref [] in
   let exporters =
@@ -360,9 +363,9 @@ let run_closed sc p =
     total_rerouted = !total_rerouted;
   }
 
-let run ?(params = default_params) sc arm =
+let run ?(params = default_params) ?on_system sc arm =
   if sc.sc_epochs <= 0 then invalid_arg "Loop.run: sc_epochs must be positive";
   match arm with
   | Static -> run_static sc
   | Oracle -> run_oracle sc
-  | Closed_loop -> run_closed sc params
+  | Closed_loop -> run_closed ?on_system sc params

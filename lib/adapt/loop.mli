@@ -74,6 +74,10 @@ val diurnal_demand :
 (** Per-chain diurnal curve [1 + amplitude * sin(phase_c + 2*pi*e/period)]
     with deterministic random phases for [n] chains. *)
 
-val run : ?params:params -> scenario -> arm -> run_result
+val run :
+  ?params:params -> ?on_system:(Sb_ctrl.System.t -> unit) -> scenario -> arm -> run_result
 (** Run one arm over the scenario. Fully deterministic for a fixed
-    scenario and params. *)
+    scenario and params. [on_system] (Closed_loop arm only) is called
+    with the assembled control plane once the initial chains are
+    committed, before the epoch grid is scheduled — the [sb_chaos]
+    injection point for faulting the closed loop mid-flight. *)

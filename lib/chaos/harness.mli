@@ -1,0 +1,36 @@
+(** The standard chaos deployment and the schedule searcher.
+
+    [run] assembles a fixed six-site deployment (three VNFs, three
+    chains, k = 2 replicated flow store, MUSIC-backed coordinator
+    state), establishes the chains fault-free, then arms a
+    {!Schedule.t} together with the {!Invariant} checker: epoch probes
+    every second, a route-update rollout racing the faults every other
+    epoch, and the strict quiesced-state check once the engine drains.
+    Everything is a pure function of the schedule (and its seed) — the
+    same schedule replays bit-identically. *)
+
+val num_sites : int
+val horizon : float
+
+type result = {
+  schedule : Schedule.t;
+  violations : Invariant.violation list;
+  events : int;  (** engine events processed after arming *)
+  completed : bool;  (** the engine drained within the event budget *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run : ?epoch_len:float -> ?event_budget:int -> Schedule.t -> result
+
+val run_seed : ?epoch_len:float -> ?event_budget:int -> int -> result
+(** [run (Schedule.generate ~seed ...)] with the standard horizon. *)
+
+val shrink_failing : Schedule.t -> Schedule.t
+(** Greedily shrink a violating schedule ({!Schedule.shrink}) to a
+    locally minimal one that still violates. *)
+
+val search : base_seed:int -> budget:int -> result option
+(** Run seeds [base_seed .. base_seed + budget - 1]; on the first
+    violating schedule, return the shrunk minimal failing result.
+    [None] if every schedule passes. *)

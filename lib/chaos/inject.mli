@@ -1,0 +1,27 @@
+(** Applies a {!Schedule.t} to an assembled control plane through the
+    fault hooks: timed engine events for process deaths (forwarder
+    crash/restart, site outage, coordinator failover + store recovery)
+    and a wide-area bus hook for network pathologies (flap delays,
+    probabilistic loss on loss-tolerant topics, extra delay, telemetry
+    drops). All probabilistic decisions come from [rng], drawn in engine
+    event order — a (seed, schedule) pair replays bit-identically. *)
+
+val loss_tolerant : string -> bool
+(** Topics the control plane is engineered to survive losing copies on:
+    2PC participant/vote topics (retransmitted until answered) and
+    telemetry (stale-tolerant). *)
+
+val is_telemetry : string -> bool
+
+val arm :
+  sys:Sb_ctrl.System.t ->
+  ?store:Sb_ctrl.Types.persisted Sb_music.Store.t ->
+  ?observe:(msg:int -> topic:string -> src:int -> dst:int -> unit) ->
+  rng:Sb_util.Rng.t ->
+  Schedule.t ->
+  unit
+(** Install the schedule, with windows relative to the current virtual
+    time. [store] enables post-failover recovery (without it the standby
+    comes up empty). [observe] sees every wide-area copy before the fault
+    decision — the invariant checker's single-copy monitor plugs in
+    here. *)

@@ -1,0 +1,214 @@
+module System = Sb_ctrl.System
+module Bus = Sb_msgbus.Bus
+module Fabric = Sb_dataplane.Fabric
+module Packet = Sb_dataplane.Packet
+module Rng = Sb_util.Rng
+open Sb_ctrl.Types
+
+type violation = { inv : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.inv v.detail
+
+type t = {
+  sys : System.t;
+  num_sites : int;
+  rng : Rng.t;
+  chains : (int, Packet.five_tuple array) Hashtbl.t;
+  pinned : (int * Packet.five_tuple, int list) Hashtbl.t;
+  (* (chain, tuple) -> VNF instances the connection was pinned to the
+     first time its probe succeeded *)
+  wan_copies : (int * int, int) Hashtbl.t; (* (msg ordinal, dst site) -> copies *)
+  seen : (string, unit) Hashtbl.t; (* dedup: one report per distinct violation *)
+  mutable violations : violation list;
+}
+
+let create ~sys ~num_sites ~seed =
+  {
+    sys;
+    num_sites;
+    rng = Rng.create (seed * 3 + 0x1A7);
+    chains = Hashtbl.create 8;
+    pinned = Hashtbl.create 64;
+    wan_copies = Hashtbl.create 4096;
+    seen = Hashtbl.create 16;
+    violations = [];
+  }
+
+let violate t inv fmt =
+  Printf.ksprintf
+    (fun detail ->
+      let key = inv ^ "|" ^ detail in
+      if not (Hashtbl.mem t.seen key) then begin
+        Hashtbl.replace t.seen key ();
+        t.violations <- { inv; detail } :: t.violations
+      end)
+    fmt
+
+let violations t = List.rev t.violations
+
+let register_chain t ~chain ~tuples =
+  Hashtbl.replace t.chains chain
+    (Array.init tuples (fun _ -> Packet.random_tuple t.rng))
+
+(* ----- bus single-copy (Section 6): at most one wide-area copy per
+   published message per subscribing site, and never to a site without a
+   subscription ----- *)
+
+let observe_wan t ~msg ~topic ~src:_ ~dst =
+  let bus = System.bus t.sys in
+  let n = try Hashtbl.find t.wan_copies (msg, dst) with Not_found -> 0 in
+  Hashtbl.replace t.wan_copies (msg, dst) (n + 1);
+  if n + 1 > 1 then
+    violate t "bus-single-copy" "message %d sent %d copies to site %d (topic %s)"
+      msg (n + 1) dst topic;
+  if not (List.mem dst (Bus.subscriber_sites bus ~topic)) then
+    violate t "bus-single-copy" "message %d sent to non-subscribing site %d (topic %s)"
+      msg dst topic
+
+(* ----- data-path invariants, via probes ----- *)
+
+let tuple_str tu = Format.asprintf "%a" Packet.pp_tuple tu
+
+let probe_invariants t ~strict ~chain (spec : chain_spec) tu =
+  let fabric = System.fabric t.sys in
+  match System.probe_chain t.sys ~chain tu with
+  | Error e ->
+    (* During a fault window a probe may legitimately fail (its pinned
+       path crosses a dead forwarder). Once every fault has ended and
+       the system has quiesced, every probe must go through. *)
+    if strict then
+      violate t "liveness" "chain %d %s: forward probe failed: %s" chain
+        (tuple_str tu)
+        (Format.asprintf "%a" Fabric.pp_error e)
+  | Ok trace ->
+    let vnfs = Fabric.vnfs_in_trace fabric trace in
+    if vnfs <> spec.vnfs then
+      violate t "conformity" "chain %d %s: traversed VNFs %s, spec %s" chain
+        (tuple_str tu)
+        (String.concat "," (List.map string_of_int vnfs))
+        (String.concat "," (List.map string_of_int spec.vnfs));
+    let insts = Fabric.instances_in_trace trace in
+    (match Hashtbl.find_opt t.pinned (chain, tu) with
+    | Some prev when prev <> insts ->
+      violate t "flow-affinity" "chain %d %s: instances changed %s -> %s" chain
+        (tuple_str tu)
+        (String.concat "," (List.map string_of_int prev))
+        (String.concat "," (List.map string_of_int insts))
+    | Some _ -> ()
+    | None -> Hashtbl.replace t.pinned (chain, tu) insts);
+    (* Symmetric return: the reply must retrace the same instances in
+       reverse. A connection whose forward direction just worked has
+       live state end to end, so the reverse must too (in the
+       replicated flow store it survives forwarder crashes). *)
+    (match System.chain_egress_site t.sys ~chain with
+    | None -> ()
+    | Some egress_site -> (
+      match System.site_edge t.sys egress_site with
+      | None -> ()
+      | Some egress ->
+        (match
+           Fabric.send_reverse fabric ~egress ~chain_label:chain
+             ~egress_label:egress_site tu
+         with
+        | Error e ->
+          violate t "symmetric-return" "chain %d %s: reverse failed: %s" chain
+            (tuple_str tu)
+            (Format.asprintf "%a" Fabric.pp_error e)
+        | Ok rtrace ->
+          let rinsts = List.rev (Fabric.instances_in_trace rtrace) in
+          if rinsts <> insts then
+            violate t "symmetric-return"
+              "chain %d %s: reverse instances %s, forward %s" chain (tuple_str tu)
+              (String.concat "," (List.map string_of_int rinsts))
+              (String.concat "," (List.map string_of_int insts)))))
+
+let check_probes t ~strict =
+  Hashtbl.fold (fun chain tuples acc -> (chain, tuples) :: acc) t.chains []
+  |> List.sort compare
+  |> List.iter (fun (chain, tuples) ->
+         match System.chain_spec t.sys ~chain with
+         | None -> violate t "setup" "chain %d unknown to the control plane" chain
+         | Some spec ->
+           if System.chain_routes t.sys ~chain = [] then begin
+             if strict then
+               violate t "2pc-atomicity" "chain %d has no committed routes" chain
+           end
+           else Array.iter (probe_invariants t ~strict ~chain spec) tuples)
+
+let check_epoch t = check_probes t ~strict:false
+
+(* ----- quiesced-state invariants ----- *)
+
+let chain_elements (spec : chain_spec) = Array.of_list ((-1) :: spec.vnfs @ [ -2 ])
+
+let check_quiesce t =
+  let sys = t.sys in
+  let inflight = System.txns_in_flight sys in
+  if inflight > 0 then
+    violate t "2pc-atomicity" "%d transactions still in flight after quiesce" inflight;
+  if System.gsb_is_down sys then
+    violate t "setup" "gsb still down after quiesce";
+  (* Expected committed VNF load per (vnf, site), from the final routes. *)
+  let expected = Hashtbl.create 16 in
+  let bump vnf site w =
+    let k = (vnf, site) in
+    Hashtbl.replace expected k ((try Hashtbl.find expected k with Not_found -> 0.) +. w)
+  in
+  List.iter
+    (fun chain ->
+      match (System.chain_spec sys ~chain, System.chain_routes sys ~chain) with
+      | Some spec, (_ :: _ as routes) ->
+        let elements = chain_elements spec in
+        let stages = List.length spec.vnfs + 1 in
+        List.iter
+          (fun r ->
+            Array.iteri
+              (fun z v ->
+                if v >= 0 then bump v r.element_sites.(z) (r.weight *. spec.traffic))
+              elements)
+          routes;
+        (* 2PC atomicity, route-install half: every site relevant to a
+           stage (it hosts the sending or the receiving element of some
+           route) must have the stage's rule installed — no site left
+           with a half-installed route set. *)
+        let egress = Option.get (System.chain_egress_site sys ~chain) in
+        for site = 0 to t.num_sites - 1 do
+          let installed = System.site_installed_rules sys ~site in
+          for z = 0 to stages - 1 do
+            let relevant =
+              List.exists
+                (fun r -> r.element_sites.(z) = site || r.element_sites.(z + 1) = site)
+                routes
+            in
+            if relevant && not (List.mem_assoc (chain, egress, z) installed) then
+              violate t "2pc-atomicity"
+                "chain %d: site %d missing rule for stage %d after quiesce" chain
+                site z
+          done
+        done
+      | _ -> ())
+    (System.chain_ids sys);
+  (* 2PC atomicity, admission half: the VNF controllers' committed loads
+     must equal what the final committed routes imply — everywhere. A
+     lost Commit leaves a reservation unconverted (actual < expected); a
+     stale allocation never replaced shows up as load at a (vnf, site)
+     the final routes no longer touch. *)
+  let vnf_ids =
+    List.concat_map
+      (fun chain ->
+        match System.chain_spec sys ~chain with Some s -> s.vnfs | None -> [])
+      (System.chain_ids sys)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun vnf ->
+      for site = 0 to t.num_sites - 1 do
+        let load = try Hashtbl.find expected (vnf, site) with Not_found -> 0. in
+        let actual = System.vnf_committed_load sys ~vnf ~site in
+        if Float.abs (actual -. load) > 1e-6 *. Float.max 1. load then
+          violate t "2pc-atomicity"
+            "vnf %d site %d: committed load %.6f, routes imply %.6f" vnf site
+            actual load
+      done)
+    vnf_ids;
+  check_probes t ~strict:true

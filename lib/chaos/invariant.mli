@@ -1,0 +1,41 @@
+(** Whole-system invariant checking over an assembled deployment.
+
+    Two check levels. {!check_epoch} runs {e safety} probes during the
+    chaos window: any probe that succeeds must be conformant (VNFs in
+    spec order), affine (same instances as the connection's first
+    success), and symmetric (the reply retraces the same instances
+    backwards) — probe {e failures} are tolerated, since a pinned path
+    may legitimately cross a dead forwarder mid-fault. {!check_quiesce}
+    runs after the engine drains with every fault ended, and is strict:
+    no transaction in flight, every relevant site holds every stage
+    rule of every committed chain (2PC atomicity), VNF committed load
+    equals what the final routes imply, and every probe must succeed
+    (DHT flow-state durability across crashes).
+
+    The bus single-copy property (Section 6) is monitored continuously
+    via {!observe_wan}, plugged into {!Inject.arm}'s [observe] hook.
+
+    Violations are deduplicated; each distinct one is reported once. *)
+
+type violation = { inv : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : sys:Sb_ctrl.System.t -> num_sites:int -> seed:int -> t
+
+val register_chain : t -> chain:int -> tuples:int -> unit
+(** Draw [tuples] probe connections for a chain (from the checker's own
+    seeded RNG). Their first successful probe pins the instances used by
+    the affinity and durability checks. *)
+
+val observe_wan : t -> msg:int -> topic:string -> src:int -> dst:int -> unit
+(** Count wide-area copies per (message, destination site): more than
+    one, or a copy to a site with no subscription, is a violation. *)
+
+val check_epoch : t -> unit
+val check_quiesce : t -> unit
+
+val violations : t -> violation list
+(** In detection order. *)

@@ -1,0 +1,165 @@
+module Rng = Sb_util.Rng
+
+type fault =
+  | Link_flap of { a : int; b : int; start : float; stop : float }
+  | Site_outage of { site : int; start : float; stop : float }
+  | Forwarder_crash of { site : int; start : float; stop : float }
+  | Bus_loss of { start : float; stop : float; prob : float }
+  | Bus_delay of { start : float; stop : float; prob : float; max_extra : float }
+  | Telemetry_drop of { start : float; stop : float; prob : float }
+  | Gsb_failover of { start : float; stop : float }
+
+type t = { seed : int; horizon : float; num_sites : int; faults : fault list }
+
+let window = function
+  | Link_flap { start; stop; _ }
+  | Site_outage { start; stop; _ }
+  | Forwarder_crash { start; stop; _ }
+  | Bus_loss { start; stop; _ }
+  | Bus_delay { start; stop; _ }
+  | Telemetry_drop { start; stop; _ }
+  | Gsb_failover { start; stop } -> (start, stop)
+
+(* Faults that take processes out of service. The generator keeps these
+   windows mutually disjoint: the harness replicates flow state with k = 2,
+   so at most one dead forwarder at a time keeps every DHT key alive, and
+   at most one dead coordinator keeps recovery well-defined. Overlapping
+   deaths are a capacity question, not an interleaving one — out of scope
+   for the invariants this schedule searches. *)
+let is_death = function
+  | Site_outage _ | Forwarder_crash _ | Gsb_failover _ -> true
+  | Link_flap _ | Bus_loss _ | Bus_delay _ | Telemetry_drop _ -> false
+
+let overlaps f g =
+  let a0, a1 = window f and b0, b1 = window g in
+  a0 < b1 && b0 < a1
+
+let round2 x = Float.round (x *. 100.) /. 100.
+
+let generate ~seed ~horizon ~num_sites =
+  let rng = Rng.create (seed * 2 + 0x5EED) in
+  let n = 2 + Rng.int rng 5 in
+  let deaths = ref [] in
+  let faults = ref [] in
+  for _ = 1 to n do
+    let start = round2 (Rng.uniform_in rng (0.05 *. horizon) (0.6 *. horizon)) in
+    let stop =
+      round2
+        (Float.min (0.85 *. horizon)
+           (start +. Rng.uniform_in rng (0.05 *. horizon) (0.3 *. horizon)))
+    in
+    let admit_death f =
+      if List.exists (overlaps f) !deaths then ()
+      else begin
+        deaths := f :: !deaths;
+        faults := f :: !faults
+      end
+    in
+    match Rng.int rng 7 with
+    | 0 ->
+      let a = Rng.int rng num_sites in
+      let b = (a + 1 + Rng.int rng (num_sites - 1)) mod num_sites in
+      faults := Link_flap { a; b; start; stop } :: !faults
+    | 1 -> admit_death (Site_outage { site = Rng.int rng num_sites; start; stop })
+    | 2 -> admit_death (Forwarder_crash { site = Rng.int rng num_sites; start; stop })
+    | 3 ->
+      faults :=
+        Bus_loss { start; stop; prob = round2 (Rng.uniform_in rng 0.1 0.8) } :: !faults
+    | 4 ->
+      faults :=
+        Bus_delay
+          {
+            start;
+            stop;
+            prob = round2 (Rng.uniform_in rng 0.1 0.7);
+            max_extra = round2 (Rng.uniform_in rng 0.05 0.8);
+          }
+        :: !faults
+    | 5 ->
+      faults :=
+        Telemetry_drop { start; stop; prob = round2 (Rng.uniform_in rng 0.2 1.0) }
+        :: !faults
+    | _ -> admit_death (Gsb_failover { start; stop })
+  done;
+  { seed; horizon; num_sites; faults = List.rev !faults }
+
+let pp_fault ppf = function
+  | Link_flap { a; b; start; stop } ->
+    Format.fprintf ppf "link-flap sites %d<->%d [%.2f, %.2f)" a b start stop
+  | Site_outage { site; start; stop } ->
+    Format.fprintf ppf "site-outage site %d [%.2f, %.2f)" site start stop
+  | Forwarder_crash { site; start; stop } ->
+    Format.fprintf ppf "forwarder-crash site %d [%.2f, %.2f)" site start stop
+  | Bus_loss { start; stop; prob } ->
+    Format.fprintf ppf "bus-loss p=%.2f [%.2f, %.2f)" prob start stop
+  | Bus_delay { start; stop; prob; max_extra } ->
+    Format.fprintf ppf "bus-delay p=%.2f extra<=%.2fs [%.2f, %.2f)" prob max_extra
+      start stop
+  | Telemetry_drop { start; stop; prob } ->
+    Format.fprintf ppf "telemetry-drop p=%.2f [%.2f, %.2f)" prob start stop
+  | Gsb_failover { start; stop } ->
+    Format.fprintf ppf "gsb-failover [%.2f, %.2f)" start stop
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule seed=%d horizon=%.1fs sites=%d (%d faults)"
+    t.seed t.horizon t.num_sites (List.length t.faults);
+  List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_fault f) t.faults;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Shrink candidates, most aggressive first: drop a fault entirely, then
+   halve a window, then halve a probability. The searcher keeps a
+   candidate only if it still violates, so order is a heuristic. *)
+let shrink t =
+  let n = List.length t.faults in
+  let without i = List.filteri (fun j _ -> j <> i) t.faults in
+  let dropped = List.init n (fun i -> { t with faults = without i }) in
+  let halve_window f =
+    let shorten start stop = (start, round2 (start +. ((stop -. start) /. 2.))) in
+    match f with
+    | Link_flap ({ start; stop; _ } as r) when stop -. start > 0.5 ->
+      let start, stop = shorten start stop in
+      Some (Link_flap { r with start; stop })
+    | Site_outage ({ start; stop; _ } as r) when stop -. start > 0.5 ->
+      let start, stop = shorten start stop in
+      Some (Site_outage { r with start; stop })
+    | Forwarder_crash ({ start; stop; _ } as r) when stop -. start > 0.5 ->
+      let start, stop = shorten start stop in
+      Some (Forwarder_crash { r with start; stop })
+    | Bus_loss ({ start; stop; _ } as r) when stop -. start > 0.5 ->
+      let start, stop = shorten start stop in
+      Some (Bus_loss { r with start; stop })
+    | Bus_delay ({ start; stop; _ } as r) when stop -. start > 0.5 ->
+      let start, stop = shorten start stop in
+      Some (Bus_delay { r with start; stop })
+    | Telemetry_drop ({ start; stop; _ } as r) when stop -. start > 0.5 ->
+      let start, stop = shorten start stop in
+      Some (Telemetry_drop { r with start; stop })
+    | Gsb_failover { start; stop } when stop -. start > 0.5 ->
+      let start, stop = shorten start stop in
+      Some (Gsb_failover { start; stop })
+    | _ -> None
+  in
+  let halve_prob = function
+    | Bus_loss ({ prob; _ } as r) when prob > 0.1 ->
+      Some (Bus_loss { r with prob = round2 (prob /. 2.) })
+    | Bus_delay ({ prob; _ } as r) when prob > 0.1 ->
+      Some (Bus_delay { r with prob = round2 (prob /. 2.) })
+    | Telemetry_drop ({ prob; _ } as r) when prob > 0.1 ->
+      Some (Telemetry_drop { r with prob = round2 (prob /. 2.) })
+    | _ -> None
+  in
+  let mutate f =
+    List.concat
+      (List.mapi
+         (fun i fault ->
+           match f fault with
+           | Some fault' ->
+             [ { t with
+                 faults = List.mapi (fun j x -> if j = i then fault' else x) t.faults;
+               } ]
+           | None -> [])
+         t.faults)
+  in
+  dropped @ mutate halve_window @ mutate halve_prob

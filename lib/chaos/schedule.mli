@@ -1,0 +1,66 @@
+(** Fault schedules: the vocabulary of things that go wrong.
+
+    A schedule is a finite set of timed fault windows over a simulation
+    horizon. Every fault is either a {e process death} (site outage,
+    forwarder crash, coordinator failover) with a deterministic
+    start/stop, or a {e network pathology} (link flap, probabilistic
+    message loss / extra delay, telemetry drop) whose per-message
+    decisions are drawn from a seeded {!Sb_util.Rng} at injection time —
+    so a (seed, schedule) pair replays bit-identically.
+
+    The fault model is deliberately scoped to keep the checked invariants
+    satisfiable: link flaps and outages {e delay} wide-area messages (the
+    underlying shared TCP connections retransmit; nothing is silently
+    lost), probabilistic loss applies only to loss-{e tolerant} topics
+    (2PC control traffic, which the coordinator retransmits, and
+    telemetry, which is stale-tolerant by design), and process deaths
+    never overlap so the k = 2 replicated flow store always has a live
+    copy of every key. *)
+
+type fault =
+  | Link_flap of { a : int; b : int; start : float; stop : float }
+      (** wide-area messages between sites [a] and [b] (either direction)
+          are held back until the flap ends *)
+  | Site_outage of { site : int; start : float; stop : float }
+      (** the site's forwarders crash at [start] and restart at [stop];
+          its wide-area control traffic is delayed until [stop] *)
+  | Forwarder_crash of { site : int; start : float; stop : float }
+      (** the site's first forwarder crashes and restarts *)
+  | Bus_loss of { start : float; stop : float; prob : float }
+      (** each wide-area copy on a loss-tolerant topic is dropped with
+          probability [prob] *)
+  | Bus_delay of { start : float; stop : float; prob : float; max_extra : float }
+      (** each wide-area copy gains uniform extra latency in
+          [\[0, max_extra)] with probability [prob] (reordering across
+          site pairs; per-pair FIFO is preserved by the bus) *)
+  | Telemetry_drop of { start : float; stop : float; prob : float }
+      (** telemetry-report copies are dropped with probability [prob] *)
+  | Gsb_failover of { start : float; stop : float }
+      (** the Global Switchboard dies mid-whatever at [start]; the standby
+          takes over at [stop] and re-drives persisted chains from the
+          MUSIC store *)
+
+type t = { seed : int; horizon : float; num_sites : int; faults : fault list }
+
+val window : fault -> float * float
+(** [(start, stop)] of a fault. *)
+
+val is_death : fault -> bool
+(** Whether the fault takes a process out of service (these windows are
+    kept mutually disjoint by {!generate}). *)
+
+val overlaps : fault -> fault -> bool
+(** Whether two fault windows intersect. *)
+
+val generate : seed:int -> horizon:float -> num_sites:int -> t
+(** A random schedule of 2–6 faults with windows inside
+    [\[0.05, 0.85) * horizon]. Pure function of the arguments. *)
+
+val shrink : t -> t list
+(** Smaller candidate schedules, most aggressive first: each fault
+    dropped, then each window halved, then each probability halved. The
+    searcher keeps a candidate only if it still violates. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_fault : Format.formatter -> fault -> unit
+val to_string : t -> string

@@ -20,6 +20,16 @@ type vnf_ctl = {
   v_reserved : (int, int * (int * float) list) Hashtbl.t;
   (* txid -> chain, (site, load) list; a commit REPLACES the chain's
      previous allocation (route updates are not additive) *)
+  v_voted : (int, msg) Hashtbl.t;
+  (* txid -> the Vote published, so a retransmitted Prepare (the original
+     vote was lost in the wide area) is answered from memory instead of
+     re-running admission — duplicate Prepares are idempotent *)
+  v_applied : (int, int) Hashtbl.t;
+  (* chain -> highest txid whose Commit was applied. Under loss a Commit
+     can be first received out of order (the original copy dropped, the
+     retransmission landing after a newer transaction's Commit); applying
+     only monotonically keeps every controller's final allocation equal
+     to the coordinator's last decision. *)
   v_instances : (int, int list) Hashtbl.t; (* site -> fabric instance ids *)
 }
 
@@ -41,6 +51,17 @@ type txn = {
   tx_exclude : (int * int) list;
 }
 
+(* A decided transaction whose Commit/Abort has not been acknowledged by
+   every participant yet. The coordinator retransmits the decision until
+   the unacked set drains — the half of the loss-tolerance story that
+   keeps a site from being left with a half-installed route set when a
+   wide-area link eats the decision. *)
+type decision = {
+  d_msg : msg;
+  d_spec : chain_spec;
+  mutable d_unacked : string list;
+}
+
 (* Per-site Local Switchboard: accumulates route and weight knowledge from
    the bus and converts it into forwarder rules (Section 3, step 5). *)
 type local_sb = {
@@ -51,6 +72,8 @@ type local_sb = {
   ls_fwd_info : (int * int * int, (int * float) list) Hashtbl.t;
   ls_installed : (int * int * int, (Fabric.endpoint * float) list) Hashtbl.t;
   (* (chain, egress, stage) -> last installed rule *)
+  ls_installed_rx : (int * int * int, (Fabric.endpoint * float) list) Hashtbl.t;
+  (* (chain, egress, stage) -> last installed receiver-side rule *)
   ls_published_weight : (int * int, float) Hashtbl.t; (* (chain, vnf) -> weight *)
   ls_subscribed : (string, unit) Hashtbl.t;
 }
@@ -64,9 +87,18 @@ type t = {
   gsb_site : int;
   delay : int -> int -> float;
   install_latency : float;
+  retry_interval : float;
   vnf_ctls : (int, vnf_ctl) Hashtbl.t;
   chains : (int, chain_state) Hashtbl.t;
   txns : (int, txn) Hashtbl.t;
+  decisions : (int, decision) Hashtbl.t;
+  chain_inflight : (int, int) Hashtbl.t; (* chain -> txid awaiting votes *)
+  queued_routes : (int, route list * (int * int) list) Hashtbl.t;
+  (* chain -> the newest route set requested while a transaction for the
+     chain was still collecting votes. 2PC is serialized per chain so
+     that decisions happen in txid order — the participants' monotonic
+     apply guard depends on it. *)
+  mutable gsb_down : bool;
   attachments : (string, int) Hashtbl.t; (* attachment -> site *)
   pending_commits : (int, int * chain_spec) Hashtbl.t; (* txid -> chain, spec *)
   mutable next_chain : int;
@@ -105,14 +137,23 @@ let ls_subscribe t ls topic callback =
     Bus.subscribe t.bus ~site:ls.ls_site ~topic callback
   end
 
-(* The weighted rule at [ls] for one stage of one chain, or None when some
-   required weight information has not arrived yet. *)
+(* The weighted rules at [ls] for one stage of one chain, or (None, None)
+   when some required weight information has not arrived yet. The first
+   component is the full rule; the second is the receiver-side rule
+   (local deliveries only) installed when this site receives the stage's
+   traffic — a packet handed over by a remote forwarder is mid-relay and
+   must be delivered into a local element, never balanced onward to yet
+   another site (which happens when one site is the sender of one route
+   and the receiver of another for the same stage, and would both break
+   chain routing and collide in the fabric's role-keyed flow store). *)
 let compute_stage_rule t ls (cs : chain_state) stage =
   let spec = cs.c_spec in
   let elements = chain_elements spec in
   (match cs.c_egress with Some _ -> () | None -> raise Exit);
   let targets = ref [] in
+  let rx_targets = ref [] in
   let add tgt w = if w > 0. then targets := (tgt, w) :: !targets in
+  let add_rx tgt w = if w > 0. then rx_targets := (tgt, w) :: !rx_targets in
   let missing = ref false in
   let next_vnf = elements.(stage + 1) in
   let relevant = ref false in
@@ -122,12 +163,18 @@ let compute_stage_rule t ls (cs : chain_state) stage =
       let local_instances () =
         match Hashtbl.find_opt ls.ls_instance_info (cs.c_id, next_vnf, ls.ls_site) with
         | Some ((_ :: _) as insts) ->
-          List.iter (fun (i, w) -> add (Fabric.Vnf_instance i) (r.weight *. w)) insts
+          List.iter
+            (fun (i, w) ->
+              add (Fabric.Vnf_instance i) (r.weight *. w);
+              add_rx (Fabric.Vnf_instance i) (r.weight *. w))
+            insts
         | Some [] | None -> missing := true
       in
       let local_egress () =
         match t.sites.(ls.ls_site).edge with
-        | Some e -> add (Fabric.Edge e) r.weight
+        | Some e ->
+          add (Fabric.Edge e) r.weight;
+          add_rx (Fabric.Edge e) r.weight
         | None -> missing := true
       in
       if s_z = ls.ls_site then begin
@@ -156,17 +203,21 @@ let compute_stage_rule t ls (cs : chain_state) stage =
         if next_vnf = -2 then local_egress () else local_instances ()
       end)
     cs.c_routes;
-  if not !relevant then None
-  else if !missing then None
+  if not !relevant then (None, None)
+  else if !missing then (None, None)
   else begin
     (* Merge duplicate targets. *)
-    let merged = Hashtbl.create 8 in
-    List.iter
-      (fun (tgt, w) ->
-        let cur = try Hashtbl.find merged tgt with Not_found -> 0. in
-        Hashtbl.replace merged tgt (cur +. w))
-      !targets;
-    Some (Hashtbl.fold (fun tgt w acc -> (tgt, w) :: acc) merged [] |> List.sort compare)
+    let merge lst =
+      let merged = Hashtbl.create 8 in
+      List.iter
+        (fun (tgt, w) ->
+          let cur = try Hashtbl.find merged tgt with Not_found -> 0. in
+          Hashtbl.replace merged tgt (cur +. w))
+        lst;
+      Hashtbl.fold (fun tgt w acc -> (tgt, w) :: acc) merged [] |> List.sort compare
+    in
+    ( Some (merge !targets),
+      match !rx_targets with [] -> None | rx -> Some (merge rx) )
   end
 
 let try_install t ls (cs : chain_state) =
@@ -176,22 +227,29 @@ let try_install t ls (cs : chain_state) =
     let stages = List.length cs.c_spec.vnfs + 1 in
     for stage = 0 to stages - 1 do
       match compute_stage_rule t ls cs stage with
-      | None | (exception Exit) -> ()
-      | Some rule ->
+      | None, _ | (exception Exit) -> ()
+      | Some rule, rx ->
         let key = (cs.c_id, egress, stage) in
         let unchanged =
-          match Hashtbl.find_opt ls.ls_installed key with
-          | Some prev -> prev = rule
-          | None -> false
+          Hashtbl.find_opt ls.ls_installed key = Some rule
+          && Hashtbl.find_opt ls.ls_installed_rx key = rx
         in
         if not unchanged then begin
           Hashtbl.replace ls.ls_installed key rule;
+          (match rx with
+          | Some r -> Hashtbl.replace ls.ls_installed_rx key r
+          | None -> Hashtbl.remove ls.ls_installed_rx key);
           ignore
             (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
                  List.iter
                    (fun forwarder ->
                      Fabric.install_rule t.fabric ~forwarder ~chain_label:cs.c_id
-                       ~egress_label:egress ~stage rule)
+                       ~egress_label:egress ~stage rule;
+                     match rx with
+                     | Some r ->
+                       Fabric.install_rx_rule t.fabric ~forwarder ~chain_label:cs.c_id
+                         ~egress_label:egress ~stage r
+                     | None -> ())
                    t.sites.(ls.ls_site).forwarders;
                  logf t "site %d: installed rule chain=%d stage=%d (%d targets)"
                    ls.ls_site cs.c_id stage (List.length rule)))
@@ -330,20 +388,27 @@ let vnf_on_prepare t (v : vnf_ctl) ~txid ~chain ~routes ~spec =
   if !ok then
     Hashtbl.replace v.v_reserved txid
       (chain, Hashtbl.fold (fun s l acc -> (s, l) :: acc) demand []);
-  Bus.publish t.bus ~site:v.v_home ~topic:(votes_topic ~txid)
-    (Vote
-       {
-         txid;
-         participant = Printf.sprintf "vnf_%d" v.v_id;
-         accept = !ok;
-         rejected = !rejected;
-       })
+  let vote =
+    Vote
+      {
+        txid;
+        participant = Printf.sprintf "vnf_%d" v.v_id;
+        accept = !ok;
+        rejected = !rejected;
+      }
+  in
+  Hashtbl.replace v.v_voted txid vote;
+  Bus.publish t.bus ~site:v.v_home ~topic:(votes_topic ~txid) vote
 
 let vnf_on_commit t (v : vnf_ctl) ~txid ~chain ~egress =
   match Hashtbl.find_opt v.v_reserved txid with
   | None -> ()
   | Some (res_chain, reserved) ->
     Hashtbl.remove v.v_reserved txid;
+    let last = try Hashtbl.find v.v_applied res_chain with Not_found -> -1 in
+    if txid <= last then () (* late duplicate of a superseded transaction *)
+    else begin
+    Hashtbl.replace v.v_applied res_chain txid;
     (* Replace the chain's previous allocation. *)
     let stale =
       Hashtbl.fold (fun (c, s) _ acc -> if c = res_chain then (c, s) :: acc else acc)
@@ -362,6 +427,7 @@ let vnf_on_commit t (v : vnf_ctl) ~txid ~chain ~egress =
           (Instance_info
              { vnf = v.v_id; site; instances = List.map (fun i -> (i, 1.0)) insts }))
       reserved
+    end
 
 (* ------------------------- Global Switchboard ----------------------- *)
 
@@ -390,83 +456,157 @@ let persist_chain t (cs : chain_state) =
 
 let participants_of spec = "edge" :: List.map (Printf.sprintf "vnf_%d") spec.vnfs
 
-let rec gsb_start_2pc t (cs : chain_state) routes ~exclude =
-  let txid = t.next_txid in
-  t.next_txid <- txid + 1;
-  let tx =
-    {
-      tx_id = txid;
-      tx_chain = cs.c_id;
-      tx_routes = routes;
-      tx_spec = cs.c_spec;
-      tx_waiting = participants_of cs.c_spec;
-      tx_rejected = [];
-      tx_exclude = exclude;
-    }
-  in
-  Hashtbl.replace t.txns txid tx;
-  logf t "gsb: 2pc prepare tx%d for chain %d (%d routes)" txid cs.c_id
-    (List.length routes);
-  (* Collect votes for this transaction. *)
-  Bus.subscribe t.bus ~site:t.gsb_site ~topic:(votes_topic ~txid) (function
-    | Vote { txid; participant; accept; rejected } -> gsb_on_vote t ~txid ~participant ~accept ~rejected
-    | _ -> ());
+(* Publish a Commit/Abort and retransmit it to un-acked participants every
+   [retry_interval] until every ack is in. Safe to retry without bound:
+   participant controllers do not fail permanently, loss windows end, and
+   a coordinator failover clears [t.decisions] (the recovered coordinator
+   re-drives the whole transaction instead). Each retry event checks state
+   before rescheduling, so the engine queue drains once acks arrive. *)
+let register_decision t ~txid ~spec msg =
+  let d = { d_msg = msg; d_spec = spec; d_unacked = participants_of spec } in
+  Hashtbl.replace t.decisions txid d;
   List.iter
     (fun name ->
-      Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
-        (Prepare { txid; chain = cs.c_id; routes; spec = cs.c_spec }))
-    (participants_of cs.c_spec)
+      Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name) msg)
+    d.d_unacked;
+  let rec retry () =
+    if not t.gsb_down then
+      match Hashtbl.find_opt t.decisions txid with
+      | Some d when d.d_unacked <> [] ->
+        logf t "gsb: 2pc tx%d retransmitting decision to %d unacked" txid
+          (List.length d.d_unacked);
+        List.iter
+          (fun name ->
+            Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
+              d.d_msg)
+          d.d_unacked;
+        ignore (Engine.schedule t.eng ~delay:t.retry_interval retry)
+      | Some _ | None -> ()
+  in
+  ignore (Engine.schedule t.eng ~delay:t.retry_interval retry)
+
+let gsb_on_ack t ~txid ~participant =
+  if not t.gsb_down then
+    match Hashtbl.find_opt t.decisions txid with
+    | None -> ()
+    | Some d ->
+      d.d_unacked <- List.filter (fun p -> p <> participant) d.d_unacked;
+      if d.d_unacked = [] then Hashtbl.remove t.decisions txid
+
+let rec gsb_start_2pc t (cs : chain_state) routes ~exclude =
+  if t.gsb_down then
+    logf t "gsb: down; dropping 2pc for chain %d" cs.c_id
+  else if Hashtbl.mem t.chain_inflight cs.c_id then begin
+    (* Serialize per chain: a newer request supersedes any queued one and
+       starts once the in-flight transaction decides. *)
+    logf t "gsb: chain %d transaction in flight; queueing route update" cs.c_id;
+    Hashtbl.replace t.queued_routes cs.c_id (routes, exclude)
+  end
+  else begin
+    let txid = t.next_txid in
+    t.next_txid <- txid + 1;
+    let tx =
+      {
+        tx_id = txid;
+        tx_chain = cs.c_id;
+        tx_routes = routes;
+        tx_spec = cs.c_spec;
+        tx_waiting = participants_of cs.c_spec;
+        tx_rejected = [];
+        tx_exclude = exclude;
+      }
+    in
+    Hashtbl.replace t.txns txid tx;
+    Hashtbl.replace t.chain_inflight cs.c_id txid;
+    logf t "gsb: 2pc prepare tx%d for chain %d (%d routes)" txid cs.c_id
+      (List.length routes);
+    (* Collect votes (and decision acks) for this transaction. *)
+    Bus.subscribe t.bus ~site:t.gsb_site ~topic:(votes_topic ~txid) (function
+      | Vote { txid; participant; accept; rejected } ->
+        gsb_on_vote t ~txid ~participant ~accept ~rejected
+      | Decision_ack { txid; participant } -> gsb_on_ack t ~txid ~participant
+      | _ -> ());
+    let send_prepares names =
+      List.iter
+        (fun name ->
+          Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
+            (Prepare { txid; chain = cs.c_id; routes; spec = cs.c_spec }))
+        names
+    in
+    send_prepares (participants_of cs.c_spec);
+    (* Retransmit the Prepare to participants whose vote has not arrived:
+       either the Prepare or the Vote was lost in the wide area. Duplicate
+       Prepares are answered from vote memory, duplicate Votes are ignored
+       by the waiting-list check, so retrying is idempotent. *)
+    let rec retry () =
+      if not t.gsb_down then
+        match Hashtbl.find_opt t.txns txid with
+        | Some tx when tx.tx_waiting <> [] ->
+          logf t "gsb: 2pc tx%d retransmitting prepare to %d unvoted" txid
+            (List.length tx.tx_waiting);
+          send_prepares tx.tx_waiting;
+          ignore (Engine.schedule t.eng ~delay:t.retry_interval retry)
+        | Some _ | None -> ()
+    in
+    ignore (Engine.schedule t.eng ~delay:t.retry_interval retry)
+  end
 
 and gsb_on_vote t ~txid ~participant ~accept ~rejected =
-  match Hashtbl.find_opt t.txns txid with
-  | None -> ()
-  | Some tx ->
-    if List.mem participant tx.tx_waiting then begin
-      tx.tx_waiting <- List.filter (fun p -> p <> participant) tx.tx_waiting;
-      if not accept then tx.tx_rejected <- rejected @ tx.tx_rejected;
-      if tx.tx_waiting = [] then begin
-        Hashtbl.remove t.txns txid;
-        let cs = Hashtbl.find t.chains tx.tx_chain in
-        if tx.tx_rejected = [] then begin
-          (* Commit. *)
-          List.iter
-            (fun name ->
-              Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
-                (Commit { txid }))
-            (participants_of tx.tx_spec);
-          cs.c_routes <- tx.tx_routes;
-          logf t "gsb: 2pc commit tx%d; chain %d routes installed" txid tx.tx_chain;
-          persist_chain t cs;
-          let egress = Option.get cs.c_egress in
-          let update =
-            Route_update
-              { chain = cs.c_id; egress_label = egress; spec = cs.c_spec; routes = tx.tx_routes }
-          in
-          Bus.publish t.bus ~site:t.gsb_site ~topic:broadcast_topic update;
-          Bus.publish t.bus ~site:t.gsb_site ~topic:(route_topic ~chain:cs.c_id) update
-        end
-        else begin
-          List.iter
-            (fun name ->
-              Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
-                (Abort { txid }))
-            (participants_of tx.tx_spec);
-          let exclude = tx.tx_rejected @ tx.tx_exclude in
-          logf t "gsb: 2pc abort tx%d (%d rejections); recomputing" txid
-            (List.length tx.tx_rejected);
-          if List.length exclude <= 32 then begin
-            match t.route_policy with
-            | Some policy -> (
-              match policy tx.tx_spec ~exclude with
-              | Some routes -> gsb_start_2pc t cs routes ~exclude
-              | None -> logf t "gsb: no feasible route for chain %d" tx.tx_chain)
-            | None -> logf t "gsb: no route policy; chain %d failed" tx.tx_chain
+  if t.gsb_down then ()
+  else
+    match Hashtbl.find_opt t.txns txid with
+    | None -> ()
+    | Some tx ->
+      if List.mem participant tx.tx_waiting then begin
+        tx.tx_waiting <- List.filter (fun p -> p <> participant) tx.tx_waiting;
+        if not accept then tx.tx_rejected <- rejected @ tx.tx_rejected;
+        if tx.tx_waiting = [] then begin
+          Hashtbl.remove t.txns txid;
+          Hashtbl.remove t.chain_inflight tx.tx_chain;
+          let cs = Hashtbl.find t.chains tx.tx_chain in
+          if tx.tx_rejected = [] then begin
+            (* Commit. *)
+            register_decision t ~txid ~spec:tx.tx_spec (Commit { txid });
+            cs.c_routes <- tx.tx_routes;
+            logf t "gsb: 2pc commit tx%d; chain %d routes installed" txid tx.tx_chain;
+            persist_chain t cs;
+            let egress = Option.get cs.c_egress in
+            let update =
+              Route_update
+                { chain = cs.c_id; egress_label = egress; spec = cs.c_spec; routes = tx.tx_routes }
+            in
+            Bus.publish t.bus ~site:t.gsb_site ~topic:broadcast_topic update;
+            Bus.publish t.bus ~site:t.gsb_site ~topic:(route_topic ~chain:cs.c_id) update
+          end
+          else begin
+            register_decision t ~txid ~spec:tx.tx_spec (Abort { txid });
+            let exclude = tx.tx_rejected @ tx.tx_exclude in
+            logf t "gsb: 2pc abort tx%d (%d rejections); recomputing" txid
+              (List.length tx.tx_rejected);
+            if List.length exclude <= 32 then begin
+              match t.route_policy with
+              | Some policy -> (
+                match policy tx.tx_spec ~exclude with
+                | Some routes -> gsb_start_2pc t cs routes ~exclude
+                | None -> logf t "gsb: no feasible route for chain %d" tx.tx_chain)
+              | None -> logf t "gsb: no route policy; chain %d failed" tx.tx_chain
+            end
+          end;
+          (* The chain is idle unless the decision path re-entered 2PC
+             (abort recompute); drain the newest queued route set. *)
+          if not (Hashtbl.mem t.chain_inflight tx.tx_chain) then begin
+            match Hashtbl.find_opt t.queued_routes tx.tx_chain with
+            | Some (routes, exclude) ->
+              Hashtbl.remove t.queued_routes tx.tx_chain;
+              gsb_start_2pc t cs routes ~exclude
+            | None -> ()
           end
         end
       end
-    end
 
 let gsb_on_request t ~chain ~spec =
+  if t.gsb_down then logf t "gsb: down; chain request %d lost" chain
+  else begin
   logf t "gsb: received chain request %s (chain %d)" spec.spec_name chain;
   let resolve a =
     match Hashtbl.find_opt t.attachments a with
@@ -485,14 +625,15 @@ let gsb_on_request t ~chain ~spec =
     match policy spec ~exclude:[] with
     | Some routes -> gsb_start_2pc t cs routes ~exclude:[]
     | None -> logf t "gsb: no feasible route for chain %d" chain)
+  end
 
 (* ------------------------------ Assembly ---------------------------- *)
 
-let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.) ~num_sites
-    ~delay ~gsb_site () =
+let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.)
+    ?(retry_interval = 0.5) ?flow_store ~num_sites ~delay ~gsb_site () =
   let eng = Engine.create () in
   let bus = Bus.create eng ~mode:Bus.Switchboard ~num_sites ~delay ~egress_rate () in
-  let fabric = Fabric.create ~seed () in
+  let fabric = Fabric.create ~seed ?flow_store () in
   let sites =
     Array.init num_sites (fun i ->
         let fab_site = Fabric.add_site fabric (Printf.sprintf "site%d" i) in
@@ -507,6 +648,7 @@ let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.) ~num_
           ls_instance_info = Hashtbl.create 16;
           ls_fwd_info = Hashtbl.create 16;
           ls_installed = Hashtbl.create 16;
+          ls_installed_rx = Hashtbl.create 16;
           ls_published_weight = Hashtbl.create 8;
           ls_subscribed = Hashtbl.create 16;
         })
@@ -521,9 +663,14 @@ let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.) ~num_
       gsb_site;
       delay;
       install_latency;
+      retry_interval;
       vnf_ctls = Hashtbl.create 8;
       chains = Hashtbl.create 8;
       txns = Hashtbl.create 8;
+      decisions = Hashtbl.create 8;
+      chain_inflight = Hashtbl.create 8;
+      queued_routes = Hashtbl.create 8;
+      gsb_down = false;
       attachments = Hashtbl.create 8;
       pending_commits = Hashtbl.create 8;
       next_chain = 0;
@@ -538,11 +685,15 @@ let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.) ~num_
   Bus.subscribe bus ~site:gsb_site ~topic:chain_request_topic (function
     | Chain_request { chain; spec } -> gsb_on_request t ~chain ~spec
     | _ -> ());
-  (* The edge controller trivially accepts two-phase-commit prepares. *)
+  (* The edge controller trivially accepts two-phase-commit prepares (and,
+     being stateless, re-votes identically on retransmitted ones). *)
   Bus.subscribe bus ~site:gsb_site ~topic:(participant_topic ~name:"edge") (function
     | Prepare { txid; _ } ->
       Bus.publish bus ~site:gsb_site ~topic:(votes_topic ~txid)
         (Vote { txid; participant = "edge"; accept = true; rejected = [] })
+    | Commit { txid } | Abort { txid } ->
+      Bus.publish bus ~site:gsb_site ~topic:(votes_topic ~txid)
+        (Decision_ack { txid; participant = "edge" })
     | _ -> ());
   (* Every Local Switchboard watches for committed routes. *)
   Array.iter
@@ -586,24 +737,39 @@ let deploy_vnf t ~vnf ~site ~capacity ~instances =
           v_capacity = Hashtbl.create 4;
           v_committed = Hashtbl.create 4;
           v_reserved = Hashtbl.create 4;
+          v_voted = Hashtbl.create 4;
+          v_applied = Hashtbl.create 4;
           v_instances = Hashtbl.create 4;
         }
       in
       Hashtbl.replace t.vnf_ctls vnf v;
       let name = Printf.sprintf "vnf_%d" vnf in
+      let ack txid =
+        Bus.publish t.bus ~site:v.v_home ~topic:(votes_topic ~txid)
+          (Decision_ack { txid; participant = name })
+      in
       Bus.subscribe t.bus ~site ~topic:(participant_topic ~name) (function
-        | Prepare { txid; chain; routes; spec } ->
-          vnf_on_prepare t v ~txid ~chain ~routes ~spec;
-          (* Remember the chain/egress for the commit. *)
-          Hashtbl.replace t.pending_commits txid (chain, spec)
-        | Commit { txid } -> (
-          match Hashtbl.find_opt t.pending_commits txid with
+        | Prepare { txid; chain; routes; spec } -> (
+          match Hashtbl.find_opt v.v_voted txid with
+          | Some vote ->
+            (* Retransmitted Prepare: the original Vote was lost. Answer
+               from memory — recomputing could double-reserve. *)
+            Bus.publish t.bus ~site:v.v_home ~topic:(votes_topic ~txid) vote
+          | None ->
+            vnf_on_prepare t v ~txid ~chain ~routes ~spec;
+            (* Remember the chain/egress for the commit. *)
+            Hashtbl.replace t.pending_commits txid (chain, spec))
+        | Commit { txid } ->
+          (match Hashtbl.find_opt t.pending_commits txid with
           | Some (chain, _spec) -> (
             match Hashtbl.find_opt t.chains chain with
             | Some cs -> vnf_on_commit t v ~txid ~chain ~egress:(Option.get cs.c_egress)
             | None -> ())
-          | None -> ())
-        | Abort { txid } -> Hashtbl.remove v.v_reserved txid
+          | None -> ());
+          ack txid
+        | Abort { txid } ->
+          Hashtbl.remove v.v_reserved txid;
+          ack txid
         | _ -> ());
       v
   in
@@ -739,6 +905,11 @@ let add_forwarder t ~site =
              Fabric.install_rule t.fabric ~forwarder ~chain_label:chain
                ~egress_label:egress ~stage rule)
            ls.ls_installed;
+         Hashtbl.iter
+           (fun (chain, egress, stage) rule ->
+             Fabric.install_rx_rule t.fabric ~forwarder ~chain_label:chain
+               ~egress_label:egress ~stage rule)
+           ls.ls_installed_rx;
          logf t "site %d: forwarder %d joined and configured (%d rules)" site forwarder
            (Hashtbl.length ls.ls_installed)));
   forwarder
@@ -834,6 +1005,40 @@ let vnf_committed_load t ~vnf ~site =
     Hashtbl.fold
       (fun (_, s) load acc -> if s = site then acc +. load else acc)
       v.v_committed 0.
+
+let set_gsb_down t down =
+  if down && not t.gsb_down then begin
+    t.gsb_down <- true;
+    (* The coordinator's volatile state dies with it: in-flight
+       transactions and un-acked decisions are lost. Participants keep
+       their reservations (harmless: admission counts only committed
+       load); the recovered coordinator re-drives every persisted chain
+       with fresh transactions via [recover_from_store]. *)
+    Hashtbl.reset t.txns;
+    Hashtbl.reset t.decisions;
+    Hashtbl.reset t.chain_inflight;
+    Hashtbl.reset t.queued_routes;
+    logf t "gsb: down (in-flight transactions lost)"
+  end
+  else if (not down) && t.gsb_down then begin
+    t.gsb_down <- false;
+    logf t "gsb: standby taking over"
+  end
+
+let gsb_is_down t = t.gsb_down
+
+let chain_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.chains [] |> List.sort compare
+
+let chain_spec t ~chain =
+  Option.map (fun cs -> cs.c_spec) (Hashtbl.find_opt t.chains chain)
+
+let txns_in_flight t =
+  Hashtbl.length t.txns + Hashtbl.length t.decisions + Hashtbl.length t.queued_routes
+
+let site_installed_rules t ~site =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.locals.(site).ls_installed []
+  |> List.sort compare
 
 let attach_store t store = t.store <- Some store
 

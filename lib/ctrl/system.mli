@@ -23,6 +23,8 @@ val create :
   ?seed:int ->
   ?install_latency:float ->
   ?egress_rate:float ->
+  ?retry_interval:float ->
+  ?flow_store:Sb_dataplane.Fabric.flow_store ->
   num_sites:int ->
   delay:(int -> int -> float) ->
   gsb_site:int ->
@@ -30,7 +32,12 @@ val create :
   t
 (** [delay] is the one-way inter-site control latency.
     [install_latency] (default 90 ms) models a forwarder data-plane
-    configuration (rule/tunnel install). *)
+    configuration (rule/tunnel install). [retry_interval] (default
+    500 ms) is the 2PC retransmission period: the coordinator re-sends
+    Prepares to unvoted participants and Commit/Abort decisions to
+    un-acked ones, making chain transactions tolerate wide-area message
+    loss. [flow_store] selects the fabric's connection-state store
+    (default {!Sb_dataplane.Fabric.Local}). *)
 
 val engine : t -> Sb_sim.Engine.t
 val bus : t -> Types.msg Sb_msgbus.Bus.t
@@ -120,6 +127,17 @@ val vnf_committed_load : t -> vnf:int -> site:int -> float
 
 (** {2 Controller fault tolerance (Section 4.5)} *)
 
+val set_gsb_down : t -> bool -> unit
+(** [set_gsb_down t true] crashes the Global Switchboard: its volatile
+    state (in-flight two-phase commits, un-acked decisions) is lost, and
+    it stops reacting to requests, votes, and acks — exactly the
+    mid-transaction failure the standby-takeover story must survive.
+    [set_gsb_down t false] brings the standby up (empty-handed; call
+    {!recover_from_store} to restore and re-drive persisted chains).
+    Used by the [sb_chaos] GSB-failover fault. *)
+
+val gsb_is_down : t -> bool
+
 val attach_store : t -> Types.persisted Sb_music.Store.t -> unit
 (** Persist every committed chain (spec, routes, endpoints) and the chain
     index into a MUSIC replicated store, surviving Global Switchboard
@@ -152,3 +170,20 @@ val site_chain_measurements : t -> site:int -> chain:int -> (int * int) array
     based on the Local Switchboard's chain knowledge; empty for a chain the
     site has not learned. Summed over all sites this equals
     {!chain_measurements}. *)
+
+(** {2 Whole-system introspection (the [sb_chaos] invariant checker)} *)
+
+val chain_ids : t -> int list
+(** Ids of every chain the Global Switchboard knows, sorted. *)
+
+val chain_spec : t -> chain:int -> Types.chain_spec option
+
+val txns_in_flight : t -> int
+(** Two-phase commits not yet fully settled: transactions awaiting votes
+    plus decisions awaiting participant acks. Zero once the system has
+    quiesced — the precondition for the 2PC-atomicity invariant check. *)
+
+val site_installed_rules :
+  t -> site:int -> ((int * int * int) * (Sb_dataplane.Fabric.endpoint * float) list) list
+(** The rules a site's Local Switchboard has installed (or scheduled for
+    install), keyed [(chain, egress, stage)], sorted. *)

@@ -24,6 +24,7 @@ type msg =
   | Vote of { txid : int; participant : string; accept : bool; rejected : (int * int) list }
   | Commit of { txid : int }
   | Abort of { txid : int }
+  | Decision_ack of { txid : int; participant : string }
   | Route_update of { chain : int; egress_label : int; spec : chain_spec; routes : route list }
   | Instance_info of { vnf : int; site : int; instances : (int * float) list }
   | Forwarder_info of { vnf : int; site : int; forwarders : (int * float) list }
@@ -58,6 +59,8 @@ let pp_msg ppf = function
       (List.length rejected)
   | Commit { txid } -> Format.fprintf ppf "Commit(tx%d)" txid
   | Abort { txid } -> Format.fprintf ppf "Abort(tx%d)" txid
+  | Decision_ack { txid; participant } ->
+    Format.fprintf ppf "Decision_ack(tx%d %s)" txid participant
   | Route_update { chain; routes; _ } ->
     Format.fprintf ppf "Route_update(chain%d %d routes)" chain (List.length routes)
   | Instance_info { vnf; site; instances } ->

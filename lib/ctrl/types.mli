@@ -42,6 +42,10 @@ type msg =
   | Vote of { txid : int; participant : string; accept : bool; rejected : (int * int) list }
   | Commit of { txid : int }
   | Abort of { txid : int }
+  | Decision_ack of { txid : int; participant : string }
+      (** participant's confirmation that it applied a [Commit]/[Abort];
+          the coordinator retransmits the decision until acked, which is
+          what makes the 2PC tolerate wide-area message loss *)
   | Route_update of { chain : int; egress_label : int; spec : chain_spec; routes : route list }
   | Instance_info of { vnf : int; site : int; instances : (int * float) list }
       (** fabric VNF-instance ids and load-balancing weights *)

@@ -7,6 +7,11 @@ type counter = { mutable packets : int; mutable bytes : int }
 type fwd_state = {
   f_site : int;
   rules : (int * int * int, (endpoint * float) list) Hashtbl.t;
+  rules_rx : (int * int * int, (endpoint * float) list) Hashtbl.t;
+  (* receiver-side override: consulted for packets arriving from a peer
+     forwarder, so a mid-relay packet is delivered into the local element
+     instead of being balanced onward (which would visit a third
+     forwarder in the same stage and collide in the role-keyed DHT) *)
   table : endpoint Flow_table.t;
   mutable f_alive : bool;
   counters : (int * int * int, counter) Hashtbl.t;
@@ -67,6 +72,7 @@ let add_forwarder t ~site =
     {
       f_site = site;
       rules = Hashtbl.create 8;
+      rules_rx = Hashtbl.create 8;
       table = Flow_table.create ();
       f_alive = true;
       counters = Hashtbl.create 8;
@@ -122,6 +128,10 @@ let forwarder_published_weight t fwd vnf =
 let install_rule t ~forwarder ~chain_label ~egress_label ~stage targets =
   let f = get_fwd t forwarder in
   Hashtbl.replace f.rules (chain_label, egress_label, stage) targets
+
+let install_rx_rule t ~forwarder ~chain_label ~egress_label ~stage targets =
+  let f = get_fwd t forwarder in
+  Hashtbl.replace f.rules_rx (chain_label, egress_label, stage) targets
 
 let rule t ~forwarder ~chain_label ~egress_label ~stage =
   Hashtbl.find_opt (get_fwd t forwarder).rules (chain_label, egress_label, stage)
@@ -181,10 +191,25 @@ let forwarder_alive t id = (get_fwd t id).f_alive
 
 let fail_forwarder t id =
   let f = get_fwd t id in
-  f.f_alive <- false;
-  match t.dht with
-  | Some d -> Dht_table.remove_node d id (* surviving replicas re-replicate *)
-  | None -> () (* its flow table dies with it *)
+  if f.f_alive then begin
+    f.f_alive <- false;
+    match t.dht with
+    | Some d -> Dht_table.remove_node d id (* surviving replicas re-replicate *)
+    | None -> () (* its flow table dies with it *)
+  end
+
+let revive_forwarder t id =
+  let f = get_fwd t id in
+  if not f.f_alive then begin
+    f.f_alive <- true;
+    (* The crash lost whatever local state the forwarder held. *)
+    Flow_table.clear f.table;
+    match t.dht with
+    | Some d -> Dht_table.add_node d id (* rejoins empty; the ring re-replicates onto it *)
+    | None -> ()
+  end
+
+let revive_instance t id = (get_inst t id).i_alive <- true
 
 let reattach_edge t edge ~forwarder =
   ignore (get_fwd t forwarder);
@@ -219,7 +244,15 @@ let rec forward_at t fwd_id (p : Packet.t) ~from trace ttl =
       match state_find t f ~side key with
       | Some e -> Ok e.Flow_table.next
       | None -> (
-        match Hashtbl.find_opt f.rules (p.chain_label, p.egress_label, p.stage) with
+        let rkey = (p.chain_label, p.egress_label, p.stage) in
+        let rule =
+          (* A packet handed over by a peer forwarder is mid-relay: prefer
+             the receiver-side rule (local delivery) when one is installed. *)
+          match (if side = 1 then Hashtbl.find_opt f.rules_rx rkey else None) with
+          | Some ((_ :: _) as rx) -> Some rx
+          | Some [] | None -> Hashtbl.find_opt f.rules rkey
+        in
+        match rule with
         | None | Some [] -> Error (No_rule { forwarder = fwd_id; stage = p.stage })
         | Some rule ->
           let chosen = Balancer.pick t.rng rule in

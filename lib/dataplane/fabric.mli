@@ -57,6 +57,20 @@ val fail_forwarder : t -> int -> unit
     traffic keeps its affinity — exactly the fault-tolerance story of
     Section 5.3. *)
 
+val revive_forwarder : t -> int -> unit
+(** Restart a failed forwarder (the [sb_chaos] crash/restart fault). The
+    restarted process comes back {e empty}: its local flow table is
+    cleared — whatever state it held died with the crash. In
+    {!Replicated} mode it rejoins the DHT ring and receives its key
+    ranges back from the surviving replicas, so connection state survives
+    the crash/restart cycle end to end. No-op on a live forwarder. *)
+
+val revive_instance : t -> int -> unit
+(** Bring a failed VNF instance back. Flow-table entries that pinned
+    connections to it work again immediately — instance-local state is
+    assumed recoverable (checkpointed or stateless), matching the
+    Section 5.3 elastic-scaling story. *)
+
 val reattach_edge : t -> int -> forwarder:int -> unit
 (** Point an edge instance at a (live) forwarder, e.g. after its proxy
     failed. *)
@@ -97,6 +111,23 @@ val install_rule :
     forwarder. Targets must be [Vnf_instance], [Forwarder], or [Edge].
     Installing a new rule leaves existing flow-table entries untouched, so
     established connections keep their path (Section 5.3). *)
+
+val install_rx_rule :
+  t ->
+  forwarder:int ->
+  chain_label:int ->
+  egress_label:int ->
+  stage:int ->
+  (endpoint * float) list ->
+  unit
+(** Replace the {e receiver-side} rule for one (chain, egress, stage): the
+    targets used for packets that arrive from a peer forwarder (they are
+    mid-relay and must be delivered into a local element). Without one the
+    forwarder falls back to the {!install_rule} rule for both directions.
+    Keeping relayed packets local bounds every stage of a connection to
+    two forwarders (sender and receiver), which the role-keyed replicated
+    flow store depends on: with a third relay hop the receiver role key
+    would collide and forwarding could loop. *)
 
 val rule : t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:int ->
   (endpoint * float) list option

@@ -5,6 +5,8 @@ type 'a proxy = {
   mutable queued : int;
 }
 
+type fault_decision = Deliver | Drop | Delay of float
+
 type 'a t = {
   eng : Sb_sim.Engine.t;
   mode : mode;
@@ -17,7 +19,16 @@ type 'a t = {
   mutable published : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable fault_dropped : int;
   mutable wan_messages : int;
+  mutable next_msg : int; (* publish ordinal for the fault hook; never reset *)
+  mutable wan_hook :
+    (msg:int -> topic:string -> src:int -> dst:int -> fault_decision) option;
+  pair_last : (int * int, float) Hashtbl.t;
+  (* Last scheduled arrival per (src, dst) proxy pair. The proxies of a
+     site pair share one TCP connection, so deliveries between a pair are
+     FIFO: an arrival never lands before an earlier message of the same
+     pair — a fault-injected Delay pushes everything behind it back too. *)
   (* Bounded latency reservoir (Algorithm R with a hash of the sample
      ordinal as the "random" index, so the retained sample is a
      deterministic function of the delivery sequence): the first
@@ -37,6 +48,7 @@ type stats = {
   published : int;
   delivered : int;
   dropped : int;
+  fault_dropped : int;
   wan_messages : int;
   latencies : float list;
   latency_count : int;
@@ -67,10 +79,17 @@ let create eng ~mode ~num_sites ~delay ?(egress_rate = 20_000.) ?(buffer = 64) (
     published = 0;
     delivered = 0;
     dropped = 0;
+    fault_dropped = 0;
     wan_messages = 0;
+    next_msg = 0;
+    wan_hook = None;
+    pair_last = Hashtbl.create 64;
     lat_reservoir = Array.make reservoir_capacity 0.;
     lat_count = 0;
   }
+
+let set_wan_hook t hook = t.wan_hook <- Some hook
+let clear_wan_hook t = t.wan_hook <- None
 
 let record_latency t lat =
   let n = t.lat_count in
@@ -90,23 +109,44 @@ let topic_subs t topic =
     r
 
 (* Serialize one message onto [src]'s egress; [deliver] fires after queueing
-   plus the wide-area delay. Buffer overflow drops the message. *)
-let send_wan (t : _ t) ~src ~dst deliver =
-  let proxy = t.proxies.(src) in
-  if proxy.queued >= t.buffer then t.dropped <- t.dropped + 1
-  else begin
-    proxy.queued <- proxy.queued + 1;
-    let now = Sb_sim.Engine.now t.eng in
-    let start = Float.max now proxy.busy_until in
-    let finish = start +. (1. /. t.egress_rate) in
-    proxy.busy_until <- finish;
-    t.wan_messages <- t.wan_messages + 1;
-    let arrival = finish +. t.delay src dst in
-    ignore
-      (Sb_sim.Engine.schedule_at t.eng ~time:finish (fun () ->
-           proxy.queued <- proxy.queued - 1));
-    ignore (Sb_sim.Engine.schedule_at t.eng ~time:arrival deliver)
-  end
+   plus the wide-area delay. Buffer overflow drops the message. [msg] is the
+   publish ordinal (one per [publish] call, shared by all of its wide-area
+   copies) handed to the fault hook. *)
+let send_wan (t : _ t) ~topic ~msg ~src ~dst deliver =
+  let decision =
+    match t.wan_hook with
+    | None -> Deliver
+    | Some hook -> hook ~msg ~topic ~src ~dst
+  in
+  match decision with
+  | Drop -> t.fault_dropped <- t.fault_dropped + 1
+  | (Deliver | Delay _) as d ->
+    let proxy = t.proxies.(src) in
+    if proxy.queued >= t.buffer then t.dropped <- t.dropped + 1
+    else begin
+      proxy.queued <- proxy.queued + 1;
+      let now = Sb_sim.Engine.now t.eng in
+      let start = Float.max now proxy.busy_until in
+      let finish = start +. (1. /. t.egress_rate) in
+      proxy.busy_until <- finish;
+      t.wan_messages <- t.wan_messages + 1;
+      let extra = match d with Delay e -> Float.max 0. e | _ -> 0. in
+      let arrival = finish +. t.delay src dst +. extra in
+      (* Per-pair FIFO (shared TCP connection): never land before an
+         earlier message of the same pair. Without a fault hook the
+         arrival sequence is already monotone per pair, so this is a
+         no-op on the fault-free path. *)
+      let arrival =
+        match Hashtbl.find_opt t.pair_last (src, dst) with
+        | Some last -> Float.max arrival last
+        | None -> arrival
+      in
+      Hashtbl.replace t.pair_last (src, dst) arrival;
+      ignore
+        (Sb_sim.Engine.schedule_at t.eng ~time:finish (fun () ->
+             proxy.queued <- proxy.queued - 1));
+      ignore (Sb_sim.Engine.schedule_at t.eng ~time:arrival deliver)
+    end
 
 (* A subscription from site S is visible to a publish from site P at time t
    once its filter has had time to reach P's proxy. *)
@@ -138,6 +178,8 @@ let subscribe (t : _ t) ~site ~topic callback =
 let publish (t : _ t) ~site ~topic payload =
   let now = Sb_sim.Engine.now t.eng in
   t.published <- t.published + 1;
+  t.next_msg <- t.next_msg + 1;
+  let msg = t.next_msg in
   Hashtbl.replace t.retained topic (payload, site);
   let all_subs = !(topic_subs t topic) in
   let subs = List.filter (visible t ~publisher:site ~time:now) all_subs in
@@ -166,7 +208,7 @@ let publish (t : _ t) ~site ~topic payload =
             (Sb_sim.Engine.schedule t.eng ~delay:local_delay (fun () ->
                  deliver_one t ~publish_time:now ~count_latency:true s payload))
         else
-          send_wan t ~src:site ~dst:s.s_site (fun () ->
+          send_wan t ~topic ~msg ~src:site ~dst:s.s_site (fun () ->
               deliver_one t ~publish_time:now ~count_latency:true s payload))
       subs
   | Route_reflector reflector ->
@@ -182,7 +224,7 @@ let publish (t : _ t) ~site ~topic payload =
               (fun s -> deliver_one t ~publish_time:now ~count_latency:true s payload)
               local_subs
           in
-          send_wan t ~src:reflector ~dst fan_out
+          send_wan t ~topic ~msg ~src:reflector ~dst fan_out
         end
       done;
       (* Subscribers at the reflector site itself. *)
@@ -194,7 +236,7 @@ let publish (t : _ t) ~site ~topic payload =
     in
     if site = reflector then
       ignore (Sb_sim.Engine.schedule t.eng ~delay:local_delay flood)
-    else send_wan t ~src:site ~dst:reflector flood
+    else send_wan t ~topic ~msg ~src:site ~dst:reflector flood
   | Switchboard ->
     (* One copy per subscribing site; the remote proxy fans out locally. *)
     let sites = List.sort_uniq compare (List.map (fun s -> s.s_site) subs) in
@@ -208,7 +250,7 @@ let publish (t : _ t) ~site ~topic payload =
         in
         if dst = site then
           ignore (Sb_sim.Engine.schedule t.eng ~delay:local_delay fan_out)
-        else send_wan t ~src:site ~dst fan_out)
+        else send_wan t ~topic ~msg ~src:site ~dst fan_out)
       sites
 
 let stats (t : _ t) =
@@ -223,6 +265,7 @@ let stats (t : _ t) =
     published = t.published;
     delivered = t.delivered;
     dropped = t.dropped;
+    fault_dropped = t.fault_dropped;
     wan_messages = t.wan_messages;
     latencies = !latencies;
     latency_count = t.lat_count;
@@ -232,6 +275,7 @@ let reset_stats (t : _ t) =
   t.published <- 0;
   t.delivered <- 0;
   t.dropped <- 0;
+  t.fault_dropped <- 0;
   t.wan_messages <- 0;
   t.lat_count <- 0
 

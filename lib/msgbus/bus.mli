@@ -32,10 +32,18 @@ type mode =
           full mesh but cannot target interested sites, and the reflector's
           egress serializes all control traffic. *)
 
+type fault_decision =
+  | Deliver  (** let the copy through untouched *)
+  | Drop  (** lose the copy on the wire (counted in [fault_dropped]) *)
+  | Delay of float
+      (** add this many seconds of latency; later messages of the same
+          site pair never overtake it (shared-connection FIFO) *)
+
 type stats = {
   published : int;
   delivered : int;
   dropped : int;  (** egress-buffer overflows *)
+  fault_dropped : int;  (** copies dropped by the installed fault hook *)
   wan_messages : int;  (** messages that crossed between sites *)
   latencies : float list;
       (** publish-to-deliver samples. Bounded: a deterministic fixed-size
@@ -72,6 +80,19 @@ val publish : 'a t -> site:int -> topic:string -> 'a -> unit
 
 val stats : 'a t -> stats
 val reset_stats : 'a t -> unit
+
+val set_wan_hook :
+  'a t -> (msg:int -> topic:string -> src:int -> dst:int -> fault_decision) -> unit
+(** Install the wide-area fault/observation hook ([sb_chaos]'s injection
+    point). It is consulted once per wide-area copy, before egress
+    queueing: [msg] is the publish ordinal (all copies of one [publish]
+    share it — at-most-one hook call per (msg, dst) pair is exactly the
+    Section 6 single-copy property), [src]/[dst] the proxy pair, [topic]
+    the topic the copy serves. Retained-replay and intra-site deliveries
+    never cross the wide area and are not hooked. At most one hook is
+    installed; a second call replaces the first. *)
+
+val clear_wan_hook : 'a t -> unit
 
 val subscriber_sites : 'a t -> topic:string -> int list
 (** Sites holding at least one installed subscription for a topic. *)

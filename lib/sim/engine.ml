@@ -70,6 +70,7 @@ type t = {
   mutable next_seq : int;
   mutable next_id : int;
   mutable live : int; (* scheduled and not cancelled/fired *)
+  mutable observers : (float -> unit) list; (* registration order *)
 }
 
 type event_id = int
@@ -82,7 +83,10 @@ let create () =
     next_seq = 0;
     next_id = 0;
     live = 0;
+    observers = [];
   }
+
+let on_fire t f = t.observers <- t.observers @ [ f ]
 
 let now t = t.clock
 
@@ -111,17 +115,19 @@ let fire t e =
   else begin
     t.live <- t.live - 1;
     t.clock <- e.time;
+    List.iter (fun f -> f e.time) t.observers;
     e.action ()
   end
 
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some e ->
+    fire t e;
+    true
+
 let run t =
-  let rec loop () =
-    match Heap.pop t.heap with
-    | None -> ()
-    | Some e ->
-      fire t e;
-      loop ()
-  in
+  let rec loop () = if step t then loop () in
   loop ()
 
 let run_until t horizon =

@@ -32,6 +32,18 @@ val cancel : t -> event_id -> unit
 val run : t -> unit
 (** Process events until the queue is empty. *)
 
+val step : t -> bool
+(** Fire the earliest pending event (a cancelled event counts as a step
+    that runs nothing). Returns [false] when the queue is empty. Lets a
+    driver interleave its own logic with the event loop — [sb_chaos] uses
+    it to enforce an event budget on machine-generated fault schedules. *)
+
+val on_fire : t -> (float -> unit) -> unit
+(** Register an observer called with the virtual timestamp of every
+    non-cancelled event just before its action runs, in registration
+    order. Observation only — used by [sb_chaos] for replayable event
+    tracing and budget accounting. Observers cannot be removed. *)
+
 val run_until : t -> float -> unit
 (** [run_until t horizon] processes events with timestamp [<= horizon], then
     advances the clock to [horizon]. Events scheduled beyond the horizon

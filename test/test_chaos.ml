@@ -1,0 +1,168 @@
+(* sb_chaos: deterministic fault injection + whole-system invariants.
+
+   The headline property: 200+ randomly generated fault schedules run
+   against the standard six-site deployment with zero invariant
+   violations. On failure qcheck shrinks through [Schedule.shrink] and
+   prints the minimal failing schedule (its seed replays it bit-identically
+   via `switchboard_cli chaos --seed N`). *)
+
+module Schedule = Sb_chaos.Schedule
+module Harness = Sb_chaos.Harness
+module Engine = Sb_sim.Engine
+module System = Sb_ctrl.System
+module Fabric = Sb_dataplane.Fabric
+open Sb_ctrl.Types
+
+(* ------------------- schedule generation / replay ------------------- *)
+
+let test_generate_deterministic () =
+  let a = Schedule.generate ~seed:17 ~horizon:20. ~num_sites:6 in
+  let b = Schedule.generate ~seed:17 ~horizon:20. ~num_sites:6 in
+  Alcotest.(check string) "same schedule" (Schedule.to_string a) (Schedule.to_string b);
+  let c = Schedule.generate ~seed:18 ~horizon:20. ~num_sites:6 in
+  if Schedule.to_string a = Schedule.to_string c then
+    Alcotest.fail "different seeds should give different schedules"
+
+let test_generate_death_windows_disjoint () =
+  for seed = 1 to 100 do
+    let s = Schedule.generate ~seed ~horizon:20. ~num_sites:6 in
+    let deaths = List.filter Schedule.is_death s.Schedule.faults in
+    List.iteri
+      (fun i f ->
+        List.iteri
+          (fun j g ->
+            if i < j && Schedule.overlaps f g then
+              Alcotest.failf "seed %d: overlapping death windows:@.%s" seed
+                (Schedule.to_string s))
+          deaths)
+      deaths
+  done
+
+let test_shrink_strictly_smaller () =
+  let s = Schedule.generate ~seed:3 ~horizon:20. ~num_sites:6 in
+  let size (t : Schedule.t) =
+    (* Every shrink step removes a fault, halves a window, or halves a
+       probability — each strictly decreases this measure. *)
+    List.fold_left
+      (fun acc f ->
+        let start, stop = Schedule.window f in
+        let prob =
+          match f with
+          | Schedule.Bus_loss { prob; _ }
+          | Schedule.Bus_delay { prob; _ }
+          | Schedule.Telemetry_drop { prob; _ } -> prob
+          | _ -> 0.
+        in
+        acc +. 1. +. (stop -. start) +. prob)
+      0. t.Schedule.faults
+  in
+  let candidates = Schedule.shrink s in
+  if candidates = [] then Alcotest.fail "non-empty schedule must shrink";
+  List.iter
+    (fun c ->
+      if size c >= size s then
+        Alcotest.failf "shrink candidate not smaller:@.%s" (Schedule.to_string c))
+    candidates
+
+let test_replay_identical () =
+  let r1 = Harness.run_seed 42 in
+  let r2 = Harness.run_seed 42 in
+  Alcotest.(check int) "same event count" r1.Harness.events r2.Harness.events;
+  Alcotest.(check int) "same violation count"
+    (List.length r1.Harness.violations)
+    (List.length r2.Harness.violations);
+  Alcotest.(check bool) "both quiesced" r1.Harness.completed r2.Harness.completed
+
+(* -------------------- the qcheck schedule search -------------------- *)
+
+let schedule_arb =
+  QCheck.make
+    ~print:Schedule.to_string
+    ~shrink:(fun s yield -> List.iter yield (Schedule.shrink s))
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          Schedule.generate ~seed ~horizon:Harness.horizon
+            ~num_sites:Harness.num_sites)
+        (int_range 1 1_000_000))
+
+let prop_no_violations =
+  QCheck.Test.make ~name:"random fault schedules: no invariant violations"
+    ~count:200 schedule_arb (fun sched ->
+      let r = Harness.run sched in
+      if r.Harness.violations <> [] then
+        QCheck.Test.fail_reportf "%a" Harness.pp_result r
+      else true)
+
+(* --------------- regression: relay loop (fixed bug) ----------------- *)
+
+(* Found by the schedule search (and reproducible with zero faults): when
+   one site is the receiver of one route and the sender of another for
+   the same stage, its merged stage rule offered remote forwarders to
+   packets that had already been relayed once. Under the Replicated flow
+   store the second relay hop collided with the first in the role-keyed
+   DHT and the packet looped until TTL exhaustion. The receiver-side
+   rule ([Fabric.install_rx_rule]) pins relayed packets to local
+   delivery; this must hold for every connection. *)
+let test_no_relay_loop_when_site_is_sender_and_receiver () =
+  let delay i j = if i = j then 0. else 0.02 in
+  let sys =
+    System.create ~seed:5 ~flow_store:(Fabric.Replicated 2) ~num_sites:4 ~delay
+      ~gsb_site:0 ()
+  in
+  List.iter
+    (fun (vnf, site) -> System.deploy_vnf sys ~vnf ~site ~capacity:100. ~instances:2)
+    [ (0, 1); (0, 2); (1, 2); (1, 3) ];
+  System.register_edge sys ~site:0 ~attachment:"in";
+  System.register_edge sys ~site:3 ~attachment:"out";
+  (* Site 2 receives stage 1 of route A (vnf1 there) and sends stage 1 of
+     route B (vnf0 there, vnf1 at site 3). *)
+  System.set_route_policy sys (fun _ ~exclude:_ ->
+      Some
+        [
+          { element_sites = [| 0; 1; 2; 3 |]; weight = 0.5 };
+          { element_sites = [| 0; 2; 3; 3 |]; weight = 0.5 };
+        ]);
+  let chain =
+    System.request_chain sys
+      {
+        spec_name = "loop-regression";
+        ingress_attachment = "in";
+        egress_attachment = "out";
+        vnfs = [ 0; 1 ];
+        traffic = 4.;
+      }
+  in
+  Engine.run (System.engine sys);
+  Alcotest.(check int) "routes committed" 2
+    (List.length (System.chain_routes sys ~chain));
+  let rng = Sb_util.Rng.create 99 in
+  for _ = 1 to 60 do
+    let tu = Sb_dataplane.Packet.random_tuple rng in
+    match System.probe_chain sys ~chain tu with
+    | Ok trace ->
+      Alcotest.(check (list int))
+        "conformant" [ 0; 1 ]
+        (Fabric.vnfs_in_trace (System.fabric sys) trace)
+    | Error e -> Alcotest.failf "probe failed: %a" Fabric.pp_error e
+  done
+
+let () =
+  Alcotest.run "sb_chaos"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "generate deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "death windows disjoint" `Quick
+            test_generate_death_windows_disjoint;
+          Alcotest.test_case "shrink strictly smaller" `Quick
+            test_shrink_strictly_smaller;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "seeded replay identical" `Quick test_replay_identical;
+          Alcotest.test_case "relay loop regression (mixed-role site)" `Quick
+            test_no_relay_loop_when_site_is_sender_and_receiver;
+        ] );
+      ("search", [ QCheck_alcotest.to_alcotest prop_no_violations ]);
+    ]

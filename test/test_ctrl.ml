@@ -338,6 +338,60 @@ let test_gsb_failover_recovers_chains () =
       (Fabric.vnfs_in_trace (S.fabric standby) trace)
   | Error e -> Alcotest.failf "probe on standby failed: %a" Fabric.pp_error e
 
+let test_gsb_dies_between_prepare_and_commit () =
+  (* The coordinator crashes after sending Prepares but before deciding:
+     participants hold votes/reservations for a transaction that will
+     never conclude. The standby recovers the persisted (pre-update)
+     chain state from MUSIC and re-drives it; the system must converge
+     back to a consistent installed-route state — no half-installed
+     update, no leaked admission, and a working data plane. *)
+  (* vnf 7 deployed at site 1 FIRST so its controller is homed there:
+     coordinator <-> participant crosses the 30 ms wide area. *)
+  let sys = S.create ~num_sites:2 ~delay:delay30 ~gsb_site:0 () in
+  S.deploy_vnf sys ~vnf:7 ~site:1 ~capacity:10. ~instances:2;
+  S.deploy_vnf sys ~vnf:7 ~site:0 ~capacity:10. ~instances:2;
+  S.register_edge sys ~site:0 ~attachment:"office-A";
+  S.register_edge sys ~site:1 ~attachment:"office-B";
+  S.set_route_policy sys (fun _spec ~exclude:_ ->
+      Some [ { T.element_sites = [| 0; 0; 1 |]; weight = 1.0 } ]);
+  let store =
+    Sb_music.Store.create (S.engine sys) ~replica_sites:[ 0; 1; 1 ] ~delay:delay30
+  in
+  S.attach_store sys store;
+  let chain = S.request_chain sys (nat_spec "c") in
+  E.run (S.engine sys);
+  let routes_before = S.chain_routes sys ~chain in
+  let load_before = S.vnf_committed_load sys ~vnf:7 ~site:0 in
+  (* Start a route update (2PC round 2) and stop the world mid-flight:
+     Prepares are delivered at +30 ms, votes reach the coordinator at
+     +60 ms — kill at +45 ms, squarely between prepare and commit. *)
+  let t0 = E.now (S.engine sys) in
+  S.update_routes sys ~chain [ { T.element_sites = [| 0; 1; 1 |]; weight = 1.0 } ];
+  E.run_until (S.engine sys) (t0 +. 0.045);
+  Alcotest.(check bool) "a transaction is in flight" true (S.txns_in_flight sys > 0);
+  S.set_gsb_down sys true;
+  E.run (S.engine sys);
+  Alcotest.(check int) "in-flight state died with the coordinator" 0
+    (S.txns_in_flight sys);
+  (* Standby takes over and re-drives from the store. *)
+  S.set_gsb_down sys false;
+  let recovered = ref [] in
+  S.recover_from_store sys store ~on_done:(fun ids -> recovered := ids);
+  E.run (S.engine sys);
+  Alcotest.(check (list int)) "chain recovered" [ chain ] !recovered;
+  Alcotest.(check bool) "committed routes are the pre-update ones" true
+    (S.chain_routes sys ~chain = routes_before);
+  Alcotest.(check (float 1e-9)) "no admission leaked from the dead transaction"
+    load_before
+    (S.vnf_committed_load sys ~vnf:7 ~site:0);
+  Alcotest.(check (float 1e-9)) "the uncommitted update never became load" 0.
+    (S.vnf_committed_load sys ~vnf:7 ~site:1);
+  match S.probe_chain sys ~chain (Packet.random_tuple (Sb_util.Rng.create 9)) with
+  | Ok trace ->
+    Alcotest.(check (list int)) "data plane consistent after takeover" [ 7 ]
+      (Fabric.vnfs_in_trace (S.fabric sys) trace)
+  | Error e -> Alcotest.failf "probe after takeover failed: %a" Fabric.pp_error e
+
 (* ----------------------- edge-site addition ------------------------ *)
 
 let build_three_sites () =
@@ -434,6 +488,8 @@ let () =
       ( "fault_tolerance",
         [
           Alcotest.test_case "GSB failover via MUSIC" `Quick test_gsb_failover_recovers_chains;
+          Alcotest.test_case "GSB dies between prepare and commit" `Quick
+            test_gsb_dies_between_prepare_and_commit;
         ] );
       ( "edge_sites",
         [

@@ -93,6 +93,41 @@ let test_compose_hierarchical () =
 let test_forwarder_weight () =
   Alcotest.(check (float 1e-9)) "sum" 6. (Balancer.forwarder_weight ~instance_weights:[ 1.; 2.; 3. ])
 
+(* qcheck: random two-level weight hierarchies (site fractions x in-site
+   instance weights, zeros included). The empirical pick distribution
+   converges to the composed weights; zero-weight targets are never
+   picked, and a lone positive target gets everything. *)
+let prop_balancer_hierarchical_convergence =
+  QCheck.Test.make ~name:"hierarchical balancer converges to weights" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Sb_util.Rng.create seed in
+      let weight () = [| 0.; 0.; 0.25; 0.5; 1.; 2. |].(Sb_util.Rng.int rng 6) in
+      let nsites = 1 + Sb_util.Rng.int rng 4 in
+      let site_fraction = List.init nsites (fun s -> (s, weight ())) in
+      let in_site =
+        Array.init nsites (fun s ->
+            List.init (1 + Sb_util.Rng.int rng 3) (fun i -> ((s, i), weight ())))
+      in
+      let rule = Balancer.compose ~site_fraction ~per_site:(fun s -> in_site.(s)) in
+      let total = List.fold_left (fun a (_, w) -> a +. w) 0. rule in
+      QCheck.assume (total > 0.);
+      let n = 20_000 in
+      let counts = Hashtbl.create 16 in
+      for _ = 1 to n do
+        let h = Balancer.pick rng rule in
+        Hashtbl.replace counts h (1 + try Hashtbl.find counts h with Not_found -> 0)
+      done;
+      List.for_all
+        (fun (h, w) ->
+          let freq =
+            float_of_int (try Hashtbl.find counts h with Not_found -> 0)
+            /. float_of_int n
+          in
+          if w <= 0. then freq = 0.
+          else Float.abs (freq -. (w /. total)) <= 0.02)
+        rule)
+
 (* ------------------------------ fabric ----------------------------- *)
 
 (* Chain with two VNFs (G at site A with 2 instances, O at site B with 2),
@@ -1188,5 +1223,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_safety_random_chains;
           QCheck_alcotest.to_alcotest prop_counter_window_semantics;
           QCheck_alcotest.to_alcotest prop_dht_no_loss_under_churn;
+          QCheck_alcotest.to_alcotest prop_balancer_hierarchical_convergence;
         ] );
     ]

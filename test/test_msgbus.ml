@@ -60,6 +60,52 @@ let test_one_wan_copy_per_site () =
   Alcotest.(check int) "2 WAN copies" 2 s.Bus.wan_messages;
   Alcotest.(check int) "5 deliveries" 5 !count
 
+(* Regression (pinned by the sb_chaos single-copy invariant): with
+   multi-site subscription filters in place, every publish crosses each
+   wide-area link at most once and reaches exactly the remote subscribing
+   sites — one copy per site, none to non-subscribers. Counted at the
+   egress fault hook, which sees every wide-area copy exactly once. *)
+let test_single_wan_copy_per_link () =
+  let eng, bus = make_bus ~num_sites:6 () in
+  (* Overlapping filters: "/a" at sites {1,2} (site 1 thrice), "/b" at
+     sites {2,4}. *)
+  for _ = 1 to 3 do
+    Bus.subscribe bus ~site:1 ~topic:"/a" (fun () -> ())
+  done;
+  Bus.subscribe bus ~site:2 ~topic:"/a" (fun () -> ());
+  Bus.subscribe bus ~site:2 ~topic:"/b" (fun () -> ());
+  Bus.subscribe bus ~site:4 ~topic:"/b" (fun () -> ());
+  let copies = Hashtbl.create 64 in
+  let seen_msgs = Hashtbl.create 16 in
+  Bus.set_wan_hook bus (fun ~msg ~topic ~src ~dst ->
+      Hashtbl.replace seen_msgs msg ();
+      let k = (msg, src, dst) in
+      Hashtbl.replace copies k (1 + (try Hashtbl.find copies k with Not_found -> 0));
+      if not (List.mem dst (Bus.subscriber_sites bus ~topic)) then
+        Alcotest.failf "msg %d sent to non-subscribing site %d (topic %s)" msg dst topic;
+      if dst = src then Alcotest.failf "msg %d looped back to its source site" msg;
+      Bus.Deliver);
+  (* Ten publishes from rotating sites, alternating topics. *)
+  for i = 0 to 9 do
+    ignore
+      (Engine.schedule eng
+         ~delay:(0.1 *. float_of_int (i + 1))
+         (fun () ->
+           Bus.publish bus ~site:(i mod 3) ~topic:(if i mod 2 = 0 then "/a" else "/b") ()))
+  done;
+  Engine.run eng;
+  Hashtbl.iter
+    (fun (msg, src, dst) n ->
+      if n > 1 then Alcotest.failf "msg %d crossed link %d->%d %d times" msg src dst n)
+    copies;
+  (* One copy per remote subscribing site: sums to 16 over the workload
+     ("/a" from {0,1,2}: 2+1+1 copies; "/b" from {0,1,2}: 2+2+1). *)
+  let total = Hashtbl.fold (fun _ n acc -> acc + n) copies 0 in
+  Alcotest.(check int) "exact wide-area copy count" 16 total;
+  Alcotest.(check int) "every publish produced wide-area copies" 10
+    (Hashtbl.length seen_msgs);
+  Alcotest.(check int) "stats agree with the hook" 16 (Bus.stats bus).Bus.wan_messages
+
 let test_full_mesh_copy_per_subscriber () =
   let eng, bus = make_bus ~mode:Bus.Full_mesh ~num_sites:5 () in
   for _ = 1 to 3 do
@@ -279,6 +325,8 @@ let () =
           Alcotest.test_case "local delivery fast" `Quick test_local_delivery_fast;
           Alcotest.test_case "no subscriber, no WAN copy" `Quick test_no_subscriber_no_wan_message;
           Alcotest.test_case "one WAN copy per site" `Quick test_one_wan_copy_per_site;
+          Alcotest.test_case "single WAN copy per link (regression)" `Quick
+            test_single_wan_copy_per_link;
           Alcotest.test_case "full mesh per subscriber" `Quick
             test_full_mesh_copy_per_subscriber;
           Alcotest.test_case "retained replay" `Quick test_retained_replay;
