@@ -1055,6 +1055,125 @@ let big_model () =
   let topo = big_topo () in
   Workload.synthesize ~rng topo { Workload.default with Workload.num_chains = 128 }
 
+(* ------------------------------------------------------------------ *)
+(* Fabric packet-path kernels: seed per-call fabric vs packed plane     *)
+(* ------------------------------------------------------------------ *)
+
+module Legacy_fabric = Sb_dataplane.Legacy_fabric
+
+(* Both engines keep the seed construction signatures (the packed plane
+   fronts them as [Fabric]), so one builder parameterised over a
+   first-class module gives both sides identical ids and identical RNG
+   draw sequences. *)
+module type FABRIC_BUILD = sig
+  type t
+
+  val create : ?seed:int -> ?flow_store:Fabric.flow_store -> unit -> t
+  val add_site : t -> string -> int
+  val add_forwarder : t -> site:int -> int
+  val add_edge : t -> site:int -> forwarder:int -> int
+
+  val add_vnf_instance :
+    t -> vnf:int -> site:int -> forwarder:int -> ?weight:float -> unit -> int
+
+  val install_rule :
+    t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:int ->
+    (Fabric.endpoint * float) list -> unit
+
+  val install_rx_rule :
+    t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:int ->
+    (Fabric.endpoint * float) list -> unit
+
+  val send_forward :
+    t -> ingress:int -> chain_label:int -> egress_label:int -> ?size:int ->
+    Packet.five_tuple -> (Fabric.endpoint list, Fabric.error) result
+end
+
+(* The sb_chaos harness topology: six sites with one forwarder and one
+   edge each, VNF 0 at sites 1,2 / VNF 1 at 2,3 / VNF 2 at 4,5 (two
+   instances per site), and three chains whose element placements mirror
+   the harness's routes. Cross-site stages relay forwarder-to-forwarder
+   with an rx rule on the receiver — the pattern Local Switchboards
+   install. Chain entries are (label, vnfs, ingress site, element sites
+   ending with the egress site); egress labels are egress-site ids. *)
+let chaos_chains =
+  [
+    (1, [| 0; 1 |], 0, [| 1; 2; 5 |]);
+    (2, [| 1; 2 |], 1, [| 2; 4; 4 |]);
+    (3, [| 0; 1; 2 |], 0, [| 1; 2; 4; 5 |]);
+  ]
+
+let build_chaos_fabric (type ft) (module F : FABRIC_BUILD with type t = ft)
+    ~flow_store =
+  let fab = F.create ~seed:0x5EED ~flow_store () in
+  let site = Array.init 6 (fun s -> F.add_site fab (Printf.sprintf "site%d" s)) in
+  let fwd = Array.map (fun s -> F.add_forwarder fab ~site:s) site in
+  let edge = Array.map2 (fun s f -> F.add_edge fab ~site:s ~forwarder:f) site fwd in
+  let insts = Hashtbl.create 12 in
+  List.iter
+    (fun (v, sites) ->
+      List.iter
+        (fun s ->
+          let ids =
+            List.init 2 (fun _ ->
+                F.add_vnf_instance fab ~vnf:v ~site:site.(s) ~forwarder:fwd.(s) ())
+          in
+          Hashtbl.replace insts (v, s) ids)
+        sites)
+    [ (0, [ 1; 2 ]); (1, [ 2; 3 ]); (2, [ 4; 5 ]) ];
+  List.iter
+    (fun (label, vnfs, ingress_site, route) ->
+      let n = Array.length route in
+      let egress_label = route.(n - 1) in
+      for z = 0 to n - 1 do
+        let src = if z = 0 then ingress_site else route.(z - 1) in
+        let dst = route.(z) in
+        let targets =
+          if z = n - 1 then [ (Fabric.Edge edge.(dst), 1.0) ]
+          else
+            List.map
+              (fun i -> (Fabric.Vnf_instance i, 1.0))
+              (Hashtbl.find insts (vnfs.(z), dst))
+        in
+        if src = dst then
+          F.install_rule fab ~forwarder:fwd.(src) ~chain_label:label
+            ~egress_label ~stage:z targets
+        else begin
+          F.install_rule fab ~forwarder:fwd.(src) ~chain_label:label
+            ~egress_label ~stage:z
+            [ (Fabric.Forwarder fwd.(dst), 1.0) ];
+          F.install_rx_rule fab ~forwarder:fwd.(dst) ~chain_label:label
+            ~egress_label ~stage:z targets
+        end
+      done)
+    chaos_chains;
+  let entry =
+    List.map
+      (fun (label, _, ingress_site, route) ->
+        (label, edge.(ingress_site), route.(Array.length route - 1)))
+      chaos_chains
+    |> Array.of_list
+  in
+  (fab, entry)
+
+(* One shared connection pool; every arm is warmed with the same 1024
+   connections spread over the three chains, so the kernels all measure
+   the established-flow fast path doing identical work. *)
+let chaos_tuples =
+  let rng = Rng.create 21 in
+  Array.init 1024 (fun _ -> Packet.random_tuple rng)
+
+let build_warm_chaos_fabric (type ft) (module F : FABRIC_BUILD with type t = ft)
+    ~flow_store =
+  let fab, entry = build_chaos_fabric (module F) ~flow_store in
+  Array.iteri
+    (fun j tp ->
+      let label, ein, eg = entry.(j mod 3) in
+      ignore
+        (F.send_forward fab ~ingress:ein ~chain_label:label ~egress_label:eg tp))
+    chaos_tuples;
+  (fab, entry)
+
 let json_mode = ref false
 
 let micro () =
@@ -1249,6 +1368,70 @@ let micro () =
            done;
            ignore !acc))
   in
+  (* Seed-vs-packed packet path on the six-site chaos topology (see
+     build_chaos_fabric): the seed engine's per-call send_forward, the
+     packed plane's shim (same signature, allocates the trace), and the
+     packed plane's allocation-free drive — each over Local and
+     Replicated-2 flow stores. Warm flow tables: every packet hits the
+     established-connection path, the regime packets/sec is quoted in. *)
+  let fab_seed_local, e_seed_local =
+    build_warm_chaos_fabric (module Legacy_fabric) ~flow_store:Fabric.Local
+  in
+  let fab_packed_local, e_packed_local =
+    build_warm_chaos_fabric (module Fabric) ~flow_store:Fabric.Local
+  in
+  let fab_seed_repl, e_seed_repl =
+    build_warm_chaos_fabric (module Legacy_fabric)
+      ~flow_store:(Fabric.Replicated 2)
+  in
+  let fab_packed_repl, e_packed_repl =
+    build_warm_chaos_fabric (module Fabric) ~flow_store:(Fabric.Replicated 2)
+  in
+  let fabric_kernel name send =
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           for _ = 1 to batch do
+             incr i;
+             send !i
+           done))
+  in
+  let send_arm (type ft) (module F : FABRIC_BUILD with type t = ft) fab entry i =
+    let label, ein, eg = entry.(i mod 3) in
+    ignore
+      (F.send_forward fab ~ingress:ein ~chain_label:label ~egress_label:eg
+         chaos_tuples.(i land 1023))
+  in
+  let drive_arm fab entry i =
+    let label, ein, eg = entry.(i mod 3) in
+    ignore
+      (Fabric.drive fab ~ingress:ein ~chain_label:label ~egress_label:eg
+         ~size:500 chaos_tuples.(i land 1023))
+  in
+  let fabric_seed_local_bench =
+    fabric_kernel "fabric pkt x32/seed-local"
+      (send_arm (module Legacy_fabric) fab_seed_local e_seed_local)
+  in
+  let fabric_packed_local_bench =
+    fabric_kernel "fabric pkt x32/packed-local"
+      (send_arm (module Fabric) fab_packed_local e_packed_local)
+  in
+  let fabric_drive_local_bench =
+    fabric_kernel "fabric drive x32/packed-local"
+      (drive_arm fab_packed_local e_packed_local)
+  in
+  let fabric_seed_repl_bench =
+    fabric_kernel "fabric pkt x32/seed-repl2"
+      (send_arm (module Legacy_fabric) fab_seed_repl e_seed_repl)
+  in
+  let fabric_packed_repl_bench =
+    fabric_kernel "fabric pkt x32/packed-repl2"
+      (send_arm (module Fabric) fab_packed_repl e_packed_repl)
+  in
+  let fabric_drive_repl_bench =
+    fabric_kernel "fabric drive x32/packed-repl2"
+      (drive_arm fab_packed_repl e_packed_repl)
+  in
   let big_m = big_model () in
   let dp_solve_big_bench =
     Test.make ~name:"dp_solve (100 nodes, 128 chains)"
@@ -1259,7 +1442,9 @@ let micro () =
       [
         flow_table_bench; fabric_bench; dp_bench; dp_full_bench; lp_bench; lru_bench;
         bus_bench; maxmin_bench; fractions_legacy_bench; fractions_packed_bench;
-        net_cost_legacy_bench; net_cost_packed_bench; dp_solve_big_bench;
+        net_cost_legacy_bench; net_cost_packed_bench; fabric_seed_local_bench;
+        fabric_packed_local_bench; fabric_drive_local_bench; fabric_seed_repl_bench;
+        fabric_packed_repl_bench; fabric_drive_repl_bench; dp_solve_big_bench;
       ]
   in
   let ols =
@@ -1414,6 +1599,78 @@ let micro () =
     Printf.fprintf oc "    \"grids_identical\": %b\n  }\n}\n" grid_identical;
     close_out oc;
     print_endline "wrote BENCH_eval.json"
+  end;
+  (* Packets-per-second walls on the six-site chaos topology: the seed
+     per-call engine vs the packed plane's allocation-free drive, reusing
+     the warmed fabrics the Bechamel kernels ran on. *)
+  let pps_packets = 300_000 in
+  let pps_send (type ft) (module F : FABRIC_BUILD with type t = ft) fab entry =
+    let w =
+      wall (fun () ->
+          for i = 1 to pps_packets do
+            let label, ein, eg = entry.(i mod 3) in
+            ignore
+              (F.send_forward fab ~ingress:ein ~chain_label:label
+                 ~egress_label:eg chaos_tuples.(i land 1023))
+          done)
+    in
+    float_of_int pps_packets /. w
+  in
+  let pps_drive fab entry =
+    let w =
+      wall (fun () ->
+          for i = 1 to pps_packets do
+            let label, ein, eg = entry.(i mod 3) in
+            ignore
+              (Fabric.drive fab ~ingress:ein ~chain_label:label ~egress_label:eg
+                 ~size:500 chaos_tuples.(i land 1023))
+          done)
+    in
+    float_of_int pps_packets /. w
+  in
+  let pps_seed_local = pps_send (module Legacy_fabric) fab_seed_local e_seed_local in
+  let pps_packed_local = pps_drive fab_packed_local e_packed_local in
+  let pps_seed_repl = pps_send (module Legacy_fabric) fab_seed_repl e_seed_repl in
+  let pps_packed_repl = pps_drive fab_packed_repl e_packed_repl in
+  Printf.printf
+    "fabric pps (six-site chaos topology): local seed=%.2fM packed=%.2fM (%.1fx); \
+     replicated-2 seed=%.2fM packed=%.2fM (%.1fx)\n"
+    (pps_seed_local /. 1e6) (pps_packed_local /. 1e6)
+    (ratio pps_packed_local pps_seed_local)
+    (pps_seed_repl /. 1e6) (pps_packed_repl /. 1e6)
+    (ratio pps_packed_repl pps_seed_repl);
+  if !json_mode then begin
+    let oc = open_out "BENCH_fabric.json" in
+    let has_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    let kernel_lines =
+      List.filter_map
+        (fun (name, est) ->
+          match est with
+          | Some v when has_sub name "fabric pkt x32" || has_sub name "fabric drive x32"
+            ->
+            Some (Printf.sprintf "    %S: %.1f" name v)
+          | _ -> None)
+        rows
+    in
+    Printf.fprintf oc "{\n  \"topology\": \"six sites, 3 chains over VNFs 0-2 \
+                       (2 instances x 2 sites each), cross-site relays\",\n";
+    Printf.fprintf oc "  \"kernels_ns_per_op\": {\n%s\n  },\n"
+      (String.concat ",\n" kernel_lines);
+    Printf.fprintf oc "  \"packets_per_second\": {\n";
+    Printf.fprintf oc "    \"seed_local\": %.0f,\n" pps_seed_local;
+    Printf.fprintf oc "    \"packed_local\": %.0f,\n" pps_packed_local;
+    Printf.fprintf oc "    \"seed_replicated2\": %.0f,\n" pps_seed_repl;
+    Printf.fprintf oc "    \"packed_replicated2\": %.0f\n  },\n" pps_packed_repl;
+    Printf.fprintf oc "  \"speedup\": {\n";
+    Printf.fprintf oc "    \"local\": %.2f,\n" (ratio pps_packed_local pps_seed_local);
+    Printf.fprintf oc "    \"replicated2\": %.2f\n  }\n}\n"
+      (ratio pps_packed_repl pps_seed_repl);
+    close_out oc;
+    print_endline "wrote BENCH_fabric.json"
   end
 
 (* ------------------------------------------------------------------ *)

@@ -4,12 +4,22 @@ module System = Sb_ctrl.System
 module Types = Sb_ctrl.Types
 
 module Exporter = struct
+  (* Per-chain scratch: the current and previous window counters, reused
+     every epoch so a measurement sweep allocates only the published
+     report. *)
+  type buf = {
+    cur_p : int array;
+    cur_b : int array;
+    prev_p : int array;
+    prev_b : int array;
+  }
+
   type t = {
     system : System.t;
     site : int;
     period : float;
     down_links : unit -> int list;
-    prev : (int, (int * int) array) Hashtbl.t;
+    prev : (int, buf) Hashtbl.t;
     mutable epoch : int;
     mutable running : bool;
     mutable exported : int;
@@ -19,22 +29,33 @@ module Exporter = struct
     if t.running then begin
       let down = t.down_links () in
       List.iter
-        (fun (chain, _egress, _num_stages) ->
-          let cur = System.site_chain_measurements t.system ~site:t.site ~chain in
-          if Array.length cur > 0 then begin
-            let prev =
-              match Hashtbl.find_opt t.prev chain with
-              | Some p when Array.length p = Array.length cur -> p
-              | _ -> Array.make (Array.length cur) (0, 0)
-            in
+        (fun (chain, _egress, num_stages) ->
+          let b =
+            match Hashtbl.find_opt t.prev chain with
+            | Some b when Array.length b.cur_p = num_stages -> b
+            | _ ->
+              let b =
+                {
+                  cur_p = Array.make num_stages 0;
+                  cur_b = Array.make num_stages 0;
+                  prev_p = Array.make num_stages 0;
+                  prev_b = Array.make num_stages 0;
+                }
+              in
+              Hashtbl.replace t.prev chain b;
+              b
+          in
+          let n =
+            System.site_chain_measurements_into t.system ~site:t.site ~chain
+              ~pkts:b.cur_p ~bytes:b.cur_b
+          in
+          if n >= 0 then begin
             let delta =
-              Array.mapi
-                (fun i (pkts, bytes) ->
-                  let pp, pb = prev.(i) in
-                  (pkts - pp, bytes - pb))
-                cur
+              Array.init n (fun i ->
+                  (b.cur_p.(i) - b.prev_p.(i), b.cur_b.(i) - b.prev_b.(i)))
             in
-            Hashtbl.replace t.prev chain cur;
+            Array.blit b.cur_p 0 b.prev_p 0 n;
+            Array.blit b.cur_b 0 b.prev_b 0 n;
             (* Export even an all-zero window: to the aggregator silence is
                indistinguishable from loss, so a zero report is
                information (the chain really carried nothing). *)

@@ -996,6 +996,17 @@ let site_chain_measurements t ~site ~chain =
           ~chain_label:chain ~egress_label:egress ~stage)
   | Some _ | None -> [||]
 
+let site_chain_measurements_into t ~site ~chain ~pkts ~bytes =
+  match Hashtbl.find_opt t.locals.(site).ls_known chain with
+  | Some { c_egress = Some egress; c_spec; _ } ->
+    let stages = List.length c_spec.vnfs + 1 in
+    if Array.length pkts < stages || Array.length bytes < stages then
+      invalid_arg "System.site_chain_measurements_into: buffers too small";
+    Fabric.site_stage_counters_into t.fabric ~site:t.sites.(site).fab_site
+      ~chain_label:chain ~egress_label:egress ~pkts ~bytes;
+    stages
+  | Some _ | None -> -1
+
 let reset_measurements t = Fabric.reset_counters t.fabric
 
 let vnf_committed_load t ~vnf ~site =

@@ -171,6 +171,16 @@ val site_chain_measurements : t -> site:int -> chain:int -> (int * int) array
     site has not learned. Summed over all sites this equals
     {!chain_measurements}. *)
 
+val site_chain_measurements_into :
+  t -> site:int -> chain:int -> pkts:int array -> bytes:int array -> int
+(** Bulk {!site_chain_measurements} into caller-owned buffers: fills
+    [pkts]/[bytes] (indexed by stage) in one pass over the site's
+    forwarders and returns the chain's stage count, or [-1] for a chain
+    the site has not learned (buffers untouched). Raises
+    [Invalid_argument] if the buffers are shorter than the stage count.
+    The telemetry exporter calls this every epoch with reused scratch
+    buffers, so a measurement sweep allocates nothing. *)
+
 (** {2 Whole-system introspection (the [sb_chaos] invariant checker)} *)
 
 val chain_ids : t -> int list

@@ -4,6 +4,9 @@ type 'v t = {
   (* Ring: sorted (hash, node) pairs; rebuilt on membership change. *)
   mutable ring : (int * int) array;
   stores : (int, (Flow_table.key, 'v) Hashtbl.t) Hashtbl.t;
+  (* By-connection index over the distinct keys stored (across all
+     replicas), so connection teardown is O(stages), not a ring scan. *)
+  flow_index : (Packet.five_tuple, (Flow_table.key, unit) Hashtbl.t) Hashtbl.t;
 }
 
 (* SplitMix-style avalanche over the OCaml structural hash, so ring
@@ -22,7 +25,13 @@ let hash_vnode node i = mix ((node * 1_000_003) + i)
 let create ?(replication = 2) ?(virtual_nodes = 64) () =
   if replication <= 0 then invalid_arg "Dht_table.create: replication must be positive";
   if virtual_nodes <= 0 then invalid_arg "Dht_table.create: virtual_nodes must be positive";
-  { replication; virtual_nodes; ring = [||]; stores = Hashtbl.create 8 }
+  {
+    replication;
+    virtual_nodes;
+    ring = [||];
+    stores = Hashtbl.create 8;
+    flow_index = Hashtbl.create 64;
+  }
 
 let rebuild_ring t =
   let points = ref [] in
@@ -65,10 +74,30 @@ let owners t ~key =
 
 let store_of t node = Hashtbl.find t.stores node
 
+let index_key t (key : Flow_table.key) =
+  let keys =
+    match Hashtbl.find_opt t.flow_index key.Flow_table.flow with
+    | Some keys -> keys
+    | None ->
+      let keys = Hashtbl.create 8 in
+      Hashtbl.replace t.flow_index key.Flow_table.flow keys;
+      keys
+  in
+  Hashtbl.replace keys key ()
+
+let unindex_key t (key : Flow_table.key) =
+  match Hashtbl.find_opt t.flow_index key.Flow_table.flow with
+  | None -> ()
+  | Some keys ->
+    Hashtbl.remove keys key;
+    if Hashtbl.length keys = 0 then Hashtbl.remove t.flow_index key.Flow_table.flow
+
 let put t ~key value =
   match owners t ~key with
   | [] -> invalid_arg "Dht_table.put: no nodes in the ring"
-  | os -> List.iter (fun node -> Hashtbl.replace (store_of t node) key value) os
+  | os ->
+    List.iter (fun node -> Hashtbl.replace (store_of t node) key value) os;
+    index_key t key
 
 let get t ~key =
   let rec first = function
@@ -81,7 +110,17 @@ let get t ~key =
   first (owners t ~key)
 
 let remove t ~key =
-  Hashtbl.iter (fun _ store -> Hashtbl.remove store key) t.stores
+  Hashtbl.iter (fun _ store -> Hashtbl.remove store key) t.stores;
+  unindex_key t key
+
+let remove_flow t flow =
+  match Hashtbl.find_opt t.flow_index flow with
+  | None -> ()
+  | Some keys ->
+    Hashtbl.iter
+      (fun key () -> Hashtbl.iter (fun _ store -> Hashtbl.remove store key) t.stores)
+      keys;
+    Hashtbl.remove t.flow_index flow
 
 (* Re-establish the replication invariant: every stored key lives on
    exactly its current owner set. Walk all replicas, recompute owners, add
@@ -92,6 +131,9 @@ let rereplicate t =
     (fun _ store -> Hashtbl.iter (fun k v -> Hashtbl.replace all k v) store)
     t.stores;
   Hashtbl.iter (fun _ store -> Hashtbl.reset store) t.stores;
+  (* Rebuild the connection index too: keys without a surviving replica
+     (possible at replication 1) drop out of it here. *)
+  Hashtbl.reset t.flow_index;
   Hashtbl.iter (fun key value -> put t ~key value) all
 
 let add_node t node =
@@ -105,6 +147,7 @@ let remove_node t node =
     Hashtbl.remove t.stores node;
     rebuild_ring t;
     if Hashtbl.length t.stores > 0 then rereplicate t
+    else Hashtbl.reset t.flow_index
   end
 
 let size t =

@@ -42,6 +42,11 @@ val get : 'v t -> key:Flow_table.key -> 'v option
 
 val remove : 'v t -> key:Flow_table.key -> unit
 
+val remove_flow : 'v t -> Packet.five_tuple -> unit
+(** Drop every stored key of one connection (all chains, stages, and
+    role-encoded sides) from every replica — connection teardown.
+    O(stages) via a by-connection index. *)
+
 val size : 'v t -> int
 (** Number of distinct keys stored (not replica count). *)
 

@@ -5,21 +5,29 @@
     Every VNF instance and edge instance is attached to exactly one
     forwarder at its site (Section 5.1: the instance's routing table points
     at the forwarder as its proxy gateway). Forwarders hold weighted rules
-    keyed by (chain label, egress label, stage) and a {!Flow_table} that
+    keyed by (chain label, egress label, stage) and a flow table that
     pins each connection's choices, delivering the safety properties of
     Section 5.3: conformity, flow affinity, and symmetric return. Tests
     drive random traffic and weight churn through a fabric and assert those
-    properties; the control plane ([sb_ctrl]) installs rules into one. *)
+    properties; the control plane ([sb_ctrl]) installs rules into one.
 
-type t
+    Since DESIGN.md §11 this module is a thin shim over {!Plane}, the
+    packed data plane: rules are compiled into flat arrays, connection
+    state into open-addressed int-keyed tables, and a packet into a
+    cursor advanced in place per hop — observably identical (traces,
+    errors, counters, RNG draw sequence) to the seed implementation kept
+    in {!Legacy_fabric}, but several times faster and allocation-free on
+    the warm path ({!drive}). *)
 
-type endpoint =
+type t = Plane.t
+
+type endpoint = Plane.endpoint =
   | Edge of int
   | Forwarder of int
   | Vnf_instance of int
       (** Values are ids returned by the [add_*] functions. *)
 
-type flow_store =
+type flow_store = Plane.flow_store =
   | Local  (** per-forwarder flow tables (the prototype's default) *)
   | Replicated of int
       (** connection state in a DHT spread over the forwarder nodes with
@@ -90,7 +98,9 @@ val forwarder_site : t -> int -> int
 val site_name : t -> int -> string
 
 val attached_instances : t -> forwarder:int -> int list
-(** VNF instances proxied by a forwarder. *)
+(** VNF instances proxied by a forwarder (id-sorted). Maintained as a
+    per-forwarder list updated on attach and re-home — not recomputed by
+    folding the whole instance table per call. *)
 
 val forwarder_published_weight : t -> int -> int -> float
 (** [forwarder_published_weight t fwd vnf]: sum of the weights of [vnf]'s
@@ -134,9 +144,13 @@ val rule : t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:in
 
 val flow_table_size : t -> forwarder:int -> int
 
+val mutations : t -> int
+(** Journal entries applied to the packed arrays so far (rule installs and
+    topology mutations) — introspection for tests and benchmarks. *)
+
 (** {2 Driving packets} *)
 
-type error =
+type error = Plane.error =
   | No_rule of { forwarder : int; stage : int }
   | No_reverse_entry of { forwarder : int; stage : int }
   | Instance_down of int
@@ -170,6 +184,20 @@ val send_reverse :
     orientation of the connection. Follows stored [prev] hops; fails with
     [No_reverse_entry] if the forward direction never established state. *)
 
+val drive :
+  t ->
+  ingress:int ->
+  chain_label:int ->
+  egress_label:int ->
+  size:int ->
+  Packet.five_tuple ->
+  bool
+(** {!send_forward} without the trace: [true] iff the packet was delivered
+    to an egress edge. Identical side effects (flow-table inserts, RNG
+    draws, stage counters) but allocation-free — the packet is a cursor
+    that never leaves the registers. This is the packets-per-second entry
+    point benchmarked in EXPERIMENTS.md. *)
+
 val vnfs_in_trace : t -> endpoint list -> int list
 (** VNF ids in visit order — for conformity checks. *)
 
@@ -177,7 +205,9 @@ val instances_in_trace : endpoint list -> int list
 (** VNF instance ids in visit order — for affinity checks. *)
 
 val end_flow : t -> Packet.five_tuple -> unit
-(** Drop every forwarder's entries for a connection (teardown / timeout). *)
+(** Drop every forwarder's entries for a connection (teardown / timeout) —
+    including the replicated copies in {!Replicated} mode. O(stages) via
+    the by-connection index. *)
 
 val transfer_flows : t -> from_instance:int -> to_instance:int -> int
 (** (Local flow-store mode.) OpenNF-style flow-state transfer (Section 5.3: "flow table entries can
@@ -205,6 +235,19 @@ val site_stage_counters :
 (** Like {!stage_counters} but restricted to the forwarders of one fabric
     site — the view a per-site telemetry exporter reports. Summing over all
     sites equals {!stage_counters}. *)
+
+val site_stage_counters_into :
+  t ->
+  site:int ->
+  chain_label:int ->
+  egress_label:int ->
+  pkts:int array ->
+  bytes:int array ->
+  unit
+(** Bulk {!site_stage_counters}: fill caller-owned [pkts]/[bytes] arrays
+    (indexed by stage, one entry per stage the arrays hold) in a single
+    pass over the site's forwarders. The telemetry exporter calls this
+    with reused scratch buffers every epoch. *)
 
 val reset_counters : t -> unit
 (** Start a fresh measurement window. *)

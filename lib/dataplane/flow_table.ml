@@ -7,19 +7,47 @@ type key = {
 
 type 'hop entry = { next : 'hop; prev : 'hop }
 
-type 'hop t = (key, 'hop entry) Hashtbl.t
+(* The main table plus a by-connection index: a connection touches one
+   entry per (chain, stage) it traverses, so teardown should be O(stages),
+   not a scan of every connection's state. *)
+type 'hop t = {
+  tbl : (key, 'hop entry) Hashtbl.t;
+  by_flow : (Packet.five_tuple, (key, unit) Hashtbl.t) Hashtbl.t;
+}
 
-let create () = Hashtbl.create 64
-let size t = Hashtbl.length t
-let find t k = Hashtbl.find_opt t k
-let insert t k e = Hashtbl.replace t k e
-let remove t k = Hashtbl.remove t k
+let create () = { tbl = Hashtbl.create 64; by_flow = Hashtbl.create 64 }
+let size t = Hashtbl.length t.tbl
+let find t k = Hashtbl.find_opt t.tbl k
+
+let insert t k e =
+  Hashtbl.replace t.tbl k e;
+  let keys =
+    match Hashtbl.find_opt t.by_flow k.flow with
+    | Some keys -> keys
+    | None ->
+      let keys = Hashtbl.create 8 in
+      Hashtbl.replace t.by_flow k.flow keys;
+      keys
+  in
+  Hashtbl.replace keys k ()
+
+let remove t k =
+  Hashtbl.remove t.tbl k;
+  match Hashtbl.find_opt t.by_flow k.flow with
+  | None -> ()
+  | Some keys ->
+    Hashtbl.remove keys k;
+    if Hashtbl.length keys = 0 then Hashtbl.remove t.by_flow k.flow
 
 let remove_flow t flow =
-  let doomed =
-    Hashtbl.fold (fun k _ acc -> if k.flow = flow then k :: acc else acc) t []
-  in
-  List.iter (Hashtbl.remove t) doomed
+  match Hashtbl.find_opt t.by_flow flow with
+  | None -> ()
+  | Some keys ->
+    Hashtbl.iter (fun k () -> Hashtbl.remove t.tbl k) keys;
+    Hashtbl.remove t.by_flow flow
 
-let entries t = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t []
-let clear t = Hashtbl.reset t
+let entries t = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl []
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  Hashtbl.reset t.by_flow

@@ -26,7 +26,8 @@ val insert : 'hop t -> key -> 'hop entry -> unit
 val remove : 'hop t -> key -> unit
 val remove_flow : 'hop t -> Packet.five_tuple -> unit
 (** Drop every entry of a connection (all stages/chains) — connection
-    teardown. *)
+    teardown. O(stages of the connection) via a by-connection index, not a
+    scan of the whole table. *)
 
 val entries : 'hop t -> (key * 'hop entry) list
 val clear : 'hop t -> unit

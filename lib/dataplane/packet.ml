@@ -22,6 +22,22 @@ let random_tuple rng =
     dst_port = 1 + Sb_util.Rng.int rng 1023;
   }
 
+(* SplitMix-style avalanche over a native int, kept in the non-negative
+   range. Shared by the packed dataplane (Plane) for flow keys. *)
+let mix h =
+  let h = h * 0x9E3779B1 land max_int in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85EBCA6B land max_int in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0xC2B2AE35 land max_int in
+  h lxor (h lsr 16)
+
+let tuple_hash t =
+  let h = mix (t.src_ip + 0x5DEECE66) in
+  let h = mix (h lxor t.dst_ip) in
+  let h = mix (h lxor ((t.proto lsl 17) + t.src_port)) in
+  mix (h lxor t.dst_port)
+
 type direction = Forward | Reverse
 
 type t = {

@@ -25,6 +25,14 @@ val canonical : five_tuple -> five_tuple
 
 val random_tuple : Sb_util.Rng.t -> five_tuple
 
+val mix : int -> int
+(** Avalanche mix of a native int into [\[0, max_int\]] — the hash the
+    packed dataplane builds its int flow keys from. *)
+
+val tuple_hash : five_tuple -> int
+(** Non-negative hash of the 5-tuple (orientation-sensitive; hash
+    [canonical t] for an orientation-free key). *)
+
 type direction = Forward | Reverse
 
 type t = {

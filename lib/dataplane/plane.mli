@@ -1,0 +1,160 @@
+(** The compiled (packed) data plane (DESIGN.md §11).
+
+    Same behavioural contract as the seed fabric — {!Fabric} is a thin
+    [include] of this module, and {!Legacy_fabric} preserves the seed
+    implementation as the equivalence oracle — but compiled to id-dense
+    flat arrays:
+
+    - per-forwarder rules are an array indexed by an interned
+      (chain, egress, stage) id pointing into one shared target arena
+      (parallel packed-endpoint / weight / cumulative-weight arrays), so a
+      rule lookup is two array reads and a balancer draw is one RNG
+      advance plus a binary search — draw-for-draw identical to
+      {!Balancer.pick};
+    - connection state is an open-addressed table keyed by an int-packed
+      flow key (avalanche hash of labels, role stage and 5-tuple), chained
+      per connection for O(stages) teardown; [Replicated] mode keeps the
+      same stores under a consistent-hash ring with k-way replication;
+    - a packet is a handful of mutable locals advanced in place per hop
+      ({!drive} allocates nothing on the warm path);
+    - mutations (rule reinstall, weight change, fail / revive / reattach)
+      patch the arrays in place through a journal; dead rule targets are
+      compacted once they dominate the arena.
+
+    See {!Fabric} for the full per-function documentation. *)
+
+type t
+
+type endpoint = Edge of int | Forwarder of int | Vnf_instance of int
+
+type flow_store = Local | Replicated of int
+
+type error =
+  | No_rule of { forwarder : int; stage : int }
+  | No_reverse_entry of { forwarder : int; stage : int }
+  | Instance_down of int
+  | Forwarder_down of int
+  | Ttl_exceeded
+  | Not_an_edge
+
+val pp_error : Format.formatter -> error -> unit
+val create : ?seed:int -> ?flow_store:flow_store -> unit -> t
+val add_site : t -> string -> int
+val add_forwarder : t -> site:int -> int
+val add_edge : t -> site:int -> forwarder:int -> int
+
+val add_vnf_instance :
+  t -> vnf:int -> site:int -> forwarder:int -> ?weight:float -> unit -> int
+
+val instance_vnf : t -> int -> int
+val instance_site : t -> int -> int
+val instance_weight : t -> int -> float
+val set_instance_weight : t -> int -> float -> unit
+val instance_alive : t -> int -> bool
+val forwarder_alive : t -> int -> bool
+val fail_forwarder : t -> int -> unit
+val revive_forwarder : t -> int -> unit
+val revive_instance : t -> int -> unit
+val fail_instance : t -> int -> unit
+val reattach_edge : t -> int -> forwarder:int -> unit
+val reattach_instance : t -> int -> forwarder:int -> unit
+val forwarder_site : t -> int -> int
+val site_name : t -> int -> string
+
+val attached_instances : t -> forwarder:int -> int list
+(** Maintained incrementally (updated on attach/re-home, like the seed it
+    includes failed instances), not recomputed by folding the instance
+    table per call. *)
+
+val forwarder_published_weight : t -> int -> int -> float
+
+val install_rule :
+  t ->
+  forwarder:int ->
+  chain_label:int ->
+  egress_label:int ->
+  stage:int ->
+  (endpoint * float) list ->
+  unit
+
+val install_rx_rule :
+  t ->
+  forwarder:int ->
+  chain_label:int ->
+  egress_label:int ->
+  stage:int ->
+  (endpoint * float) list ->
+  unit
+
+val rule :
+  t ->
+  forwarder:int ->
+  chain_label:int ->
+  egress_label:int ->
+  stage:int ->
+  (endpoint * float) list option
+
+val flow_table_size : t -> forwarder:int -> int
+
+val mutations : t -> int
+(** Number of journal entries applied to the packed arrays so far (rule
+    installs, topology mutations) — introspection for tests/benchmarks. *)
+
+val send_forward :
+  t ->
+  ingress:int ->
+  chain_label:int ->
+  egress_label:int ->
+  ?size:int ->
+  Packet.five_tuple ->
+  (endpoint list, error) result
+
+val send_reverse :
+  t ->
+  egress:int ->
+  chain_label:int ->
+  egress_label:int ->
+  ?size:int ->
+  Packet.five_tuple ->
+  (endpoint list, error) result
+
+val drive :
+  t ->
+  ingress:int ->
+  chain_label:int ->
+  egress_label:int ->
+  size:int ->
+  Packet.five_tuple ->
+  bool
+(** {!send_forward} without the trace: [true] iff the packet was
+    delivered to an egress edge. Identical side effects (flow-table
+    inserts, RNG draws, stage counters) but allocation-free — the packet
+    lives entirely in registers/locals. The packets-per-second numbers in
+    EXPERIMENTS.md come from this entry point. *)
+
+val vnfs_in_trace : t -> endpoint list -> int list
+val instances_in_trace : endpoint list -> int list
+val end_flow : t -> Packet.five_tuple -> unit
+val transfer_flows : t -> from_instance:int -> to_instance:int -> int
+
+val stage_counters :
+  t -> chain_label:int -> egress_label:int -> stage:int -> int * int
+
+val site_stage_counters :
+  t -> site:int -> chain_label:int -> egress_label:int -> stage:int -> int * int
+
+val site_stage_counters_into :
+  t ->
+  site:int ->
+  chain_label:int ->
+  egress_label:int ->
+  pkts:int array ->
+  bytes:int array ->
+  unit
+(** Fill [pkts]/[bytes] (indexed by stage, as many stages as the arrays
+    hold) with one site's counters for one chain in a single pass over the
+    forwarders — the allocation-free bulk form of
+    {!site_stage_counters} that the telemetry exporter reuses its scratch
+    buffers with. *)
+
+val reset_counters : t -> unit

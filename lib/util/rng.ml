@@ -58,6 +58,23 @@ let sample_without_replacement t k n =
   shuffle t a;
   Array.to_list (Array.sub a 0 k)
 
+let weighted_index_cum t cum ~off ~len ~total =
+  (* Must stay draw-for-draw and result-for-result identical to
+     [weighted_index] over the raw weights: same exception (checked before
+     the state advances), one [float t total] draw, and the same chosen
+     index. [weighted_index] returns the first i with target < w_0+...+w_i
+     accumulated left to right, or n-1 unconditionally; as the cumulative
+     sums are non-decreasing, the binary search for the smallest such i
+     (capped at len-1) lands on the very same index. *)
+  if total <= 0. then invalid_arg "Rng.weighted_index: zero total weight";
+  let target = float t total in
+  let lo = ref 0 and hi = ref (len - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if target < cum.(off + mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let weighted_index t weights =
   let total =
     Array.fold_left
