@@ -1154,7 +1154,7 @@ let build_chaos_fabric (type ft) (module F : FABRIC_BUILD with type t = ft)
       chaos_chains
     |> Array.of_list
   in
-  (fab, entry)
+  (fab, entry, fwd)
 
 (* One shared connection pool; every arm is warmed with the same 1024
    connections spread over the three chains, so the kernels all measure
@@ -1165,14 +1165,33 @@ let chaos_tuples =
 
 let build_warm_chaos_fabric (type ft) (module F : FABRIC_BUILD with type t = ft)
     ~flow_store =
-  let fab, entry = build_chaos_fabric (module F) ~flow_store in
+  let fab, entry, fwd = build_chaos_fabric (module F) ~flow_store in
   Array.iteri
     (fun j tp ->
       let label, ein, eg = entry.(j mod 3) in
       ignore
         (F.send_forward fab ~ingress:ein ~chain_label:label ~egress_label:eg tp))
     chaos_tuples;
-  (fab, entry)
+  (fab, entry, fwd)
+
+module Shard = Sb_dataplane.Shard
+
+(* The sharded fabric behind the common builder interface, with the lane
+   count baked in. *)
+let shard_build nlanes : (module FABRIC_BUILD with type t = Shard.t) =
+  (module struct
+    include Shard
+
+    (* [include Shard] brings in [lanes : t -> int], hence [nlanes]. *)
+    let create ?seed ?flow_store () = Shard.create ?seed ?flow_store ~lanes:nlanes ()
+  end)
+
+(* chaos_tuples split by owning chain (tuple j is warmed on chain
+   entry.(j mod 3)), so a [Shard.drive_batch] call — one chain per batch —
+   stays on the established-flow path. *)
+let chain_tuples c =
+  Array.of_list
+    (List.filteri (fun j _ -> j mod 3 = c) (Array.to_list chaos_tuples))
 
 let json_mode = ref false
 
@@ -1374,17 +1393,17 @@ let micro () =
      packed plane's allocation-free drive — each over Local and
      Replicated-2 flow stores. Warm flow tables: every packet hits the
      established-connection path, the regime packets/sec is quoted in. *)
-  let fab_seed_local, e_seed_local =
+  let fab_seed_local, e_seed_local, _ =
     build_warm_chaos_fabric (module Legacy_fabric) ~flow_store:Fabric.Local
   in
-  let fab_packed_local, e_packed_local =
+  let fab_packed_local, e_packed_local, _ =
     build_warm_chaos_fabric (module Fabric) ~flow_store:Fabric.Local
   in
-  let fab_seed_repl, e_seed_repl =
+  let fab_seed_repl, e_seed_repl, _ =
     build_warm_chaos_fabric (module Legacy_fabric)
       ~flow_store:(Fabric.Replicated 2)
   in
-  let fab_packed_repl, e_packed_repl =
+  let fab_packed_repl, e_packed_repl, _ =
     build_warm_chaos_fabric (module Fabric) ~flow_store:(Fabric.Replicated 2)
   in
   let fabric_kernel name send =
@@ -1432,6 +1451,32 @@ let micro () =
     fabric_kernel "fabric drive x32/packed-repl2"
       (drive_arm fab_packed_repl e_packed_repl)
   in
+  (* Sharded fabric: one warmed shard per lane count, reused by both the
+     Bechamel batch kernels and the pps walls below. The D = 1 shard is
+     the inline packed plane (no pool); D > 1 pays a submit/join handoff
+     per batch, amortized over the batch. *)
+  let shard_lane_counts = [| 1; 2; 4; 8 |] in
+  let shards =
+    Array.map
+      (fun lanes ->
+        let sf, entry, _ =
+          build_warm_chaos_fabric (shard_build lanes) ~flow_store:Fabric.Local
+        in
+        (lanes, sf, entry))
+      shard_lane_counts
+  in
+  let shard_kernel_batch = Array.sub (chain_tuples 0) 0 256 in
+  let shard_batch_bench (lanes, sf, entry) =
+    let label, ein, eg = entry.(0) in
+    Test.make ~name:(Printf.sprintf "fabric shard_batch x256/D%d" lanes)
+      (Staged.stage (fun () ->
+           ignore
+             (Shard.drive_batch sf ~ingress:ein ~chain_label:label
+                ~egress_label:eg ~size:500 shard_kernel_batch)))
+  in
+  let shard_batch_benches =
+    Array.to_list (Array.map shard_batch_bench shards)
+  in
   let big_m = big_model () in
   let dp_solve_big_bench =
     Test.make ~name:"dp_solve (100 nodes, 128 chains)"
@@ -1439,13 +1484,14 @@ let micro () =
   in
   let tests =
     Test.make_grouped ~name:"switchboard"
-      [
-        flow_table_bench; fabric_bench; dp_bench; dp_full_bench; lp_bench; lru_bench;
-        bus_bench; maxmin_bench; fractions_legacy_bench; fractions_packed_bench;
-        net_cost_legacy_bench; net_cost_packed_bench; fabric_seed_local_bench;
-        fabric_packed_local_bench; fabric_drive_local_bench; fabric_seed_repl_bench;
-        fabric_packed_repl_bench; fabric_drive_repl_bench; dp_solve_big_bench;
-      ]
+      ([
+         flow_table_bench; fabric_bench; dp_bench; dp_full_bench; lp_bench; lru_bench;
+         bus_bench; maxmin_bench; fractions_legacy_bench; fractions_packed_bench;
+         net_cost_legacy_bench; net_cost_packed_bench; fabric_seed_local_bench;
+         fabric_packed_local_bench; fabric_drive_local_bench; fabric_seed_repl_bench;
+         fabric_packed_repl_bench; fabric_drive_repl_bench; dp_solve_big_bench;
+       ]
+      @ shard_batch_benches)
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -1671,7 +1717,227 @@ let micro () =
       (ratio pps_packed_repl pps_seed_repl);
     close_out oc;
     print_endline "wrote BENCH_fabric.json"
-  end
+  end;
+  (* Sharded scale-out walls (Fig 8's per-core scale-out, measured). Two
+     series, because the CI box may have fewer cores than lanes:
+     [wallclock] drives batches through [Shard.drive_batch] — pool
+     handoff included — and is only a speedup when real cores back the
+     lanes; [capacity] times each lane alone draining its own partition
+     inline on its private plane and sums the rates — the throughput D
+     pinned cores would sustain, comparable across machines. *)
+  let per_chain = Array.init 3 chain_tuples in
+  let shard_wall_pps (_lanes, sf, entry) =
+    let total = ref 0 in
+    let w =
+      wall (fun () ->
+          while !total < pps_packets do
+            for c = 0 to 2 do
+              let label, ein, eg = entry.(c) in
+              ignore
+                (Shard.drive_batch sf ~ingress:ein ~chain_label:label
+                   ~egress_label:eg ~size:500 per_chain.(c));
+              total := !total + Array.length per_chain.(c)
+            done
+          done)
+    in
+    float_of_int !total /. w
+  in
+  let shard_capacity_pps (lanes, sf, entry) =
+    let parts = Array.make lanes [] in
+    Array.iteri
+      (fun j tp -> parts.(Shard.lane_of sf tp) <- (j mod 3, tp) :: parts.(Shard.lane_of sf tp))
+      chaos_tuples;
+    let per_lane_target = max 20_000 (pps_packets / lanes) in
+    let rate = ref 0. in
+    for l = 0 to lanes - 1 do
+      let part = Array.of_list parts.(l) in
+      let n = Array.length part in
+      if n > 0 then begin
+        let plane = Shard.lane sf l in
+        let reps = max 1 (per_lane_target / n) in
+        let w =
+          wall (fun () ->
+              for _ = 1 to reps do
+                Array.iter
+                  (fun (c, tp) ->
+                    let label, ein, eg = entry.(c) in
+                    ignore
+                      (Fabric.drive plane ~ingress:ein ~chain_label:label
+                         ~egress_label:eg ~size:500 tp))
+                  part
+              done)
+        in
+        rate := !rate +. (float_of_int (reps * n) /. w)
+      end
+    done;
+    !rate
+  in
+  let shard_wall = Array.map shard_wall_pps shards in
+  let shard_cap = Array.map shard_capacity_pps shards in
+  let cores = Sb_util.Par.default_domains () in
+  let st = Table.create ~header:[ "lanes"; "wallclock Mpps"; "capacity Mpps"; "cap x vs D1" ] in
+  Array.iteri
+    (fun i (lanes, _, _) ->
+      Table.add_row st
+        [
+          string_of_int lanes;
+          Printf.sprintf "%.2f" (shard_wall.(i) /. 1e6);
+          Printf.sprintf "%.2f" (shard_cap.(i) /. 1e6);
+          Printf.sprintf "%.2f" (shard_cap.(i) /. shard_cap.(0));
+        ])
+    shards;
+  Printf.printf "\nsharded fabric scale-out (%d core(s) available):\n" cores;
+  Table.print st;
+  (* Flow-table occupancy sweep: one packed plane grown to 10M
+     connections on the six-site topology (~4 table entries per
+     connection), sampling warm-path pps over 4096 established
+     connections spread across the whole population at each checkpoint.
+     The aggregate tables blow through L3 somewhere past the first
+     million connections — the Fig 8 'single-core line dips as state
+     outgrows cache' effect, here as a pps-vs-load-factor curve. *)
+  let sweep_points = [| 100_000; 300_000; 1_000_000; 3_000_000; 10_000_000 |] in
+  let sweep_seed = 0xACC in
+  let sweep_fab, sweep_entry, sweep_fwd =
+    build_chaos_fabric (module Fabric) ~flow_store:Fabric.Local
+  in
+  let sweep_gen = Rng.create sweep_seed in
+  let inserted = ref 0 in
+  let sweep_rows =
+    Array.map
+      (fun target ->
+        while !inserted < target do
+          let tp = Packet.random_tuple sweep_gen in
+          let label, ein, eg = sweep_entry.(!inserted mod 3) in
+          ignore
+            (Fabric.drive sweep_fab ~ingress:ein ~chain_label:label
+               ~egress_label:eg ~size:500 tp);
+          incr inserted
+        done;
+        let entries = ref 0 and cap = ref 0 and probe = ref 0 in
+        Array.iter
+          (fun f ->
+            let c, k, p = Fabric.flow_table_stats sweep_fab ~forwarder:f in
+            entries := !entries + c;
+            cap := !cap + k;
+            probe := max !probe p)
+          sweep_fwd;
+        (* Re-generate the tuple stream to pick an evenly spread sample
+           of established connections, then time the warm path over it. *)
+        let sample_n = 4096 in
+        let stride = max 1 (target / sample_n) in
+        let sample = Array.make sample_n (sweep_entry.(0), chaos_tuples.(0)) in
+        let re = Rng.create sweep_seed in
+        let filled = ref 0 in
+        for j = 0 to target - 1 do
+          let tp = Packet.random_tuple re in
+          if j mod stride = 0 && !filled < sample_n then begin
+            sample.(!filled) <- (sweep_entry.(j mod 3), tp);
+            incr filled
+          end
+        done;
+        let passes = 3 in
+        let w =
+          wall (fun () ->
+              for _ = 1 to passes do
+                for i = 0 to !filled - 1 do
+                  let (label, ein, eg), tp = sample.(i) in
+                  ignore
+                    (Fabric.drive sweep_fab ~ingress:ein ~chain_label:label
+                       ~egress_label:eg ~size:500 tp)
+                done
+              done)
+        in
+        let pps = float_of_int (passes * !filled) /. w in
+        (* 5 word-sized parallel arrays per table slot (hash keys, next,
+           prev, full hash, chain link). *)
+        let mib = float_of_int (!cap * 5 * 8) /. (1024. *. 1024.) in
+        (target, !entries, !cap, !probe, mib, pps))
+      sweep_points
+  in
+  let ot =
+    Table.create
+      ~header:[ "connections"; "entries"; "load factor"; "max probe"; "tables MiB"; "warm Mpps" ]
+  in
+  Array.iter
+    (fun (target, entries, cap, probe, mib, pps) ->
+      Table.add_row ot
+        [
+          string_of_int target;
+          string_of_int entries;
+          Printf.sprintf "%.3f" (float_of_int entries /. float_of_int (max 1 cap));
+          string_of_int probe;
+          Printf.sprintf "%.1f" mib;
+          Printf.sprintf "%.2f" (pps /. 1e6);
+        ])
+    sweep_rows;
+  Printf.printf "\nflow-table occupancy sweep (packed plane, Local store):\n";
+  Table.print ot;
+  if !json_mode then begin
+    let oc = open_out "BENCH_fabric_shard.json" in
+    Printf.fprintf oc "{\n  \"topology\": \"six sites, 3 chains over VNFs 0-2 \
+                       (2 instances x 2 sites each), cross-site relays\",\n";
+    Printf.fprintf oc "  \"cores_available\": %d,\n" cores;
+    Printf.fprintf oc
+      "  \"methodology\": \"wallclock = Shard.drive_batch incl. pool handoff \
+       on whatever cores exist; capacity = per-lane isolated rates summed \
+       (each lane drains its own RSS partition inline on its private \
+       plane), i.e. the throughput of one pinned core per lane\",\n";
+    let has_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    let kernel_lines =
+      List.filter_map
+        (fun (name, est) ->
+          match est with
+          | Some v when has_sub name "shard_batch" ->
+            Some (Printf.sprintf "    %S: %.1f" name v)
+          | _ -> None)
+        rows
+    in
+    Printf.fprintf oc "  \"kernels_ns_per_op\": {\n%s\n  },\n"
+      (String.concat ",\n" kernel_lines);
+    let series name values =
+      Printf.fprintf oc "  %S: {\n%s\n  },\n" name
+        (String.concat ",\n"
+           (Array.to_list
+              (Array.mapi
+                 (fun i (lanes, _, _) ->
+                   Printf.sprintf "    \"lanes_%d\": %.0f" lanes values.(i))
+                 shards)))
+    in
+    series "pps_wallclock" shard_wall;
+    series "pps_capacity" shard_cap;
+    let idx_of n =
+      let r = ref (-1) in
+      Array.iteri (fun i (l, _, _) -> if l = n then r := i) shards;
+      !r
+    in
+    let cap_of n = shard_cap.(idx_of n) in
+    Printf.fprintf oc "  \"scaleout\": {\n";
+    Printf.fprintf oc "    \"capacity_2_over_1\": %.2f,\n" (cap_of 2 /. cap_of 1);
+    Printf.fprintf oc "    \"capacity_4_over_1\": %.2f,\n" (cap_of 4 /. cap_of 1);
+    Printf.fprintf oc "    \"capacity_8_over_1\": %.2f,\n" (cap_of 8 /. cap_of 1);
+    Printf.fprintf oc "    \"monotone_1_2_4\": %b\n  },\n"
+      (cap_of 2 > cap_of 1 && cap_of 4 > cap_of 2);
+    Printf.fprintf oc "  \"occupancy_sweep\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n"
+         (Array.to_list
+            (Array.map
+               (fun (target, entries, cap, probe, mib, pps) ->
+                 Printf.sprintf
+                   "    {\"connections\": %d, \"entries\": %d, \"capacity\": %d, \
+                    \"load_factor\": %.4f, \"max_probe\": %d, \"tables_mib\": %.1f, \
+                    \"warm_pps\": %.0f}"
+                   target entries cap
+                   (float_of_int entries /. float_of_int (max 1 cap))
+                   probe mib pps)
+               sweep_rows)));
+    close_out oc;
+    print_endline "wrote BENCH_fabric_shard.json"
+  end;
+  Array.iter (fun (_, sf, _) -> Shard.shutdown sf) shards
 
 (* ------------------------------------------------------------------ *)
 (* sb_adapt: closed-loop telemetry aggregation + incremental re-routing *)

@@ -267,7 +267,7 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
     Telemetry.Aggregator.create ~system:sys ~site:0 ~chains:(Array.to_list ids)
       ~num_sites ~staleness:p.staleness ()
   in
-  let rng = Rng.create (p.seed + 17) in
+  let rng = Rng.split ~stream:1 (Rng.create p.seed) in
   let inject e =
     failed_now := failed_at sc e;
     for c = 0 to n - 1 do

@@ -28,6 +28,7 @@ module Exporter = struct
   let rec tick t =
     if t.running then begin
       let down = t.down_links () in
+      let table = System.site_flow_table_stats t.system ~site:t.site in
       List.iter
         (fun (chain, _egress, num_stages) ->
           let b =
@@ -68,6 +69,7 @@ module Exporter = struct
                    chain;
                    stages = delta;
                    down_links = down;
+                   table;
                  });
             t.exported <- t.exported + 1
           end)
@@ -97,7 +99,12 @@ module Exporter = struct
 end
 
 module Aggregator = struct
-  type sample = { s_epoch : int; s_stages : (int * int) array; s_down : int list }
+  type sample = {
+    s_epoch : int;
+    s_stages : (int * int) array;
+    s_down : int list;
+    s_table : int * int * int;
+  }
 
   type t = {
     chains : int list;
@@ -109,7 +116,7 @@ module Aggregator = struct
   }
 
   let handle t = function
-    | Types.Telemetry_report { site; epoch; chain; stages; down_links } -> (
+    | Types.Telemetry_report { site; epoch; chain; stages; down_links; table } -> (
       match Hashtbl.find_opt t.cells chain with
       | None -> () (* a chain this aggregator was not asked to watch *)
       | Some row ->
@@ -120,7 +127,14 @@ module Aggregator = struct
             match row.(site) with None -> true | Some s -> epoch >= s.s_epoch
           in
           if newer then
-            row.(site) <- Some { s_epoch = epoch; s_stages = stages; s_down = down_links }
+            row.(site) <-
+              Some
+                {
+                  s_epoch = epoch;
+                  s_stages = stages;
+                  s_down = down_links;
+                  s_table = table;
+                }
         end)
     | _ -> ()
 
@@ -178,6 +192,33 @@ module Aggregator = struct
              s.s_stages)
          ());
     out
+
+  (* Every chain's report from a site carries the same site-level table
+     snapshot, so pick one fresh sample per site (the freshest wins) and
+     sum entries/capacity across sites; probe lengths max. *)
+  let table_occupancy t ~epoch =
+    let per_site = Array.make t.num_sites None in
+    List.iter
+      (fun chain ->
+        match Hashtbl.find_opt t.cells chain with
+        | None -> ()
+        | Some row ->
+          Array.iteri
+            (fun site cell ->
+              match cell with
+              | Some s when fresh t ~epoch s -> (
+                match per_site.(site) with
+                | Some prev when prev.s_epoch >= s.s_epoch -> ()
+                | _ -> per_site.(site) <- Some s)
+              | _ -> ())
+            row)
+      t.chains;
+    Array.fold_left
+      (fun (c, k, m) cell ->
+        match cell with
+        | Some { s_table = c', k', m'; _ } -> (c + c', k + k', max m m')
+        | None -> (c, k, m))
+      (0, 0, 0) per_site
 
   let down_links t ~epoch =
     List.fold_left

@@ -85,12 +85,13 @@ let specs =
 
 let routes_of defs = List.map (fun (sites, w) -> { element_sites = sites; weight = w }) defs
 
-let run ?(epoch_len = default_epoch_len) ?(event_budget = 2_000_000) (sched : Schedule.t)
-    =
+let run ?(epoch_len = default_epoch_len) ?(event_budget = 2_000_000) ?(lanes = 1)
+    (sched : Schedule.t) =
   let seed = sched.Schedule.seed in
   let sys =
     System.create ~seed:(seed + 1) ~retry_interval:0.4
-      ~flow_store:(Sb_dataplane.Fabric.Replicated 2) ~num_sites ~delay ~gsb_site ()
+      ~flow_store:(Sb_dataplane.Fabric.Replicated 2) ~lanes ~num_sites ~delay
+      ~gsb_site ()
   in
   let eng = System.engine sys in
   (* VNF 0 at sites 1,2; VNF 1 at 2,3; VNF 2 at 4,5. *)
@@ -134,7 +135,7 @@ let run ?(epoch_len = default_epoch_len) ?(event_budget = 2_000_000) (sched : Sc
   Invariant.check_epoch inv;
   Inject.arm ~sys ~store
     ~observe:(fun ~msg ~topic ~src ~dst -> Invariant.observe_wan inv ~msg ~topic ~src ~dst)
-    ~rng:(Rng.create (seed + 2))
+    ~rng:(Rng.split ~stream:1 (Rng.create seed))
     sched;
   let t0 = Engine.now eng in
   let epochs = int_of_float (Float.round (sched.Schedule.horizon /. epoch_len)) in
@@ -179,8 +180,8 @@ let run ?(epoch_len = default_epoch_len) ?(event_budget = 2_000_000) (sched : Sc
   in
   { schedule = sched; violations; events = !events; completed = !completed }
 
-let run_seed ?epoch_len ?event_budget seed =
-  run ?epoch_len ?event_budget
+let run_seed ?epoch_len ?event_budget ?lanes seed =
+  run ?epoch_len ?event_budget ?lanes
     (Schedule.generate ~seed ~horizon ~num_sites)
 
 (* Greedy shrink: repeatedly take the first candidate that still

@@ -21,9 +21,13 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
-val run : ?epoch_len:float -> ?event_budget:int -> Schedule.t -> result
+val run : ?epoch_len:float -> ?event_budget:int -> ?lanes:int -> Schedule.t -> result
+(** [lanes] (default 1) shards the deployment's data plane across that
+    many domains ({!Sb_dataplane.Shard}); the invariant probes then
+    exercise the sharded path, with counters and flow state aggregated
+    across lanes. *)
 
-val run_seed : ?epoch_len:float -> ?event_budget:int -> int -> result
+val run_seed : ?epoch_len:float -> ?event_budget:int -> ?lanes:int -> int -> result
 (** [run (Schedule.generate ~seed ...)] with the standard horizon. *)
 
 val shrink_failing : Schedule.t -> Schedule.t

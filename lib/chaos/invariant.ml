@@ -1,6 +1,6 @@
 module System = Sb_ctrl.System
 module Bus = Sb_msgbus.Bus
-module Fabric = Sb_dataplane.Fabric
+module Shard = Sb_dataplane.Shard
 module Packet = Sb_dataplane.Packet
 module Rng = Sb_util.Rng
 open Sb_ctrl.Types
@@ -26,7 +26,7 @@ let create ~sys ~num_sites ~seed =
   {
     sys;
     num_sites;
-    rng = Rng.create (seed * 3 + 0x1A7);
+    rng = Rng.split ~stream:2 (Rng.create seed);
     chains = Hashtbl.create 8;
     pinned = Hashtbl.create 64;
     wan_copies = Hashtbl.create 4096;
@@ -70,7 +70,7 @@ let observe_wan t ~msg ~topic ~src:_ ~dst =
 let tuple_str tu = Format.asprintf "%a" Packet.pp_tuple tu
 
 let probe_invariants t ~strict ~chain (spec : chain_spec) tu =
-  let fabric = System.fabric t.sys in
+  let fabric = System.shard t.sys in
   match System.probe_chain t.sys ~chain tu with
   | Error e ->
     (* During a fault window a probe may legitimately fail (its pinned
@@ -79,15 +79,15 @@ let probe_invariants t ~strict ~chain (spec : chain_spec) tu =
     if strict then
       violate t "liveness" "chain %d %s: forward probe failed: %s" chain
         (tuple_str tu)
-        (Format.asprintf "%a" Fabric.pp_error e)
+        (Format.asprintf "%a" Shard.pp_error e)
   | Ok trace ->
-    let vnfs = Fabric.vnfs_in_trace fabric trace in
+    let vnfs = Shard.vnfs_in_trace fabric trace in
     if vnfs <> spec.vnfs then
       violate t "conformity" "chain %d %s: traversed VNFs %s, spec %s" chain
         (tuple_str tu)
         (String.concat "," (List.map string_of_int vnfs))
         (String.concat "," (List.map string_of_int spec.vnfs));
-    let insts = Fabric.instances_in_trace trace in
+    let insts = Shard.instances_in_trace trace in
     (match Hashtbl.find_opt t.pinned (chain, tu) with
     | Some prev when prev <> insts ->
       violate t "flow-affinity" "chain %d %s: instances changed %s -> %s" chain
@@ -107,15 +107,15 @@ let probe_invariants t ~strict ~chain (spec : chain_spec) tu =
       | None -> ()
       | Some egress ->
         (match
-           Fabric.send_reverse fabric ~egress ~chain_label:chain
+           Shard.send_reverse fabric ~egress ~chain_label:chain
              ~egress_label:egress_site tu
          with
         | Error e ->
           violate t "symmetric-return" "chain %d %s: reverse failed: %s" chain
             (tuple_str tu)
-            (Format.asprintf "%a" Fabric.pp_error e)
+            (Format.asprintf "%a" Shard.pp_error e)
         | Ok rtrace ->
-          let rinsts = List.rev (Fabric.instances_in_trace rtrace) in
+          let rinsts = List.rev (Shard.instances_in_trace rtrace) in
           if rinsts <> insts then
             violate t "symmetric-return"
               "chain %d %s: reverse instances %s, forward %s" chain (tuple_str tu)

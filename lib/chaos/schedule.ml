@@ -37,7 +37,7 @@ let overlaps f g =
 let round2 x = Float.round (x *. 100.) /. 100.
 
 let generate ~seed ~horizon ~num_sites =
-  let rng = Rng.create (seed * 2 + 0x5EED) in
+  let rng = Rng.split ~stream:0 (Rng.create seed) in
   let n = 2 + Rng.int rng 5 in
   let deaths = ref [] in
   let faults = ref [] in

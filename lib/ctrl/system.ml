@@ -1,6 +1,7 @@
 module Bus = Sb_msgbus.Bus
 module Engine = Sb_sim.Engine
 module Fabric = Sb_dataplane.Fabric
+module DP = Sb_dataplane.Shard
 open Types
 
 let broadcast_topic = "/chains"
@@ -81,7 +82,7 @@ type local_sb = {
 type t = {
   eng : Engine.t;
   bus : msg Bus.t;
-  fabric : Fabric.t;
+  fabric : DP.t;
   sites : site_info array;
   locals : local_sb array;
   gsb_site : int;
@@ -117,7 +118,9 @@ let logf t fmt =
 
 let engine t = t.eng
 let bus t = t.bus
-let fabric t = t.fabric
+let fabric t = DP.lane t.fabric 0
+let shard t = t.fabric
+let lanes t = DP.lanes t.fabric
 let site_forwarder t s = List.hd t.sites.(s).forwarders
 let site_forwarders t s = t.sites.(s).forwarders
 let site_edge t s = t.sites.(s).edge
@@ -243,11 +246,11 @@ let try_install t ls (cs : chain_state) =
             (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
                  List.iter
                    (fun forwarder ->
-                     Fabric.install_rule t.fabric ~forwarder ~chain_label:cs.c_id
+                     DP.install_rule t.fabric ~forwarder ~chain_label:cs.c_id
                        ~egress_label:egress ~stage rule;
                      match rx with
                      | Some r ->
-                       Fabric.install_rx_rule t.fabric ~forwarder ~chain_label:cs.c_id
+                       DP.install_rx_rule t.fabric ~forwarder ~chain_label:cs.c_id
                          ~egress_label:egress ~stage r
                      | None -> ())
                    t.sites.(ls.ls_site).forwarders;
@@ -274,7 +277,7 @@ let maybe_publish_forwarder_weight t ls (cs : chain_state) vnf =
       let per_forwarder =
         List.filter_map
           (fun f ->
-            let w = Fabric.forwarder_published_weight t.fabric f vnf in
+            let w = DP.forwarder_published_weight t.fabric f vnf in
             if w > 0. then Some (f, w) else None)
           t.sites.(ls.ls_site).forwarders
       in
@@ -630,14 +633,14 @@ let gsb_on_request t ~chain ~spec =
 (* ------------------------------ Assembly ---------------------------- *)
 
 let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.)
-    ?(retry_interval = 0.5) ?flow_store ~num_sites ~delay ~gsb_site () =
+    ?(retry_interval = 0.5) ?flow_store ?(lanes = 1) ~num_sites ~delay ~gsb_site () =
   let eng = Engine.create () in
   let bus = Bus.create eng ~mode:Bus.Switchboard ~num_sites ~delay ~egress_rate () in
-  let fabric = Fabric.create ~seed ?flow_store () in
+  let fabric = DP.create ~seed ?flow_store ~lanes () in
   let sites =
     Array.init num_sites (fun i ->
-        let fab_site = Fabric.add_site fabric (Printf.sprintf "site%d" i) in
-        let forwarder = Fabric.add_forwarder fabric ~site:fab_site in
+        let fab_site = DP.add_site fabric (Printf.sprintf "site%d" i) in
+        let forwarder = DP.add_forwarder fabric ~site:fab_site in
         { fab_site; forwarders = [ forwarder ]; edge = None })
   in
   let locals =
@@ -777,7 +780,7 @@ let deploy_vnf t ~vnf ~site ~capacity ~instances =
   let fwds = Array.of_list t.sites.(site).forwarders in
   let ids =
     List.init instances (fun i ->
-        Fabric.add_vnf_instance t.fabric ~vnf ~site:t.sites.(site).fab_site
+        DP.add_vnf_instance t.fabric ~vnf ~site:t.sites.(site).fab_site
           ~forwarder:fwds.(i mod Array.length fwds) ())
   in
   let existing = match Hashtbl.find_opt v.v_instances site with Some l -> l | None -> [] in
@@ -789,7 +792,7 @@ let register_edge t ~site ~attachment =
     match info.edge with
     | Some e -> e
     | None ->
-      let e = Fabric.add_edge t.fabric ~site:info.fab_site ~forwarder:(List.hd info.forwarders) in
+      let e = DP.add_edge t.fabric ~site:info.fab_site ~forwarder:(List.hd info.forwarders) in
       info.edge <- Some e;
       e
   in
@@ -875,7 +878,7 @@ let add_edge_site t ~chain ~site =
                  in
                  List.iter
                    (fun forwarder ->
-                     Fabric.install_rule t.fabric ~forwarder ~chain_label:chain
+                     DP.install_rule t.fabric ~forwarder ~chain_label:chain
                        ~egress_label:egress ~stage:0 rule)
                    t.sites.(site).forwarders;
                  logf t "site %d: edge instance's fwrdr dataplane configured" site;
@@ -893,7 +896,7 @@ let add_edge_site t ~chain ~site =
 
 let add_forwarder t ~site =
   let info = t.sites.(site) in
-  let forwarder = Fabric.add_forwarder t.fabric ~site:info.fab_site in
+  let forwarder = DP.add_forwarder t.fabric ~site:info.fab_site in
   info.forwarders <- info.forwarders @ [ forwarder ];
   (* The Local Switchboard replays the site's current rules onto the new
      forwarder once it is configured. *)
@@ -902,12 +905,12 @@ let add_forwarder t ~site =
     (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
          Hashtbl.iter
            (fun (chain, egress, stage) rule ->
-             Fabric.install_rule t.fabric ~forwarder ~chain_label:chain
+             DP.install_rule t.fabric ~forwarder ~chain_label:chain
                ~egress_label:egress ~stage rule)
            ls.ls_installed;
          Hashtbl.iter
            (fun (chain, egress, stage) rule ->
-             Fabric.install_rx_rule t.fabric ~forwarder ~chain_label:chain
+             DP.install_rx_rule t.fabric ~forwarder ~chain_label:chain
                ~egress_label:egress ~stage rule)
            ls.ls_installed_rx;
          logf t "site %d: forwarder %d joined and configured (%d rules)" site forwarder
@@ -926,7 +929,7 @@ let scale_vnf_instances t ~vnf ~site ~count =
   let existing = match Hashtbl.find_opt v.v_instances site with Some l -> l | None -> [] in
   let fresh =
     List.init count (fun i ->
-        Fabric.add_vnf_instance t.fabric ~vnf ~site:t.sites.(site).fab_site
+        DP.add_vnf_instance t.fabric ~vnf ~site:t.sites.(site).fab_site
           ~forwarder:fwds.((List.length existing + i) mod Array.length fwds)
           ())
   in
@@ -963,7 +966,7 @@ let probe_chain t ~chain ?ingress_site tuple =
     in
     match (t.sites.(site).edge, cs.c_egress) with
     | Some edge, Some egress ->
-      Fabric.send_forward t.fabric ~ingress:edge ~chain_label:chain ~egress_label:egress
+      DP.send_forward t.fabric ~ingress:edge ~chain_label:chain ~egress_label:egress
         tuple
     | _ -> Error Fabric.Not_an_edge)
 
@@ -972,7 +975,7 @@ let chain_measurements t ~chain =
   | Some { c_egress = Some egress; c_spec; _ } ->
     let stages = List.length c_spec.vnfs + 1 in
     Array.init stages (fun stage ->
-        Fabric.stage_counters t.fabric ~chain_label:chain ~egress_label:egress ~stage)
+        DP.stage_counters t.fabric ~chain_label:chain ~egress_label:egress ~stage)
   | Some _ | None -> [||]
 
 (* Per-site view of the same counters, via the Local Switchboard's chain
@@ -992,7 +995,7 @@ let site_chain_measurements t ~site ~chain =
   | Some { c_egress = Some egress; c_spec; _ } ->
     let stages = List.length c_spec.vnfs + 1 in
     Array.init stages (fun stage ->
-        Fabric.site_stage_counters t.fabric ~site:t.sites.(site).fab_site
+        DP.site_stage_counters t.fabric ~site:t.sites.(site).fab_site
           ~chain_label:chain ~egress_label:egress ~stage)
   | Some _ | None -> [||]
 
@@ -1002,12 +1005,21 @@ let site_chain_measurements_into t ~site ~chain ~pkts ~bytes =
     let stages = List.length c_spec.vnfs + 1 in
     if Array.length pkts < stages || Array.length bytes < stages then
       invalid_arg "System.site_chain_measurements_into: buffers too small";
-    Fabric.site_stage_counters_into t.fabric ~site:t.sites.(site).fab_site
+    DP.site_stage_counters_into t.fabric ~site:t.sites.(site).fab_site
       ~chain_label:chain ~egress_label:egress ~pkts ~bytes;
     stages
   | Some _ | None -> -1
 
-let reset_measurements t = Fabric.reset_counters t.fabric
+let reset_measurements t = DP.reset_counters t.fabric
+
+let site_flow_table_stats t ~site =
+  (* Lane-aggregated occupancy of every connection table at the site:
+     entries, open-addressing capacity and worst probe length. *)
+  List.fold_left
+    (fun (c, k, m) forwarder ->
+      let c', k', m' = DP.flow_table_stats t.fabric ~forwarder in
+      (c + c', k + k', max m m'))
+    (0, 0, 0) t.sites.(site).forwarders
 
 let vnf_committed_load t ~vnf ~site =
   match Hashtbl.find_opt t.vnf_ctls vnf with

@@ -25,6 +25,7 @@ val create :
   ?egress_rate:float ->
   ?retry_interval:float ->
   ?flow_store:Sb_dataplane.Fabric.flow_store ->
+  ?lanes:int ->
   num_sites:int ->
   delay:(int -> int -> float) ->
   gsb_site:int ->
@@ -37,11 +38,30 @@ val create :
     Prepares to unvoted participants and Commit/Abort decisions to
     un-acked ones, making chain transactions tolerate wide-area message
     loss. [flow_store] selects the fabric's connection-state store
-    (default {!Sb_dataplane.Fabric.Local}). *)
+    (default {!Sb_dataplane.Fabric.Local}). [lanes] (default 1) shards
+    the data plane across that many per-domain lanes
+    ({!Sb_dataplane.Shard}); with 1 lane the data plane is bit-identical
+    to an unsharded {!Sb_dataplane.Fabric}. *)
 
 val engine : t -> Sb_sim.Engine.t
 val bus : t -> Types.msg Sb_msgbus.Bus.t
+
 val fabric : t -> Sb_dataplane.Fabric.t
+(** Lane 0 of the data plane — the exact, whole data plane when [lanes]
+    is 1 (the default), a single lane's partition otherwise. Callers that
+    must see every lane (probes, counters) under [lanes > 1] go through
+    {!shard}. *)
+
+val shard : t -> Sb_dataplane.Shard.t
+(** The sharded data plane itself; counters and flow-table read-outs on it
+    aggregate across lanes. *)
+
+val lanes : t -> int
+
+val site_flow_table_stats : t -> site:int -> int * int * int
+(** [(count, capacity, max_probe)] summed over the site's forwarders and
+    the shard's lanes — the occupancy figure the telemetry exporter
+    publishes. *)
 
 val site_forwarder : t -> int -> int
 (** The site's first (edge-facing) forwarder. *)

@@ -35,6 +35,7 @@ type msg =
       chain : int;
       stages : (int * int) array;
       down_links : int list;
+      table : int * int * int;
     }
 
 let chain_request_topic = "/gsb/chain_requests"
@@ -69,6 +70,7 @@ let pp_msg ppf = function
     Format.fprintf ppf "Forwarder_info(vnf%d site%d %d fwds)" vnf site (List.length forwarders)
   | Edge_info { site; edge; forwarder } ->
     Format.fprintf ppf "Edge_info(site%d edge%d fwd%d)" site edge forwarder
-  | Telemetry_report { site; epoch; chain; stages; down_links } ->
-    Format.fprintf ppf "Telemetry_report(site%d epoch%d chain%d %d stages, %d down)"
-      site epoch chain (Array.length stages) (List.length down_links)
+  | Telemetry_report { site; epoch; chain; stages; down_links; table = tc, tk, _ } ->
+    Format.fprintf ppf
+      "Telemetry_report(site%d epoch%d chain%d %d stages, %d down, %d/%d flows)"
+      site epoch chain (Array.length stages) (List.length down_links) tc tk

@@ -144,6 +144,11 @@ val rule : t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:in
 
 val flow_table_size : t -> forwarder:int -> int
 
+val flow_table_stats : t -> forwarder:int -> int * int * int
+(** [(count, capacity, max_probe)] of one forwarder's connection table —
+    occupancy for telemetry and the cache-cliff bench. See
+    {!Plane.flow_table_stats}. *)
+
 val mutations : t -> int
 (** Journal entries applied to the packed arrays so far (rule installs and
     topology mutations) — introspection for tests and benchmarks. *)

@@ -17,6 +17,10 @@ type 'hop t = {
 
 let create () = { tbl = Hashtbl.create 64; by_flow = Hashtbl.create 64 }
 let size t = Hashtbl.length t.tbl
+
+let stats t =
+  let s = Hashtbl.stats t.tbl in
+  (s.Hashtbl.num_bindings, s.Hashtbl.num_buckets, s.Hashtbl.max_bucket_length)
 let find t k = Hashtbl.find_opt t.tbl k
 
 let insert t k e =

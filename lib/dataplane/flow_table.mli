@@ -19,6 +19,13 @@ type 'hop t
 
 val create : unit -> 'hop t
 val size : 'hop t -> int
+
+val stats : 'hop t -> int * int * int
+(** [(count, capacity, max_probe)]: live entries, bucket count of the
+    backing table, and the longest bucket chain a lookup can walk — the
+    hashed-table analogue of {!Plane.flow_table_stats} so occupancy
+    telemetry reads the same on either implementation. *)
+
 val find : 'hop t -> key -> 'hop entry option
 val insert : 'hop t -> key -> 'hop entry -> unit
 (** Overwrites any existing entry for the key. *)

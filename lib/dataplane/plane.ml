@@ -879,6 +879,21 @@ let rule t ~forwarder ~chain_label ~egress_label ~stage =
 
 let flow_table_size t ~forwarder = t.f_tab.(get_fd t forwarder).fn
 
+let ftab_stats tab =
+  (* Longest probe sequence any lookup can take: max displacement of a
+     live entry from its home slot, plus one for the hit itself. *)
+  let maxp = ref 0 in
+  for i = 0 to tab.fcap - 1 do
+    let h = tab.hk.(i) in
+    if h >= 2 then begin
+      let d = (i - (h land tab.fmask)) land tab.fmask in
+      if d + 1 > !maxp then maxp := d + 1
+    end
+  done;
+  (tab.fn, tab.fcap, !maxp)
+
+let flow_table_stats t ~forwarder = ftab_stats t.f_tab.(get_fd t forwarder)
+
 let mutations t = t.journal
 
 (* ----------------------------- counters ----------------------------- *)

@@ -96,6 +96,13 @@ val rule :
 
 val flow_table_size : t -> forwarder:int -> int
 
+val flow_table_stats : t -> forwarder:int -> int * int * int
+(** [(count, capacity, max_probe)] of one forwarder's connection table:
+    live entries, open-addressing capacity (load factor is
+    [count /. capacity]) and the longest probe sequence a lookup can take.
+    An O(capacity) scan — telemetry and occupancy benches, not the packet
+    path. *)
+
 val mutations : t -> int
 (** Number of journal entries applied to the packed arrays so far (rule
     installs, topology mutations) — introspection for tests/benchmarks. *)

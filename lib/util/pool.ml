@@ -1,0 +1,143 @@
+(* Persistent worker domains with submit/join dispatch, plus the SPSC
+   rings the sharded dataplane uses to hand batches to lanes. *)
+
+module Spsc = struct
+  (* Single-producer single-consumer ring of non-negative ints. The
+     producer publishes a slot write with an atomic store of [tail]; the
+     consumer observes [tail] before reading the slot, so the plain array
+     accesses are ordered by the atomics and race-free. *)
+  type t = {
+    buf : int array;
+    mask : int;
+    head : int Atomic.t; (* consumer cursor *)
+    tail : int Atomic.t; (* producer cursor *)
+  }
+
+  let create capacity =
+    if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+    let cap = ref 1 in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    {
+      buf = Array.make !cap 0;
+      mask = !cap - 1;
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+    }
+
+  let capacity t = Array.length t.buf
+  let length t = Atomic.get t.tail - Atomic.get t.head
+
+  let push t v =
+    if v < 0 then invalid_arg "Spsc.push: negative value";
+    let tail = Atomic.get t.tail in
+    if tail - Atomic.get t.head >= Array.length t.buf then false
+    else begin
+      t.buf.(tail land t.mask) <- v;
+      Atomic.set t.tail (tail + 1);
+      true
+    end
+
+  let pop t =
+    let head = Atomic.get t.head in
+    if Atomic.get t.tail = head then -1
+    else begin
+      let v = t.buf.(head land t.mask) in
+      Atomic.set t.head (head + 1);
+      v
+    end
+end
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable gen : int; (* bumped once per submitted job *)
+  mutable pending : int; (* workers still running the current job *)
+  mutable stop : bool;
+  mutable exn : exn option; (* first failure of the current job *)
+  workers : int;
+  mutable domains : unit Domain.t array;
+}
+
+let worker t w =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while (not t.stop) && t.gen = !seen do
+      Condition.wait t.work t.m
+    done;
+    if t.stop then begin
+      running := false;
+      Mutex.unlock t.m
+    end
+    else begin
+      seen := t.gen;
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      let failure = try job w; None with e -> Some e in
+      Mutex.lock t.m;
+      (match failure with
+      | Some e when t.exn = None -> t.exn <- Some e
+      | _ -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ?workers () =
+  let workers =
+    match workers with Some w -> max 1 w | None -> Par.default_domains ()
+  in
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      gen = 0;
+      pending = 0;
+      stop = false;
+      exn = None;
+      workers;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init workers (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let size t = t.workers
+
+let run t f =
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.run: pool is shut down"
+  end;
+  t.job <- Some f;
+  t.exn <- None;
+  t.gen <- t.gen + 1;
+  t.pending <- t.workers;
+  Condition.broadcast t.work;
+  while t.pending > 0 do
+    Condition.wait t.finished t.m
+  done;
+  t.job <- None;
+  let e = t.exn in
+  Mutex.unlock t.m;
+  match e with Some e -> raise e | None -> ()
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end

@@ -1,0 +1,53 @@
+(** Persistent worker domains (submit/join, not spawn/join).
+
+    {!Par.map_chunks} spawns a domain per chunk, which is fine for one-shot
+    precomputes but far too slow for a per-batch packet path: spawning a
+    domain costs tens of microseconds while a batch takes a few. A [Pool]
+    spawns its domains once; each {!run} wakes the same workers through a
+    condition variable and joins them when every worker has finished its
+    slice. The sharded dataplane ({!Sb_dataplane.Shard}) keeps one worker
+    per lane alive for the life of the shard. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] spawns [workers] persistent domains (default
+    {!Par.default_domains}; forced to at least 1). Workers idle on a
+    condition variable between jobs. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f w] once per worker [w] in [0, size t)], in
+    parallel on the persistent domains, and returns when all have
+    finished. If any [f w] raises, the first exception (in completion
+    order) is re-raised in the caller after every worker has finished.
+    Not reentrant: one [run] at a time per pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Idempotent; later {!run} calls raise
+    [Invalid_argument]. A pool that is never shut down blocks nothing —
+    idle workers die with the process — but joining eagerly keeps domain
+    counts bounded in long-lived programs. *)
+
+(** Bounded single-producer single-consumer ring of non-negative ints —
+    the batch handoff between the dispatching domain and one lane worker.
+    Plain array slots are published/consumed around atomic cursors, so a
+    push and a pop never contend on a lock. *)
+module Spsc : sig
+  type t
+
+  val create : int -> t
+  (** [create capacity] rounds [capacity] up to a power of two. *)
+
+  val capacity : t -> int
+  val length : t -> int
+
+  val push : t -> int -> bool
+  (** Producer side. [false] when full. Raises on negative values ([-1]
+      is the {!pop} empty sentinel). *)
+
+  val pop : t -> int
+  (** Consumer side. [-1] when empty. *)
+end

@@ -16,9 +16,20 @@ let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
-let split t =
-  let seed = bits64 t in
-  { state = seed }
+let split ?stream t =
+  match stream with
+  | None ->
+    let seed = bits64 t in
+    { state = seed }
+  | Some i ->
+    if i < 0 then invalid_arg "Rng.split: stream must be non-negative";
+    (* Stream i's state is the mix of the parent state displaced by
+       (i + 1) gammas — for i = 0 that is exactly the parent's next
+       output, so [split ~stream:0 t] equals [split t] taken at the same
+       point (minus the parent advance). The double mixing on the child's
+       first draw (mix64 of a mix64 image plus gamma) keeps child outputs
+       off the parent's own output sequence. *)
+    { state = mix64 (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma)) }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

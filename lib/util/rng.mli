@@ -10,8 +10,18 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator from an integer seed. *)
 
-val split : t -> t
-(** [split t] derives an independent generator; [t] advances. *)
+val split : ?stream:int -> t -> t
+(** [split t] derives an independent generator; [t] advances.
+
+    [split ~stream:i t] derives the [i]th of a family of independent
+    generators from [t]'s {e current} state without advancing [t]: it is a
+    pure function of (state, [i]), so for a fixed seed the per-stream
+    generators are reproducible regardless of how many other streams were
+    derived, in which order — the contract the sharded dataplane's
+    per-lane balancer draws rely on ("same (seed, lane) → same draws for
+    any domain count"). [split ~stream:0 t] produces the same generator a
+    plain [split t] would at that point. Raises [Invalid_argument] on a
+    negative [i]. *)
 
 val copy : t -> t
 (** [copy t] snapshots the generator state. *)

@@ -147,6 +147,22 @@ let test_no_relay_loop_when_site_is_sender_and_receiver () =
     | Error e -> Alcotest.failf "probe failed: %a" Fabric.pp_error e
   done
 
+(* The standard deployment and schedules over the sharded data plane:
+   the lane count must be invisible to every invariant — probes route to
+   the owning lane, counters and flow state aggregate across lanes. *)
+let test_sharded_fabric_no_violations () =
+  List.iter
+    (fun lanes ->
+      List.iter
+        (fun seed ->
+          let r = Harness.run_seed ~lanes seed in
+          if r.Harness.violations <> [] then
+            Alcotest.failf "lanes=%d seed %d: %a" lanes seed Harness.pp_result r;
+          if not r.Harness.completed then
+            Alcotest.failf "lanes=%d seed %d: budget exhausted" lanes seed)
+        [ 7; 42 ])
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "sb_chaos"
     [
@@ -163,6 +179,8 @@ let () =
           Alcotest.test_case "seeded replay identical" `Quick test_replay_identical;
           Alcotest.test_case "relay loop regression (mixed-role site)" `Quick
             test_no_relay_loop_when_site_is_sender_and_receiver;
+          Alcotest.test_case "sharded fabric: schedules stay violation-free" `Quick
+            test_sharded_fabric_no_violations;
         ] );
       ("search", [ QCheck_alcotest.to_alcotest prop_no_violations ]);
     ]

@@ -1294,6 +1294,386 @@ let prop_packed_equivalence_replicated =
   prop_packed_plane_equivalence
     ~name:"packed plane == seed fabric (Replicated 2)" (Fabric.Replicated 2)
 
+(* --------------------- sharded-fabric equivalence --------------------- *)
+
+module Shard = Sb_dataplane.Shard
+
+(* [Shard.error] = [Fabric.error], so one classifier serves both. Error
+   payloads that name a VNF instance are balancer-draw-dependent (the
+   plane pins the drawn instance before checking liveness), so the
+   multi-lane property compares constructors only. *)
+let err_kind : Fabric.error -> int = function
+  | Fabric.No_rule _ -> 0
+  | No_reverse_entry _ -> 1
+  | Instance_down _ -> 2
+  | Forwarder_down _ -> 3
+  | Ttl_exceeded -> 4
+  | Not_an_edge -> 5
+
+(* Shared testbed builder for the shard properties: the same mirrored
+   random topology as [prop_packed_plane_equivalence] — 2-4 sites with one
+   forwarder each, a 1-3 stage chain with every stage's instances on a
+   single forwarder (so the packet path is deterministic at forwarder
+   granularity and only the instance *choice* within a stage is a
+   balancer draw), edge in/out, cross-site relay + rx rules. *)
+type shard_bed = {
+  sb_fabric : Fabric.t;
+  sb_shard : Shard.t;
+  sb_rng : Sb_util.Rng.t;
+  sb_check : bool -> unit;
+  sb_sites : int array;
+  sb_fwds : int array;
+  sb_chain_len : int;
+  sb_instances : int array array;
+  sb_ein : int;
+  sb_eout : int;
+  sb_install : int -> unit;
+}
+
+let build_shard_bed ~seed ~store ~lanes =
+  let rng = Sb_util.Rng.create (seed + 17) in
+  let f = Fabric.create ~seed ~flow_store:store () in
+  let sf = Shard.create ~seed ~flow_store:store ~lanes () in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let nsites = 2 + Sb_util.Rng.int rng 3 in
+  let sites =
+    Array.init nsites (fun i ->
+        let a = Fabric.add_site f (string_of_int i) in
+        check (a = Shard.add_site sf (string_of_int i));
+        a)
+  in
+  let fwds =
+    Array.map
+      (fun s ->
+        let a = Fabric.add_forwarder f ~site:s in
+        check (a = Shard.add_forwarder sf ~site:s);
+        a)
+      sites
+  in
+  let chain_len = 1 + Sb_util.Rng.int rng 3 in
+  let vnf_sites = Array.init chain_len (fun _ -> Sb_util.Rng.int rng nsites) in
+  let instances =
+    Array.init chain_len (fun z ->
+        let s = vnf_sites.(z) in
+        Array.init
+          (1 + Sb_util.Rng.int rng 3)
+          (fun _ ->
+            let a =
+              Fabric.add_vnf_instance f ~vnf:(z + 10) ~site:sites.(s)
+                ~forwarder:fwds.(s) ()
+            in
+            check
+              (a
+              = Shard.add_vnf_instance sf ~vnf:(z + 10) ~site:sites.(s)
+                  ~forwarder:fwds.(s) ());
+            a))
+  in
+  let in_site = Sb_util.Rng.int rng nsites in
+  let out_site = Sb_util.Rng.int rng nsites in
+  let ein = Fabric.add_edge f ~site:sites.(in_site) ~forwarder:fwds.(in_site) in
+  check (ein = Shard.add_edge sf ~site:sites.(in_site) ~forwarder:fwds.(in_site));
+  let eout = Fabric.add_edge f ~site:sites.(out_site) ~forwarder:fwds.(out_site) in
+  check (eout = Shard.add_edge sf ~site:sites.(out_site) ~forwarder:fwds.(out_site));
+  let fwd_of_element z = if z = 0 then fwds.(in_site) else fwds.(vnf_sites.(z - 1)) in
+  let stage_targets z =
+    if z = chain_len then [ (Fabric.Edge eout, 1.) ]
+    else
+      Array.to_list
+        (Array.map
+           (fun i -> (Fabric.Vnf_instance i, 0.25 +. Sb_util.Rng.float rng 2.))
+           instances.(z))
+  in
+  let install z =
+    let sender = fwd_of_element z in
+    let dest_fwd = if z = chain_len then fwds.(out_site) else fwds.(vnf_sites.(z)) in
+    (* One draw, applied to both implementations. *)
+    let local_rule = stage_targets z in
+    let put fwd rule =
+      Fabric.install_rule f ~forwarder:fwd ~chain_label:1 ~egress_label:2 ~stage:z rule;
+      Shard.install_rule sf ~forwarder:fwd ~chain_label:1 ~egress_label:2 ~stage:z rule
+    in
+    if sender = dest_fwd then put sender local_rule
+    else begin
+      put sender [ (Fabric.Forwarder dest_fwd, 1.) ];
+      put dest_fwd local_rule;
+      Fabric.install_rx_rule f ~forwarder:dest_fwd ~chain_label:1 ~egress_label:2
+        ~stage:z local_rule;
+      Shard.install_rx_rule sf ~forwarder:dest_fwd ~chain_label:1 ~egress_label:2
+        ~stage:z local_rule
+    end
+  in
+  for z = 0 to chain_len do
+    install z
+  done;
+  ( {
+      sb_fabric = f;
+      sb_shard = sf;
+      sb_rng = rng;
+      sb_check = check;
+      sb_sites = sites;
+      sb_fwds = fwds;
+      sb_chain_len = chain_len;
+      sb_instances = instances;
+      sb_ein = ein;
+      sb_eout = eout;
+      sb_install = install;
+    },
+    ok )
+
+(* Final-state observables that are balancer-draw-insensitive in this
+   testbed: per-forwarder flow-table entry counts (paths are deterministic
+   at forwarder granularity), published weights, rules, and the per-stage
+   packet/byte counters globally and per site. *)
+let check_shard_final_state bed =
+  let f = bed.sb_fabric and sf = bed.sb_shard and check = bed.sb_check in
+  Array.iter
+    (fun fwd ->
+      check (Fabric.flow_table_size f ~forwarder:fwd = Shard.flow_table_size sf ~forwarder:fwd);
+      let sc, _, _ = Shard.flow_table_stats sf ~forwarder:fwd in
+      check (sc = Shard.flow_table_size sf ~forwarder:fwd);
+      check (Fabric.attached_instances f ~forwarder:fwd = Shard.attached_instances sf ~forwarder:fwd);
+      for z = 0 to bed.sb_chain_len - 1 do
+        let wa = Fabric.forwarder_published_weight f fwd (z + 10) in
+        let wb = Shard.forwarder_published_weight sf fwd (z + 10) in
+        check (Float.abs (wa -. wb) < 1e-9);
+        check
+          (Fabric.rule f ~forwarder:fwd ~chain_label:1 ~egress_label:2 ~stage:z
+          = Shard.rule sf ~forwarder:fwd ~chain_label:1 ~egress_label:2 ~stage:z)
+      done)
+    bed.sb_fwds;
+  for z = 0 to bed.sb_chain_len do
+    check
+      (Fabric.stage_counters f ~chain_label:1 ~egress_label:2 ~stage:z
+      = Shard.stage_counters sf ~chain_label:1 ~egress_label:2 ~stage:z);
+    Array.iter
+      (fun s ->
+        check
+          (Fabric.site_stage_counters f ~site:s ~chain_label:1 ~egress_label:2 ~stage:z
+          = Shard.site_stage_counters sf ~site:s ~chain_label:1 ~egress_label:2 ~stage:z))
+      bed.sb_sites
+  done
+
+(* qcheck (lane-count transparency, exact half): a 1-lane shard IS the
+   packed plane driven inline — same seed, same single RNG stream — so the
+   full fault soup of [prop_packed_plane_equivalence], plus [drive_batch],
+   must match the oracle bit for bit: traces, error payloads, draws and
+   all. *)
+let prop_shard_identity ~name store =
+  QCheck.Test.make ~name ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let bed, ok = build_shard_bed ~seed ~store ~lanes:1 in
+      let f = bed.sb_fabric and sf = bed.sb_shard in
+      let rng = bed.sb_rng and check = bed.sb_check in
+      let pool = Array.init 6 (fun _ -> Packet.random_tuple rng) in
+      let all_insts = Array.concat (Array.to_list bed.sb_instances) in
+      Fun.protect
+        ~finally:(fun () -> Shard.shutdown sf)
+        (fun () ->
+          for _ = 1 to 60 do
+            match Sb_util.Rng.int rng 12 with
+            | 0 | 1 | 2 | 3 | 4 ->
+              let tuple = pool.(Sb_util.Rng.int rng (Array.length pool)) in
+              check
+                (Fabric.send_forward f ~ingress:bed.sb_ein ~chain_label:1 ~egress_label:2
+                   tuple
+                = Shard.send_forward sf ~ingress:bed.sb_ein ~chain_label:1 ~egress_label:2
+                    tuple)
+            | 5 | 6 ->
+              let tuple = pool.(Sb_util.Rng.int rng (Array.length pool)) in
+              check
+                (Fabric.send_reverse f ~egress:bed.sb_eout ~chain_label:1 ~egress_label:2
+                   tuple
+                = Shard.send_reverse sf ~egress:bed.sb_eout ~chain_label:1 ~egress_label:2
+                    tuple)
+            | 7 ->
+              let tuple = pool.(Sb_util.Rng.int rng (Array.length pool)) in
+              Fabric.end_flow f tuple;
+              Shard.end_flow sf tuple
+            | 8 ->
+              let i = all_insts.(Sb_util.Rng.int rng (Array.length all_insts)) in
+              let w = 0.25 +. Sb_util.Rng.float rng 2. in
+              Fabric.set_instance_weight f i w;
+              Shard.set_instance_weight sf i w
+            | 9 -> bed.sb_install (Sb_util.Rng.int rng (bed.sb_chain_len + 1))
+            | 10 ->
+              let fwd = bed.sb_fwds.(Sb_util.Rng.int rng (Array.length bed.sb_fwds)) in
+              if Fabric.forwarder_alive f fwd then begin
+                Fabric.fail_forwarder f fwd;
+                Shard.fail_forwarder sf fwd
+              end
+              else begin
+                Fabric.revive_forwarder f fwd;
+                Shard.revive_forwarder sf fwd
+              end
+            | _ -> (
+              let i = all_insts.(Sb_util.Rng.int rng (Array.length all_insts)) in
+              if Fabric.instance_alive f i then begin
+                Fabric.fail_instance f i;
+                Shard.fail_instance sf i
+              end
+              else begin
+                Fabric.revive_instance f i;
+                Shard.revive_instance sf i
+              end;
+              let z = Sb_util.Rng.int rng bed.sb_chain_len in
+              let zi = bed.sb_instances.(z) in
+              if Array.length zi >= 2 then
+                check
+                  (Fabric.transfer_flows f ~from_instance:zi.(0) ~to_instance:zi.(1)
+                  = Shard.transfer_flows sf ~from_instance:zi.(0) ~to_instance:zi.(1)))
+          done;
+          (* The batch path at 1 lane is an inline [Fabric.drive] loop. *)
+          let batch =
+            Array.init 30 (fun _ -> pool.(Sb_util.Rng.int rng (Array.length pool)))
+          in
+          let oracle =
+            Array.fold_left
+              (fun acc tu ->
+                if
+                  Fabric.drive f ~ingress:bed.sb_ein ~chain_label:1 ~egress_label:2
+                    ~size:100 tu
+                then acc + 1
+                else acc)
+              0 batch
+          in
+          check
+            (oracle
+            = Shard.drive_batch sf ~ingress:bed.sb_ein ~chain_label:1 ~egress_label:2
+                ~size:100 batch);
+          check_shard_final_state bed;
+          !ok))
+
+(* qcheck (lane-count transparency, distributional half): for D in
+   {1, 2, 4} a shard must agree with the single-plane oracle on every
+   draw-insensitive observable — per-flow outcome *kinds*, traversed VNF
+   sequences, per-forwarder table entry counts, and all stage counters —
+   under a soup restricted to draw-insensitive faults: whole-VNF
+   fail/revive (a stage is all-dead or all-live, so any drawn instance
+   gives the same outcome kind) and forwarder fail/revive (paths are
+   forwarder-deterministic here). Per-instance faults would make the
+   outcome depend on which sibling a lane's private RNG drew; the D = 1
+   identity property covers those. *)
+let prop_shard_equivalence ~name store =
+  QCheck.Test.make ~name ~count:12
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun lanes ->
+          let bed, ok = build_shard_bed ~seed ~store ~lanes in
+          let f = bed.sb_fabric and sf = bed.sb_shard in
+          let rng = bed.sb_rng and check = bed.sb_check in
+          let pool = Array.init 6 (fun _ -> Packet.random_tuple rng) in
+          let stage_alive z = Fabric.instance_alive f bed.sb_instances.(z).(0) in
+          let compare_sends a b =
+            match (a, b) with
+            | Ok ta, Ok tb ->
+              check (Fabric.vnfs_in_trace f ta = Shard.vnfs_in_trace sf tb)
+            | Error ea, Error eb -> check (err_kind ea = err_kind eb)
+            | _ -> check false
+          in
+          Fun.protect
+            ~finally:(fun () -> Shard.shutdown sf)
+            (fun () ->
+              for _ = 1 to 60 do
+                match Sb_util.Rng.int rng 12 with
+                | 0 | 1 | 2 | 3 | 4 ->
+                  let tuple = pool.(Sb_util.Rng.int rng (Array.length pool)) in
+                  compare_sends
+                    (Fabric.send_forward f ~ingress:bed.sb_ein ~chain_label:1
+                       ~egress_label:2 tuple)
+                    (Shard.send_forward sf ~ingress:bed.sb_ein ~chain_label:1
+                       ~egress_label:2 tuple)
+                | 5 | 6 ->
+                  let tuple = pool.(Sb_util.Rng.int rng (Array.length pool)) in
+                  compare_sends
+                    (Fabric.send_reverse f ~egress:bed.sb_eout ~chain_label:1
+                       ~egress_label:2 tuple)
+                    (Shard.send_reverse sf ~egress:bed.sb_eout ~chain_label:1
+                       ~egress_label:2 tuple)
+                | 7 ->
+                  let tuple = pool.(Sb_util.Rng.int rng (Array.length pool)) in
+                  Fabric.end_flow f tuple;
+                  Shard.end_flow sf tuple
+                | 8 ->
+                  let z = Sb_util.Rng.int rng bed.sb_chain_len in
+                  let zi = bed.sb_instances.(z) in
+                  let i = zi.(Sb_util.Rng.int rng (Array.length zi)) in
+                  let w = 0.25 +. Sb_util.Rng.float rng 2. in
+                  Fabric.set_instance_weight f i w;
+                  Shard.set_instance_weight sf i w
+                | 9 -> bed.sb_install (Sb_util.Rng.int rng (bed.sb_chain_len + 1))
+                | 10 ->
+                  let fwd = bed.sb_fwds.(Sb_util.Rng.int rng (Array.length bed.sb_fwds)) in
+                  if Fabric.forwarder_alive f fwd then begin
+                    Fabric.fail_forwarder f fwd;
+                    Shard.fail_forwarder sf fwd
+                  end
+                  else begin
+                    Fabric.revive_forwarder f fwd;
+                    Shard.revive_forwarder sf fwd
+                  end
+                | _ ->
+                  (* Whole-VNF toggle: fail or revive every sibling of one
+                     stage together. An OpenNF transfer between siblings is
+                     mirrored but its moved count is not compared — each
+                     lane pinned a different subset of the connections. *)
+                  let z = Sb_util.Rng.int rng bed.sb_chain_len in
+                  let zi = bed.sb_instances.(z) in
+                  let toggle =
+                    if stage_alive z then (Fabric.fail_instance, Shard.fail_instance)
+                    else (Fabric.revive_instance, Shard.revive_instance)
+                  in
+                  Array.iter
+                    (fun i ->
+                      (fst toggle) f i;
+                      (snd toggle) sf i)
+                    zi;
+                  if Array.length zi >= 2 && Sb_util.Rng.int rng 2 = 0 then begin
+                    ignore (Fabric.transfer_flows f ~from_instance:zi.(0) ~to_instance:zi.(1));
+                    ignore (Shard.transfer_flows sf ~from_instance:zi.(0) ~to_instance:zi.(1))
+                  end
+              done;
+              (* Exercise the pool + SPSC handoff path: delivery counts are
+                 draw-insensitive (liveness is whole-stage), so the batch
+                 totals must agree exactly. *)
+              let batch =
+                Array.init 64 (fun _ -> pool.(Sb_util.Rng.int rng (Array.length pool)))
+              in
+              let oracle =
+                Array.fold_left
+                  (fun acc tu ->
+                    if
+                      Fabric.drive f ~ingress:bed.sb_ein ~chain_label:1 ~egress_label:2
+                        ~size:100 tu
+                    then acc + 1
+                    else acc)
+                  0 batch
+              in
+              check
+                (oracle
+                = Shard.drive_batch sf ~ingress:bed.sb_ein ~chain_label:1 ~egress_label:2
+                    ~size:100 batch);
+              check_shard_final_state bed;
+              !ok))
+        [ 1; 2; 4 ])
+
+let prop_shard_identity_local =
+  prop_shard_identity ~name:"1-lane shard == packed plane, bit-exact (Local)" Fabric.Local
+
+let prop_shard_identity_replicated =
+  prop_shard_identity
+    ~name:"1-lane shard == packed plane, bit-exact (Replicated 2)" (Fabric.Replicated 2)
+
+let prop_shard_equivalence_local =
+  prop_shard_equivalence
+    ~name:"sharded fabric == oracle, D in {1,2,4} (Local)" Fabric.Local
+
+let prop_shard_equivalence_replicated =
+  prop_shard_equivalence
+    ~name:"sharded fabric == oracle, D in {1,2,4} (Replicated 2)" (Fabric.Replicated 2)
+
 let () =
   Alcotest.run "sb_dataplane"
     [
@@ -1417,5 +1797,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_balancer_hierarchical_convergence;
           QCheck_alcotest.to_alcotest prop_packed_equivalence_local;
           QCheck_alcotest.to_alcotest prop_packed_equivalence_replicated;
+          QCheck_alcotest.to_alcotest prop_shard_identity_local;
+          QCheck_alcotest.to_alcotest prop_shard_identity_replicated;
+          QCheck_alcotest.to_alcotest prop_shard_equivalence_local;
+          QCheck_alcotest.to_alcotest prop_shard_equivalence_replicated;
         ] );
     ]

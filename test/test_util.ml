@@ -62,6 +62,40 @@ let test_rng_split_independent () =
   done;
   Alcotest.(check bool) "streams diverge" true (!same < 3)
 
+let test_rng_split_stream_deterministic () =
+  (* Stream splitting is a pure function of (parent state, index): the
+     parent is not advanced, and the same index always yields the same
+     child — the lane-seeding contract of the sharded dataplane. *)
+  let p1 = Rng.create 77 and p2 = Rng.create 77 in
+  for i = 0 to 5 do
+    Alcotest.(check int64)
+      (Printf.sprintf "stream %d reproducible" i)
+      (Rng.bits64 (Rng.split ~stream:i p1))
+      (Rng.bits64 (Rng.split ~stream:i p2))
+  done;
+  Alcotest.(check int64) "parent state untouched by stream splits"
+    (Rng.bits64 p1) (Rng.bits64 p2)
+
+let test_rng_split_stream_zero_matches_plain () =
+  (* [split ~stream:0] must equal a plain [split] taken at the same
+     parent state (plain split then advances the parent). *)
+  let a = Rng.create 31 and b = Rng.create 31 in
+  Alcotest.(check int64) "stream 0 == plain split"
+    (Rng.bits64 (Rng.split ~stream:0 a))
+    (Rng.bits64 (Rng.split b))
+
+let test_rng_split_streams_distinct () =
+  let parent = Rng.create 9 in
+  let firsts = List.init 16 (fun i -> Rng.bits64 (Rng.split ~stream:i parent)) in
+  Alcotest.(check int) "16 streams, 16 distinct first draws" 16
+    (List.length (List.sort_uniq compare firsts))
+
+let test_rng_split_stream_rejects_negative () =
+  let parent = Rng.create 1 in
+  Alcotest.check_raises "negative stream"
+    (Invalid_argument "Rng.split: stream must be non-negative") (fun () ->
+      ignore (Rng.split ~stream:(-1) parent))
+
 let test_rng_copy_snapshot () =
   let a = Rng.create 9 in
   ignore (Rng.bits64 a);
@@ -349,6 +383,120 @@ let test_par_parallel_sum_matches () =
   let expect = Array.init n (fun i -> i * i) in
   Alcotest.(check bool) "disjoint writes compose" true (out = expect)
 
+(* ------------------------------- Pool ------------------------------ *)
+
+module Pool = Sb_util.Pool
+
+let test_pool_runs_every_worker () =
+  let p = Pool.create ~workers:4 () in
+  Alcotest.(check int) "size" 4 (Pool.size p);
+  let hits = Array.make 4 0 in
+  (* Disjoint per-worker writes; repeated runs reuse the same domains. *)
+  for _ = 1 to 50 do
+    Pool.run p (fun w -> hits.(w) <- hits.(w) + 1)
+  done;
+  Pool.shutdown p;
+  Array.iteri (fun w c -> Alcotest.(check int) (Printf.sprintf "worker %d" w) 50 c) hits
+
+let test_pool_parallel_work_composes () =
+  let p = Pool.create ~workers:3 () in
+  let n = 9_000 in
+  let out = Array.make n 0 in
+  Pool.run p (fun w ->
+      let chunk = n / 3 in
+      for i = w * chunk to ((w + 1) * chunk) - 1 do
+        out.(i) <- i * i
+      done);
+  Pool.shutdown p;
+  Alcotest.(check bool) "disjoint writes compose" true
+    (out = Array.init n (fun i -> i * i))
+
+let test_pool_propagates_exception () =
+  let p = Pool.create ~workers:2 () in
+  let raised =
+    try
+      Pool.run p (fun w -> if w = 1 then failwith "boom");
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "worker exception re-raised in caller" true raised;
+  (* The pool survives a failed job. *)
+  let ok = ref 0 in
+  let m = Mutex.create () in
+  Pool.run p (fun _ -> Mutex.lock m; incr ok; Mutex.unlock m);
+  Pool.shutdown p;
+  Alcotest.(check int) "usable after failure" 2 !ok
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~workers:2 () in
+  Pool.run p (fun _ -> ());
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+      Pool.run p (fun _ -> ()))
+
+let test_spsc_fifo_order () =
+  let r = Pool.Spsc.create 8 in
+  Alcotest.(check int) "empty pop" (-1) (Pool.Spsc.pop r);
+  for i = 0 to 5 do
+    Alcotest.(check bool) "push accepted" true (Pool.Spsc.push r i)
+  done;
+  Alcotest.(check int) "length" 6 (Pool.Spsc.length r);
+  for i = 0 to 5 do
+    Alcotest.(check int) "FIFO" i (Pool.Spsc.pop r)
+  done;
+  Alcotest.(check int) "drained" (-1) (Pool.Spsc.pop r)
+
+let test_spsc_full_and_reuse () =
+  let r = Pool.Spsc.create 4 in
+  Alcotest.(check int) "capacity as given" 4 (Pool.Spsc.capacity r);
+  for i = 0 to 3 do
+    Alcotest.(check bool) "fills" true (Pool.Spsc.push r (100 + i))
+  done;
+  Alcotest.(check bool) "full rejects" false (Pool.Spsc.push r 999);
+  Alcotest.(check int) "pop head" 100 (Pool.Spsc.pop r);
+  Alcotest.(check bool) "slot freed" true (Pool.Spsc.push r 999);
+  (* Wrap around the ring a few times. *)
+  for i = 0 to 9 do
+    ignore (Pool.Spsc.pop r);
+    ignore (Pool.Spsc.push r i)
+  done;
+  Alcotest.(check int) "still full" 4 (Pool.Spsc.length r)
+
+let test_spsc_rounds_capacity () =
+  Alcotest.(check int) "rounds up to power of two" 8
+    (Pool.Spsc.capacity (Pool.Spsc.create 5));
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Spsc.push: negative value") (fun () ->
+      ignore (Pool.Spsc.push (Pool.Spsc.create 2) (-3)))
+
+let test_spsc_cross_domain_handoff () =
+  (* One producer domain, one consumer domain, every value arrives once
+     and in order — the shard dispatch pattern. *)
+  let r = Pool.Spsc.create 16 in
+  let n = 2_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let got = ref 0 and ok = ref true in
+        while !got < n do
+          let v = Pool.Spsc.pop r in
+          if v >= 0 then begin
+            if v <> !got then ok := false;
+            incr got
+          end
+          else Domain.cpu_relax ()
+        done;
+        !ok)
+  in
+  for i = 0 to n - 1 do
+    while not (Pool.Spsc.push r i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  Alcotest.(check bool) "ordered, no loss, no duplication" true
+    (Domain.join consumer)
+
 (* --------------------------- properties ---------------------------- *)
 
 let prop_heap_matches_sorted =
@@ -409,6 +557,13 @@ let () =
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "float mean" `Quick test_rng_float_mean;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "stream split deterministic" `Quick
+            test_rng_split_stream_deterministic;
+          Alcotest.test_case "stream 0 == plain split" `Quick
+            test_rng_split_stream_zero_matches_plain;
+          Alcotest.test_case "streams distinct" `Quick test_rng_split_streams_distinct;
+          Alcotest.test_case "stream rejects negative" `Quick
+            test_rng_split_stream_rejects_negative;
           Alcotest.test_case "copy snapshot" `Quick test_rng_copy_snapshot;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
@@ -467,6 +622,18 @@ let () =
           Alcotest.test_case "empty range" `Quick test_par_empty_range;
           Alcotest.test_case "default domains" `Quick test_par_default_domains;
           Alcotest.test_case "disjoint writes compose" `Quick test_par_parallel_sum_matches;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs every worker" `Quick test_pool_runs_every_worker;
+          Alcotest.test_case "parallel work composes" `Quick test_pool_parallel_work_composes;
+          Alcotest.test_case "propagates exception" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "spsc FIFO order" `Quick test_spsc_fifo_order;
+          Alcotest.test_case "spsc full/reuse" `Quick test_spsc_full_and_reuse;
+          Alcotest.test_case "spsc capacity rounding" `Quick test_spsc_rounds_capacity;
+          Alcotest.test_case "spsc cross-domain handoff" `Quick
+            test_spsc_cross_domain_handoff;
         ] );
       ( "properties",
         [
