@@ -2123,6 +2123,99 @@ let adapt () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Scenario suite: streaming workloads end to end (BENCH_scenarios)    *)
+(* ------------------------------------------------------------------ *)
+
+module Scenario = Sb_adapt.Scenario
+
+(* The sb_net.Workload matrix (flash crowd, DDoS flood, elephant/mice,
+   regional failover, diurnal drift, combinator overlay) on the shared
+   25-site backbone: closed-loop + oracle control arms for satisfied
+   demand and bus p99, and a streaming flow-churn stress of the packed
+   dataplane for pps and flow-table occupancy. SB_SCENARIOS_SCALE=smoke
+   selects the CI-sized config. Everything except pps is deterministic. *)
+let scenarios () =
+  header "Extension: workload scenario suite (25-site backbone)";
+  let scale =
+    match Sys.getenv_opt "SB_SCENARIOS_SCALE" with
+    | Some "smoke" -> "smoke"
+    | _ -> "full"
+  in
+  let cfg = if scale = "smoke" then Scenario.smoke_config else Scenario.default_config in
+  Printf.printf
+    "config: %s (seed=%d ticks=%d chains=%d window=%d pkts/tick=%d lanes=%d)\n" scale
+    cfg.Scenario.seed cfg.Scenario.ticks cfg.Scenario.num_chains cfg.Scenario.window
+    cfg.Scenario.pkts_per_tick cfg.Scenario.lanes;
+  let results = Scenario.run_matrix ~clock:Unix.gettimeofday cfg in
+  let t =
+    Table.create
+      ~header:
+        [ "scenario"; "pps"; "packets"; "distinct flows"; "peak tab"; "expired";
+          "p99 bus ms"; "satisfied"; "oracle"; "ratio" ]
+  in
+  List.iter
+    (fun m ->
+      Table.add_row t
+        [
+          m.Scenario.m_scenario;
+          Printf.sprintf "%.2fM" (m.Scenario.m_pps /. 1e6);
+          string_of_int m.Scenario.m_packets;
+          string_of_int m.Scenario.m_distinct_flows;
+          string_of_int m.Scenario.m_peak_entries;
+          string_of_int m.Scenario.m_expired;
+          Printf.sprintf "%.2f" m.Scenario.m_p99_latency_ms;
+          Printf.sprintf "%.1f" m.Scenario.m_satisfied;
+          Printf.sprintf "%.1f" m.Scenario.m_oracle;
+          Printf.sprintf "%.3f" m.Scenario.m_ratio;
+        ])
+    results;
+  Table.print t;
+  (match List.find_opt (fun m -> m.Scenario.m_scenario = "ddos") results with
+  | Some m ->
+    Printf.printf "ddos: %d distinct flows through the tables, live window %d, peak %d entries\n"
+      m.Scenario.m_distinct_flows m.Scenario.m_live_flows m.Scenario.m_peak_entries
+  | None -> ());
+  if !json_mode then begin
+    let oc = open_out "BENCH_scenarios.json" in
+    Printf.fprintf oc "{\n  \"params\": {\n";
+    Printf.fprintf oc "    \"scale\": %S,\n    \"seed\": %d,\n    \"ticks\": %d,\n" scale
+      cfg.Scenario.seed cfg.Scenario.ticks;
+    Printf.fprintf oc "    \"epoch_len\": %.2f,\n    \"num_chains\": %d,\n"
+      cfg.Scenario.epoch_len cfg.Scenario.num_chains;
+    Printf.fprintf oc "    \"window\": %d,\n    \"pkts_per_tick\": %d,\n"
+      cfg.Scenario.window cfg.Scenario.pkts_per_tick;
+    Printf.fprintf oc "    \"lanes\": %d,\n    \"idle_ticks\": %d,\n"
+      cfg.Scenario.lanes cfg.Scenario.idle_ticks;
+    Printf.fprintf oc "    \"sites\": 25\n  },\n";
+    Printf.fprintf oc "  \"scenarios\": {\n";
+    let n = List.length results in
+    List.iteri
+      (fun i m ->
+        Printf.fprintf oc "    %S: {\n" m.Scenario.m_scenario;
+        Printf.fprintf oc "      \"pps\": %.0f,\n" m.Scenario.m_pps;
+        Printf.fprintf oc "      \"wall_s\": %.3f,\n" m.Scenario.m_wall;
+        Printf.fprintf oc "      \"packets\": %d,\n" m.Scenario.m_packets;
+        Printf.fprintf oc "      \"delivered\": %d,\n" m.Scenario.m_delivered;
+        Printf.fprintf oc "      \"distinct_flows\": %d,\n" m.Scenario.m_distinct_flows;
+        Printf.fprintf oc "      \"live_flows\": %d,\n" m.Scenario.m_live_flows;
+        Printf.fprintf oc "      \"peak_flow_entries\": %d,\n" m.Scenario.m_peak_entries;
+        Printf.fprintf oc "      \"final_flow_entries\": %d,\n" m.Scenario.m_final_entries;
+        Printf.fprintf oc "      \"expired\": %d,\n" m.Scenario.m_expired;
+        Printf.fprintf oc "      \"unroutable\": %d,\n" m.Scenario.m_unroutable;
+        Printf.fprintf oc "      \"p99_bus_latency_ms\": %.4f,\n"
+          m.Scenario.m_p99_latency_ms;
+        Printf.fprintf oc "      \"bus_delivered\": %d,\n" m.Scenario.m_bus_delivered;
+        Printf.fprintf oc "      \"satisfied\": %.4f,\n" m.Scenario.m_satisfied;
+        Printf.fprintf oc "      \"oracle\": %.4f,\n" m.Scenario.m_oracle;
+        Printf.fprintf oc "      \"satisfied_over_oracle\": %.4f\n" m.Scenario.m_ratio;
+        Printf.fprintf oc "    }%s\n" (if i = n - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  }\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_scenarios.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2145,6 +2238,7 @@ let experiments =
     ("failures", failures);
     ("timevar", timevar);
     ("adapt", adapt);
+    ("scenarios", scenarios);
     ("ablation", ablation);
     ("scale", scale);
     ("micro", micro);

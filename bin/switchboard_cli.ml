@@ -416,6 +416,101 @@ let chaos_cmd =
           bit-identically.")
     term
 
+(* ---------------------------- scenarios ---------------------------- *)
+
+let scenarios_cmd =
+  let module Scenario = Sb_adapt.Scenario in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Start from the CI-sized smoke config instead of the full-scale one.")
+  in
+  let ticks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ticks" ] ~docv:"N" ~doc:"Scenario horizon in control epochs.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N" ~doc:"Total concurrently-live flows.")
+  in
+  let pkts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pkts" ] ~docv:"N" ~doc:"Sustained packets per tick.")
+  in
+  let lanes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lanes" ] ~docv:"D" ~doc:"Dataplane shard lanes.")
+  in
+  let num_chains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chains" ] ~docv:"N" ~doc:"Service chains (= workload keys).")
+  in
+  let names =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Run only this scenario (repeatable); default: the whole catalog.")
+  in
+  let run seed smoke ticks window pkts lanes num_chains names =
+    let base = if smoke then Scenario.smoke_config else Scenario.default_config in
+    let cfg =
+      {
+        base with
+        Scenario.seed;
+        ticks = Option.value ~default:base.Scenario.ticks ticks;
+        window = Option.value ~default:base.Scenario.window window;
+        pkts_per_tick = Option.value ~default:base.Scenario.pkts_per_tick pkts;
+        lanes = Option.value ~default:base.Scenario.lanes lanes;
+        num_chains = Option.value ~default:base.Scenario.num_chains num_chains;
+      }
+    in
+    let unknown =
+      List.filter (fun n -> not (List.mem n Scenario.scenario_names)) names
+    in
+    if unknown <> [] then begin
+      Format.eprintf "scenarios: unknown scenario(s): %s (known: %s)@."
+        (String.concat ", " unknown)
+        (String.concat ", " Scenario.scenario_names);
+      1
+    end
+    else begin
+      (* Deterministic output only (no wall clock), so CI can run this
+         twice and diff byte-for-byte. *)
+      let results =
+        Scenario.run_matrix ?names:(if names = [] then None else Some names) cfg
+      in
+      Format.printf
+        "scenarios: seed=%d ticks=%d chains=%d window=%d pkts/tick=%d lanes=%d@."
+        cfg.Scenario.seed cfg.Scenario.ticks cfg.Scenario.num_chains
+        cfg.Scenario.window cfg.Scenario.pkts_per_tick cfg.Scenario.lanes;
+      List.iter (fun m -> Format.printf "%a@." Scenario.pp_metrics m) results;
+      0
+    end
+  in
+  let term =
+    Term.(const run $ seed $ smoke $ ticks $ window $ pkts $ lanes $ num_chains $ names)
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:
+         "Run the workload scenario suite (flash crowd, DDoS flood, elephant/mice, \
+          regional failover, diurnal drift, combinator overlay) end to end on the \
+          25-site backbone: closed-loop + oracle control arms and a streaming \
+          flow-churn stress of the packed dataplane. Deterministic: same seed, same \
+          output.")
+    term
+
 let () =
   let info =
     Cmd.info "switchboard_cli" ~version:"1.0"
@@ -424,4 +519,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ route_cmd; compare_cmd; adapt_cmd; plan_cloud_cmd; plan_vnf_cmd; chaos_cmd ]))
+          [
+            route_cmd;
+            compare_cmd;
+            adapt_cmd;
+            plan_cloud_cmd;
+            plan_vnf_cmd;
+            chaos_cmd;
+            scenarios_cmd;
+          ]))

@@ -1,0 +1,414 @@
+module Rng = Sb_util.Rng
+module Model = Sb_core.Model
+module W = Sb_net.Workload
+module Schedule = Sb_chaos.Schedule
+module Tg = Sb_dataplane.Traffic_gen
+module Shard = Sb_dataplane.Shard
+
+type config = {
+  seed : int;
+  ticks : int;
+  epoch_len : float;
+  num_chains : int;
+  window : int;
+  pkts_per_tick : int;
+  lanes : int;
+  idle_ticks : int;
+}
+
+let default_config =
+  {
+    seed = 7;
+    ticks = 16;
+    epoch_len = 1.0;
+    num_chains = 40;
+    window = 160_000;
+    pkts_per_tick = 120_000;
+    lanes = 1;
+    idle_ticks = 2;
+  }
+
+let smoke_config =
+  {
+    seed = 7;
+    ticks = 8;
+    epoch_len = 1.0;
+    num_chains = 16;
+    window = 4_096;
+    pkts_per_tick = 20_000;
+    lanes = 1;
+    idle_ticks = 2;
+  }
+
+type metrics = {
+  m_scenario : string;
+  m_packets : int;
+  m_delivered : int;
+  m_distinct_flows : int;
+  m_live_flows : int;
+  m_peak_entries : int;
+  m_final_entries : int;
+  m_expired : int;
+  m_unroutable : int;
+  m_p99_latency_ms : float;
+  m_bus_delivered : int;
+  m_satisfied : float;
+  m_oracle : float;
+  m_ratio : float;
+  m_wall : float;
+  m_pps : float;
+}
+
+let backbone25 cfg =
+  let rng = Rng.create cfg.seed in
+  let topo = Sb_net.Topology.backbone ~rng ~num_core:5 ~pops_per_core:4 () in
+  let model =
+    Sb_core.Workload.synthesize ~rng topo
+      { Sb_core.Workload.default with num_chains = cfg.num_chains }
+  in
+  Model.with_scaled_traffic model 0.75
+
+(* ------------------------- scenario catalog -------------------------- *)
+
+let regions = 5
+
+(* Demand and faults built in lockstep: the sites taken out by the outage
+   are the ingress sites of exactly the chains (key mod regions =
+   fail_region) whose demand the workload zeroes — the users of the dark
+   region reconnect through chains homed elsewhere. *)
+let failover_parts cfg model =
+  let keys = cfg.num_chains and ticks = cfg.ticks in
+  let fail_region = Rng.int (Rng.split ~stream:11 (Rng.create cfg.seed)) regions in
+  let fail_at = ticks / 3 in
+  let w =
+    W.regional_failover ~seed:cfg.seed ~ticks ~keys ~regions ~fail_region ~fail_at ()
+  in
+  let nodes =
+    List.init keys Fun.id
+    |> List.filter_map (fun c ->
+           if c mod regions = fail_region then Some (Model.chain_ingress model c)
+           else None)
+    |> List.sort_uniq compare
+  in
+  let sites = List.filter_map (Model.site_of_node model) nodes in
+  let horizon = float_of_int ticks *. cfg.epoch_len in
+  let sched =
+    Schedule.regional_outage ~seed:cfg.seed ~num_sites:(Model.num_sites model)
+      ~horizon ~sites
+      ~start:(float_of_int fail_at *. cfg.epoch_len)
+      ~stop:horizon
+  in
+  (w, Some sched)
+
+let catalog cfg model =
+  let seed = cfg.seed and ticks = cfg.ticks and keys = cfg.num_chains in
+  let failover, outage = failover_parts cfg model in
+  let half = ticks / 2 in
+  let diurnal = W.diurnal ~seed ~ticks ~keys ~period:ticks () in
+  [
+    ("flash_crowd", W.flash_crowd ~seed ~ticks ~keys (), None);
+    ( "ddos",
+      W.ddos ~seed ~ticks ~keys
+        ~targets:(max 1 (keys / 8))
+        ~magnitude:30.
+        ~start:(ticks / 4)
+        ~stop:(ticks - (ticks / 4))
+        (),
+      None );
+    ("elephant_mice", W.elephant_mice ~seed ~ticks ~keys (), None);
+    ("regional_failover", failover, outage);
+    ("diurnal_drift", diurnal, None);
+    ( "diurnal_flash_overlay",
+      W.overlay diurnal
+        (W.shift half
+           (W.scale 0.5 (W.flash_crowd ~seed:(seed + 1) ~ticks:(ticks - half) ~keys ()))),
+      None );
+  ]
+
+let scenario_names =
+  [
+    "flash_crowd";
+    "ddos";
+    "elephant_mice";
+    "regional_failover";
+    "diurnal_drift";
+    "diurnal_flash_overlay";
+  ]
+
+(* --------------------------- control side ---------------------------- *)
+
+let percentile p xs =
+  match xs with
+  | [] -> 0.
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (max 0 (int_of_float (p *. float_of_int (n - 1)))))
+
+(* Site outages as the closed loop sees them: every link incident to the
+   site's node fails at the outage's start epoch ([Loop]'s failure model
+   is cumulative, matching the no-recovery outage windows the catalog
+   builds). *)
+let failures_of_schedule cfg model sched =
+  let topo = Model.topology model in
+  let links_at node =
+    Sb_net.Topology.links topo |> Array.to_list
+    |> List.filter_map (fun (l : Sb_net.Topology.link) ->
+           if l.src = node || l.dst = node then Some l.id else None)
+  in
+  let by_epoch = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Schedule.Site_outage { site; start; _ } ->
+        let epoch =
+          max 0 (min (cfg.ticks - 1) (int_of_float (start /. cfg.epoch_len)))
+        in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_epoch epoch) in
+        Hashtbl.replace by_epoch epoch (links_at (Model.site_node model site) @ prev)
+      | _ -> ())
+    sched.Schedule.faults;
+  Hashtbl.fold (fun e ls acc -> (e, List.sort_uniq compare ls) :: acc) by_epoch []
+  |> List.sort compare
+
+let run_control cfg model w faults =
+  let sc_failures =
+    match faults with
+    | None -> []
+    | Some sched -> failures_of_schedule cfg model sched
+  in
+  let sc =
+    {
+      Loop.sc_model = model;
+      sc_epochs = cfg.ticks;
+      sc_epoch_len = cfg.epoch_len;
+      sc_demand = (fun ~epoch ~chain -> W.demand w ~tick:epoch ~key:chain);
+      sc_failures;
+    }
+  in
+  let params = { Loop.default_params with seed = cfg.seed } in
+  let sys = ref None in
+  let closed = Loop.run ~params ~on_system:(fun s -> sys := Some s) sc Loop.Closed_loop in
+  let oracle = Loop.run ~params sc Loop.Oracle in
+  let mean r =
+    let eps = r.Loop.epochs in
+    List.fold_left (fun a e -> a +. e.Loop.ep_supported) 0. eps
+    /. float_of_int (max 1 (List.length eps))
+  in
+  let p99, bus_delivered =
+    match !sys with
+    | None -> (0., 0)
+    | Some s ->
+      let st = Sb_msgbus.Bus.stats (Sb_ctrl.System.bus s) in
+      (1000. *. percentile 0.99 st.Sb_msgbus.Bus.latencies, st.Sb_msgbus.Bus.delivered)
+  in
+  (mean closed, mean oracle, p99, bus_delivered)
+
+(* -------------------------- dataplane side --------------------------- *)
+
+type fabric = {
+  fb_shard : Shard.t;
+  fb_fwd : int array;  (* forwarder id per model site *)
+  fb_entry : (int * int * int) option array;
+      (* per chain: (ingress edge, chain label, egress label) *)
+}
+
+(* Stress fabric from the model's SB-DP routes: one forwarder + edge per
+   site, each chain's highest-weight decomposed path installed stage by
+   stage (same-site hops target the instance/edge directly; cross-site
+   hops relay through the destination forwarder with an rx rule). The
+   fabric stays on these routes for the whole run — it is the
+   flow-table stress rig, not a mirror of the closed loop's re-routing. *)
+let build_fabric cfg model =
+  let routing = Sb_core.Dp_routing.solve model in
+  let shard = Shard.create ~seed:cfg.seed ~lanes:cfg.lanes () in
+  let nsites = Model.num_sites model in
+  let site =
+    Array.init nsites (fun s -> Shard.add_site shard (Printf.sprintf "site%d" s))
+  in
+  let fwd = Array.map (fun s -> Shard.add_forwarder shard ~site:s) site in
+  let edge = Array.init nsites (fun s -> Shard.add_edge shard ~site:site.(s) ~forwarder:fwd.(s)) in
+  let insts = Hashtbl.create 64 in
+  let inst_at vnf s =
+    match Hashtbl.find_opt insts (vnf, s) with
+    | Some id -> id
+    | None ->
+      let id = Shard.add_vnf_instance shard ~vnf ~site:site.(s) ~forwarder:fwd.(s) () in
+      Hashtbl.add insts (vnf, s) id;
+      id
+  in
+  let site_of_node nd =
+    match Model.site_of_node model nd with
+    | Some s -> s
+    | None -> invalid_arg "Scenario.build_fabric: route visits a siteless node"
+  in
+  let n = Model.num_chains model in
+  let entry = Array.make n None in
+  for c = 0 to n - 1 do
+    match Sb_core.Routing.decompose_paths routing ~chain:c with
+    | [] -> ()
+    | paths ->
+      let nodes, _ =
+        List.fold_left
+          (fun (bn, bw) (nd, w) -> if w > bw then (nd, w) else (bn, bw))
+          ([||], -1.) paths
+      in
+      let sites_of = Array.map site_of_node nodes in
+      let vnfs = Model.chain_vnfs model c in
+      let len = Array.length nodes in
+      let egress_label = sites_of.(len - 1) in
+      let chain_label = c + 1 in
+      for z = 0 to len - 2 do
+        let src = sites_of.(z) and dst = sites_of.(z + 1) in
+        let targets =
+          if z = len - 2 then [ (Shard.Edge edge.(egress_label), 1.0) ]
+          else [ (Shard.Vnf_instance (inst_at vnfs.(z) dst), 1.0) ]
+        in
+        if src = dst then
+          Shard.install_rule shard ~forwarder:fwd.(src) ~chain_label ~egress_label
+            ~stage:z targets
+        else begin
+          Shard.install_rule shard ~forwarder:fwd.(src) ~chain_label ~egress_label
+            ~stage:z
+            [ (Shard.Forwarder fwd.(dst), 1.0) ];
+          Shard.install_rx_rule shard ~forwarder:fwd.(dst) ~chain_label ~egress_label
+            ~stage:z targets
+        end
+      done;
+      entry.(c) <- Some (edge.(sites_of.(0)), chain_label, egress_label)
+  done;
+  { fb_shard = shard; fb_fwd = fwd; fb_entry = entry }
+
+let total_entries shard fwds =
+  Array.fold_left
+    (fun acc f ->
+      let count, _, _ = Shard.flow_table_stats shard ~forwarder:f in
+      acc + count)
+    0 fwds
+
+let apply_faults fab ~time = function
+  | None -> ()
+  | Some sched ->
+    List.iter
+      (function
+        | Schedule.Site_outage { site; start; stop } ->
+          let down = time >= start && time < stop in
+          let f = fab.fb_fwd.(site) in
+          if down && Shard.forwarder_alive fab.fb_shard f then
+            Shard.fail_forwarder fab.fb_shard f
+          else if (not down) && not (Shard.forwarder_alive fab.fb_shard f) then
+            Shard.revive_forwarder fab.fb_shard f
+        | _ -> ())
+      sched.Schedule.faults
+
+let run_dataplane ~clock cfg model w faults =
+  let fab = build_fabric cfg model in
+  let shard = fab.fb_shard in
+  let n = Model.num_chains model in
+  let per_chain_window = max 1 (cfg.window / max 1 n) in
+  let gens =
+    Array.init n (fun c ->
+        Tg.create_stream ~seed:(cfg.seed + (1_000_003 * (c + 1))) ~window:per_chain_window ())
+  in
+  let dem = Array.make n 0. in
+  let packets = ref 0 and delivered = ref 0 and expired = ref 0 and peak = ref 0 in
+  let t0 = clock () in
+  for e = 0 to cfg.ticks - 1 do
+    apply_faults fab ~time:(float_of_int e *. cfg.epoch_len) faults;
+    Shard.set_clock shard e;
+    W.demand_into w ~tick:e dem;
+    let tot = Array.fold_left ( +. ) 0. dem in
+    let churn_rate = W.churn w ~tick:e in
+    for c = 0 to n - 1 do
+      match fab.fb_entry.(c) with
+      | None -> ()
+      | Some (ingress, chain_label, egress_label) when dem.(c) > 0. ->
+        let g = gens.(c) in
+        (* Flow turnover first: every fresh flow sends its first packet,
+           so the distinct-flow count the generator reports is exactly
+           the set the flow tables absorbed. *)
+        let turnover =
+          int_of_float (Float.round (churn_rate *. float_of_int (Tg.live_flows g)))
+        in
+        Tg.churn g
+          ~opened:(fun tp ->
+            incr packets;
+            if Shard.drive shard ~ingress ~chain_label ~egress_label ~size:64 tp then
+              incr delivered)
+          turnover;
+        (* Then the tick's sustained traffic, split by demand share. *)
+        let npkts =
+          if tot <= 0. then 0
+          else
+            int_of_float
+              (Float.round (dem.(c) /. tot *. float_of_int cfg.pkts_per_tick))
+        in
+        for _ = 1 to npkts do
+          let tp, size = Tg.next g in
+          incr packets;
+          if Shard.drive shard ~ingress ~chain_label ~egress_label ~size tp then
+            incr delivered
+        done
+      | Some _ -> ()
+    done;
+    if e >= cfg.idle_ticks then
+      expired := !expired + Shard.expire_flows shard ~idle_before:(e - cfg.idle_ticks + 1);
+    let occ = total_entries shard fab.fb_fwd in
+    if occ > !peak then peak := occ
+  done;
+  let wall = clock () -. t0 in
+  let final_entries = total_entries shard fab.fb_fwd in
+  Shard.shutdown shard;
+  let unroutable =
+    Array.fold_left (fun a e -> if e = None then a + 1 else a) 0 fab.fb_entry
+  in
+  let distinct = Array.fold_left (fun a g -> a + Tg.distinct_flows g) 0 gens in
+  let live = Array.fold_left (fun a g -> a + Tg.live_flows g) 0 gens in
+  (!packets, !delivered, distinct, live, !peak, final_entries, !expired, unroutable, wall)
+
+(* ------------------------------ matrix ------------------------------- *)
+
+let run_one ?(clock = fun () -> 0.) cfg model (name, w, faults) =
+  let packets, delivered, distinct, live, peak, final, expired, unroutable, wall =
+    run_dataplane ~clock cfg model w faults
+  in
+  let satisfied, oracle, p99, bus_delivered = run_control cfg model w faults in
+  {
+    m_scenario = name;
+    m_packets = packets;
+    m_delivered = delivered;
+    m_distinct_flows = distinct;
+    m_live_flows = live;
+    m_peak_entries = peak;
+    m_final_entries = final;
+    m_expired = expired;
+    m_unroutable = unroutable;
+    m_p99_latency_ms = p99;
+    m_bus_delivered = bus_delivered;
+    m_satisfied = satisfied;
+    m_oracle = oracle;
+    m_ratio = (if oracle > 0. then satisfied /. oracle else 1.);
+    m_wall = wall;
+    m_pps = (if wall > 0. then float_of_int packets /. wall else 0.);
+  }
+
+let run_matrix ?clock ?names cfg =
+  let model = backbone25 cfg in
+  let entries = catalog cfg model in
+  let entries =
+    match names with
+    | None -> entries
+    | Some wanted -> List.filter (fun (n, _, _) -> List.mem n wanted) entries
+  in
+  List.map (run_one ?clock cfg model) entries
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "@[<v>%s:@,\
+    \  dataplane: packets=%d delivered=%d distinct_flows=%d live_flows=%d@,\
+    \  flow_tables: peak_entries=%d final_entries=%d expired=%d unroutable=%d@,\
+    \  control: p99_bus_ms=%.3f bus_delivered=%d satisfied=%.4f oracle=%.4f \
+     ratio=%.4f@]"
+    m.m_scenario m.m_packets m.m_delivered m.m_distinct_flows m.m_live_flows
+    m.m_peak_entries m.m_final_entries m.m_expired m.m_unroutable m.m_p99_latency_ms
+    m.m_bus_delivered m.m_satisfied m.m_oracle m.m_ratio

@@ -1,0 +1,106 @@
+(** The scenario suite: [Sb_net.Workload] demand processes driven
+    end-to-end through both halves of the system on one 25-site
+    backbone.
+
+    Each scenario pairs a workload (and, for regional failover, an
+    [Sb_chaos.Schedule] fault process built in lockstep) with two
+    measurements:
+
+    - {e control}: the {!Loop} closed loop and oracle arms run over the
+      scenario's per-epoch demand factors and link failures; the bus's
+      latency reservoir gives the control-plane p99 and the mean
+      satisfied demand of each arm gives the satisfied-vs-oracle ratio.
+    - {e dataplane}: a standalone packed/sharded fabric
+      ({!Sb_dataplane.Shard}) is built from the model's SB-DP routes and
+      stressed with streaming {!Sb_dataplane.Traffic_gen} flows — per
+      tick, demand-proportional packets plus churn-driven flow turnover
+      (every fresh flow sends its first packet, the short-flow-flood
+      pattern), followed by an idle-flow expiry sweep. The DDoS scenario
+      cycles over a million distinct flows through the tables this way
+      while the live window — and so the table occupancy — stays
+      bounded.
+
+    Everything except wall-clock throughput is a pure function of the
+    config: two runs with the same config produce bit-identical
+    metrics. *)
+
+type config = {
+  seed : int;
+  ticks : int;  (** scenario horizon; one tick = one control epoch *)
+  epoch_len : float;  (** seconds of simulated time per tick *)
+  num_chains : int;  (** workload keys = model chains *)
+  window : int;
+      (** total concurrently-live flows across all chains (split evenly);
+          the constant-memory bound the streaming generators enforce *)
+  pkts_per_tick : int;  (** sustained packets per tick, split by demand *)
+  lanes : int;  (** dataplane shard lanes *)
+  idle_ticks : int;
+      (** a flow-table entry not refreshed for this many ticks is swept
+          by {!Sb_dataplane.Shard.expire_flows} *)
+}
+
+val default_config : config
+(** Full-scale matrix: 16 ticks, 40 chains, a 160 k live-flow window and
+    120 k packets/tick — sized so the DDoS scenario churns over a
+    million distinct flows through the flow tables. *)
+
+val smoke_config : config
+(** CI-sized: same shape, seconds of runtime (8 ticks, 16 chains, 4 096
+    live flows, 20 k packets/tick). *)
+
+type metrics = {
+  m_scenario : string;
+  m_packets : int;  (** packets offered to the stress fabric *)
+  m_delivered : int;  (** packets that reached an egress edge *)
+  m_distinct_flows : int;  (** distinct flows opened (and driven) *)
+  m_live_flows : int;  (** live window at end of run *)
+  m_peak_entries : int;  (** peak flow-table entries across all forwarders *)
+  m_final_entries : int;  (** entries left after the last expiry sweep *)
+  m_expired : int;  (** idle connections evicted over the run *)
+  m_unroutable : int;  (** chains SB-DP could not route (no fabric entry) *)
+  m_p99_latency_ms : float;
+      (** p99 simulated publish-to-deliver latency of the closed loop's
+          bus traffic, from the {!Sb_msgbus.Bus} reservoir *)
+  m_bus_delivered : int;
+  m_satisfied : float;  (** mean per-epoch satisfied demand, closed loop *)
+  m_oracle : float;  (** same, oracle arm *)
+  m_ratio : float;  (** satisfied / oracle (1.0 when oracle is 0) *)
+  m_wall : float;  (** dataplane wall-clock seconds (0 without [clock]) *)
+  m_pps : float;  (** packets / wall (0 without [clock]) *)
+}
+
+val backbone25 : config -> Sb_core.Model.t
+(** The suite's shared substrate: a 25-node two-tier backbone (5 core
+    routers, 4 PoPs each) with a synthesized Switchboard workload of
+    [num_chains] chains, traffic scaled to 0.75 so the base demand is
+    feasible and scenarios create the stress. Pure in [config.seed]. *)
+
+val catalog :
+  config ->
+  Sb_core.Model.t ->
+  (string * Sb_net.Workload.t * Sb_chaos.Schedule.t option) list
+(** The scenario matrix: [flash_crowd], [ddos], [elephant_mice],
+    [regional_failover] (with its aligned {!Sb_chaos.Schedule} — the
+    sites that go dark are the ingress sites of exactly the chains whose
+    demand the workload zeroes), [diurnal_drift], and
+    [diurnal_flash_overlay] (a combinator composition: a half-scale
+    flash crowd shifted into the back half of a diurnal day). *)
+
+val scenario_names : string list
+
+val run_one :
+  ?clock:(unit -> float) ->
+  config ->
+  Sb_core.Model.t ->
+  string * Sb_net.Workload.t * Sb_chaos.Schedule.t option ->
+  metrics
+(** Run one catalog entry end to end. [clock] (e.g.
+    [Unix.gettimeofday]) enables the wall-clock fields; without it they
+    are 0 and the result is fully deterministic. *)
+
+val run_matrix : ?clock:(unit -> float) -> ?names:string list -> config -> metrics list
+(** Build the backbone once and run the (optionally filtered) catalog. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit
+(** Deterministic fields only (no wall clock / pps) — the form the CLI
+    prints so CI can diff two runs byte-for-byte. *)

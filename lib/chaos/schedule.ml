@@ -83,6 +83,77 @@ let generate ~seed ~horizon ~num_sites =
   done;
   { seed; horizon; num_sites; faults = List.rev !faults }
 
+(* ------------------------ composition ------------------------------- *)
+
+let shift_fault d = function
+  | Link_flap r -> Link_flap { r with start = r.start +. d; stop = r.stop +. d }
+  | Site_outage r -> Site_outage { r with start = r.start +. d; stop = r.stop +. d }
+  | Forwarder_crash r ->
+    Forwarder_crash { r with start = r.start +. d; stop = r.stop +. d }
+  | Bus_loss r -> Bus_loss { r with start = r.start +. d; stop = r.stop +. d }
+  | Bus_delay r -> Bus_delay { r with start = r.start +. d; stop = r.stop +. d }
+  | Telemetry_drop r ->
+    Telemetry_drop { r with start = r.start +. d; stop = r.stop +. d }
+  | Gsb_failover r -> Gsb_failover { start = r.start +. d; stop = r.stop +. d }
+
+let stretch_fault c = function
+  | Link_flap r -> Link_flap { r with start = c *. r.start; stop = c *. r.stop }
+  | Site_outage r -> Site_outage { r with start = c *. r.start; stop = c *. r.stop }
+  | Forwarder_crash r ->
+    Forwarder_crash { r with start = c *. r.start; stop = c *. r.stop }
+  | Bus_loss r -> Bus_loss { r with start = c *. r.start; stop = c *. r.stop }
+  | Bus_delay r -> Bus_delay { r with start = c *. r.start; stop = c *. r.stop }
+  | Telemetry_drop r ->
+    Telemetry_drop { r with start = c *. r.start; stop = c *. r.stop }
+  | Gsb_failover r -> Gsb_failover { start = c *. r.start; stop = c *. r.stop }
+
+let of_faults ~seed ~horizon ~num_sites faults =
+  if horizon <= 0. then invalid_arg "Schedule.of_faults: non-positive horizon";
+  if num_sites <= 0 then invalid_arg "Schedule.of_faults: non-positive num_sites";
+  List.iter
+    (fun f ->
+      let start, stop = window f in
+      if start < 0. || stop < start then
+        invalid_arg "Schedule.of_faults: bad fault window")
+    faults;
+  { seed; horizon; num_sites; faults }
+
+let overlay a b =
+  if a.num_sites <> b.num_sites then
+    invalid_arg "Schedule.overlay: operands disagree on num_sites";
+  {
+    seed = a.seed;
+    horizon = Float.max a.horizon b.horizon;
+    num_sites = a.num_sites;
+    faults = a.faults @ b.faults;
+  }
+
+let shift d t =
+  if d < 0. then invalid_arg "Schedule.shift: negative shift";
+  {
+    t with
+    horizon = t.horizon +. d;
+    faults = List.map (shift_fault d) t.faults;
+  }
+
+let stretch c t =
+  if c <= 0. then invalid_arg "Schedule.stretch: factor must be positive";
+  {
+    t with
+    horizon = c *. t.horizon;
+    faults = List.map (stretch_fault c) t.faults;
+  }
+
+let regional_outage ~seed ~num_sites ~horizon ~sites ~start ~stop =
+  if stop <= start then invalid_arg "Schedule.regional_outage: bad window";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= num_sites then
+        invalid_arg "Schedule.regional_outage: site out of range")
+    sites;
+  of_faults ~seed ~horizon ~num_sites
+    (List.map (fun site -> Site_outage { site; start; stop }) sites)
+
 let pp_fault ppf = function
   | Link_flap { a; b; start; stop } ->
     Format.fprintf ppf "link-flap sites %d<->%d [%.2f, %.2f)" a b start stop

@@ -56,6 +56,44 @@ val generate : seed:int -> horizon:float -> num_sites:int -> t
 (** A random schedule of 2–6 faults with windows inside
     [\[0.05, 0.85) * horizon]. Pure function of the arguments. *)
 
+(** {2 Composition}
+
+    The same combinator vocabulary as [Sb_net.Workload], so a scenario's
+    demand process and its fault process are built (and scaled down for
+    smoke runs) in lockstep. The generated-schedule guarantee that death
+    windows stay disjoint is {!generate}'s property, not the type's:
+    composed schedules are the caller's responsibility (check with
+    {!is_death} / {!overlaps} if the harness invariants need it). *)
+
+val of_faults : seed:int -> horizon:float -> num_sites:int -> fault list -> t
+(** Wrap an explicit fault list. Raises [Invalid_argument] on a
+    non-positive horizon/site count or a fault window with [stop < start]
+    or negative [start]. *)
+
+val overlay : t -> t -> t
+(** Union of the fault sets (same [num_sites] required; horizon is the
+    max; the left seed is kept). *)
+
+val shift : float -> t -> t
+(** Delay every fault window by [d >= 0] seconds; the horizon grows by
+    [d]. *)
+
+val stretch : float -> t -> t
+(** Scale every window and the horizon by a positive factor — how a
+    CI-sized smoke matrix reuses a full-scale schedule. *)
+
+val regional_outage :
+  seed:int ->
+  num_sites:int ->
+  horizon:float ->
+  sites:int list ->
+  start:float ->
+  stop:float ->
+  t
+(** One {!Site_outage} per listed site over [\[start, stop)] — the fault
+    half of a regional-failover scenario (the demand half is
+    [Sb_net.Workload.regional_failover]). *)
+
 val shrink : t -> t list
 (** Smaller candidate schedules, most aggressive first: each fault
     dropped, then each window halved, then each probability halved. The

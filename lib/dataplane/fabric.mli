@@ -214,6 +214,20 @@ val end_flow : t -> Packet.five_tuple -> unit
     including the replicated copies in {!Replicated} mode. O(stages) via
     the by-connection index. *)
 
+val set_clock : t -> int -> unit
+(** Set the logical timestamp packets stamp onto the flow-table entries
+    they touch (scenario drivers advance it once per tick). Never
+    consulted on the packet path's control flow, so traces and balancer
+    draws are unchanged by the clock. *)
+
+val clock : t -> int
+
+val expire_flows : t -> idle_before:int -> int
+(** Evict every connection none of whose entries in a table was touched
+    at or after [idle_before]. Returns the number of table-local
+    connection evictions (a connection spanning [k] forwarders counts
+    [k] times). *)
+
 val transfer_flows : t -> from_instance:int -> to_instance:int -> int
 (** (Local flow-store mode.) OpenNF-style flow-state transfer (Section 5.3: "flow table entries can
     be transferred across forwarders using recent proposals such as

@@ -167,8 +167,9 @@ let fmap_clear m =
 (* ----------------------- packed flow table -------------------------- *)
 
 (* Parallel arrays per cell: key hash ([hk]: 0 empty, 1 tombstone), packed
-   next/prev endpoints, the connection hash, and the next cell of the same
-   connection ([flink], -1 ends the chain) for O(stages) teardown. *)
+   next/prev endpoints, the connection hash, the next cell of the same
+   connection ([flink], -1 ends the chain) for O(stages) teardown, and the
+   logical clock of the cell's last activity ([fage]) for idle expiry. *)
 type ftab = {
   mutable fcap : int;
   mutable fmask : int;
@@ -179,6 +180,7 @@ type ftab = {
   mutable fpv : int array;
   mutable ffh : int array;
   mutable flink : int array;
+  mutable fage : int array;
   heads : fmap;
 }
 
@@ -194,6 +196,7 @@ let ftab_create () =
     fpv = Array.make cap 0;
     ffh = Array.make cap 0;
     flink = Array.make cap (-1);
+    fage = Array.make cap 0;
     heads = fmap_create cap;
   }
 
@@ -226,6 +229,7 @@ let ftab_place tab h fh nxt prv =
 
 let ftab_grow tab =
   let ohk = tab.hk and onx = tab.fnx and opv = tab.fpv and ofh = tab.ffh in
+  let ofa = tab.fage in
   let cap = if (tab.fn + 1) * 2 > tab.fcap then tab.fcap * 2 else tab.fcap in
   tab.fcap <- cap;
   tab.fmask <- cap - 1;
@@ -236,26 +240,30 @@ let ftab_grow tab =
   tab.fpv <- Array.make cap 0;
   tab.ffh <- Array.make cap 0;
   tab.flink <- Array.make cap (-1);
+  tab.fage <- Array.make cap 0;
   fmap_clear tab.heads;
   Array.iteri
     (fun i h ->
       if h >= 2 then begin
         let s = ftab_place tab h ofh.(i) onx.(i) opv.(i) in
+        tab.fage.(s) <- ofa.(i);
         let head = fmap_find tab.heads ofh.(i) in
         tab.flink.(s) <- head;
         fmap_put tab.heads ofh.(i) s
       end)
     ohk
 
-let ftab_set tab h fh nxt prv =
+let ftab_set tab h fh nxt prv age =
   let s = ftab_find tab h in
   if s >= 0 then begin
     tab.fnx.(s) <- nxt;
-    tab.fpv.(s) <- prv
+    tab.fpv.(s) <- prv;
+    tab.fage.(s) <- age
   end
   else begin
     if (tab.fn + tab.ftomb + 1) * 4 > tab.fcap * 3 then ftab_grow tab;
     let s = ftab_place tab h fh nxt prv in
+    tab.fage.(s) <- age;
     let head = fmap_find tab.heads fh in
     tab.flink.(s) <- head;
     fmap_put tab.heads fh s
@@ -281,6 +289,30 @@ let ftab_clear tab =
   tab.fn <- 0;
   tab.ftomb <- 0;
   fmap_clear tab.heads
+
+(* Idle expiry: remove every connection whose cells were all last touched
+   before [idle_before]. Any packet of a connection stamps every one of
+   its cells in the tables it traverses, so a connection with one fresh
+   cell is live and kept. O(capacity + stages per expired connection);
+   returns connections removed from this table. *)
+let ftab_expire tab ~idle_before =
+  let removed = ref 0 in
+  for i = 0 to tab.fcap - 1 do
+    if tab.hk.(i) >= 2 && tab.fage.(i) < idle_before then begin
+      let fh = tab.ffh.(i) in
+      let fresh = ref false in
+      let s = ref (fmap_find tab.heads fh) in
+      while !s >= 0 do
+        if tab.hk.(!s) >= 2 && tab.fage.(!s) >= idle_before then fresh := true;
+        s := tab.flink.(!s)
+      done;
+      if not !fresh then begin
+        ftab_remove_flow tab fh;
+        incr removed
+      end
+    end
+  done;
+  !removed
 
 (* --------------------- (chain, egress, stage) ids ------------------- *)
 
@@ -514,13 +546,13 @@ let dht_find d h =
   end;
   !r
 
-let dht_put d h fh nxt prv =
+let dht_put d h fh nxt prv age =
   let n = Array.length d.members in
   if n = 0 then invalid_arg "Dht_table.put: no nodes in the ring";
   let k = if d.repl < n then d.repl else n in
   let start = h mod n in
   for j = 0 to k - 1 do
-    ftab_set d.stores.((start + j) mod n) h fh nxt prv
+    ftab_set d.stores.((start + j) mod n) h fh nxt prv age
   done
 
 let dht_rereplicate d =
@@ -529,11 +561,11 @@ let dht_rereplicate d =
     (fun st ->
       for s = 0 to st.fcap - 1 do
         if st.hk.(s) >= 2 then
-          Hashtbl.replace all st.hk.(s) (st.ffh.(s), st.fnx.(s), st.fpv.(s))
+          Hashtbl.replace all st.hk.(s) (st.ffh.(s), st.fnx.(s), st.fpv.(s), st.fage.(s))
       done)
     d.stores;
   Array.iter ftab_clear d.stores;
-  Hashtbl.iter (fun h (fh, nxt, prv) -> dht_put d h fh nxt prv) all
+  Hashtbl.iter (fun h (fh, nxt, prv, age) -> dht_put d h fh nxt prv age) all
 
 let dht_add_node d node =
   d.members <- Array.append d.members [| node |];
@@ -590,6 +622,7 @@ type t = {
   arena : arena;
   dht : dht option;
   mutable journal : int;
+  mutable now : int; (* logical clock stamped onto flow-table activity *)
   (* scratch for the allocation-free packet core *)
   mutable err_a : int;
   mutable err_b : int;
@@ -627,6 +660,7 @@ let create ?(seed = 0xF0) ?(flow_store = Local) () =
       | Local -> None
       | Replicated k -> Some (dht_create ~replication:k));
     journal = 0;
+    now = 0;
     err_a = 0;
     err_b = 0;
     last_trace = [];
@@ -1020,10 +1054,16 @@ let forward_core t ~record ~ingress ~chain_label ~egress_label ~size flow =
           | None ->
             let tab = t.f_tab.(fd) in
             let s = ftab_find tab h in
-            if s >= 0 then next := tab.fnx.(s)
+            if s >= 0 then begin
+              next := tab.fnx.(s);
+              tab.fage.(s) <- t.now
+            end
           | Some d ->
             let s = dht_find d h in
-            if s >= 0 then next := d.hit.fnx.(s));
+            if s >= 0 then begin
+              next := d.hit.fnx.(s);
+              d.hit.fage.(s) <- t.now
+            end);
           if !next = 0 then begin
             (* Flow miss: consult the rules. A packet handed over by a
                peer forwarder is mid-relay — prefer a non-empty
@@ -1049,8 +1089,8 @@ let forward_core t ~record ~ingress ~chain_label ~egress_label ~size flow =
               in
               let chosen = t.arena.tgt.(off + idx) in
               (match t.dht with
-              | None -> ftab_set t.f_tab.(fd) h fh chosen !from
-              | Some d -> dht_put d h fh chosen !from);
+              | None -> ftab_set t.f_tab.(fd) h fh chosen !from t.now
+              | Some d -> dht_put d h fh chosen !from t.now);
               next := chosen
             end
           end;
@@ -1115,14 +1155,28 @@ let find_prev t fd fwd_global base stage =
   | None ->
     let tab = t.f_tab.(fd) in
     let s = ftab_find tab (key_hash base stage) in
-    if s >= 0 then tab.fpv.(s) else 0
+    if s >= 0 then begin
+      tab.fage.(s) <- t.now;
+      tab.fpv.(s)
+    end
+    else 0
   | Some d ->
     let s1 = dht_find d (key_hash base ((2 * stage) + 1)) in
-    let prv1 = if s1 >= 0 then d.hit.fpv.(s1) else 0 in
+    let prv1 =
+      if s1 >= 0 then begin
+        d.hit.fage.(s1) <- t.now;
+        d.hit.fpv.(s1)
+      end
+      else 0
+    in
     if s1 >= 0 && prv1 <> (fwd_global lsl 2) lor tag_fwd then prv1
     else begin
       let s0 = dht_find d (key_hash base (2 * stage)) in
-      if s0 >= 0 then d.hit.fpv.(s0) else 0
+      if s0 >= 0 then begin
+        d.hit.fage.(s0) <- t.now;
+        d.hit.fpv.(s0)
+      end
+      else 0
     end
 
 let reverse_core t ~record ~egress ~chain_label ~egress_label flow =
@@ -1232,6 +1286,20 @@ let end_flow t flow =
   | Some d -> Array.iter (fun st -> ftab_remove_flow st fh) d.stores
   | None -> ()
 
+let set_clock t now = t.now <- now
+let clock t = t.now
+
+let expire_flows t ~idle_before =
+  let removed = ref 0 in
+  for fd = 0 to t.nf - 1 do
+    removed := !removed + ftab_expire t.f_tab.(fd) ~idle_before
+  done;
+  (match t.dht with
+  | Some d ->
+    Array.iter (fun st -> removed := !removed + ftab_expire st ~idle_before) d.stores
+  | None -> ());
+  !removed
+
 let transfer_flows t ~from_instance ~to_instance =
   check_inst t from_instance;
   check_inst t to_instance;
@@ -1266,7 +1334,9 @@ let transfer_flows t ~from_instance ~to_instance =
       if
         old_tab.hk.(s) >= 2
         && (old_tab.fnx.(s) = pt || old_tab.fpv.(s) = pt)
-      then ftab_set new_tab old_tab.hk.(s) old_tab.ffh.(s) old_tab.fnx.(s) old_tab.fpv.(s)
+      then
+        ftab_set new_tab old_tab.hk.(s) old_tab.ffh.(s) old_tab.fnx.(s)
+          old_tab.fpv.(s) old_tab.fage.(s)
     done
   end;
   t.journal <- t.journal + 1;

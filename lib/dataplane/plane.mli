@@ -144,6 +144,24 @@ val instances_in_trace : endpoint list -> int list
 val end_flow : t -> Packet.five_tuple -> unit
 val transfer_flows : t -> from_instance:int -> to_instance:int -> int
 
+val set_clock : t -> int -> unit
+(** Set the logical clock (any monotone integer — scenario drivers use
+    the workload tick). Every packet stamps the clock onto the flow-table
+    cells it touches (insert and hit, forward and reverse); the stamp is
+    what {!expire_flows} ages against. Never consulted on the packet
+    path's control flow, so traces and RNG draws are unchanged. *)
+
+val clock : t -> int
+
+val expire_flows : t -> idle_before:int -> int
+(** Scenario-driven idle sweep: remove every connection whose last
+    activity predates [idle_before] — the bulk [end_flow] that keeps
+    flow-table occupancy (visible via {!flow_table_stats}) bounded under
+    streaming churn. A connection is kept if {e any} of its cells in a
+    table is fresh. O(sum of table capacities); returns the number of
+    table-local connection evictions (a connection spanning [k]
+    forwarders counts [k] times). *)
+
 val stage_counters :
   t -> chain_label:int -> egress_label:int -> stage:int -> int * int
 

@@ -174,6 +174,15 @@ let drive t ~ingress ~chain_label ~egress_label ~size flow =
 
 let end_flow t flow = Plane.end_flow t.lanes.(lane_of t flow) flow
 
+let set_clock t now = mirror t (fun p -> Plane.set_clock p now)
+let clock t = Plane.clock t.lanes.(0)
+
+let expire_flows t ~idle_before =
+  (* Flow state is lane-private, so the per-lane evictions sum. *)
+  let removed = ref 0 in
+  mirror t (fun p -> removed := !removed + Plane.expire_flows p ~idle_before);
+  !removed
+
 let ensure_rings t n =
   if
     Array.length t.rings < t.nlanes

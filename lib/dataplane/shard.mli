@@ -185,6 +185,16 @@ val drive_batch :
 val end_flow : t -> Packet.five_tuple -> unit
 (** Connection teardown on the owning lane (the only lane with state). *)
 
+val set_clock : t -> int -> unit
+(** Mirrored {!Plane.set_clock}: the logical timestamp packets stamp onto
+    the flow-table entries they touch. *)
+
+val clock : t -> int
+
+val expire_flows : t -> idle_before:int -> int
+(** {!Plane.expire_flows} on every lane; flow state is lane-private, so
+    the per-lane eviction counts sum. *)
+
 (** {2 Aggregated read-outs} (summed across lanes) *)
 
 val flow_table_size : t -> forwarder:int -> int

@@ -2,25 +2,98 @@ type size_model = Fixed of int | Imix
 
 type flow_selection = Uniform | Zipfian of float
 
+(* Static mode owns a materialized connection population (the original
+   MoonGen-style generator). Streaming mode never materializes one: the
+   live set is the index window [lo, hi), each index's 5-tuple a pure
+   function of (salt, index), so a scenario can cycle millions of
+   distinct flows in O(1) memory. *)
+type mode =
+  | Static of Packet.five_tuple array
+  | Stream of stream
+
+and stream = {
+  salt : int;
+  window : int;
+  mutable lo : int; (* oldest live flow index *)
+  mutable hi : int; (* next index to open; live flows are [lo, hi) *)
+}
+
 type t = {
   rng : Sb_util.Rng.t;
-  tuples : Packet.five_tuple array;
+  mode : mode;
   sizes : size_model;
   zipf : Sb_util.Zipf.t option;
 }
 
+let check_sizes = function
+  | Fixed n when n <= 0 -> invalid_arg "Traffic_gen.create: non-positive packet size"
+  | Fixed _ | Imix -> ()
+
+let zipf_of ~n = function
+  | Uniform -> None
+  | Zipfian s -> Some (Sb_util.Zipf.create ~n ~s)
+
 let create ~rng ~flows ?(sizes = Fixed 64) ?(selection = Uniform) () =
   if flows <= 0 then invalid_arg "Traffic_gen.create: flows must be positive";
-  (match sizes with
-  | Fixed n when n <= 0 -> invalid_arg "Traffic_gen.create: non-positive packet size"
-  | Fixed _ | Imix -> ());
+  check_sizes sizes;
   let tuples = Array.init flows (fun _ -> Packet.random_tuple rng) in
-  let zipf =
-    match selection with
-    | Uniform -> None
-    | Zipfian s -> Some (Sb_util.Zipf.create ~n:flows ~s)
-  in
-  { rng; tuples; sizes; zipf }
+  { rng; mode = Static tuples; sizes; zipf = zipf_of ~n:flows selection }
+
+(* The index's 5-tuple, derived by avalanche mixing — ~75 bits of tuple
+   entropy, so distinct indices collide with negligible probability even
+   at tens of millions of flows. Field ranges match [Packet.random_tuple]. *)
+let stream_tuple salt i =
+  let h1 = Packet.mix (salt lxor ((2 * i) + 0x2545F491)) in
+  let h2 = Packet.mix (h1 lxor (i + 0x85EBCA6B)) in
+  let h3 = Packet.mix (h2 lxor salt) in
+  {
+    Packet.src_ip = h1 land 0xFFFFFF;
+    dst_ip = h2 land 0xFFFFFF;
+    proto = (if h3 land 1 = 0 then 6 else 17);
+    src_port = 1024 + ((h3 lsr 1) mod 64000);
+    dst_port = 1 + ((h3 lsr 21) mod 1023);
+  }
+
+let create_stream ~seed ~window ?(sizes = Fixed 64) ?(selection = Uniform) () =
+  if window <= 0 then invalid_arg "Traffic_gen.create_stream: window must be positive";
+  check_sizes sizes;
+  {
+    rng = Sb_util.Rng.create seed;
+    mode = Stream { salt = Packet.mix (seed lxor 0x6A09E667); window; lo = 0; hi = window };
+    sizes;
+    zipf = zipf_of ~n:window selection;
+  }
+
+let is_streaming t = match t.mode with Stream _ -> true | Static _ -> false
+
+let live_flows t =
+  match t.mode with Static a -> Array.length a | Stream s -> s.hi - s.lo
+
+let distinct_flows t =
+  match t.mode with Static a -> Array.length a | Stream s -> s.hi
+
+let churn t ?close ?opened n =
+  match t.mode with
+  | Static _ -> invalid_arg "Traffic_gen.churn: static generator"
+  | Stream s ->
+    if n < 0 then invalid_arg "Traffic_gen.churn: negative count";
+    (* Slide the window: close the n oldest live flows, open n fresh
+       ones. Bounded by the live set so [lo] never overtakes [hi]. *)
+    let n = min n (s.hi - s.lo) in
+    (match close with
+    | None -> ()
+    | Some f ->
+      for i = s.lo to s.lo + n - 1 do
+        f (stream_tuple s.salt i)
+      done);
+    s.lo <- s.lo + n;
+    (match opened with
+    | None -> ()
+    | Some f ->
+      for i = s.hi to s.hi + n - 1 do
+        f (stream_tuple s.salt i)
+      done);
+    s.hi <- s.hi + n
 
 let pick_size t =
   match t.sizes with
@@ -33,13 +106,32 @@ let pick_size t =
     | _ -> 1514)
 
 let next t =
-  let i =
-    match t.zipf with
-    | None -> Sb_util.Rng.int t.rng (Array.length t.tuples)
-    | Some z -> Sb_util.Zipf.sample z t.rng
+  let tuple =
+    match t.mode with
+    | Static tuples ->
+      let i =
+        match t.zipf with
+        | None -> Sb_util.Rng.int t.rng (Array.length tuples)
+        | Some z -> Sb_util.Zipf.sample z t.rng
+      in
+      tuples.(i)
+    | Stream s ->
+      let i =
+        match t.zipf with
+        | None -> s.lo + Sb_util.Rng.int t.rng (s.hi - s.lo)
+        | Some z ->
+          (* Zipf rank 0 is the most popular flow; map it to the newest
+             live index so the hot set rolls with the churn. *)
+          let r = Sb_util.Zipf.sample z t.rng in
+          max s.lo (s.hi - 1 - r)
+      in
+      stream_tuple s.salt i
   in
-  (t.tuples.(i), pick_size t)
+  (tuple, pick_size t)
 
 let burst t n = List.init n (fun _ -> next t)
 
-let flow_tuples t = Array.copy t.tuples
+let flow_tuples t =
+  match t.mode with
+  | Static tuples -> Array.copy tuples
+  | Stream s -> Array.init (s.hi - s.lo) (fun j -> stream_tuple s.salt (s.lo + j))

@@ -1,10 +1,18 @@
 (** Synthetic packet-stream generation (the MoonGen stand-in for the
     Section 5.4 experiments and the data-plane tests).
 
-    A generator owns a population of connections and emits packets drawn
-    from them. Flow selection is uniform (as in the paper's DPDK
-    experiment) or Zipf-skewed; packet sizes are fixed (64 B minimum-size
-    UDP, the paper's choice), the standard IMIX mix, or a custom value. *)
+    Two modes. A {e static} generator ({!create}) owns a materialized
+    population of connections and emits packets drawn from them. A
+    {e streaming} generator ({!create_stream}) holds no population at
+    all: the live set is a sliding window of flow indices whose 5-tuples
+    are a pure function of (seed, index), and {!churn} slides the window
+    — closing the oldest flows, opening fresh ones — so a DDoS scenario
+    can cycle millions of distinct short flows through the flow tables in
+    constant memory.
+
+    Flow selection is uniform (as in the paper's DPDK experiment) or
+    Zipf-skewed; packet sizes are fixed (64 B minimum-size UDP, the
+    paper's choice), the standard IMIX mix, or a custom value. *)
 
 type size_model =
   | Fixed of int
@@ -21,12 +29,53 @@ val create :
   ?selection:flow_selection ->
   unit ->
   t
-(** Raises [Invalid_argument] if [flows <= 0] or a size is non-positive. *)
+(** Static mode. Raises [Invalid_argument] if [flows <= 0] or a size is
+    non-positive. *)
+
+val create_stream :
+  seed:int ->
+  window:int ->
+  ?sizes:size_model ->
+  ?selection:flow_selection ->
+  unit ->
+  t
+(** Streaming mode with at most [window] concurrently-live flows (the
+    initial window is fully open). Pure in [seed]: equal seeds give
+    bit-identical packet and churn sequences. With [Zipfian] selection,
+    rank 0 maps to the newest live flow, so the hot set follows the
+    churn. Raises [Invalid_argument] if [window <= 0]. *)
+
+val is_streaming : t -> bool
 
 val next : t -> Packet.five_tuple * int
 (** Draw the next packet: its connection 5-tuple and size in bytes. *)
 
 val burst : t -> int -> (Packet.five_tuple * int) list
 
+val churn :
+  t ->
+  ?close:(Packet.five_tuple -> unit) ->
+  ?opened:(Packet.five_tuple -> unit) ->
+  int ->
+  unit
+(** [churn t n] closes the [n] oldest live flows (capped at the live
+    count) and opens [n] fresh ones, keeping the live set at the window
+    bound — O(n) work, O(1) memory. [close] is called with each closed
+    tuple (e.g. to [end_flow] it on a fabric); omit it to let idle-flow
+    expiry reclaim the table entries instead. [opened] is called with
+    each fresh tuple — scenario drivers use it to send every new flow's
+    first packet, the short-flow-flood pattern. Raises
+    [Invalid_argument] on a static generator or negative [n]. *)
+
+val live_flows : t -> int
+(** Currently-live flows ([window] in streaming mode, the population size
+    in static mode). *)
+
+val distinct_flows : t -> int
+(** Total distinct flows ever opened (grows with {!churn} in streaming
+    mode). *)
+
 val flow_tuples : t -> Packet.five_tuple array
-(** The generator's connection population (index = flow id). *)
+(** Static mode: the full connection population (index = flow id).
+    Streaming mode: {e partial} — only the currently-live window; flows
+    already closed by {!churn} are not recoverable from the generator. *)

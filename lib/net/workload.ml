@@ -1,0 +1,307 @@
+module Rng = Sb_util.Rng
+
+(* A primitive generator: demand and churn as pure functions of the tick
+   (and key), closed over O(keys) attributes precomputed at construction
+   from the seed. No per-tick or per-flow state exists anywhere, so
+   evaluation is random-access: qcheck checks that shuffled and sequential
+   reads agree bit-for-bit. *)
+type prim = {
+  p_name : string;
+  p_demand : int -> int -> float; (* tick -> key -> rate *)
+  p_churn : int -> float; (* tick -> replaced fraction, already in [0,1] *)
+}
+
+type t = { w_ticks : int; w_keys : int; node : node }
+
+and node =
+  | Prim of prim
+  | Overlay of t * t
+  | Shift of int * t
+  | Scale of float * t
+  | Ramp of float * float * t
+
+let ticks t = t.w_ticks
+let keys t = t.w_keys
+
+let rec name t =
+  match t.node with
+  | Prim p -> p.p_name
+  | Overlay (a, b) -> Printf.sprintf "overlay(%s,%s)" (name a) (name b)
+  | Shift (d, u) -> Printf.sprintf "shift(%d,%s)" d (name u)
+  | Scale (c, u) -> Printf.sprintf "scale(%g,%s)" c (name u)
+  | Ramp (f0, f1, u) -> Printf.sprintf "ramp(%g->%g,%s)" f0 f1 (name u)
+
+let ramp_factor t tick f0 f1 =
+  if t.w_ticks <= 1 then f0
+  else f0 +. ((f1 -. f0) *. float_of_int tick /. float_of_int (t.w_ticks - 1))
+
+let rec demand t ~tick ~key =
+  if tick < 0 || tick >= t.w_ticks || key < 0 || key >= t.w_keys then 0.
+  else
+    match t.node with
+    | Prim p -> p.p_demand tick key
+    | Overlay (a, b) -> demand a ~tick ~key +. demand b ~tick ~key
+    | Shift (d, u) -> demand u ~tick:(tick - d) ~key
+    | Scale (c, u) -> c *. demand u ~tick ~key
+    | Ramp (f0, f1, u) -> ramp_factor t tick f0 f1 *. demand u ~tick ~key
+
+let total_demand t ~tick =
+  let s = ref 0. in
+  for k = 0 to t.w_keys - 1 do
+    s := !s +. demand t ~tick ~key:k
+  done;
+  !s
+
+let demand_into t ~tick out =
+  if Array.length out <> t.w_keys then
+    invalid_arg "Workload.demand_into: array length <> keys";
+  for k = 0 to t.w_keys - 1 do
+    out.(k) <- demand t ~tick ~key:k
+  done
+
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+(* Composite churn blends demand-weighted: the live population is
+   proportional to offered demand, so the replaced fraction of the union
+   is the population-weighted mean of the parts'. *)
+let rec churn t ~tick =
+  match t.node with
+  | Prim p -> clamp01 (p.p_churn tick)
+  | Overlay (a, b) ->
+    let da = total_demand a ~tick and db = total_demand b ~tick in
+    if da +. db <= 0. then 0.
+    else ((churn a ~tick *. da) +. (churn b ~tick *. db)) /. (da +. db)
+  | Shift (d, u) -> churn u ~tick:(tick - d)
+  | Scale (_, u) | Ramp (_, _, u) -> churn u ~tick
+
+(* ---------------------------- validation ---------------------------- *)
+
+let check_grid fn ~ticks ~keys =
+  if ticks <= 0 then invalid_arg (fn ^ ": ticks must be positive");
+  if keys <= 0 then invalid_arg (fn ^ ": keys must be positive")
+
+let check_nonneg fn what v =
+  if v < 0. || Float.is_nan v then
+    invalid_arg (Printf.sprintf "%s: %s must be >= 0" fn what)
+
+let prim ~ticks ~keys p = { w_ticks = ticks; w_keys = keys; node = Prim p }
+
+(* ---------------------------- generators ---------------------------- *)
+
+let constant ~ticks ~keys ~rate =
+  check_grid "Workload.constant" ~ticks ~keys;
+  check_nonneg "Workload.constant" "rate" rate;
+  prim ~ticks ~keys
+    {
+      p_name = "constant";
+      p_demand = (fun _ _ -> rate);
+      p_churn = (fun _ -> 0.02);
+    }
+
+(* Membership arrays are the one O(keys) allocation a generator makes;
+   they are immutable after construction. *)
+let seeded_members rng ~count ~keys =
+  let m = Array.make keys false in
+  List.iter (fun k -> m.(k) <- true) (Rng.sample_without_replacement rng count keys);
+  m
+
+let flash_crowd ~seed ~ticks ~keys ?hot ?(base = 1.0) ?(peak = 8.0) ?start ?rise
+    ?fall () =
+  check_grid "Workload.flash_crowd" ~ticks ~keys;
+  check_nonneg "Workload.flash_crowd" "base" base;
+  if peak < 1. then invalid_arg "Workload.flash_crowd: peak must be >= 1";
+  let hot = match hot with Some h -> h | None -> max 1 (keys / 8) in
+  if hot < 1 || hot > keys then invalid_arg "Workload.flash_crowd: hot out of range";
+  let start = match start with Some s -> s | None -> ticks / 4 in
+  let rise = match rise with Some r -> max 1 r | None -> max 1 (ticks / 8) in
+  let fall = match fall with Some f -> max 1 f | None -> max 1 (ticks / 4) in
+  if start < 0 || start >= ticks then
+    invalid_arg "Workload.flash_crowd: start out of range";
+  let is_hot = seeded_members (Rng.split ~stream:0 (Rng.create seed)) ~count:hot ~keys in
+  (* Surge envelope in [1, peak]: linear rise over [rise] ticks from
+     [start], then linear decay over [fall]. *)
+  let envelope tick =
+    if tick < start then 1.
+    else if tick < start + rise then
+      1. +. ((peak -. 1.) *. float_of_int (tick - start + 1) /. float_of_int rise)
+    else
+      let d = tick - start - rise in
+      if d >= fall then 1.
+      else peak -. ((peak -. 1.) *. float_of_int d /. float_of_int fall)
+  in
+  prim ~ticks ~keys
+    {
+      p_name = "flash_crowd";
+      p_demand =
+        (fun tick key -> if is_hot.(key) then base *. envelope tick else base);
+      p_churn =
+        (fun tick ->
+          (* new users arrive in proportion to the surge *)
+          0.05 +. (0.35 *. (envelope tick -. 1.) /. (Float.max 1e-9 (peak -. 1.))));
+    }
+
+let ddos ~seed ~ticks ~keys ?targets ?(base = 1.0) ?(magnitude = 20.0) ?start
+    ?stop () =
+  check_grid "Workload.ddos" ~ticks ~keys;
+  check_nonneg "Workload.ddos" "base" base;
+  check_nonneg "Workload.ddos" "magnitude" magnitude;
+  let targets = match targets with Some v -> v | None -> max 1 (keys / 16) in
+  if targets < 1 || targets > keys then
+    invalid_arg "Workload.ddos: targets out of range";
+  let start = match start with Some s -> s | None -> ticks / 4 in
+  let stop = match stop with Some s -> s | None -> max (start + 1) (3 * ticks / 4) in
+  if start < 0 || stop <= start then invalid_arg "Workload.ddos: bad attack window";
+  let is_target =
+    seeded_members (Rng.split ~stream:0 (Rng.create seed)) ~count:targets ~keys
+  in
+  let attacking tick = tick >= start && tick < stop in
+  let attack_total = float_of_int targets *. magnitude *. base in
+  let legit_total = float_of_int keys *. base in
+  prim ~ticks ~keys
+    {
+      p_name = "ddos";
+      p_demand =
+        (fun tick key ->
+          if attacking tick && is_target.(key) then base +. (magnitude *. base)
+          else base);
+      p_churn =
+        (fun tick ->
+          (* Legitimate flows churn slowly; every attack flow lives ~one
+             tick, so the blend is the attack's demand share. *)
+          if attacking tick then
+            ((0.02 *. legit_total) +. (1.0 *. attack_total))
+            /. (legit_total +. attack_total)
+          else 0.02);
+    }
+
+let elephant_mice ~seed ~ticks ~keys ?(elephant_fraction = 0.1)
+    ?(elephant_share = 0.8) ?(rate = 1.0) () =
+  check_grid "Workload.elephant_mice" ~ticks ~keys;
+  check_nonneg "Workload.elephant_mice" "rate" rate;
+  if elephant_fraction <= 0. || elephant_fraction > 1. then
+    invalid_arg "Workload.elephant_mice: elephant_fraction out of (0, 1]";
+  if elephant_share < 0. || elephant_share > 1. then
+    invalid_arg "Workload.elephant_mice: elephant_share out of [0, 1]";
+  let ne = max 1 (int_of_float (Float.round (elephant_fraction *. float_of_int keys))) in
+  let ne = min ne keys in
+  let is_elephant =
+    seeded_members (Rng.split ~stream:0 (Rng.create seed)) ~count:ne ~keys
+  in
+  let total = rate *. float_of_int keys in
+  let per_elephant = elephant_share *. total /. float_of_int ne in
+  let nm = keys - ne in
+  let per_mouse =
+    if nm = 0 then 0. else (1. -. elephant_share) *. total /. float_of_int nm
+  in
+  (* Elephants are persistent transfers, mice are short requests: churn is
+     the demand-share-weighted blend, constant in time. *)
+  let blended_churn =
+    (0.01 *. elephant_share) +. (0.5 *. (1. -. elephant_share))
+  in
+  prim ~ticks ~keys
+    {
+      p_name = "elephant_mice";
+      p_demand =
+        (fun _ key -> if is_elephant.(key) then per_elephant else per_mouse);
+      p_churn = (fun _ -> blended_churn);
+    }
+
+let regional_failover ~seed ~ticks ~keys ?(regions = 5) ?fail_region
+    ?(base = 1.0) ?fail_at ?recover_at () =
+  check_grid "Workload.regional_failover" ~ticks ~keys;
+  check_nonneg "Workload.regional_failover" "base" base;
+  if regions < 2 || regions > keys then
+    invalid_arg "Workload.regional_failover: regions out of range";
+  let fail_at = match fail_at with Some f -> f | None -> ticks / 3 in
+  let recover_at = match recover_at with Some r -> r | None -> ticks in
+  if fail_at < 0 || recover_at <= fail_at then
+    invalid_arg "Workload.regional_failover: bad failover window";
+  let fail_region =
+    match fail_region with
+    | Some r ->
+      if r < 0 || r >= regions then
+        invalid_arg "Workload.regional_failover: fail_region out of range";
+      r
+    | None -> Rng.int (Rng.split ~stream:0 (Rng.create seed)) regions
+  in
+  let region k = k mod regions in
+  (* Exact key counts per region under round-robin assignment. *)
+  let failed_keys =
+    (keys / regions) + (if fail_region < keys mod regions then 1 else 0)
+  in
+  let surviving = keys - failed_keys in
+  let extra =
+    if surviving = 0 then 0.
+    else base *. float_of_int failed_keys /. float_of_int surviving
+  in
+  let down tick = tick >= fail_at && tick < recover_at in
+  prim ~ticks ~keys
+    {
+      p_name = "regional_failover";
+      p_demand =
+        (fun tick key ->
+          if not (down tick) then base
+          else if region key = fail_region then 0.
+          else base +. extra);
+      p_churn =
+        (fun tick ->
+          (* mass reconnection right after the failover and the recovery *)
+          if (tick >= fail_at && tick < fail_at + 2)
+             || (tick >= recover_at && tick < recover_at + 2)
+          then 0.6
+          else 0.03);
+    }
+
+let diurnal ~seed ~ticks ~keys ?(period = 24) ?(amplitude = 0.6) ?(base = 1.0)
+    () =
+  check_grid "Workload.diurnal" ~ticks ~keys;
+  check_nonneg "Workload.diurnal" "base" base;
+  if period <= 0 then invalid_arg "Workload.diurnal: period must be positive";
+  if amplitude < 0. || amplitude > 1. then
+    invalid_arg "Workload.diurnal: amplitude out of [0, 1]";
+  let rng = Rng.split ~stream:0 (Rng.create seed) in
+  (* Gravity-style masses (mean 1 after normalization) and uniform phases:
+     hot keys stay hot, but *when* they peak drifts around the clock. *)
+  let masses = Array.init keys (fun _ -> 0.25 +. Rng.exponential rng 1.0) in
+  let mean = Array.fold_left ( +. ) 0. masses /. float_of_int keys in
+  Array.iteri (fun i m -> masses.(i) <- m /. mean) masses;
+  let phases = Array.init keys (fun _ -> Rng.float rng (2. *. Float.pi)) in
+  prim ~ticks ~keys
+    {
+      p_name = "diurnal";
+      p_demand =
+        (fun tick key ->
+          base *. masses.(key)
+          *. (1.
+             +. amplitude
+                *. sin
+                     (phases.(key)
+                     +. (2. *. Float.pi *. float_of_int tick /. float_of_int period)
+                     )));
+      p_churn = (fun _ -> 0.05);
+    }
+
+(* ---------------------------- combinators --------------------------- *)
+
+let overlay a b =
+  if a.w_keys <> b.w_keys then
+    invalid_arg "Workload.overlay: operands disagree on keys";
+  { w_ticks = max a.w_ticks b.w_ticks; w_keys = a.w_keys; node = Overlay (a, b) }
+
+let shift d u =
+  if d < 0 then invalid_arg "Workload.shift: negative shift";
+  { w_ticks = u.w_ticks + d; w_keys = u.w_keys; node = Shift (d, u) }
+
+let scale c u =
+  check_nonneg "Workload.scale" "factor" c;
+  { u with node = Scale (c, u) }
+
+let ramp ~from_ ~to_ u =
+  check_nonneg "Workload.ramp" "from_" from_;
+  check_nonneg "Workload.ramp" "to_" to_;
+  { u with node = Ramp (from_, to_, u) }
+
+let pp ppf t =
+  Format.fprintf ppf "workload %s: %d ticks x %d keys" (name t) t.w_ticks t.w_keys
+
+let to_string t = Format.asprintf "%a" pp t

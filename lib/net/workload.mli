@@ -1,0 +1,171 @@
+(** Streaming workload schedules: the demand side of the Section 5
+    experiments at "millions of users" scale.
+
+    A workload is a seeded, {e constant-memory} schedule of offered demand
+    over a grid of [ticks] discrete time steps and [keys] demand keys
+    (one key per service chain in the scenario harness). Like
+    [Sb_chaos.Schedule], a workload is a pure value: {!demand} is a pure
+    function of [(t, tick, key)], so the same seed replays bit-identically,
+    evaluation order cannot matter, and no per-flow or per-tick state is
+    ever accumulated — generators hold only O(keys) precomputed attributes
+    (hot sets, masses, phases), never a flow population.
+
+    Two read-outs per tick drive the two halves of the system:
+
+    - {!demand} / {!demand_into} — per-key demand rates, the ground-truth
+      multiplicative factors the [sb_adapt] control loop adapts to;
+    - {!churn} — the fraction of the live connection population replaced
+      this tick, which a driver turns into streaming open/close calls on
+      [Sb_dataplane.Traffic_gen] (DDoS floods cycle millions of short
+      flows through the flow tables; elephants persist).
+
+    Workloads compose with the same combinator vocabulary as fault
+    schedules: {!overlay} (sum two workloads), {!shift} (delay in time),
+    {!scale} (multiply demand), {!ramp} (linear envelope across the
+    horizon). Conservation claims, checked by qcheck:
+    [total (overlay a b) = total a + total b],
+    [total (scale c a) = c * total a],
+    [demand (shift d a) (tick+d) = demand a tick] (exactly), and
+    {!regional_failover} preserves total demand while the failed region's
+    share is redistributed. *)
+
+type t
+
+val ticks : t -> int
+(** Horizon in ticks; {!demand} is zero outside [\[0, ticks)]. *)
+
+val keys : t -> int
+(** Number of demand keys (chains). *)
+
+val name : t -> string
+(** Compact description, e.g. ["overlay(flash_crowd,diurnal)"]. *)
+
+val demand : t -> tick:int -> key:int -> float
+(** Offered demand rate for [key] at [tick]. Pure in all arguments;
+    returns 0 outside the grid. *)
+
+val demand_into : t -> tick:int -> float array -> unit
+(** Fill a caller-owned [keys]-sized array with the tick's per-key
+    demands (the allocation-free form of {!demand}). *)
+
+val total_demand : t -> tick:int -> float
+(** Sum of {!demand} over all keys. *)
+
+val churn : t -> tick:int -> float
+(** Fraction of the live connection population replaced at [tick], in
+    [\[0, 1\]]. Composite workloads blend their parts' churn weighted by
+    each part's total demand at the tick (the population is proportional
+    to demand, so that is the replaced fraction of the union). *)
+
+(** {1 Generators}
+
+    All generators validate their arguments ([Invalid_argument]) and
+    derive every random attribute from [seed] via split streams, so equal
+    arguments give bit-identical schedules. *)
+
+val constant : ticks:int -> keys:int -> rate:float -> t
+(** Flat [rate] on every key — the calibration baseline. *)
+
+val flash_crowd :
+  seed:int ->
+  ticks:int ->
+  keys:int ->
+  ?hot:int ->
+  ?base:float ->
+  ?peak:float ->
+  ?start:int ->
+  ?rise:int ->
+  ?fall:int ->
+  unit ->
+  t
+(** [hot] seeded keys (default [keys/8]) surge from [base] to
+    [peak * base] over [rise] ticks starting at [start], then decay
+    linearly back over [fall] ticks; the rest stay at [base]. Churn rises
+    with the surge (the crowd is new users connecting). *)
+
+val ddos :
+  seed:int ->
+  ticks:int ->
+  keys:int ->
+  ?targets:int ->
+  ?base:float ->
+  ?magnitude:float ->
+  ?start:int ->
+  ?stop:int ->
+  unit ->
+  t
+(** A flood of short-lived flows: [targets] seeded keys (default
+    [max 1 (keys/16)]) gain [magnitude * base] extra demand during
+    [\[start, stop)]. Attack traffic churns its whole population every
+    tick (each flow lives ~one tick), so the blended churn approaches 1
+    as the attack dominates — the flow-table-thrash scenario. *)
+
+val elephant_mice :
+  seed:int ->
+  ticks:int ->
+  keys:int ->
+  ?elephant_fraction:float ->
+  ?elephant_share:float ->
+  ?rate:float ->
+  unit ->
+  t
+(** Stationary skew: a seeded [elephant_fraction] of keys (the elephants)
+    carry [elephant_share] of [rate * keys] total demand; mice split the
+    rest. Elephants are long-lived (negligible churn), mice are short
+    request flows (high churn) — the blend weighs by demand share. *)
+
+val regional_failover :
+  seed:int ->
+  ticks:int ->
+  keys:int ->
+  ?regions:int ->
+  ?fail_region:int ->
+  ?base:float ->
+  ?fail_at:int ->
+  ?recover_at:int ->
+  unit ->
+  t
+(** Keys partition round-robin into [regions] regions. During
+    [\[fail_at, recover_at)] the failed region (seeded unless
+    [fail_region] is given) offers zero demand and its share is spread
+    evenly over the surviving keys — total demand is preserved (the users
+    reconnect elsewhere). Churn spikes for a couple of ticks after the
+    failover and after recovery (mass reconnection). [recover_at]
+    defaults to [ticks] (no recovery), matching [sb_adapt]'s cumulative
+    link-failure model. *)
+
+val diurnal :
+  seed:int ->
+  ticks:int ->
+  keys:int ->
+  ?period:int ->
+  ?amplitude:float ->
+  ?base:float ->
+  unit ->
+  t
+(** Diurnal gravity drift: each key gets a seeded gravity mass (mean 1)
+    and a seeded phase; demand is
+    [base * mass * (1 + amplitude * sin(phase + 2*pi*tick/period))] —
+    the moving traffic matrix of the Section 5.3 time-of-day discussion.
+    Low churn: populations shrink and grow, connections are long. *)
+
+(** {1 Combinators} *)
+
+val overlay : t -> t -> t
+(** Pointwise sum. Both workloads must have equal [keys]; the horizon is
+    the max. Churn blends demand-weighted. *)
+
+val shift : int -> t -> t
+(** [shift d w] delays [w] by [d >= 0] ticks (demand is 0 before [d]);
+    the horizon grows by [d]. *)
+
+val scale : float -> t -> t
+(** Multiply every demand by a factor [>= 0]. Churn is unchanged (scaling
+    users scales the population, not the per-flow lifetime). *)
+
+val ramp : from_:float -> to_:float -> t -> t
+(** Linear envelope: tick 0 is scaled by [from_], the last tick by [to_],
+    linear in between (both factors [>= 0]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
