@@ -2216,6 +2216,268 @@ let scenarios () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Extension: rule compiler + delta rollout (BENCH_compile)            *)
+(* ------------------------------------------------------------------ *)
+
+module Compile = Sb_ctrl.Compile
+
+(* Two measurements, both fully deterministic (no wall clocks in the
+   JSON, so CI can diff a double run byte for byte):
+
+   1. Diagram scale: compile N templated chains (route/spec templates
+      model a fleet of cloned service chains) into the hash-consed
+      interner and price a 2%-churn epoch — the bytes a delta Prepare
+      ships vs a full one, using the Types.msg_size wire model.
+
+   2. Rollout latency: a live System under a byte-priced bus
+      (bus_bandwidth), Delta vs Full rollout — simulated commit latency
+      and wide-area bytes of one route update as the committed chain
+      population grows. *)
+let compile_bench () =
+  header "Extension: compiled delta rollout (bytes + 2PC latency)";
+  let scale =
+    match Sys.getenv_opt "SB_COMPILE_SCALE" with
+    | Some "smoke" -> "smoke"
+    | _ -> "full"
+  in
+  let counts =
+    if scale = "smoke" then [ 1_000; 10_000 ]
+    else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let nsites = 25 in
+  let vnf_of k = k mod 8 in
+  (* Template pool: 64 spec shapes x route patterns keyed by chain id —
+     a fleet of cloned service chains, the regime where hash-consing
+     shares VNF suffixes across chains. *)
+  let spec_of id =
+    let tpl = id mod 64 in
+    let nvnfs = 5 + (tpl mod 4) in
+    {
+      Ct.spec_name = "tpl";
+      ingress_attachment = "in";
+      egress_attachment = "out";
+      vnfs = List.init nvnfs (fun i -> vnf_of (tpl + i));
+      traffic = 1.0;
+    }
+  in
+  (* [churn = true] is the epoch's incremental update: only the LAST
+     VNF's site moves (one admission-demand row, two adjacent stages). *)
+  let routes_of id ~churn =
+    let sp = spec_of id in
+    let last = List.length sp.Ct.vnfs - 1 in
+    let mk o w =
+      {
+        Ct.element_sites =
+          Array.of_list
+            ((id mod nsites)
+             :: List.mapi
+                  (fun i v ->
+                    (v + o + i + if churn && i = last then 1 else 0) mod nsites)
+                  sp.Ct.vnfs
+            @ [ (id + 1) mod nsites ]);
+        weight = w;
+      }
+    in
+    [ mk 0 0.4; mk 3 0.3; mk 6 0.2; mk 9 0.1 ]
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "chains"; "nodes"; "actions"; "stages"; "sharing"; "ruleset B";
+          "churn B"; "ratio" ]
+  in
+  let diagram_rows =
+    List.map
+      (fun n ->
+        let c = ref (Compile.empty ()) in
+        for id = 0 to n - 1 do
+          let p =
+            Compile.prepare !c ~chain:id ~spec:(spec_of id)
+              ~routes:(routes_of id ~churn:false)
+          in
+          c := Compile.commit !c ~chain:id p
+        done;
+        let st = Compile.stats !c in
+        (* A 2%-churn epoch under delta rollout broadcasts one Route_delta
+           per churned chain; the full-reinstall baseline re-broadcasts
+           every chain's Route_update. Both priced by the wire model. *)
+        let ruleset_b = ref 0 and churn_b = ref 0 in
+        let prep_full = ref 0 and prep_delta = ref 0 in
+        for id = 0 to n - 1 do
+          let spec = spec_of id in
+          ruleset_b :=
+            !ruleset_b
+            + Ct.msg_size
+                (Ct.Route_update
+                   { chain = id; egress_label = 0; spec;
+                     routes = routes_of id ~churn:false; version = 0 });
+          if id mod 50 = 0 then begin
+            let routes = routes_of id ~churn:true in
+            let p = Compile.prepare !c ~chain:id ~spec ~routes in
+            let d = Compile.delta_from_committed !c p in
+            churn_b :=
+              !churn_b
+              + Ct.msg_size
+                  (Ct.Route_delta { chain = id; egress_label = 0; spec; delta = d });
+            prep_full :=
+              !prep_full
+              + Ct.msg_size (Ct.Prepare { txid = 0; chain = id; routes; delta = None; spec });
+            prep_delta :=
+              !prep_delta
+              + Ct.msg_size
+                  (Ct.Prepare { txid = 0; chain = id; routes = []; delta = Some d; spec })
+          end
+        done;
+        let sharing = float_of_int st.Compile.nodes /. float_of_int st.Compile.stages_total in
+        Table.add_row t
+          [
+            string_of_int n;
+            string_of_int st.Compile.nodes;
+            string_of_int st.Compile.actions;
+            string_of_int st.Compile.stages_total;
+            Printf.sprintf "%.4f" sharing;
+            string_of_int !ruleset_b;
+            string_of_int !churn_b;
+            Printf.sprintf "%.4f" (float_of_int !churn_b /. float_of_int !ruleset_b);
+          ];
+        (n, st, !ruleset_b, !churn_b, !prep_full, !prep_delta))
+      counts
+  in
+  Table.print t;
+  (* Part 2: live rollout, Delta vs Full. Each VNF controller homes at a
+     distinct site so the 2PC crosses the wide area, and the bus prices
+     serialization by bytes (10 kB/s), so payload size is visible in the
+     commit latency. The update moves only the last VNF — the localized
+     churn the delta encodes in O(changed stages). *)
+  let sys_counts = if scale = "smoke" then [ 10; 25 ] else [ 10; 50; 200 ] in
+  let delay a b = if a = b then 0. else 0.030 in
+  let chain_vnfs i = List.init 8 (fun k -> (i + k) mod 3) in
+  let routes_for sp ~churn =
+    let last = List.length sp.Ct.vnfs - 1 in
+    let mk o w =
+      {
+        Ct.element_sites =
+          Array.of_list
+            ((0
+             :: List.mapi
+                  (fun i v ->
+                    (v + o + i + if churn && i = last then 1 else 0) mod 4)
+                  sp.Ct.vnfs)
+            @ [ 3 ]);
+        weight = w;
+      }
+    in
+    [ mk 0 0.25; mk 1 0.25; mk 2 0.25; mk 3 0.25 ]
+  in
+  let run_rollout rollout n =
+    let sys =
+      Csys.create ~num_sites:4 ~delay ~gsb_site:0 ~rollout ~bus_bandwidth:10_000. ()
+    in
+    for v = 0 to 2 do
+      (* first deployment site = controller home: spread off the GSB *)
+      Csys.deploy_vnf sys ~vnf:v ~site:(v + 1) ~capacity:1e9 ~instances:2
+    done;
+    for site = 0 to 3 do
+      for v = 0 to 2 do
+        Csys.deploy_vnf sys ~vnf:v ~site ~capacity:1e9 ~instances:2
+      done;
+      Csys.register_edge sys ~site ~attachment:(Printf.sprintf "a%d" site)
+    done;
+    Csys.set_route_policy sys (fun sp ~exclude:_ -> Some (routes_for sp ~churn:false));
+    let chains =
+      List.init n (fun i ->
+          let c =
+            Csys.request_chain sys
+              {
+                Ct.spec_name = Printf.sprintf "c%d" i;
+                ingress_attachment = "a0";
+                egress_attachment = "a3";
+                vnfs = chain_vnfs i;
+                traffic = 0.1;
+              }
+          in
+          Eng.run (Csys.engine sys);
+          c)
+    in
+    Sb_msgbus.Bus.reset_stats (Csys.bus sys);
+    let chain = List.nth chains (n / 2) in
+    let spec = Option.get (Csys.chain_spec sys ~chain) in
+    let t0 = Eng.now (Csys.engine sys) in
+    Csys.update_routes sys ~chain (routes_for spec ~churn:true);
+    Eng.run (Csys.engine sys);
+    let commit_at =
+      List.find_map
+        (fun (ts, m) ->
+          if ts >= t0 && String.length m >= 15 && String.sub m 0 15 = "gsb: 2pc commit"
+          then Some ts
+          else None)
+        (Csys.log sys)
+    in
+    let commit_latency =
+      match commit_at with
+      | Some ts -> ts -. t0
+      | None -> Eng.now (Csys.engine sys) -. t0
+    in
+    let stats = Sb_msgbus.Bus.stats (Csys.bus sys) in
+    (commit_latency, stats.Sb_msgbus.Bus.wan_bytes)
+  in
+  let t2 =
+    Table.create
+      ~header:
+        [ "chains"; "delta commit ms"; "full commit ms"; "delta wan B"; "full wan B" ]
+  in
+  let rollout_rows =
+    List.map
+      (fun n ->
+        let dl, db = run_rollout Csys.Delta_rollout n in
+        let fl, fb = run_rollout Csys.Full_rollout n in
+        Table.add_row t2
+          [
+            string_of_int n;
+            Printf.sprintf "%.1f" (1000. *. dl);
+            Printf.sprintf "%.1f" (1000. *. fl);
+            string_of_int db;
+            string_of_int fb;
+          ];
+        (n, dl, fl, db, fb))
+      sys_counts
+  in
+  Table.print t2;
+  if !json_mode then begin
+    let oc = open_out "BENCH_compile.json" in
+    Printf.fprintf oc "{\n  \"params\": { \"scale\": %S, \"sites\": %d, \"churn\": 0.02 },\n"
+      scale nsites;
+    Printf.fprintf oc "  \"diagram\": [\n";
+    let nd = List.length diagram_rows in
+    List.iteri
+      (fun i (n, st, ruleset_b, churn_b, prep_full, prep_delta) ->
+        Printf.fprintf oc
+          "    { \"chains\": %d, \"nodes\": %d, \"actions\": %d, \"stages\": %d, \
+           \"sharing\": %.6f, \"full_ruleset_bytes\": %d, \"churn_epoch_bytes\": %d, \
+           \"epoch_ratio\": %.6f, \"prepare_full_bytes\": %d, \"prepare_delta_bytes\": %d }%s\n"
+          n st.Compile.nodes st.Compile.actions st.Compile.stages_total
+          (float_of_int st.Compile.nodes /. float_of_int st.Compile.stages_total)
+          ruleset_b churn_b
+          (float_of_int churn_b /. float_of_int ruleset_b)
+          prep_full prep_delta
+          (if i = nd - 1 then "" else ","))
+      diagram_rows;
+    Printf.fprintf oc "  ],\n  \"rollout\": [\n";
+    let nr = List.length rollout_rows in
+    List.iteri
+      (fun i (n, dl, fl, db, fb) ->
+        Printf.fprintf oc
+          "    { \"chains\": %d, \"delta_commit_s\": %.6f, \"full_commit_s\": %.6f, \
+           \"delta_wan_bytes\": %d, \"full_wan_bytes\": %d }%s\n"
+          n dl fl db fb
+          (if i = nr - 1 then "" else ","))
+      rollout_rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_compile.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2239,6 +2501,7 @@ let experiments =
     ("timevar", timevar);
     ("adapt", adapt);
     ("scenarios", scenarios);
+    ("compile", compile_bench);
     ("ablation", ablation);
     ("scale", scale);
     ("micro", micro);

@@ -370,7 +370,16 @@ let chaos_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the (shrunk) violating schedule to FILE, for CI artifacts.")
   in
-  let run seed search budget out =
+  let lanes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lanes" ] ~docv:"D"
+          ~doc:
+            "Dataplane shard lanes for the replayed system (default 1). The \
+             invariants must hold at any lane count.")
+  in
+  let run seed search budget out lanes =
     let print_result (r : Harness.result) =
       Format.printf "schedule (seed %d):@.%a@.%a@." r.schedule.Schedule.seed
         Schedule.pp r.schedule Harness.pp_result r
@@ -402,12 +411,12 @@ let chaos_cmd =
         1
     end
     else begin
-      let r = Harness.run_seed seed in
+      let r = Harness.run_seed ?lanes seed in
       print_result r;
       if r.violations = [] then 0 else 1
     end
   in
-  let term = Term.(const run $ seed $ search $ budget $ out) in
+  let term = Term.(const run $ seed $ search $ budget $ out $ lanes) in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:

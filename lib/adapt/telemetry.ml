@@ -98,6 +98,69 @@ module Exporter = struct
   let exported t = t.exported
 end
 
+module Control = struct
+  (* Control-plane cost snapshot: what the adaptation loop itself spends,
+     as opposed to what the data plane carries. Bus counters come from the
+     size-priced bus (every System bus prices payloads with
+     [Types.msg_size] and classes topics with [Types.topic_class]); data
+     plane counters come from the shard's mutation journal and rule
+     arena. *)
+  type report = {
+    bus_published : int;
+    bus_wan_messages : int;
+    bus_published_bytes : int;
+    bus_wan_bytes : int;  (** bytes that crossed the wide area *)
+    bus_topic_bytes : (string * int * int) list;
+        (** per topic class: (class, publishes, bytes) *)
+    bus_size_p50 : int;
+    bus_size_p99 : int;
+    dp_mutations : int;  (** rule-install journal length (lane 0) *)
+    dp_slots_live : int;
+    dp_words_used : int;
+    dp_words_garbage : int;
+    dp_compactions : int;
+  }
+
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0
+    else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+  let snapshot system =
+    let bs = Bus.stats (System.bus system) in
+    let shard = System.shard system in
+    let arena = Sb_dataplane.Shard.arena_stats shard in
+    let sizes = Array.of_list bs.Bus.sizes in
+    Array.sort compare sizes;
+    {
+      bus_published = bs.Bus.published;
+      bus_wan_messages = bs.Bus.wan_messages;
+      bus_published_bytes = bs.Bus.published_bytes;
+      bus_wan_bytes = bs.Bus.wan_bytes;
+      bus_topic_bytes = bs.Bus.topic_bytes;
+      bus_size_p50 = percentile sizes 0.5;
+      bus_size_p99 = percentile sizes 0.99;
+      dp_mutations = Sb_dataplane.Shard.mutations shard;
+      dp_slots_live = arena.Sb_dataplane.Plane.slots_live;
+      dp_words_used = arena.Sb_dataplane.Plane.words_used;
+      dp_words_garbage = arena.Sb_dataplane.Plane.words_garbage;
+      dp_compactions = arena.Sb_dataplane.Plane.compactions;
+    }
+
+  let pp fmt r =
+    Format.fprintf fmt
+      "@[<v>bus: %d published (%d B), %d wan msgs (%d B), size p50=%d p99=%d@,"
+      r.bus_published r.bus_published_bytes r.bus_wan_messages r.bus_wan_bytes
+      r.bus_size_p50 r.bus_size_p99;
+    List.iter
+      (fun (cls, n, b) -> Format.fprintf fmt "  %-28s %6d msgs %10d B@," cls n b)
+      r.bus_topic_bytes;
+    Format.fprintf fmt
+      "dp: %d mutations, arena %d live slots (%d words, %d garbage, %d compactions)@]"
+      r.dp_mutations r.dp_slots_live r.dp_words_used r.dp_words_garbage
+      r.dp_compactions
+end
+
 module Aggregator = struct
   type sample = {
     s_epoch : int;

@@ -38,6 +38,39 @@ module Exporter : sig
   (** Total reports published so far. *)
 end
 
+module Control : sig
+  (** Control-plane cost snapshot — what running the control loops
+      themselves costs, complementing the data-plane traffic matrix:
+      bytes on the wire per topic class from the size-priced bus (every
+      {!Sb_ctrl.System} bus prices payloads with
+      {!Sb_ctrl.Types.msg_size}), and the data plane's rule-churn
+      counters (mutation journal, rule-arena occupancy/compactions).
+      The rollout benches read [bus_wan_bytes] before/after an epoch to
+      measure what a route update actually shipped. *)
+
+  type report = {
+    bus_published : int;
+    bus_wan_messages : int;
+    bus_published_bytes : int;
+    bus_wan_bytes : int;  (** bytes that crossed the wide area *)
+    bus_topic_bytes : (string * int * int) list;
+        (** per topic class: (class, publishes, bytes) *)
+    bus_size_p50 : int;  (** median published payload size *)
+    bus_size_p99 : int;
+    dp_mutations : int;  (** rule-install journal length (lane 0) *)
+    dp_slots_live : int;
+    dp_words_used : int;
+    dp_words_garbage : int;
+    dp_compactions : int;
+  }
+
+  val snapshot : Sb_ctrl.System.t -> report
+  (** Counters since the system's last [Bus.reset_stats] /
+      construction. *)
+
+  val pp : Format.formatter -> report -> unit
+end
+
 module Aggregator : sig
   type t
 

@@ -18,9 +18,12 @@ type vnf_ctl = {
   mutable v_home : int; (* controller location: first deployment site *)
   v_capacity : (int, float) Hashtbl.t; (* site -> admission capacity *)
   v_committed : (int * int, float) Hashtbl.t; (* (chain, site) -> load *)
-  v_reserved : (int, int * (int * float) list) Hashtbl.t;
-  (* txid -> chain, (site, load) list; a commit REPLACES the chain's
-     previous allocation (route updates are not additive) *)
+  v_reserved : (int, int * (int * float) list * bool) Hashtbl.t;
+  (* txid -> chain, (site, load) list, republish flag; a commit REPLACES
+     the chain's previous allocation (route updates are not additive).
+     The flag is false when a compiled delta marked this VNF's demand
+     unchanged: the allocation is re-reserved as-is and the Instance_info
+     republish is skipped at commit — the O(churn) half of the rollout. *)
   v_voted : (int, msg) Hashtbl.t;
   (* txid -> the Vote published, so a retransmitted Prepare (the original
      vote was lost in the wide area) is answered from memory instead of
@@ -47,6 +50,8 @@ type txn = {
   tx_chain : int;
   tx_routes : route list;
   tx_spec : chain_spec;
+  tx_prepared : Compile.prepared option; (* delta rollout: compiled target *)
+  tx_delta : chain_delta option; (* delta rollout: the wire diff *)
   mutable tx_waiting : string list;
   mutable tx_rejected : (int * int) list;
   tx_exclude : (int * int) list;
@@ -63,11 +68,37 @@ type decision = {
   mutable d_unacked : string list;
 }
 
+(* A route set requested while the chain's transaction was still
+   collecting votes. Under delta rollout the queue also carries the
+   compiled target and a delta kept valid by {!Compile.compose} across
+   supersedes — replacing the delta outright, as the old route-list queue
+   did with routes, would silently drop the superseded update's changed
+   stages from what eventually ships. *)
+type queued = {
+  q_routes : route list;
+  q_exclude : (int * int) list;
+  q_comp : (Compile.prepared * chain_delta) option;
+}
+
+(* A Local Switchboard's view of one chain: spec, egress label and the
+   per-stage transition tables ([(src_site, dst_site, weight)] in route
+   order) that rule computation folds — exactly the decision-diagram
+   actions {!Compile} interns, so a partial delta patches [lc_tr] in
+   place. [lc_version] is the delta-application guard: a partial delta
+   applies only on the exact base version it was diffed against. *)
+type local_chain = {
+  lc_id : int;
+  mutable lc_spec : chain_spec;
+  mutable lc_egress : int;
+  mutable lc_version : int;
+  mutable lc_tr : (int * int * float) array array;
+}
+
 (* Per-site Local Switchboard: accumulates route and weight knowledge from
    the bus and converts it into forwarder rules (Section 3, step 5). *)
 type local_sb = {
   ls_site : int;
-  ls_known : (int, chain_state) Hashtbl.t;
+  ls_known : (int, local_chain) Hashtbl.t;
   ls_instance_info : (int * int * int, (int * float) list) Hashtbl.t;
   (* (chain, vnf, site) -> instances *)
   ls_fwd_info : (int * int * int, (int * float) list) Hashtbl.t;
@@ -79,6 +110,8 @@ type local_sb = {
   ls_subscribed : (string, unit) Hashtbl.t;
 }
 
+type rollout = Delta_rollout | Full_rollout
+
 type t = {
   eng : Engine.t;
   bus : msg Bus.t;
@@ -89,12 +122,16 @@ type t = {
   delay : int -> int -> float;
   install_latency : float;
   retry_interval : float;
+  rollout : rollout;
+  mutable compiled : Compile.t;
+  (* The Global Switchboard's committed decision diagrams; prepared
+     updates diff against this snapshot to build delta payloads. *)
   vnf_ctls : (int, vnf_ctl) Hashtbl.t;
   chains : (int, chain_state) Hashtbl.t;
   txns : (int, txn) Hashtbl.t;
   decisions : (int, decision) Hashtbl.t;
   chain_inflight : (int, int) Hashtbl.t; (* chain -> txid awaiting votes *)
-  queued_routes : (int, route list * (int * int) list) Hashtbl.t;
+  queued_routes : (int, queued) Hashtbl.t;
   (* chain -> the newest route set requested while a transaction for the
      chain was still collecting votes. 2PC is serialized per chain so
      that decisions happen in txid order — the participants' monotonic
@@ -108,13 +145,21 @@ type t = {
     (chain_spec -> exclude:(int * int) list -> route list option) option;
   mutable store : persisted Sb_music.Store.t option;
   mutable persisted_index : int list;
+  mutable log_enabled : bool;
   events : (float * string) list ref;
 }
 
-let logf t fmt =
-  Printf.ksprintf
-    (fun s -> t.events := (Engine.now t.eng, s) :: !(t.events))
-    fmt
+(* Lazy logging in the Logs style: [logf t (fun m -> m "fmt" ...)] only
+   formats (and only evaluates the arguments' [List.length] etc.) when
+   logging is enabled, so the 2PC hot path pays nothing with logs off. *)
+let logf t k =
+  if t.log_enabled then
+    k (fun fmt ->
+        Printf.ksprintf
+          (fun s -> t.events := (Engine.now t.eng, s) :: !(t.events))
+          fmt)
+
+let set_logging t enabled = t.log_enabled <- enabled
 
 let engine t = t.eng
 let bus t = t.bus
@@ -132,6 +177,8 @@ let log_between t lo hi =
 let chain_elements spec = Array.of_list ((-1) :: spec.vnfs @ [ -2 ])
 (* element VNF ids with -1 = ingress edge, -2 = egress edge *)
 
+let compile_stats t = Compile.stats t.compiled
+
 (* ---------------- Local Switchboard rule computation ---------------- *)
 
 let ls_subscribe t ls topic callback =
@@ -148,11 +195,15 @@ let ls_subscribe t ls topic callback =
    must be delivered into a local element, never balanced onward to yet
    another site (which happens when one site is the sender of one route
    and the receiver of another for the same stage, and would both break
-   chain routing and collide in the fabric's role-keyed flow store). *)
-let compute_stage_rule t ls (cs : chain_state) stage =
-  let spec = cs.c_spec in
+   chain routing and collide in the fabric's role-keyed flow store).
+
+   The fold runs over the stage's transition table in route-list order —
+   the same floats in the same order whether the table arrived in a full
+   route set or as a compiled delta, so both rollout modes produce
+   bit-identical rules. *)
+let compute_stage_rule t ls (lc : local_chain) stage =
+  let spec = lc.lc_spec in
   let elements = chain_elements spec in
-  (match cs.c_egress with Some _ -> () | None -> raise Exit);
   let targets = ref [] in
   let rx_targets = ref [] in
   let add tgt w = if w > 0. then targets := (tgt, w) :: !targets in
@@ -160,24 +211,23 @@ let compute_stage_rule t ls (cs : chain_state) stage =
   let missing = ref false in
   let next_vnf = elements.(stage + 1) in
   let relevant = ref false in
-  List.iter
-    (fun r ->
-      let s_z = r.element_sites.(stage) and s_z1 = r.element_sites.(stage + 1) in
+  Array.iter
+    (fun (s_z, s_z1, weight) ->
       let local_instances () =
-        match Hashtbl.find_opt ls.ls_instance_info (cs.c_id, next_vnf, ls.ls_site) with
+        match Hashtbl.find_opt ls.ls_instance_info (lc.lc_id, next_vnf, ls.ls_site) with
         | Some ((_ :: _) as insts) ->
           List.iter
             (fun (i, w) ->
-              add (Fabric.Vnf_instance i) (r.weight *. w);
-              add_rx (Fabric.Vnf_instance i) (r.weight *. w))
+              add (Fabric.Vnf_instance i) (weight *. w);
+              add_rx (Fabric.Vnf_instance i) (weight *. w))
             insts
         | Some [] | None -> missing := true
       in
       let local_egress () =
         match t.sites.(ls.ls_site).edge with
         | Some e ->
-          add (Fabric.Edge e) r.weight;
-          add_rx (Fabric.Edge e) r.weight
+          add (Fabric.Edge e) weight;
+          add_rx (Fabric.Edge e) weight
         | None -> missing := true
       in
       if s_z = ls.ls_site then begin
@@ -189,12 +239,12 @@ let compute_stage_rule t ls (cs : chain_state) stage =
              share over the forwarders the next VNF's site published, each
              weighted by its attached-instance weight (Section 5.2). *)
           if next_vnf = -2 then
-            add (Fabric.Forwarder (List.hd t.sites.(s_z1).forwarders)) r.weight
+            add (Fabric.Forwarder (List.hd t.sites.(s_z1).forwarders)) weight
           else
-            match Hashtbl.find_opt ls.ls_fwd_info (cs.c_id, next_vnf, s_z1) with
+            match Hashtbl.find_opt ls.ls_fwd_info (lc.lc_id, next_vnf, s_z1) with
             | Some ((_ :: _) as fwds) ->
               List.iter
-                (fun (f, w) -> add (Fabric.Forwarder f) (r.weight *. Float.max w 1e-9))
+                (fun (f, w) -> add (Fabric.Forwarder f) (weight *. Float.max w 1e-9))
                 fwds
             | Some [] | None -> missing := true
         end
@@ -205,7 +255,7 @@ let compute_stage_rule t ls (cs : chain_state) stage =
         relevant := true;
         if next_vnf = -2 then local_egress () else local_instances ()
       end)
-    cs.c_routes;
+    lc.lc_tr.(stage);
   if not !relevant then (None, None)
   else if !missing then (None, None)
   else begin
@@ -223,49 +273,64 @@ let compute_stage_rule t ls (cs : chain_state) stage =
       match !rx_targets with [] -> None | rx -> Some (merge rx) )
   end
 
-let try_install t ls (cs : chain_state) =
-  match cs.c_egress with
-  | None -> ()
-  | Some egress ->
-    let stages = List.length cs.c_spec.vnfs + 1 in
-    for stage = 0 to stages - 1 do
-      match compute_stage_rule t ls cs stage with
-      | None, _ | (exception Exit) -> ()
-      | Some rule, rx ->
-        let key = (cs.c_id, egress, stage) in
-        let unchanged =
-          Hashtbl.find_opt ls.ls_installed key = Some rule
-          && Hashtbl.find_opt ls.ls_installed_rx key = rx
-        in
-        if not unchanged then begin
-          Hashtbl.replace ls.ls_installed key rule;
-          (match rx with
-          | Some r -> Hashtbl.replace ls.ls_installed_rx key r
-          | None -> Hashtbl.remove ls.ls_installed_rx key);
-          ignore
-            (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
-                 List.iter
-                   (fun forwarder ->
-                     DP.install_rule t.fabric ~forwarder ~chain_label:cs.c_id
-                       ~egress_label:egress ~stage rule;
-                     match rx with
-                     | Some r ->
-                       DP.install_rx_rule t.fabric ~forwarder ~chain_label:cs.c_id
-                         ~egress_label:egress ~stage r
-                     | None -> ())
-                   t.sites.(ls.ls_site).forwarders;
-                 logf t "site %d: installed rule chain=%d stage=%d (%d targets)"
-                   ls.ls_site cs.c_id stage (List.length rule)))
-        end
-    done
+let try_install t ls (lc : local_chain) =
+  let egress = lc.lc_egress in
+  let changed = ref [] in
+  for stage = 0 to Array.length lc.lc_tr - 1 do
+    match compute_stage_rule t ls lc stage with
+    | None, _ -> ()
+    | Some rule, rx ->
+      let key = (lc.lc_id, egress, stage) in
+      let unchanged =
+        Hashtbl.find_opt ls.ls_installed key = Some rule
+        && Hashtbl.find_opt ls.ls_installed_rx key = rx
+      in
+      if not unchanged then begin
+        Hashtbl.replace ls.ls_installed key rule;
+        (match rx with
+        | Some r -> Hashtbl.replace ls.ls_installed_rx key r
+        | None -> Hashtbl.remove ls.ls_installed_rx key);
+        changed := (stage, rule, rx) :: !changed
+      end
+  done;
+  match List.rev !changed with
+  | [] -> ()
+  | changed ->
+    (* One batched data-plane transaction for every stage that moved:
+       the packed arrays are patched through [DP.apply_delta]'s journal
+       instead of one install call per stage. *)
+    let patches =
+      List.concat_map
+        (fun (stage, rule, rx) ->
+          { Fabric.rp_chain = lc.lc_id; rp_egress = egress; rp_stage = stage;
+            rp_rx = false; rp_targets = rule }
+          :: (match rx with
+             | Some r ->
+               [ { Fabric.rp_chain = lc.lc_id; rp_egress = egress; rp_stage = stage;
+                   rp_rx = true; rp_targets = r } ]
+             | None -> []))
+        changed
+    in
+    ignore
+      (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
+           List.iter
+             (fun forwarder -> ignore (DP.apply_delta t.fabric ~forwarder patches))
+             t.sites.(ls.ls_site).forwarders;
+           List.iter
+             (fun (stage, rule, _) ->
+               logf t (fun m ->
+                   m "site %d: installed rule chain=%d stage=%d (%d targets)"
+                     ls.ls_site lc.lc_id stage (List.length rule)))
+             changed))
 
 (* Publish this site's forwarder weight for a VNF of a chain once the local
    instance weights are known. *)
-let maybe_publish_forwarder_weight t ls (cs : chain_state) vnf =
-  match (cs.c_egress, Hashtbl.find_opt ls.ls_instance_info (cs.c_id, vnf, ls.ls_site)) with
-  | Some egress, Some insts when insts <> [] ->
+let maybe_publish_forwarder_weight t ls (lc : local_chain) vnf =
+  match Hashtbl.find_opt ls.ls_instance_info (lc.lc_id, vnf, ls.ls_site) with
+  | Some insts when insts <> [] ->
+    let egress = lc.lc_egress in
     let weight = List.fold_left (fun a (_, w) -> a +. w) 0. insts in
-    let key = (cs.c_id, vnf) in
+    let key = (lc.lc_id, vnf) in
     let already =
       match Hashtbl.find_opt ls.ls_published_weight key with
       | Some w -> w = weight
@@ -282,73 +347,135 @@ let maybe_publish_forwarder_weight t ls (cs : chain_state) vnf =
           t.sites.(ls.ls_site).forwarders
       in
       Bus.publish t.bus ~site:ls.ls_site
-        ~topic:(forwarders_topic ~chain:cs.c_id ~egress ~vnf ~site:ls.ls_site)
+        ~topic:(forwarders_topic ~chain:lc.lc_id ~egress ~vnf ~site:ls.ls_site)
         (Forwarder_info { vnf; site = ls.ls_site; forwarders = per_forwarder })
     end
   | _ -> ()
 
-(* React to a committed route set: subscribe to the weight topics this site
-   needs, then try to install rules. *)
-let ls_on_route t ls (cs : chain_state) =
-  Hashtbl.replace ls.ls_known cs.c_id cs;
-  match cs.c_egress with
-  | None -> ()
-  | Some egress ->
-    let spec = cs.c_spec in
-    let elements = chain_elements spec in
-    let nstages = List.length spec.vnfs + 1 in
-    let need_instances = Hashtbl.create 8 in
-    let need_forwarders = Hashtbl.create 8 in
-    List.iter
-      (fun r ->
-        for stage = 0 to nstages - 1 do
-          let s_z = r.element_sites.(stage) and s_z1 = r.element_sites.(stage + 1) in
-          let next_vnf = elements.(stage + 1) in
+(* Subscribe to the weight topics this site needs for the given stages of
+   a chain — all of them on a full update, only the changed ones on a
+   partial delta (a stage's subscriptions depend only on that stage's
+   transitions, so unchanged stages keep the subscriptions they already
+   installed). *)
+let ls_scan_topics t ls (lc : local_chain) stages =
+  let spec = lc.lc_spec in
+  let elements = chain_elements spec in
+  let egress = lc.lc_egress in
+  let need_instances = Hashtbl.create 8 in
+  let need_forwarders = Hashtbl.create 8 in
+  List.iter
+    (fun stage ->
+      let next_vnf = elements.(stage + 1) in
+      Array.iter
+        (fun (s_z, s_z1, _) ->
           if s_z = ls.ls_site && next_vnf >= 0 then
             if s_z1 = ls.ls_site then Hashtbl.replace need_instances (next_vnf, s_z1) ()
             else Hashtbl.replace need_forwarders (next_vnf, s_z1) ();
-          if s_z1 = ls.ls_site && s_z <> ls.ls_site && next_vnf >= 0 then
-            Hashtbl.replace need_instances (next_vnf, s_z1) ();
           (* Sites hosting a VNF element publish their forwarder weight and
              watch local instances. *)
           if s_z1 = ls.ls_site && next_vnf >= 0 then
-            Hashtbl.replace need_instances (next_vnf, s_z1) ()
-        done)
-      cs.c_routes;
-    let sub_instances (vnf, site) () =
-      ls_subscribe t ls (instances_topic ~chain:cs.c_id ~egress ~vnf ~site) (function
-        | Instance_info { vnf = v; site = s; instances } ->
-          Hashtbl.replace ls.ls_instance_info (cs.c_id, v, s) instances;
-          maybe_publish_forwarder_weight t ls cs v;
-          try_install t ls cs
-        | _ -> ())
-    in
-    let sub_forwarders (vnf, site) () =
-      ls_subscribe t ls (forwarders_topic ~chain:cs.c_id ~egress ~vnf ~site) (function
-        | Forwarder_info { vnf = v; site = s; forwarders } ->
-          Hashtbl.replace ls.ls_fwd_info (cs.c_id, v, s) forwarders;
-          try_install t ls cs
-        | _ -> ())
-    in
-    Hashtbl.iter sub_instances need_instances;
-    Hashtbl.iter sub_forwarders need_forwarders;
-    (* Sites hosting the first VNF listen for edge forwarders appearing at
-       new edge sites (Section 6 / Table 2). *)
-    let hosts_first_vnf =
-      List.exists (fun r -> Array.length r.element_sites > 1 && r.element_sites.(1) = ls.ls_site)
-        cs.c_routes
-    in
-    if hosts_first_vnf then
-      ls_subscribe t ls (edge_forwarders_topic ~chain:cs.c_id ~egress) (function
-        | Forwarder_info { site; _ } ->
-          logf t "site %d: 1st VNF's fwrdr receives edge's fwrdr info (edge site %d)"
-            ls.ls_site site;
-          logf t "site %d: 1st VNF's fwrdr starts dataplane configuration" ls.ls_site;
-          ignore
-            (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
-                 logf t "site %d: 1st VNF's fwrdr finishes configuration" ls.ls_site))
-        | _ -> ());
-    try_install t ls cs
+            Hashtbl.replace need_instances (next_vnf, s_z1) ())
+        lc.lc_tr.(stage))
+    stages;
+  let sub_instances (vnf, site) () =
+    ls_subscribe t ls (instances_topic ~chain:lc.lc_id ~egress ~vnf ~site) (function
+      | Instance_info { vnf = v; site = s; instances } ->
+        Hashtbl.replace ls.ls_instance_info (lc.lc_id, v, s) instances;
+        maybe_publish_forwarder_weight t ls lc v;
+        try_install t ls lc
+      | _ -> ())
+  in
+  let sub_forwarders (vnf, site) () =
+    ls_subscribe t ls (forwarders_topic ~chain:lc.lc_id ~egress ~vnf ~site) (function
+      | Forwarder_info { vnf = v; site = s; forwarders } ->
+        Hashtbl.replace ls.ls_fwd_info (lc.lc_id, v, s) forwarders;
+        try_install t ls lc
+      | _ -> ())
+  in
+  Hashtbl.iter sub_instances need_instances;
+  Hashtbl.iter sub_forwarders need_forwarders;
+  (* Sites hosting the first VNF listen for edge forwarders appearing at
+     new edge sites (Section 6 / Table 2). *)
+  let hosts_first_vnf =
+    List.mem 0 stages
+    && Array.exists (fun (_, s_z1, _) -> s_z1 = ls.ls_site) lc.lc_tr.(0)
+  in
+  if hosts_first_vnf then
+    ls_subscribe t ls (edge_forwarders_topic ~chain:lc.lc_id ~egress) (function
+      | Forwarder_info { site; _ } ->
+        logf t (fun m ->
+            m "site %d: 1st VNF's fwrdr receives edge's fwrdr info (edge site %d)"
+              ls.ls_site site);
+        logf t (fun m ->
+            m "site %d: 1st VNF's fwrdr starts dataplane configuration" ls.ls_site);
+        ignore
+          (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
+               logf t (fun m ->
+                   m "site %d: 1st VNF's fwrdr finishes configuration" ls.ls_site)))
+      | _ -> ())
+
+let all_stages_of tr = List.init (Array.length tr) Fun.id
+
+(* React to a committed full route set: (re)build the chain's transition
+   tables, reset the version lineage, subscribe, install. *)
+let ls_apply_full t ls ~chain ~egress ~spec ~version tr =
+  let lc =
+    match Hashtbl.find_opt ls.ls_known chain with
+    | Some lc ->
+      lc.lc_spec <- spec;
+      lc.lc_egress <- egress;
+      lc.lc_version <- version;
+      lc.lc_tr <- tr;
+      lc
+    | None ->
+      let lc =
+        { lc_id = chain; lc_spec = spec; lc_egress = egress; lc_version = version;
+          lc_tr = tr }
+      in
+      Hashtbl.replace ls.ls_known chain lc;
+      lc
+  in
+  ls_scan_topics t ls lc (all_stages_of tr);
+  try_install t ls lc
+
+(* One-time catch-up for a Local Switchboard that received a delta it
+   cannot apply (version gap after wide-area loss, or a partial delta for
+   a chain it never learned): subscribing to the chain's route topic
+   replays the retained full Route_update, and keeps the site on the full
+   feed from then on. *)
+let ls_heal t ls ~chain =
+  ls_subscribe t ls (route_topic ~chain) (function
+    | Route_update { chain; egress_label; spec; routes; version } ->
+      ls_apply_full t ls ~chain ~egress:egress_label ~spec ~version
+        (Compile.transitions_of_routes ~nstages:(List.length spec.vnfs + 1) routes)
+    | _ -> ())
+
+(* React to a committed delta: patch the changed stages in place when the
+   base version lines up, heal from the retained full state otherwise. A
+   full delta (new chain, recovered coordinator) applies unconditionally
+   and resets the lineage. *)
+let ls_apply_delta t ls ~chain ~egress ~spec (d : chain_delta) =
+  if d.cd_full then begin
+    let tr = Array.make d.cd_nstages [||] in
+    List.iter (fun sd -> tr.(sd.sd_stage) <- sd.sd_tr) d.cd_stages;
+    ls_apply_full t ls ~chain ~egress ~spec ~version:d.cd_target tr
+  end
+  else
+    match Hashtbl.find_opt ls.ls_known chain with
+    | Some lc when lc.lc_version = d.cd_base && Array.length lc.lc_tr = d.cd_nstages ->
+      List.iter (fun sd -> lc.lc_tr.(sd.sd_stage) <- sd.sd_tr) d.cd_stages;
+      lc.lc_version <- d.cd_target;
+      lc.lc_spec <- spec;
+      lc.lc_egress <- egress;
+      ls_scan_topics t ls lc (List.map (fun sd -> sd.sd_stage) d.cd_stages);
+      try_install t ls lc
+    | Some lc when lc.lc_version >= d.cd_target ->
+      () (* stale duplicate of an already applied delta *)
+    | _ ->
+      logf t (fun m ->
+          m "site %d: chain %d delta v%d->v%d does not fit local state; healing"
+            ls.ls_site chain d.cd_base d.cd_target);
+      ls_heal t ls ~chain
 
 (* --------------------------- VNF controller ------------------------- *)
 
@@ -373,24 +500,48 @@ let vnf_committed_at v ~excluding_chain site =
     (fun (c, s) load acc -> if s = site && c <> excluding_chain then acc +. load else acc)
     v.v_committed 0.
 
-let vnf_on_prepare t (v : vnf_ctl) ~txid ~chain ~routes ~spec =
-  let demand = vnf_demand_per_site spec routes v.v_id in
+let vnf_on_prepare t (v : vnf_ctl) ~txid ~chain ~routes ~delta ~spec =
   let ok = ref true in
   let rejected = ref [] in
-  Hashtbl.iter
-    (fun site load ->
-      let cap = try Hashtbl.find v.v_capacity site with Not_found -> 0. in
-      (* A route update replaces this chain's allocation, so its current
-         load does not count against the new demand. *)
-      let used = vnf_committed_at v ~excluding_chain:chain site in
-      if used +. load > cap +. 1e-9 then begin
-        ok := false;
-        rejected := (v.v_id, site) :: !rejected
-      end)
-    demand;
-  if !ok then
-    Hashtbl.replace v.v_reserved txid
-      (chain, Hashtbl.fold (fun s l acc -> (s, l) :: acc) demand []);
+  let check site load =
+    let cap = try Hashtbl.find v.v_capacity site with Not_found -> 0. in
+    (* A route update replaces this chain's allocation, so its current
+       load does not count against the new demand. *)
+    let used = vnf_committed_at v ~excluding_chain:chain site in
+    if used +. load > cap +. 1e-9 then begin
+      ok := false;
+      rejected := (v.v_id, site) :: !rejected
+    end
+  in
+  let reserved =
+    match delta with
+    | None ->
+      (* Full payload: recompute demand from the shipped route set. *)
+      let demand = vnf_demand_per_site spec routes v.v_id in
+      Hashtbl.iter check demand;
+      (chain, Hashtbl.fold (fun s l acc -> (s, l) :: acc) demand [], true)
+    | Some d -> (
+      match List.assoc_opt v.v_id d.cd_demand with
+      | Some rows ->
+        (* Demand rows shipped in the delta admit exactly as recomputed
+           ones would ([Compile.demands_of_routes] replicates the float
+           accumulation). *)
+        List.iter (fun (s, l) -> check s l) rows;
+        (chain, rows, true)
+      | None ->
+        (* This VNF's demand is unchanged by the delta: re-reserve the
+           committed allocation (still admission-checked — capacity may
+           have shrunk) and skip the Instance_info republish at commit. *)
+        let rows =
+          Hashtbl.fold
+            (fun (c, s) load acc -> if c = chain then (s, load) :: acc else acc)
+            v.v_committed []
+          |> List.sort compare
+        in
+        List.iter (fun (s, l) -> check s l) rows;
+        (chain, rows, false))
+  in
+  if !ok then Hashtbl.replace v.v_reserved txid reserved;
   let vote =
     Vote
       {
@@ -406,7 +557,7 @@ let vnf_on_prepare t (v : vnf_ctl) ~txid ~chain ~routes ~spec =
 let vnf_on_commit t (v : vnf_ctl) ~txid ~chain ~egress =
   match Hashtbl.find_opt v.v_reserved txid with
   | None -> ()
-  | Some (res_chain, reserved) ->
+  | Some (res_chain, reserved, republish) ->
     Hashtbl.remove v.v_reserved txid;
     let last = try Hashtbl.find v.v_applied res_chain with Not_found -> -1 in
     if txid <= last then () (* late duplicate of a superseded transaction *)
@@ -421,14 +572,18 @@ let vnf_on_commit t (v : vnf_ctl) ~txid ~chain ~egress =
     List.iter
       (fun (site, load) ->
         Hashtbl.replace v.v_committed (res_chain, site) load;
-        (* Publish the allocated instances and weights (Section 3 step 4). *)
-        let insts =
-          match Hashtbl.find_opt v.v_instances site with Some l -> l | None -> []
-        in
-        Bus.publish t.bus ~site:v.v_home
-          ~topic:(instances_topic ~chain ~egress ~vnf:v.v_id ~site)
-          (Instance_info
-             { vnf = v.v_id; site; instances = List.map (fun i -> (i, 1.0)) insts }))
+        (* Publish the allocated instances and weights (Section 3 step 4)
+           — skipped when the delta marked this VNF untouched, so an
+           incremental epoch's bytes scale with its churn. *)
+        if republish then begin
+          let insts =
+            match Hashtbl.find_opt v.v_instances site with Some l -> l | None -> []
+          in
+          Bus.publish t.bus ~site:v.v_home
+            ~topic:(instances_topic ~chain ~egress ~vnf:v.v_id ~site)
+            (Instance_info
+               { vnf = v.v_id; site; instances = List.map (fun i -> (i, 1.0)) insts })
+        end)
       reserved
     end
 
@@ -447,8 +602,8 @@ let persist_chain t (cs : chain_state) =
       ~key:(Printf.sprintf "chain/%d" cs.c_id)
       record
       (fun ok ->
-        if ok then logf t "gsb: chain %d persisted to MUSIC" cs.c_id
-        else logf t "gsb: MUSIC quorum unavailable for chain %d" cs.c_id);
+        if ok then logf t (fun m -> m "gsb: chain %d persisted to MUSIC" cs.c_id)
+        else logf t (fun m -> m "gsb: MUSIC quorum unavailable for chain %d" cs.c_id));
     if not (List.mem cs.c_id t.persisted_index) then begin
       t.persisted_index <- cs.c_id :: t.persisted_index;
       Sb_music.Store.put store ~from:t.gsb_site ~key:"chains/index"
@@ -476,8 +631,9 @@ let register_decision t ~txid ~spec msg =
     if not t.gsb_down then
       match Hashtbl.find_opt t.decisions txid with
       | Some d when d.d_unacked <> [] ->
-        logf t "gsb: 2pc tx%d retransmitting decision to %d unacked" txid
-          (List.length d.d_unacked);
+        logf t (fun m ->
+            m "gsb: 2pc tx%d retransmitting decision to %d unacked" txid
+              (List.length d.d_unacked));
         List.iter
           (fun name ->
             Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
@@ -496,16 +652,67 @@ let gsb_on_ack t ~txid ~participant =
       d.d_unacked <- List.filter (fun p -> p <> participant) d.d_unacked;
       if d.d_unacked = [] then Hashtbl.remove t.decisions txid
 
+(* Compile the queued update against the newest pending target — the
+   already queued prepared state if any, else the in-flight transaction's
+   — and compose it with any delta already queued, so the delta that
+   eventually ships covers every superseded update's changed stages. The
+   target version is always (in-flight version + 1): a supersede replaces
+   the queued update's slot in the commit order, it does not advance it. *)
+let compose_queued t (cs : chain_state) routes =
+  let base, older =
+    match Hashtbl.find_opt t.queued_routes cs.c_id with
+    | Some { q_comp = Some (qp, qd); _ } -> (Some qp, Some qd)
+    | _ -> (
+      match
+        Option.bind (Hashtbl.find_opt t.chain_inflight cs.c_id)
+          (Hashtbl.find_opt t.txns)
+      with
+      | Some tx -> (tx.tx_prepared, None)
+      | None -> (None, None))
+  in
+  match base with
+  | None -> None
+  | Some bp ->
+    let version =
+      match older with
+      | Some _ -> Compile.prepared_version bp (* replace the queued slot *)
+      | None -> Compile.prepared_version bp + 1 (* first queued update *)
+    in
+    let p = Compile.prepare t.compiled ~version ~chain:cs.c_id ~spec:cs.c_spec ~routes in
+    let d = Compile.delta_between t.compiled ~base:bp ~target:p in
+    let d = match older with Some od -> Compile.compose od d | None -> d in
+    Some (p, d)
+
 let rec gsb_start_2pc t (cs : chain_state) routes ~exclude =
+  gsb_start_2pc_comp t cs routes ~exclude ~comp:None
+
+and gsb_start_2pc_comp t (cs : chain_state) routes ~exclude ~comp =
   if t.gsb_down then
-    logf t "gsb: down; dropping 2pc for chain %d" cs.c_id
+    logf t (fun m -> m "gsb: down; dropping 2pc for chain %d" cs.c_id)
   else if Hashtbl.mem t.chain_inflight cs.c_id then begin
     (* Serialize per chain: a newer request supersedes any queued one and
        starts once the in-flight transaction decides. *)
-    logf t "gsb: chain %d transaction in flight; queueing route update" cs.c_id;
-    Hashtbl.replace t.queued_routes cs.c_id (routes, exclude)
+    logf t (fun m ->
+        m "gsb: chain %d transaction in flight; queueing route update" cs.c_id);
+    let q_comp =
+      match t.rollout with
+      | Full_rollout -> None
+      | Delta_rollout -> compose_queued t cs routes
+    in
+    Hashtbl.replace t.queued_routes cs.c_id
+      { q_routes = routes; q_exclude = exclude; q_comp }
   end
   else begin
+    let prepared, delta =
+      match t.rollout with
+      | Full_rollout -> (None, None)
+      | Delta_rollout -> (
+        match comp with
+        | Some (p, d) -> (Some p, Some d)
+        | None ->
+          let p = Compile.prepare t.compiled ~chain:cs.c_id ~spec:cs.c_spec ~routes in
+          (Some p, Some (Compile.delta_from_committed t.compiled p)))
+    in
     let txid = t.next_txid in
     t.next_txid <- txid + 1;
     let tx =
@@ -514,6 +721,8 @@ let rec gsb_start_2pc t (cs : chain_state) routes ~exclude =
         tx_chain = cs.c_id;
         tx_routes = routes;
         tx_spec = cs.c_spec;
+        tx_prepared = prepared;
+        tx_delta = delta;
         tx_waiting = participants_of cs.c_spec;
         tx_rejected = [];
         tx_exclude = exclude;
@@ -521,19 +730,25 @@ let rec gsb_start_2pc t (cs : chain_state) routes ~exclude =
     in
     Hashtbl.replace t.txns txid tx;
     Hashtbl.replace t.chain_inflight cs.c_id txid;
-    logf t "gsb: 2pc prepare tx%d for chain %d (%d routes)" txid cs.c_id
-      (List.length routes);
+    logf t (fun m ->
+        m "gsb: 2pc prepare tx%d for chain %d (%d routes)" txid cs.c_id
+          (List.length routes));
     (* Collect votes (and decision acks) for this transaction. *)
     Bus.subscribe t.bus ~site:t.gsb_site ~topic:(votes_topic ~txid) (function
       | Vote { txid; participant; accept; rejected } ->
         gsb_on_vote t ~txid ~participant ~accept ~rejected
       | Decision_ack { txid; participant } -> gsb_on_ack t ~txid ~participant
       | _ -> ());
+    (* Under delta rollout the Prepare carries only the compiled diff —
+       the O(churn) payload; the full route set rides only in Full mode. *)
+    let wire_routes =
+      match t.rollout with Full_rollout -> routes | Delta_rollout -> []
+    in
     let send_prepares names =
       List.iter
         (fun name ->
           Bus.publish t.bus ~site:t.gsb_site ~topic:(participant_topic ~name)
-            (Prepare { txid; chain = cs.c_id; routes; spec = cs.c_spec }))
+            (Prepare { txid; chain = cs.c_id; routes = wire_routes; delta; spec = cs.c_spec }))
         names
     in
     send_prepares (participants_of cs.c_spec);
@@ -545,8 +760,9 @@ let rec gsb_start_2pc t (cs : chain_state) routes ~exclude =
       if not t.gsb_down then
         match Hashtbl.find_opt t.txns txid with
         | Some tx when tx.tx_waiting <> [] ->
-          logf t "gsb: 2pc tx%d retransmitting prepare to %d unvoted" txid
-            (List.length tx.tx_waiting);
+          logf t (fun m ->
+              m "gsb: 2pc tx%d retransmitting prepare to %d unvoted" txid
+                (List.length tx.tx_waiting));
           send_prepares tx.tx_waiting;
           ignore (Engine.schedule t.eng ~delay:t.retry_interval retry)
         | Some _ | None -> ()
@@ -571,46 +787,80 @@ and gsb_on_vote t ~txid ~participant ~accept ~rejected =
             (* Commit. *)
             register_decision t ~txid ~spec:tx.tx_spec (Commit { txid });
             cs.c_routes <- tx.tx_routes;
-            logf t "gsb: 2pc commit tx%d; chain %d routes installed" txid tx.tx_chain;
+            (match tx.tx_prepared with
+            | Some p -> t.compiled <- Compile.commit t.compiled ~chain:tx.tx_chain p
+            | None -> ());
+            logf t (fun m ->
+                m "gsb: 2pc commit tx%d; chain %d routes installed" txid tx.tx_chain);
             persist_chain t cs;
             let egress = Option.get cs.c_egress in
-            let update =
-              Route_update
-                { chain = cs.c_id; egress_label = egress; spec = cs.c_spec; routes = tx.tx_routes }
-            in
-            Bus.publish t.bus ~site:t.gsb_site ~topic:broadcast_topic update;
-            Bus.publish t.bus ~site:t.gsb_site ~topic:(route_topic ~chain:cs.c_id) update
+            (match tx.tx_delta with
+            | Some d ->
+              (* O(churn) announcement on the broadcast topic; the full
+                 route set stays retained on the chain's route topic —
+                 normally subscriber-free, so it costs no wide-area bytes
+                 — as the heal point for version-gapped sites. *)
+              Bus.publish t.bus ~site:t.gsb_site ~topic:broadcast_topic
+                (Route_delta
+                   { chain = cs.c_id; egress_label = egress; spec = cs.c_spec; delta = d });
+              Bus.publish t.bus ~site:t.gsb_site ~topic:(route_topic ~chain:cs.c_id)
+                (Route_update
+                   { chain = cs.c_id; egress_label = egress; spec = cs.c_spec;
+                     routes = tx.tx_routes; version = d.cd_target })
+            | None ->
+              let update =
+                Route_update
+                  { chain = cs.c_id; egress_label = egress; spec = cs.c_spec;
+                    routes = tx.tx_routes; version = 0 }
+              in
+              Bus.publish t.bus ~site:t.gsb_site ~topic:broadcast_topic update;
+              Bus.publish t.bus ~site:t.gsb_site ~topic:(route_topic ~chain:cs.c_id) update)
           end
           else begin
             register_decision t ~txid ~spec:tx.tx_spec (Abort { txid });
             let exclude = tx.tx_rejected @ tx.tx_exclude in
-            logf t "gsb: 2pc abort tx%d (%d rejections); recomputing" txid
-              (List.length tx.tx_rejected);
+            logf t (fun m ->
+                m "gsb: 2pc abort tx%d (%d rejections); recomputing" txid
+                  (List.length tx.tx_rejected));
             if List.length exclude <= 32 then begin
               match t.route_policy with
               | Some policy -> (
                 match policy tx.tx_spec ~exclude with
                 | Some routes -> gsb_start_2pc t cs routes ~exclude
-                | None -> logf t "gsb: no feasible route for chain %d" tx.tx_chain)
-              | None -> logf t "gsb: no route policy; chain %d failed" tx.tx_chain
+                | None ->
+                  logf t (fun m -> m "gsb: no feasible route for chain %d" tx.tx_chain))
+              | None ->
+                logf t (fun m -> m "gsb: no route policy; chain %d failed" tx.tx_chain)
             end
           end;
           (* The chain is idle unless the decision path re-entered 2PC
              (abort recompute); drain the newest queued route set. *)
           if not (Hashtbl.mem t.chain_inflight tx.tx_chain) then begin
             match Hashtbl.find_opt t.queued_routes tx.tx_chain with
-            | Some (routes, exclude) ->
+            | Some q -> (
               Hashtbl.remove t.queued_routes tx.tx_chain;
-              gsb_start_2pc t cs routes ~exclude
+              match q.q_comp with
+              | Some (p, d)
+                when (d.cd_full || d.cd_base = Compile.version t.compiled ~chain:tx.tx_chain)
+                     && Compile.prepared_version p
+                        = Compile.version t.compiled ~chain:tx.tx_chain + 1 ->
+                (* The in-flight transaction committed the base this delta
+                   was composed against: ship the composed delta as-is. *)
+                gsb_start_2pc_comp t cs q.q_routes ~exclude:q.q_exclude
+                  ~comp:(Some (p, d))
+              | _ ->
+                (* Aborted base (or Full mode): recompute against the
+                   still-committed state from the stored full routes. *)
+                gsb_start_2pc t cs q.q_routes ~exclude:q.q_exclude)
             | None -> ()
           end
         end
       end
 
 let gsb_on_request t ~chain ~spec =
-  if t.gsb_down then logf t "gsb: down; chain request %d lost" chain
+  if t.gsb_down then logf t (fun m -> m "gsb: down; chain request %d lost" chain)
   else begin
-  logf t "gsb: received chain request %s (chain %d)" spec.spec_name chain;
+  logf t (fun m -> m "gsb: received chain request %s (chain %d)" spec.spec_name chain);
   let resolve a =
     match Hashtbl.find_opt t.attachments a with
     | Some s -> s
@@ -623,19 +873,23 @@ let gsb_on_request t ~chain ~spec =
   in
   Hashtbl.replace t.chains chain cs;
   match t.route_policy with
-  | None -> logf t "gsb: no route policy; chain %d failed" chain
+  | None -> logf t (fun m -> m "gsb: no route policy; chain %d failed" chain)
   | Some policy -> (
     match policy spec ~exclude:[] with
     | Some routes -> gsb_start_2pc t cs routes ~exclude:[]
-    | None -> logf t "gsb: no feasible route for chain %d" chain)
+    | None -> logf t (fun m -> m "gsb: no feasible route for chain %d" chain))
   end
 
 (* ------------------------------ Assembly ---------------------------- *)
 
 let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.)
-    ?(retry_interval = 0.5) ?flow_store ?(lanes = 1) ~num_sites ~delay ~gsb_site () =
+    ?bus_bandwidth ?(retry_interval = 0.5) ?flow_store ?(lanes = 1)
+    ?(rollout = Delta_rollout) ~num_sites ~delay ~gsb_site () =
   let eng = Engine.create () in
-  let bus = Bus.create eng ~mode:Bus.Switchboard ~num_sites ~delay ~egress_rate () in
+  let bus =
+    Bus.create eng ~mode:Bus.Switchboard ~num_sites ~delay ~egress_rate
+      ?bandwidth:bus_bandwidth ~size_fn:msg_size ~topic_key:topic_class ()
+  in
   let fabric = DP.create ~seed ?flow_store ~lanes () in
   let sites =
     Array.init num_sites (fun i ->
@@ -667,6 +921,8 @@ let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.)
       delay;
       install_latency;
       retry_interval;
+      rollout;
+      compiled = Compile.empty ();
       vnf_ctls = Hashtbl.create 8;
       chains = Hashtbl.create 8;
       txns = Hashtbl.create 8;
@@ -681,6 +937,7 @@ let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.)
       route_policy = None;
       store = None;
       persisted_index = [];
+      log_enabled = true;
       events = ref [];
     }
   in
@@ -698,30 +955,16 @@ let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.)
       Bus.publish bus ~site:gsb_site ~topic:(votes_topic ~txid)
         (Decision_ack { txid; participant = "edge" })
     | _ -> ());
-  (* Every Local Switchboard watches for committed routes. *)
+  (* Every Local Switchboard watches for committed routes — full route
+     sets (Full mode, coordinator recovery) and compiled deltas. *)
   Array.iter
     (fun ls ->
       Bus.subscribe bus ~site:ls.ls_site ~topic:broadcast_topic (function
-        | Route_update { chain; egress_label; spec; routes } ->
-          let cs =
-            match Hashtbl.find_opt ls.ls_known chain with
-            | Some cs ->
-              cs.c_routes <- routes;
-              cs.c_spec <- spec;
-              cs
-            | None ->
-              let ingress =
-                match routes with r :: _ -> Some r.element_sites.(0) | [] -> None
-              in
-              {
-                c_id = chain;
-                c_spec = spec;
-                c_routes = routes;
-                c_ingress = ingress;
-                c_egress = Some egress_label;
-              }
-          in
-          ls_on_route t ls cs
+        | Route_update { chain; egress_label; spec; routes; version } ->
+          ls_apply_full t ls ~chain ~egress:egress_label ~spec ~version
+            (Compile.transitions_of_routes ~nstages:(List.length spec.vnfs + 1) routes)
+        | Route_delta { chain; egress_label; spec; delta } ->
+          ls_apply_delta t ls ~chain ~egress:egress_label ~spec delta
         | _ -> ()))
     locals;
   t
@@ -752,14 +995,14 @@ let deploy_vnf t ~vnf ~site ~capacity ~instances =
           (Decision_ack { txid; participant = name })
       in
       Bus.subscribe t.bus ~site ~topic:(participant_topic ~name) (function
-        | Prepare { txid; chain; routes; spec } -> (
+        | Prepare { txid; chain; routes; delta; spec } -> (
           match Hashtbl.find_opt v.v_voted txid with
           | Some vote ->
             (* Retransmitted Prepare: the original Vote was lost. Answer
                from memory — recomputing could double-reserve. *)
             Bus.publish t.bus ~site:v.v_home ~topic:(votes_topic ~txid) vote
           | None ->
-            vnf_on_prepare t v ~txid ~chain ~routes ~spec;
+            vnf_on_prepare t v ~txid ~chain ~routes ~delta ~spec;
             (* Remember the chain/egress for the commit. *)
             Hashtbl.replace t.pending_commits txid (chain, spec))
         | Commit { txid } ->
@@ -826,7 +1069,7 @@ let add_route t ~chain route =
   match Hashtbl.find_opt t.chains chain with
   | None -> invalid_arg "System.add_route: unknown chain"
   | Some cs ->
-    logf t "gsb: route addition requested for chain %d" chain;
+    logf t (fun m -> m "gsb: route addition requested for chain %d" chain);
     (* Rebalance weights evenly across old and new routes. *)
     let all = cs.c_routes @ [ route ] in
     let n = float_of_int (List.length all) in
@@ -837,8 +1080,9 @@ let update_routes t ~chain routes =
   match Hashtbl.find_opt t.chains chain with
   | None -> invalid_arg "System.update_routes: unknown chain"
   | Some cs ->
-    logf t "gsb: route update requested for chain %d (%d routes)" chain
-      (List.length routes);
+    logf t (fun m ->
+        m "gsb: route update requested for chain %d (%d routes)" chain
+          (List.length routes));
     gsb_start_2pc t cs routes ~exclude:[]
 
 let add_edge_site t ~chain ~site =
@@ -859,16 +1103,18 @@ let add_edge_site t ~chain ~site =
         None cs.c_routes
     in
     (match best_route with
-    | None -> logf t "site %d: no route to extend for chain %d" site chain
+    | None -> logf t (fun m -> m "site %d: no route to extend for chain %d" site chain)
     | Some (r, _) ->
       let s1 = r.element_sites.(1) in
       let first_vnf = List.hd cs.c_spec.vnfs in
-      logf t "site %d: Local SB chose 1st VNF's site %d for chain %d" site s1 chain;
+      logf t (fun m ->
+          m "site %d: Local SB chose 1st VNF's site %d for chain %d" site s1 chain);
       (* Step 2: pull the first VNF's forwarder info (retained topic). *)
       ls_subscribe t ls (forwarders_topic ~chain ~egress ~vnf:first_vnf ~site:s1)
         (function
         | Forwarder_info { forwarders; _ } ->
-          logf t "site %d: edge instance's fwrdr received 1st VNF's info" site;
+          logf t (fun m ->
+              m "site %d: edge instance's fwrdr received 1st VNF's info" site);
           (* Step 3: configure the edge forwarder's data plane (stage-0
              rule + tunnel towards the first VNF's forwarder). *)
           ignore
@@ -881,7 +1127,8 @@ let add_edge_site t ~chain ~site =
                      DP.install_rule t.fabric ~forwarder ~chain_label:chain
                        ~egress_label:egress ~stage:0 rule)
                    t.sites.(site).forwarders;
-                 logf t "site %d: edge instance's fwrdr dataplane configured" site;
+                 logf t (fun m ->
+                     m "site %d: edge instance's fwrdr dataplane configured" site);
                  (* Step 4: announce this edge's forwarder so the first
                     VNF's forwarder can configure the return side. *)
                  Bus.publish t.bus ~site
@@ -913,8 +1160,9 @@ let add_forwarder t ~site =
              DP.install_rx_rule t.fabric ~forwarder ~chain_label:chain
                ~egress_label:egress ~stage rule)
            ls.ls_installed_rx;
-         logf t "site %d: forwarder %d joined and configured (%d rules)" site forwarder
-           (Hashtbl.length ls.ls_installed)));
+         logf t (fun m ->
+             m "site %d: forwarder %d joined and configured (%d rules)" site forwarder
+               (Hashtbl.length ls.ls_installed))));
   forwarder
 
 let scale_vnf_instances t ~vnf ~site ~count =
@@ -934,8 +1182,9 @@ let scale_vnf_instances t ~vnf ~site ~count =
           ())
   in
   Hashtbl.replace v.v_instances site (existing @ fresh);
-  logf t "vnf %d: scaled to %d instances at site %d" vnf
-    (List.length existing + count) site;
+  logf t (fun m ->
+      m "vnf %d: scaled to %d instances at site %d" vnf
+        (List.length existing + count) site);
   (* Republish instance weights for every chain allocated here so Local
      Switchboards rebalance onto the new instances. *)
   let chains_here =
@@ -983,32 +1232,35 @@ let chain_measurements t ~chain =
    exactly what a site-local exporter can see. *)
 let site_known_chains t ~site =
   Hashtbl.fold
-    (fun id (cs : chain_state) acc ->
-      match cs.c_egress with
-      | Some egress -> (id, egress, List.length cs.c_spec.vnfs + 1) :: acc
-      | None -> acc)
+    (fun id (lc : local_chain) acc ->
+      (id, lc.lc_egress, List.length lc.lc_spec.vnfs + 1) :: acc)
     t.locals.(site).ls_known []
   |> List.sort compare
 
 let site_chain_measurements t ~site ~chain =
   match Hashtbl.find_opt t.locals.(site).ls_known chain with
-  | Some { c_egress = Some egress; c_spec; _ } ->
-    let stages = List.length c_spec.vnfs + 1 in
+  | Some lc ->
+    let stages = List.length lc.lc_spec.vnfs + 1 in
     Array.init stages (fun stage ->
         DP.site_stage_counters t.fabric ~site:t.sites.(site).fab_site
-          ~chain_label:chain ~egress_label:egress ~stage)
-  | Some _ | None -> [||]
+          ~chain_label:chain ~egress_label:lc.lc_egress ~stage)
+  | None -> [||]
 
 let site_chain_measurements_into t ~site ~chain ~pkts ~bytes =
   match Hashtbl.find_opt t.locals.(site).ls_known chain with
-  | Some { c_egress = Some egress; c_spec; _ } ->
-    let stages = List.length c_spec.vnfs + 1 in
+  | Some lc ->
+    let stages = List.length lc.lc_spec.vnfs + 1 in
     if Array.length pkts < stages || Array.length bytes < stages then
       invalid_arg "System.site_chain_measurements_into: buffers too small";
     DP.site_stage_counters_into t.fabric ~site:t.sites.(site).fab_site
-      ~chain_label:chain ~egress_label:egress ~pkts ~bytes;
+      ~chain_label:chain ~egress_label:lc.lc_egress ~pkts ~bytes;
     stages
-  | Some _ | None -> -1
+  | None -> -1
+
+let site_chain_version t ~site ~chain =
+  Option.map
+    (fun lc -> lc.lc_version)
+    (Hashtbl.find_opt t.locals.(site).ls_known chain)
 
 let reset_measurements t = DP.reset_counters t.fabric
 
@@ -1033,19 +1285,22 @@ let set_gsb_down t down =
   if down && not t.gsb_down then begin
     t.gsb_down <- true;
     (* The coordinator's volatile state dies with it: in-flight
-       transactions and un-acked decisions are lost. Participants keep
-       their reservations (harmless: admission counts only committed
-       load); the recovered coordinator re-drives every persisted chain
-       with fresh transactions via [recover_from_store]. *)
+       transactions, un-acked decisions and the compiled diagrams are
+       lost. Participants keep their reservations (harmless: admission
+       counts only committed load); the recovered coordinator re-drives
+       every persisted chain with fresh transactions — full deltas from
+       an empty snapshot, resetting every site's version lineage — via
+       [recover_from_store]. *)
     Hashtbl.reset t.txns;
     Hashtbl.reset t.decisions;
     Hashtbl.reset t.chain_inflight;
     Hashtbl.reset t.queued_routes;
-    logf t "gsb: down (in-flight transactions lost)"
+    t.compiled <- Compile.empty ();
+    logf t (fun m -> m "gsb: down (in-flight transactions lost)")
   end
   else if (not down) && t.gsb_down then begin
     t.gsb_down <- false;
-    logf t "gsb: standby taking over"
+    logf t (fun m -> m "gsb: standby taking over")
   end
 
 let gsb_is_down t = t.gsb_down
@@ -1093,16 +1348,16 @@ let recover_from_store t store ~on_done =
                   if not (List.mem id t.persisted_index) then
                     t.persisted_index <- id :: t.persisted_index;
                   recovered := id :: !recovered;
-                  logf t "gsb(standby): recovered chain %d from MUSIC" id;
+                  logf t (fun m -> m "gsb(standby): recovered chain %d from MUSIC" id);
                   (* Re-drive the two-phase commit with the recovered
                      routes: VNF controllers re-admit and republish their
                      instance weights, Local Switchboards reinstall rules. *)
                   gsb_start_2pc t cs r.cr_routes ~exclude:[]
                 | Some (Chain_index _) | None ->
-                  logf t "gsb(standby): chain %d unrecoverable" id);
+                  logf t (fun m -> m "gsb(standby): chain %d unrecoverable" id));
                 decr pending;
                 if !pending = 0 then on_done (List.sort compare !recovered)))
           ids
     | Some (Chain_record _) | None ->
-      logf t "gsb(standby): no chain index in MUSIC";
+      logf t (fun m -> m "gsb(standby): no chain index in MUSIC");
       on_done [])

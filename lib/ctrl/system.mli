@@ -19,13 +19,27 @@
 
 type t
 
+type rollout = Delta_rollout | Full_rollout
+(** How committed route state reaches participants and Local Switchboards.
+    [Delta_rollout] (the default) compiles route sets into hash-consed
+    decision diagrams ({!Compile}), ships only the changed stages and
+    changed per-VNF demand rows through the 2PC and the commit
+    announcement, and skips the per-site [Instance_info] republish for
+    VNFs whose demand did not move — bytes on the wire scale with an
+    epoch's churn, not the chain's size. [Full_rollout] is the original
+    protocol: full route sets in every Prepare and Route_update. Both
+    modes produce bit-identical installed rules, traces and counters
+    (pinned by the equivalence tests). *)
+
 val create :
   ?seed:int ->
   ?install_latency:float ->
   ?egress_rate:float ->
+  ?bus_bandwidth:float ->
   ?retry_interval:float ->
   ?flow_store:Sb_dataplane.Fabric.flow_store ->
   ?lanes:int ->
+  ?rollout:rollout ->
   num_sites:int ->
   delay:(int -> int -> float) ->
   gsb_site:int ->
@@ -41,7 +55,22 @@ val create :
     (default {!Sb_dataplane.Fabric.Local}). [lanes] (default 1) shards
     the data plane across that many per-domain lanes
     ({!Sb_dataplane.Shard}); with 1 lane the data plane is bit-identical
-    to an unsharded {!Sb_dataplane.Fabric}. *)
+    to an unsharded {!Sb_dataplane.Fabric}. [bus_bandwidth] (bytes/s),
+    when given, makes bus egress serialization proportional to each
+    message's modeled wire size ({!Types.msg_size}) instead of the flat
+    per-message [egress_rate]. The bus prices every publish with
+    {!Types.msg_size} and classes topics with {!Types.topic_class}, so
+    [Bus.stats] reports bytes on the wire per topic class. *)
+
+val set_logging : t -> bool -> unit
+(** Disable/enable the control-plane event log. Log calls are lazy
+    ([logf t (fun m -> m ...)]), so with logging off the hot paths skip
+    formatting entirely — benches at 10^5+ chains turn it off. *)
+
+val compile_stats : t -> Compile.stats
+(** Size of the Global Switchboard's committed decision diagrams
+    (interned nodes/actions vs total stages — the structural-sharing
+    factor). *)
 
 val engine : t -> Sb_sim.Engine.t
 val bus : t -> Types.msg Sb_msgbus.Bus.t
@@ -200,6 +229,11 @@ val site_chain_measurements_into :
     [Invalid_argument] if the buffers are shorter than the stage count.
     The telemetry exporter calls this every epoch with reused scratch
     buffers, so a measurement sweep allocates nothing. *)
+
+val site_chain_version : t -> site:int -> chain:int -> int option
+(** The route-state version the site's Local Switchboard has applied for
+    a chain (delta lineage guard); [None] for an unlearned chain. Under
+    [Full_rollout] versions are always 0. *)
 
 (** {2 Whole-system introspection (the [sb_chaos] invariant checker)} *)
 

@@ -18,14 +18,43 @@ type chain_record = {
 
 type persisted = Chain_record of chain_record | Chain_index of int list
 
+type stage_delta = { sd_stage : int; sd_tr : (int * int * float) array }
+
+type chain_delta = {
+  cd_base : int;
+  cd_target : int;
+  cd_nstages : int;
+  cd_full : bool;
+  cd_stages : stage_delta list;
+  cd_demand : (int * (int * float) list) list;
+}
+
 type msg =
   | Chain_request of { chain : int; spec : chain_spec }
-  | Prepare of { txid : int; chain : int; routes : route list; spec : chain_spec }
+  | Prepare of {
+      txid : int;
+      chain : int;
+      routes : route list;
+      delta : chain_delta option;
+      spec : chain_spec;
+    }
   | Vote of { txid : int; participant : string; accept : bool; rejected : (int * int) list }
   | Commit of { txid : int }
   | Abort of { txid : int }
   | Decision_ack of { txid : int; participant : string }
-  | Route_update of { chain : int; egress_label : int; spec : chain_spec; routes : route list }
+  | Route_update of {
+      chain : int;
+      egress_label : int;
+      spec : chain_spec;
+      routes : route list;
+      version : int;
+    }
+  | Route_delta of {
+      chain : int;
+      egress_label : int;
+      spec : chain_spec;
+      delta : chain_delta;
+    }
   | Instance_info of { vnf : int; site : int; instances : (int * float) list }
   | Forwarder_info of { vnf : int; site : int; forwarders : (int * float) list }
   | Edge_info of { site : int; edge : int; forwarder : int }
@@ -53,8 +82,15 @@ let telemetry_topic ~chain = Printf.sprintf "/telemetry/c%d" chain
 
 let pp_msg ppf = function
   | Chain_request { chain; spec } -> Format.fprintf ppf "Chain_request(%d, %s)" chain spec.spec_name
-  | Prepare { txid; chain; routes; _ } ->
-    Format.fprintf ppf "Prepare(tx%d chain%d %d routes)" txid chain (List.length routes)
+  | Prepare { txid; chain; routes; delta; _ } -> (
+    match delta with
+    | None ->
+      Format.fprintf ppf "Prepare(tx%d chain%d %d routes)" txid chain (List.length routes)
+    | Some d ->
+      Format.fprintf ppf "Prepare(tx%d chain%d delta v%d->v%d %s%d stages)" txid chain
+        d.cd_base d.cd_target
+        (if d.cd_full then "full " else "")
+        (List.length d.cd_stages))
   | Vote { txid; participant; accept; rejected } ->
     Format.fprintf ppf "Vote(tx%d %s %b, %d rejected)" txid participant accept
       (List.length rejected)
@@ -62,8 +98,14 @@ let pp_msg ppf = function
   | Abort { txid } -> Format.fprintf ppf "Abort(tx%d)" txid
   | Decision_ack { txid; participant } ->
     Format.fprintf ppf "Decision_ack(tx%d %s)" txid participant
-  | Route_update { chain; routes; _ } ->
-    Format.fprintf ppf "Route_update(chain%d %d routes)" chain (List.length routes)
+  | Route_update { chain; routes; version; _ } ->
+    Format.fprintf ppf "Route_update(chain%d %d routes v%d)" chain (List.length routes)
+      version
+  | Route_delta { chain; delta; _ } ->
+    Format.fprintf ppf "Route_delta(chain%d v%d->v%d %s%d stages)" chain delta.cd_base
+      delta.cd_target
+      (if delta.cd_full then "full " else "")
+      (List.length delta.cd_stages)
   | Instance_info { vnf; site; instances } ->
     Format.fprintf ppf "Instance_info(vnf%d site%d %d insts)" vnf site (List.length instances)
   | Forwarder_info { vnf; site; forwarders } ->
@@ -74,3 +116,67 @@ let pp_msg ppf = function
     Format.fprintf ppf
       "Telemetry_report(site%d epoch%d chain%d %d stages, %d down, %d/%d flows)"
       site epoch chain (Array.length stages) (List.length down_links) tc tk
+
+(* -------------------------- wire-size model ------------------------- *)
+
+(* Deterministic byte model for bus accounting: a small fixed header per
+   message plus a flat encoding of every payload field (4 B ints/ids,
+   8 B floats, strings verbatim). The absolute numbers are nominal; what
+   matters is that sizes scale with payload cardinality, so rollout
+   bytes-on-wire comparisons (full route sets vs. compiled deltas)
+   measure real payload churn. *)
+
+let header_bytes = 24
+let spec_size s = String.length s.spec_name + String.length s.ingress_attachment
+                  + String.length s.egress_attachment + (4 * List.length s.vnfs) + 12
+let route_size r = (4 * Array.length r.element_sites) + 8
+let routes_size rs = List.fold_left (fun a r -> a + route_size r) 4 rs
+let pair_list_size l = (12 * List.length l) + 4
+
+let delta_size d =
+  let stages =
+    List.fold_left (fun a sd -> a + 8 + (16 * Array.length sd.sd_tr)) 4 d.cd_stages
+  in
+  let demand =
+    List.fold_left (fun a (_, sites) -> a + 8 + (12 * List.length sites)) 4 d.cd_demand
+  in
+  16 + stages + demand
+
+let msg_size = function
+  | Chain_request { spec; _ } -> header_bytes + 4 + spec_size spec
+  | Prepare { routes; delta; spec; _ } ->
+    header_bytes + 8 + spec_size spec + routes_size routes
+    + (match delta with None -> 1 | Some d -> 1 + delta_size d)
+  | Vote { participant; rejected; _ } ->
+    header_bytes + String.length participant + 5 + (8 * List.length rejected)
+  | Commit _ | Abort _ -> header_bytes + 4
+  | Decision_ack { participant; _ } -> header_bytes + 4 + String.length participant
+  | Route_update { spec; routes; _ } ->
+    header_bytes + 12 + spec_size spec + routes_size routes
+  | Route_delta { spec; delta; _ } -> header_bytes + 8 + spec_size spec + delta_size delta
+  | Instance_info { instances; _ } -> header_bytes + 8 + pair_list_size instances
+  | Forwarder_info { forwarders; _ } -> header_bytes + 8 + pair_list_size forwarders
+  | Edge_info _ -> header_bytes + 12
+  | Telemetry_report { stages; down_links; _ } ->
+    header_bytes + 24 + (16 * Array.length stages) + (4 * List.length down_links)
+
+(* Bucket topics into a bounded family set so per-topic byte counters stay
+   O(families), not O(chains): "/chain/17/route" and "/chain/40271/route"
+   land in the same "/chain/*/route" bucket. *)
+let topic_class topic =
+  let has_prefix p = String.length topic >= String.length p
+                     && String.sub topic 0 (String.length p) = p in
+  if topic = chain_request_topic then topic
+  else if has_prefix "/gsb/votes/" then "/gsb/votes/*"
+  else if has_prefix "/ctl/" then "/ctl/*"
+  else if has_prefix "/telemetry/" then "/telemetry/*"
+  else if topic = "/chains" then topic
+  else if has_prefix "/chain/" then "/chain/*/route"
+  else if has_prefix "/c" then
+    (* per-chain info topics: /c<id>/e<id>/vnf_<v>/site_<s>_{instances,forwarders}
+       and /c<id>/e<id>/edge_forwarders *)
+    if String.ends_with ~suffix:"/edge_forwarders" topic then "/c*/e*/edge_forwarders"
+    else if String.ends_with ~suffix:"_instances" topic then "/c*/e*/vnf_*/site_*_instances"
+    else if String.ends_with ~suffix:"_forwarders" topic then "/c*/e*/vnf_*/site_*_forwarders"
+    else topic
+  else topic

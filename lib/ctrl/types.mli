@@ -36,9 +36,49 @@ type persisted =
   | Chain_record of chain_record
   | Chain_index of int list  (** ids of every committed chain *)
 
+type stage_delta = {
+  sd_stage : int;  (** chain stage the replacement applies to *)
+  sd_tr : (int * int * float) array;
+      (** the stage's new [(src_site, dst_site, weight)] transitions, one
+          per route {e in route-list order} — Local Switchboards fold them
+          in array order, so the float accumulation matches a full
+          reinstall bit for bit *)
+}
+
+(** The wire form of one chain's compiled-diagram diff ({!Compile}): only
+    the stages whose decision-diagram path changed, plus the per-VNF
+    admission demand rows that changed. Versions make application
+    order-safe: a participant applies a partial delta only on top of the
+    exact base version it was diffed against. *)
+type chain_delta = {
+  cd_base : int;  (** committed version this diff was computed against *)
+  cd_target : int;  (** version after applying the delta *)
+  cd_nstages : int;  (** total stages of the chain (sanity/fallback check) *)
+  cd_full : bool;
+      (** [cd_stages] covers {e every} stage (new chain, recovery, or the
+          [`Full] rollout baseline): applied unconditionally, resetting
+          the participant's version lineage *)
+  cd_stages : stage_delta list;  (** ascending by stage *)
+  cd_demand : (int * (int * float) list) list;
+      (** per changed VNF, its new per-site admission demand
+          [(site, load)], sorted by site; VNFs absent from the list keep
+          their currently committed allocation *)
+}
+
 type msg =
   | Chain_request of { chain : int; spec : chain_spec }
-  | Prepare of { txid : int; chain : int; routes : route list; spec : chain_spec }
+  | Prepare of {
+      txid : int;
+      chain : int;
+      routes : route list;
+          (** full route set ([`Full] rollout mode only; empty under
+              delta rollout) *)
+      delta : chain_delta option;
+          (** compiled delta ([`Delta] rollout mode); VNF participants
+              admit from [cd_demand] instead of recomputing demand from
+              routes *)
+      spec : chain_spec;
+    }
   | Vote of { txid : int; participant : string; accept : bool; rejected : (int * int) list }
   | Commit of { txid : int }
   | Abort of { txid : int }
@@ -46,7 +86,23 @@ type msg =
       (** participant's confirmation that it applied a [Commit]/[Abort];
           the coordinator retransmits the decision until acked, which is
           what makes the 2PC tolerate wide-area message loss *)
-  | Route_update of { chain : int; egress_label : int; spec : chain_spec; routes : route list }
+  | Route_update of {
+      chain : int;
+      egress_label : int;
+      spec : chain_spec;
+      routes : route list;
+      version : int;
+    }
+  | Route_delta of {
+      chain : int;
+      egress_label : int;
+      spec : chain_spec;
+      delta : chain_delta;
+    }
+      (** the O(churn) commit announcement: broadcast on ["/chains"] in
+          delta rollout mode while the full {!Route_update} is retained on
+          {!route_topic} as the heal path for participants that detect a
+          version gap (e.g. after wide-area loss) *)
   | Instance_info of { vnf : int; site : int; instances : (int * float) list }
       (** fabric VNF-instance ids and load-balancing weights *)
   | Forwarder_info of { vnf : int; site : int; forwarders : (int * float) list }
@@ -86,3 +142,14 @@ val telemetry_topic : chain:int -> string
     Switchboard) receive them. *)
 
 val pp_msg : Format.formatter -> msg -> unit
+
+val msg_size : msg -> int
+(** Nominal serialized size in bytes (fixed header + flat field encoding:
+    4 B ints, 8 B floats, strings verbatim). The {!Sb_msgbus.Bus} size
+    hook — rollout bytes-on-wire measurements compare these across full
+    and delta payloads, so only relative payload scaling matters. *)
+
+val topic_class : string -> string
+(** Collapse a topic into its bounded family ("/chain/17/route" ->
+    "/chain/*/route") so per-topic byte counters stay O(topic families)
+    at million-chain scale. Used as the bus accounting's [topic_key]. *)

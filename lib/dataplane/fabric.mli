@@ -142,6 +142,28 @@ val install_rx_rule :
 val rule : t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:int ->
   (endpoint * float) list option
 
+val rx_rule : t -> forwarder:int -> chain_label:int -> egress_label:int -> stage:int ->
+  (endpoint * float) list option
+(** The receiver-side rule installed by {!install_rx_rule}, if any. *)
+
+type rule_patch = Plane.rule_patch = {
+  rp_chain : int;
+  rp_egress : int;
+  rp_stage : int;
+  rp_rx : bool;  (** patch the receiver-side ({!install_rx_rule}) rule *)
+  rp_targets : (endpoint * float) list;
+}
+(** One rule replacement of a compiled rollout delta
+    ([Sb_ctrl.Compile]). *)
+
+val apply_delta : t -> forwarder:int -> rule_patch list -> int
+(** Apply a batch of rule patches to one forwarder, skipping patches whose
+    packed form already matches the live slot. Returns how many patches
+    actually mutated the rule store; each journals exactly as the
+    equivalent {!install_rule}/{!install_rx_rule} call would, so the
+    compiled rollout and a full reinstall are indistinguishable to the
+    arena. *)
+
 val flow_table_size : t -> forwarder:int -> int
 
 val flow_table_stats : t -> forwarder:int -> int * int * int
@@ -152,6 +174,17 @@ val flow_table_stats : t -> forwarder:int -> int * int * int
 val mutations : t -> int
 (** Journal entries applied to the packed arrays so far (rule installs and
     topology mutations) — introspection for tests and benchmarks. *)
+
+type arena_stats = Plane.arena_stats = {
+  slots_live : int;
+  words_used : int;
+  words_garbage : int;
+  compactions : int;
+}
+
+val arena_stats : t -> arena_stats
+(** Packed rule-arena occupancy and compaction count — how much rollout
+    churn the mutation journal has absorbed. See {!Plane.arena_stats}. *)
 
 (** {2 Driving packets} *)
 

@@ -410,6 +410,7 @@ type arena = {
   mutable s_live : bool array;
   mutable nslots : int;
   mutable garbage : int;
+  mutable compactions : int;
 }
 
 let arena_create () =
@@ -425,6 +426,7 @@ let arena_create () =
     s_live = Array.make 16 false;
     nslots = 0;
     garbage = 0;
+    compactions = 0;
   }
 
 let grow_int a n d =
@@ -462,7 +464,8 @@ let arena_compact a =
   a.w <- w;
   a.cum <- cum;
   a.used <- !pos;
-  a.garbage <- 0
+  a.garbage <- 0;
+  a.compactions <- a.compactions + 1
 
 let arena_kill a slot =
   if slot >= 0 then begin
@@ -899,17 +902,69 @@ let install_rule t ~forwarder ~chain_label ~egress_label ~stage targets =
 let install_rx_rule t ~forwarder ~chain_label ~egress_label ~stage targets =
   install_rule_into t t.rx ~forwarder ~chain_label ~egress_label ~stage targets
 
-let rule t ~forwarder ~chain_label ~egress_label ~stage =
+type rule_patch = {
+  rp_chain : int;
+  rp_egress : int;
+  rp_stage : int;
+  rp_rx : bool;
+  rp_targets : (endpoint * float) list;
+}
+
+(* Batched delta install: one pass over the patch list, skipping patches
+   whose packed form already matches the forwarder's live slot — the
+   O(churn) write path of the compiled rollout. Each applied patch goes
+   through the same kill/append/journal discipline as a full install, so
+   the arena and journal can't tell a delta from a reinstall. *)
+let apply_delta t ~forwarder patches =
+  let fd = get_fd t forwarder in
+  let applied = ref 0 in
+  List.iter
+    (fun p ->
+      let map = if p.rp_rx then t.rx else t.tx in
+      let ces = ces_intern t.ces p.rp_chain p.rp_egress p.rp_stage in
+      let tgt = Array.of_list (List.map (fun (h, _) -> pack h) p.rp_targets) in
+      let ws = Array.of_list (List.map snd p.rp_targets) in
+      let slot = slot_of map.(fd) ces in
+      let same =
+        slot >= 0
+        && t.arena.s_len.(slot) = Array.length tgt
+        &&
+        let off = t.arena.s_off.(slot) in
+        let ok = ref true in
+        Array.iteri
+          (fun i v ->
+            if t.arena.tgt.(off + i) <> v || t.arena.w.(off + i) <> ws.(i) then
+              ok := false)
+          tgt;
+        !ok
+      in
+      if not same then begin
+        arena_kill t.arena slot;
+        let s = arena_append t.arena tgt ws in
+        set_slot map fd ces s;
+        t.journal <- t.journal + 1;
+        incr applied
+      end)
+    patches;
+  !applied
+
+let rule_in t map ~forwarder ~chain_label ~egress_label ~stage =
   let fd = get_fd t forwarder in
   let ces = ces_find t.ces chain_label egress_label stage in
   if ces < 0 then None
   else
-    let slot = slot_of t.tx.(fd) ces in
+    let slot = slot_of map.(fd) ces in
     if slot < 0 then None
     else begin
       let off = t.arena.s_off.(slot) and len = t.arena.s_len.(slot) in
       Some (List.init len (fun i -> (unpack t.arena.tgt.(off + i), t.arena.w.(off + i))))
     end
+
+let rule t ~forwarder ~chain_label ~egress_label ~stage =
+  rule_in t t.tx ~forwarder ~chain_label ~egress_label ~stage
+
+let rx_rule t ~forwarder ~chain_label ~egress_label ~stage =
+  rule_in t t.rx ~forwarder ~chain_label ~egress_label ~stage
 
 let flow_table_size t ~forwarder = t.f_tab.(get_fd t forwarder).fn
 
@@ -929,6 +984,20 @@ let ftab_stats tab =
 let flow_table_stats t ~forwarder = ftab_stats t.f_tab.(get_fd t forwarder)
 
 let mutations t = t.journal
+
+type arena_stats = { slots_live : int; words_used : int; words_garbage : int; compactions : int }
+
+let arena_stats t =
+  let live = ref 0 in
+  for s = 0 to t.arena.nslots - 1 do
+    if t.arena.s_live.(s) then incr live
+  done;
+  {
+    slots_live = !live;
+    words_used = t.arena.used;
+    words_garbage = t.arena.garbage;
+    compactions = t.arena.compactions;
+  }
 
 (* ----------------------------- counters ----------------------------- *)
 

@@ -94,6 +94,31 @@ val rule :
   stage:int ->
   (endpoint * float) list option
 
+val rx_rule :
+  t ->
+  forwarder:int ->
+  chain_label:int ->
+  egress_label:int ->
+  stage:int ->
+  (endpoint * float) list option
+(** The reverse-direction rule installed by [install_rx_rule], if any. *)
+
+type rule_patch = {
+  rp_chain : int;
+  rp_egress : int;
+  rp_stage : int;
+  rp_rx : bool;  (** patch the reverse-direction ([install_rx_rule]) map *)
+  rp_targets : (endpoint * float) list;
+}
+(** One rule replacement of a compiled rollout delta
+    ([Sb_ctrl.Compile]). *)
+
+val apply_delta : t -> forwarder:int -> rule_patch list -> int
+(** Apply a batch of rule patches to one forwarder, skipping patches whose
+    packed form is already identical to the live slot. Returns how many
+    patches actually mutated the rule store; each counts one journal
+    entry, exactly as the equivalent [install_rule] would. *)
+
 val flow_table_size : t -> forwarder:int -> int
 
 val flow_table_stats : t -> forwarder:int -> int * int * int
@@ -106,6 +131,17 @@ val flow_table_stats : t -> forwarder:int -> int * int * int
 val mutations : t -> int
 (** Number of journal entries applied to the packed arrays so far (rule
     installs, topology mutations) — introspection for tests/benchmarks. *)
+
+type arena_stats = {
+  slots_live : int;  (** rule slots currently installed *)
+  words_used : int;  (** arena words allocated, live + garbage *)
+  words_garbage : int;  (** dead words awaiting compaction *)
+  compactions : int;  (** arena compaction passes run so far *)
+}
+
+val arena_stats : t -> arena_stats
+(** Occupancy of the packed rule arena — how much churn the journal has
+    absorbed and how often it forced a compaction. *)
 
 val send_forward :
   t ->

@@ -124,6 +124,14 @@ let install_rx_rule t ~forwarder ~chain_label ~egress_label ~stage targets =
   mirror t (fun p ->
       Plane.install_rx_rule p ~forwarder ~chain_label ~egress_label ~stage targets)
 
+let apply_delta t ~forwarder patches =
+  let applied = Plane.apply_delta t.lanes.(0) ~forwarder patches in
+  for l = 1 to t.nlanes - 1 do
+    if Plane.apply_delta t.lanes.(l) ~forwarder patches <> applied then
+      invalid_arg "Shard: lanes diverged on delta application"
+  done;
+  applied
+
 let reset_counters t = mirror t Plane.reset_counters
 
 let transfer_flows t ~from_instance ~to_instance =
@@ -151,7 +159,11 @@ let forwarder_published_weight t fwd inst =
 let rule t ~forwarder ~chain_label ~egress_label ~stage =
   Plane.rule t.lanes.(0) ~forwarder ~chain_label ~egress_label ~stage
 
+let rx_rule t ~forwarder ~chain_label ~egress_label ~stage =
+  Plane.rx_rule t.lanes.(0) ~forwarder ~chain_label ~egress_label ~stage
+
 let mutations t = Plane.mutations t.lanes.(0)
+let arena_stats t = Plane.arena_stats t.lanes.(0)
 let vnfs_in_trace t trace = Plane.vnfs_in_trace t.lanes.(0) trace
 let instances_in_trace = Plane.instances_in_trace
 

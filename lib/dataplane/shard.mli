@@ -105,6 +105,11 @@ val install_rx_rule :
   (endpoint * float) list ->
   unit
 
+val apply_delta : t -> forwarder:int -> Plane.rule_patch list -> int
+(** Mirrored batched rule patching ({!Plane.apply_delta}); the lanes must
+    agree on the applied count, which the id-alignment invariant
+    guarantees. *)
+
 val reset_counters : t -> unit
 
 val transfer_flows : t -> from_instance:int -> to_instance:int -> int
@@ -131,7 +136,19 @@ val rule :
   stage:int ->
   (endpoint * float) list option
 
+val rx_rule :
+  t ->
+  forwarder:int ->
+  chain_label:int ->
+  egress_label:int ->
+  stage:int ->
+  (endpoint * float) list option
+
 val mutations : t -> int
+
+val arena_stats : t -> Plane.arena_stats
+(** Lane 0's rule-arena occupancy (the lanes mirror each other). *)
+
 val vnfs_in_trace : t -> endpoint list -> int list
 val instances_in_trace : endpoint list -> int list
 

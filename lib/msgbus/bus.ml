@@ -12,6 +12,9 @@ type 'a t = {
   mode : mode;
   delay : int -> int -> float;
   egress_rate : float;
+  bandwidth : float option;
+  size_fn : ('a -> int) option;
+  topic_key : string -> string;
   buffer : int;
   proxies : 'a proxy array;
   subs : (string, 'a sub list ref) Hashtbl.t;
@@ -37,6 +40,16 @@ type 'a t = {
      stays O(capacity) however long the simulation runs. *)
   lat_reservoir : float array;
   mutable lat_count : int; (* latencies observed since the last reset *)
+  (* Bytes-on-wire accounting (live only when [size_fn] is set): payload
+     sizes per publish, per WAN copy, and per topic class — the
+     [topic_key] collapses per-chain topic names into a bounded family
+     set so the table stays O(families) at million-chain scale. The size
+     reservoir mirrors the latency reservoir's Algorithm-R discipline. *)
+  mutable published_bytes : int;
+  mutable wan_bytes : int;
+  topic_acc : (string, (int * int) ref) Hashtbl.t; (* class -> publishes, bytes *)
+  size_reservoir : int array;
+  mutable size_count : int;
 }
 
 and mode = Switchboard | Full_mesh | Route_reflector of int
@@ -52,6 +65,11 @@ type stats = {
   wan_messages : int;
   latencies : float list;
   latency_count : int;
+  published_bytes : int;
+  wan_bytes : int;
+  topic_bytes : (string * int * int) list;
+  sizes : int list;
+  size_count : int;
 }
 
 let local_delay = 0.0005
@@ -66,12 +84,16 @@ let mix_ordinal n =
   let h = (h lxor (h lsr 29)) * 0x2545F4914F6CDD1D in
   (h lxor (h lsr 32)) land max_int
 
-let create eng ~mode ~num_sites ~delay ?(egress_rate = 20_000.) ?(buffer = 64) () =
+let create eng ~mode ~num_sites ~delay ?(egress_rate = 20_000.) ?bandwidth
+    ?size_fn ?(topic_key = fun t -> t) ?(buffer = 64) () =
   {
     eng;
     mode;
     delay;
     egress_rate;
+    bandwidth;
+    size_fn;
+    topic_key;
     buffer;
     proxies = Array.init num_sites (fun _ -> { busy_until = 0.; queued = 0 });
     subs = Hashtbl.create 64;
@@ -86,6 +108,11 @@ let create eng ~mode ~num_sites ~delay ?(egress_rate = 20_000.) ?(buffer = 64) (
     pair_last = Hashtbl.create 64;
     lat_reservoir = Array.make reservoir_capacity 0.;
     lat_count = 0;
+    published_bytes = 0;
+    wan_bytes = 0;
+    topic_acc = Hashtbl.create 32;
+    size_reservoir = Array.make reservoir_capacity 0;
+    size_count = 0;
   }
 
 let set_wan_hook t hook = t.wan_hook <- Some hook
@@ -100,6 +127,25 @@ let record_latency t lat =
     if j < reservoir_capacity then t.lat_reservoir.(j) <- lat
   end
 
+let record_size (t : _ t) size =
+  let n = t.size_count in
+  t.size_count <- n + 1;
+  if n < reservoir_capacity then t.size_reservoir.(n) <- size
+  else begin
+    let j = mix_ordinal (n + 1) mod (n + 1) in
+    if j < reservoir_capacity then t.size_reservoir.(j) <- size
+  end
+
+let account_publish (t : _ t) ~topic size =
+  t.published_bytes <- t.published_bytes + size;
+  record_size t size;
+  let key = t.topic_key topic in
+  match Hashtbl.find_opt t.topic_acc key with
+  | Some r ->
+    let n, b = !r in
+    r := (n + 1, b + size)
+  | None -> Hashtbl.replace t.topic_acc key (ref (1, size))
+
 let topic_subs t topic =
   match Hashtbl.find_opt t.subs topic with
   | Some r -> r
@@ -112,7 +158,7 @@ let topic_subs t topic =
    plus the wide-area delay. Buffer overflow drops the message. [msg] is the
    publish ordinal (one per [publish] call, shared by all of its wide-area
    copies) handed to the fault hook. *)
-let send_wan (t : _ t) ~topic ~msg ~src ~dst deliver =
+let send_wan (t : _ t) ~topic ~msg ~size ~src ~dst deliver =
   let decision =
     match t.wan_hook with
     | None -> Deliver
@@ -127,9 +173,15 @@ let send_wan (t : _ t) ~topic ~msg ~src ~dst deliver =
       proxy.queued <- proxy.queued + 1;
       let now = Sb_sim.Engine.now t.eng in
       let start = Float.max now proxy.busy_until in
-      let finish = start +. (1. /. t.egress_rate) in
+      let ser =
+        match t.bandwidth with
+        | Some bw when size > 0 -> float_of_int size /. bw
+        | _ -> 1. /. t.egress_rate
+      in
+      let finish = start +. ser in
       proxy.busy_until <- finish;
       t.wan_messages <- t.wan_messages + 1;
+      t.wan_bytes <- t.wan_bytes + size;
       let extra = match d with Delay e -> Float.max 0. e | _ -> 0. in
       let arrival = finish +. t.delay src dst +. extra in
       (* Per-pair FIFO (shared TCP connection): never land before an
@@ -180,6 +232,8 @@ let publish (t : _ t) ~site ~topic payload =
   t.published <- t.published + 1;
   t.next_msg <- t.next_msg + 1;
   let msg = t.next_msg in
+  let size = match t.size_fn with None -> 0 | Some f -> f payload in
+  if t.size_fn <> None then account_publish t ~topic size;
   Hashtbl.replace t.retained topic (payload, site);
   let all_subs = !(topic_subs t topic) in
   let subs = List.filter (visible t ~publisher:site ~time:now) all_subs in
@@ -208,7 +262,7 @@ let publish (t : _ t) ~site ~topic payload =
             (Sb_sim.Engine.schedule t.eng ~delay:local_delay (fun () ->
                  deliver_one t ~publish_time:now ~count_latency:true s payload))
         else
-          send_wan t ~topic ~msg ~src:site ~dst:s.s_site (fun () ->
+          send_wan t ~topic ~msg ~size ~src:site ~dst:s.s_site (fun () ->
               deliver_one t ~publish_time:now ~count_latency:true s payload))
       subs
   | Route_reflector reflector ->
@@ -224,7 +278,7 @@ let publish (t : _ t) ~site ~topic payload =
               (fun s -> deliver_one t ~publish_time:now ~count_latency:true s payload)
               local_subs
           in
-          send_wan t ~topic ~msg ~src:reflector ~dst fan_out
+          send_wan t ~topic ~msg ~size ~src:reflector ~dst fan_out
         end
       done;
       (* Subscribers at the reflector site itself. *)
@@ -236,7 +290,7 @@ let publish (t : _ t) ~site ~topic payload =
     in
     if site = reflector then
       ignore (Sb_sim.Engine.schedule t.eng ~delay:local_delay flood)
-    else send_wan t ~topic ~msg ~src:site ~dst:reflector flood
+    else send_wan t ~topic ~msg ~size ~src:site ~dst:reflector flood
   | Switchboard ->
     (* One copy per subscribing site; the remote proxy fans out locally. *)
     let sites = List.sort_uniq compare (List.map (fun s -> s.s_site) subs) in
@@ -250,7 +304,7 @@ let publish (t : _ t) ~site ~topic payload =
         in
         if dst = site then
           ignore (Sb_sim.Engine.schedule t.eng ~delay:local_delay fan_out)
-        else send_wan t ~topic ~msg ~src:site ~dst fan_out)
+        else send_wan t ~topic ~msg ~size ~src:site ~dst fan_out)
       sites
 
 let stats (t : _ t) =
@@ -261,6 +315,11 @@ let stats (t : _ t) =
   for i = 0 to kept - 1 do
     latencies := t.lat_reservoir.(i) :: !latencies
   done;
+  let skept = min t.size_count reservoir_capacity in
+  let sizes = ref [] in
+  for i = 0 to skept - 1 do
+    sizes := t.size_reservoir.(i) :: !sizes
+  done;
   {
     published = t.published;
     delivered = t.delivered;
@@ -269,6 +328,13 @@ let stats (t : _ t) =
     wan_messages = t.wan_messages;
     latencies = !latencies;
     latency_count = t.lat_count;
+    published_bytes = t.published_bytes;
+    wan_bytes = t.wan_bytes;
+    topic_bytes =
+      Hashtbl.fold (fun k r acc -> (k, fst !r, snd !r) :: acc) t.topic_acc []
+      |> List.sort compare;
+    sizes = !sizes;
+    size_count = t.size_count;
   }
 
 let reset_stats (t : _ t) =
@@ -277,7 +343,11 @@ let reset_stats (t : _ t) =
   t.dropped <- 0;
   t.fault_dropped <- 0;
   t.wan_messages <- 0;
-  t.lat_count <- 0
+  t.lat_count <- 0;
+  t.published_bytes <- 0;
+  t.wan_bytes <- 0;
+  Hashtbl.reset t.topic_acc;
+  t.size_count <- 0
 
 let subscriber_sites t ~topic =
   List.sort_uniq compare (List.map (fun s -> s.s_site) !(topic_subs t topic))

@@ -54,6 +54,19 @@ type stats = {
   latency_count : int;
       (** total latency observations, including those aged out of the
           reservoir *)
+  published_bytes : int;
+      (** sum of payload sizes over every [publish] (0 unless a [size_fn]
+          was given to {!create}) *)
+  wan_bytes : int;
+      (** sum of payload sizes over every wide-area copy that entered an
+          egress queue — the bytes-on-wire number rollout benches compare *)
+  topic_bytes : (string * int * int) list;
+      (** per topic class ([topic_key] of the topic), [(class, publishes,
+          bytes)] since the last {!reset_stats}, sorted by class *)
+  sizes : int list;
+      (** per-publish payload sizes; bounded by the same deterministic
+          reservoir discipline as [latencies] *)
+  size_count : int;  (** total size observations, including aged-out ones *)
 }
 
 val create :
@@ -62,12 +75,25 @@ val create :
   num_sites:int ->
   delay:(int -> int -> float) ->
   ?egress_rate:float ->
+  ?bandwidth:float ->
+  ?size_fn:('a -> int) ->
+  ?topic_key:(string -> string) ->
   ?buffer:int ->
   unit ->
   'a t
 (** [delay s1 s2] is the one-way proxy-to-proxy delay in seconds.
     [egress_rate] is per-proxy egress capacity in messages/s (default
-    20_000); [buffer] the egress queue bound in messages (default 64). *)
+    20_000); [buffer] the egress queue bound in messages (default 64).
+
+    [size_fn] prices each payload in bytes and turns on bytes-on-wire
+    accounting ([published_bytes]/[wan_bytes]/[topic_bytes]/[sizes] in
+    {!stats}). [topic_key] collapses topic names into a bounded class set
+    for the per-topic counters (default: identity — fine for small runs,
+    pass a classifier at scale). [bandwidth], in bytes/s, makes egress
+    serialization proportional to payload size ([size /. bandwidth])
+    instead of the flat per-message [1 /. egress_rate] — only meaningful
+    together with [size_fn]; when absent, timing is byte-blind exactly as
+    before. *)
 
 val subscribe : 'a t -> site:int -> topic:string -> ('a -> unit) -> unit
 (** Install a subscription. The filter reaches the relevant proxies after a

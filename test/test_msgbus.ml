@@ -315,6 +315,74 @@ let prop_delivery_count =
       Engine.run eng;
       Array.for_all (fun c -> c = nmsgs) counts)
 
+(* ----------------------- bytes-on-wire accounting -------------------- *)
+
+let make_sized_bus ?bandwidth ?(topic_key = fun t -> t) ?(num_sites = 4) () =
+  let eng = Engine.create () in
+  let bus =
+    Bus.create eng ~mode:Bus.Switchboard ~num_sites ~delay:delay50 ?bandwidth
+      ~size_fn:String.length ~topic_key ()
+  in
+  (eng, bus)
+
+let test_bytes_accounting () =
+  let eng, bus = make_sized_bus () in
+  (* One local subscriber and two remote sites: published once, two WAN
+     copies — wan_bytes counts each wide-area copy. *)
+  Bus.subscribe bus ~site:0 ~topic:"/t" (fun _ -> ());
+  Bus.subscribe bus ~site:1 ~topic:"/t" (fun _ -> ());
+  Bus.subscribe bus ~site:2 ~topic:"/t" (fun _ -> ());
+  ignore (Engine.schedule eng ~delay:1. (fun () -> Bus.publish bus ~site:0 ~topic:"/t" "hello"));
+  Engine.run eng;
+  let s = Bus.stats bus in
+  Alcotest.(check int) "published bytes" 5 s.Bus.published_bytes;
+  Alcotest.(check int) "wan bytes = 2 copies" 10 s.Bus.wan_bytes;
+  Alcotest.(check int) "size observations" 1 s.Bus.size_count;
+  Alcotest.(check (list int)) "size reservoir" [ 5 ] s.Bus.sizes;
+  Alcotest.(check (list (triple string int int)))
+    "per-topic bytes"
+    [ ("/t", 1, 5) ]
+    s.Bus.topic_bytes
+
+let test_topic_key_collapses_classes () =
+  let key t = if String.length t >= 2 then String.sub t 0 2 else t in
+  let eng, bus = make_sized_bus ~topic_key:key () in
+  Bus.subscribe bus ~site:1 ~topic:"/a/1" (fun _ -> ());
+  Bus.subscribe bus ~site:1 ~topic:"/a/2" (fun _ -> ());
+  ignore (Engine.schedule eng ~delay:1. (fun () -> Bus.publish bus ~site:0 ~topic:"/a/1" "xx"));
+  ignore (Engine.schedule eng ~delay:2. (fun () -> Bus.publish bus ~site:0 ~topic:"/a/2" "yyy"));
+  Engine.run eng;
+  let s = Bus.stats bus in
+  Alcotest.(check (list (triple string int int)))
+    "one class, summed"
+    [ ("/a", 2, 5) ]
+    s.Bus.topic_bytes
+
+let test_bandwidth_prices_serialization () =
+  (* bandwidth = 100 B/s and a 50 B payload: serialization is 0.5 s
+     instead of the flat 1/egress_rate. Arrival = 1 (publish) + 0.5
+     (serialize) + 0.05 (WAN). *)
+  let eng, bus = make_sized_bus ~bandwidth:100. () in
+  let at = ref nan in
+  Bus.subscribe bus ~site:1 ~topic:"/t" (fun _ -> at := Engine.now eng);
+  ignore
+    (Engine.schedule eng ~delay:1. (fun () ->
+         Bus.publish bus ~site:0 ~topic:"/t" (String.make 50 'x')));
+  Engine.run eng;
+  Alcotest.(check (float 1e-3)) "size-proportional arrival" 1.55 !at
+
+let test_bytes_reset () =
+  let eng, bus = make_sized_bus () in
+  Bus.subscribe bus ~site:1 ~topic:"/t" (fun _ -> ());
+  ignore (Engine.schedule eng ~delay:1. (fun () -> Bus.publish bus ~site:0 ~topic:"/t" "abc"));
+  Engine.run eng;
+  Bus.reset_stats bus;
+  let s = Bus.stats bus in
+  Alcotest.(check int) "published bytes reset" 0 s.Bus.published_bytes;
+  Alcotest.(check int) "wan bytes reset" 0 s.Bus.wan_bytes;
+  Alcotest.(check int) "size count reset" 0 s.Bus.size_count;
+  Alcotest.(check (list (triple string int int))) "classes reset" [] s.Bus.topic_bytes
+
 let () =
   Alcotest.run "sb_msgbus"
     [
@@ -350,6 +418,14 @@ let () =
           Alcotest.test_case "SB saturates later" `Slow test_fig9_switchboard_saturates_later;
           Alcotest.test_case "latency gap" `Slow test_fig9_latency_gap;
           Alcotest.test_case "WAN message ratio" `Quick test_fig9_wan_message_ratio;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "bytes on the wire" `Quick test_bytes_accounting;
+          Alcotest.test_case "topic classes" `Quick test_topic_key_collapses_classes;
+          Alcotest.test_case "bandwidth serialization" `Quick
+            test_bandwidth_prices_serialization;
+          Alcotest.test_case "bytes reset" `Quick test_bytes_reset;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_delivery_count ]);
     ]
