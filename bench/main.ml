@@ -2216,6 +2216,96 @@ let scenarios () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Decentralized anycast arm: controller-outage sweep (BENCH_anycast)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The decentralization trade, measured: all four Loop arms on the
+   25-site backbone with a Global Switchboard outage covering a growing
+   fraction of the run (and the sweep's sacrificial site going dark one
+   epoch in). Satisfied demand and path stretch per (fraction, arm) —
+   closed-loop degrades toward static as the outage grows, the anycast
+   agents keep adapting without the controller. SB_ANYCAST_SCALE=smoke
+   selects the CI-sized config. Fully deterministic (no wall clocks in
+   the JSON, so CI diffs a double run byte for byte). *)
+let anycast_bench () =
+  header "Extension: decentralized anycast arm under controller outage";
+  let scale =
+    match Sys.getenv_opt "SB_ANYCAST_SCALE" with
+    | Some "smoke" -> "smoke"
+    | _ -> "full"
+  in
+  let cfg = if scale = "smoke" then Scenario.smoke_config else Scenario.default_config in
+  Printf.printf "config: %s (seed=%d ticks=%d chains=%d lanes=%d outage_start_epoch=%d)\n"
+    scale cfg.Scenario.seed cfg.Scenario.ticks cfg.Scenario.num_chains
+    cfg.Scenario.lanes
+    (Scenario.outage_start_epoch cfg);
+  let fractions = [ 0.; 0.25; 0.5; 0.75; 1.0 ] in
+  let points = Scenario.outage_sweep ~fractions cfg in
+  let t =
+    Table.create
+      ~header:[ "outage frac"; "arm"; "pre"; "during"; "stretch"; "rerouted" ]
+  in
+  List.iter
+    (fun (p : Scenario.outage_point) ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" p.Scenario.op_fraction;
+          p.Scenario.op_arm;
+          Printf.sprintf "%.1f" p.Scenario.op_pre;
+          Printf.sprintf "%.1f" p.Scenario.op_during;
+          Printf.sprintf "%.3f" p.Scenario.op_stretch;
+          string_of_int p.Scenario.op_rerouted;
+        ])
+    points;
+  Table.print t;
+  let find frac arm =
+    List.find
+      (fun (p : Scenario.outage_point) ->
+        Float.abs (p.Scenario.op_fraction -. frac) < 1e-9 && p.Scenario.op_arm = arm)
+      points
+  in
+  let full_any = find 1.0 "anycast" and full_closed = find 1.0 "closed-loop" in
+  let zero_any = find 0. "anycast" and zero_closed = find 0. "closed-loop" in
+  Printf.printf
+    "full outage: anycast %.1f vs closed-loop %.1f (x%.3f); zero outage: closed-loop \
+     %.1f vs anycast %.1f (x%.3f)\n"
+    full_any.Scenario.op_during full_closed.Scenario.op_during
+    (full_any.Scenario.op_during /. full_closed.Scenario.op_during)
+    zero_closed.Scenario.op_during zero_any.Scenario.op_during
+    (zero_closed.Scenario.op_during /. zero_any.Scenario.op_during);
+  if !json_mode then begin
+    let oc = open_out "BENCH_anycast.json" in
+    Printf.fprintf oc "{\n  \"params\": {\n";
+    Printf.fprintf oc "    \"scale\": %S,\n    \"seed\": %d,\n    \"ticks\": %d,\n" scale
+      cfg.Scenario.seed cfg.Scenario.ticks;
+    Printf.fprintf oc "    \"epoch_len\": %.2f,\n    \"num_chains\": %d,\n"
+      cfg.Scenario.epoch_len cfg.Scenario.num_chains;
+    Printf.fprintf oc "    \"lanes\": %d,\n    \"sites\": 25,\n" cfg.Scenario.lanes;
+    Printf.fprintf oc "    \"outage_start_epoch\": %d\n  },\n"
+      (Scenario.outage_start_epoch cfg);
+    Printf.fprintf oc "  \"sweep\": [\n";
+    let n = List.length points in
+    List.iteri
+      (fun i (p : Scenario.outage_point) ->
+        Printf.fprintf oc
+          "    {\"fraction\": %.2f, \"arm\": %S, \"pre\": %.4f, \"during\": %.4f, \
+           \"stretch\": %.4f, \"rerouted\": %d}%s\n"
+          p.Scenario.op_fraction p.Scenario.op_arm p.Scenario.op_pre
+          p.Scenario.op_during p.Scenario.op_stretch p.Scenario.op_rerouted
+          (if i = n - 1 then "" else ","))
+      points;
+    Printf.fprintf oc "  ],\n";
+    Printf.fprintf oc "  \"headline\": {\n";
+    Printf.fprintf oc "    \"full_outage_anycast_over_closed\": %.4f,\n"
+      (full_any.Scenario.op_during /. full_closed.Scenario.op_during);
+    Printf.fprintf oc "    \"zero_outage_closed_over_anycast\": %.4f\n"
+      (zero_closed.Scenario.op_during /. zero_any.Scenario.op_during);
+    Printf.fprintf oc "  }\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_anycast.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Extension: rule compiler + delta rollout (BENCH_compile)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -2501,6 +2591,7 @@ let experiments =
     ("timevar", timevar);
     ("adapt", adapt);
     ("scenarios", scenarios);
+    ("anycast", anycast_bench);
     ("compile", compile_bench);
     ("ablation", ablation);
     ("scale", scale);

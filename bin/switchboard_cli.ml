@@ -520,6 +520,71 @@ let scenarios_cmd =
           output.")
     term
 
+(* ----------------------------- anycast ----------------------------- *)
+
+let anycast_cmd =
+  let module Scenario = Sb_adapt.Scenario in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Start from the CI-sized smoke config instead of the full-scale one.")
+  in
+  let ticks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ticks" ] ~docv:"N" ~doc:"Scenario horizon in control epochs.")
+  in
+  let num_chains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chains" ] ~docv:"N" ~doc:"Service chains (= workload keys).")
+  in
+  let lanes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lanes" ] ~docv:"D" ~doc:"Forwarder RSS lanes in the live arms.")
+  in
+  let fractions =
+    Arg.(
+      value & opt_all float []
+      & info [ "fraction" ] ~docv:"F"
+          ~doc:
+            "Controller-outage fraction of the post-start horizon (repeatable); \
+             default: 0, 0.25, 0.5, 0.75, 1.")
+  in
+  let run seed smoke ticks num_chains lanes fractions =
+    let base = if smoke then Scenario.smoke_config else Scenario.default_config in
+    let cfg =
+      {
+        base with
+        Scenario.seed;
+        ticks = Option.value ~default:base.Scenario.ticks ticks;
+        num_chains = Option.value ~default:base.Scenario.num_chains num_chains;
+        lanes = Option.value ~default:base.Scenario.lanes lanes;
+      }
+    in
+    let fractions = if fractions = [] then None else Some fractions in
+    let points = Scenario.outage_sweep ?fractions cfg in
+    Format.printf "anycast: seed=%d ticks=%d chains=%d lanes=%d outage_start_epoch=%d@."
+      cfg.Scenario.seed cfg.Scenario.ticks cfg.Scenario.num_chains cfg.Scenario.lanes
+      (Scenario.outage_start_epoch cfg);
+    List.iter (fun p -> Format.printf "%a@." Scenario.pp_outage_point p) points;
+    0
+  in
+  let term = Term.(const run $ seed $ smoke $ ticks $ num_chains $ lanes $ fractions) in
+  Cmd.v
+    (Cmd.info "anycast"
+       ~doc:
+         "Controller-outage sweep of the four control arms (static, oracle, \
+          closed-loop, decentralized anycast) on the 25-site backbone: satisfied \
+          demand and path stretch vs. the fraction of the run the Global \
+          Switchboard is down. Deterministic: same seed, same output.")
+    term
+
 let () =
   let info =
     Cmd.info "switchboard_cli" ~version:"1.0"
@@ -536,4 +601,5 @@ let () =
             plan_vnf_cmd;
             chaos_cmd;
             scenarios_cmd;
+            anycast_cmd;
           ]))

@@ -1,0 +1,112 @@
+(** Decentralized anycast control arm (DESIGN.md section 15).
+
+    The counterpoint to the Global Switchboard's holistic solve, after
+    Wion et al.'s {e Distributed Function Chaining with Anycast Routing}:
+    each site maintains a local view fed by flooded
+    {!Sb_ctrl.Types.msg.Load_advert}s (per-VNF carried load, forwarder
+    weights, locally observed down links; retained topics, staleness
+    age-out) and greedily re-points the rules of the chain elements it
+    hosts at the least-cost advertised instance of the next element — no
+    GSB, no 2PC, installs through the local {!Sb_ctrl.System} rule path.
+    Distinct from the {e centralized} [Greedy.anycast] baseline scheme:
+    that one routes whole chains from ground truth; this one emerges hop
+    by hop from per-site views, and with perfect fresh information the
+    two coincide (pinned by test). *)
+
+(** {2 Local view} *)
+
+type view
+
+val create_view : site:int -> num_sites:int -> staleness:int -> view
+
+val observe :
+  view ->
+  site:int ->
+  epoch:int ->
+  loads:(int * float) list ->
+  fwd_weights:(int * (int * float) list) list ->
+  down:int list ->
+  unit
+(** Fold a peer's advertisement into the view (newest epoch per site
+    wins). *)
+
+val set_epoch : view -> int -> unit
+(** Advance the view's clock; adverts older than [staleness] epochs stop
+    counting as fresh. *)
+
+val epoch : view -> int
+
+val received : view -> int
+(** Advertisements observed so far (own ones included). *)
+
+val vnf_load : view -> site:int -> vnf:int -> float option
+(** Freshly advertised load of a VNF at a site, in traffic units; [None]
+    when the site never advertised it or the advert aged out. *)
+
+val fwd_weights : view -> site:int -> vnf:int -> (int * float) list option
+(** Last advertised forwarder weights for a VNF at a site (used even when
+    stale: fabric identity is quasi-static). *)
+
+val down_union : view -> int list
+(** Union of down links across all fresh adverts, sorted. *)
+
+val blocked : view -> Sb_core.Model.t -> int -> bool
+(** [blocked v m site]: every link incident to the site's node is down in
+    the fresh flooded view. *)
+
+(** {2 Decision function} *)
+
+val choose_node :
+  view -> Sb_core.Model.t -> chain:int -> stage:int -> current:int -> int list -> int
+(** Pick the next element's node from the delay-sorted candidates: nearest
+    fresh-advertised site with load under capacity, else the least
+    relatively loaded advertised site, else pure delay anycast (exactly
+    {!Sb_core.Greedy.choose_anycast}'s choice when no information is
+    usable). *)
+
+val choose : view -> Sb_core.Model.t -> Sb_core.Greedy.choose
+(** {!choose_node} in {!Sb_core.Greedy.route} chooser form. *)
+
+val route : Sb_core.Model.t -> (int -> view) -> Sb_core.Routing.t
+(** The emergent routing: walk every chain hop by hop, deciding each hop
+    with the view of the site the packet is currently at ([view_of site]) —
+    the same function of the same views the deciding sites evaluated when
+    installing their rules. *)
+
+(** {2 Per-site agent}
+
+    The live decision process: measures its own site's per-VNF load from
+    the fabric's delivery counters, floods {!Sb_ctrl.Types.msg.Load_advert}s,
+    and installs its owned rules (stage 0 at a chain's ingress; delivery +
+    forward rules at every element it hosts; egress delivery at the
+    chain's egress) through {!Sb_ctrl.System.apply_site_patches}. *)
+
+module Agent : sig
+  type t
+
+  val create :
+    sys:Sb_ctrl.System.t ->
+    model:Sb_core.Model.t ->
+    site:int ->
+    ids:int array ->
+    staleness:int ->
+    pkts_per_unit:int ->
+    down_links:(unit -> int list) ->
+    unit ->
+    t
+  (** [ids] maps model chain index to the system's chain id. Subscribes to
+      every peer site's advert topic. *)
+
+  val view : t -> view
+
+  val adverts_sent : t -> int
+
+  val advertise : t -> epoch:int -> unit
+  (** Measure the epoch's per-VNF delivered load at this site and publish
+      the advertisement (also folded into the own view directly). *)
+
+  val decide : t -> epoch:int -> int
+  (** Age the view to [epoch], recompute every owned rule and install the
+      changed ones after the data-plane install latency. Returns the
+      number of forward rules re-pointed. *)
+end

@@ -6,6 +6,7 @@ module Instance = Sb_core.Instance
 module Load_state = Sb_core.Load_state
 module Routing = Sb_core.Routing
 module Dp = Sb_core.Dp_routing
+module Greedy = Sb_core.Greedy
 module Paths = Sb_net.Paths
 module Topology = Sb_net.Topology
 module Packet = Sb_dataplane.Packet
@@ -20,12 +21,13 @@ type scenario = {
   sc_failures : (int * int list) list;
 }
 
-type arm = Static | Closed_loop | Oracle
+type arm = Static | Closed_loop | Oracle | Anycast_dist
 
 let arm_name = function
   | Static -> "static"
   | Closed_loop -> "closed-loop"
   | Oracle -> "oracle"
+  | Anycast_dist -> "anycast"
 
 type params = {
   hysteresis : float;
@@ -35,6 +37,7 @@ type params = {
   staleness : int;
   control_lag : float;
   vnf_headroom : float;
+  lanes : int;
   seed : int;
 }
 
@@ -52,6 +55,7 @@ let default_params =
     staleness = 3;
     control_lag = 0.5;
     vnf_headroom = 4.0;
+    lanes = 1;
     seed = 42;
   }
 
@@ -98,20 +102,52 @@ let truth sc e =
 
 (* Re-materialize a set of per-chain paths on a (possibly different but
    structurally identical) model and measure it. The headline is SATISFIED
-   demand, [min(1, max_alpha) * total_demand]: a routing with alpha >= 1
+   demand, [min(1, max_alpha) * reachable demand]: a routing with alpha >= 1
    carries everything the epoch offers, an overloaded one only its feasible
-   fraction — spare headroom beyond alpha = 1 earns nothing. *)
+   fraction — spare headroom beyond alpha = 1 earns nothing. A path with a
+   hop the failed topology cannot connect (an element at a fully isolated
+   site) delivers NOTHING: it is dropped before the alpha evaluation and
+   its share of the chain's demand is forfeited — the underlay load model
+   would otherwise charge a disconnected hop zero capacity anywhere, i.e.
+   silently credit blackholed traffic as satisfied. *)
 let measure tm paths_per_chain =
   (* One compiled instance backs the packed routing AND the alpha
      evaluation arena — the epoch loop no longer re-walks the model. *)
   let inst = Instance.compile tm in
   let r = Routing.of_instance inst in
+  let up = Model.paths tm in
+  let connected nodes =
+    let ok = ref true in
+    for z = 0 to Array.length nodes - 2 do
+      if
+        nodes.(z) <> nodes.(z + 1)
+        && not (Float.is_finite (Paths.delay up nodes.(z) nodes.(z + 1)))
+      then ok := false
+    done;
+    !ok
+  in
+  let reachable = ref 0. in
   Array.iteri
     (fun c paths ->
-      List.iter (fun (nodes, frac) -> Routing.add_path r ~chain:c ~nodes ~frac) paths)
+      let demand_c = ref 0. in
+      for z = 0 to Model.num_stages tm c - 1 do
+        demand_c :=
+          !demand_c
+          +. Model.fwd_traffic tm ~chain:c ~stage:z
+          +. Model.rev_traffic tm ~chain:c ~stage:z
+      done;
+      let live = ref 0. in
+      List.iter
+        (fun (nodes, frac) ->
+          if connected nodes then begin
+            live := !live +. frac;
+            Routing.add_path r ~chain:c ~nodes ~frac
+          end)
+        paths;
+      reachable := !reachable +. (Float.min 1. !live *. !demand_c))
     paths_per_chain;
   let alpha = Routing.max_alpha_into (Load_state.of_instance inst) r in
-  let satisfied = Float.min 1. alpha *. Model.total_demand tm in
+  let satisfied = Float.min 1. alpha *. !reachable in
   let e2e = E2e.evaluate r in
   (satisfied, e2e.E2e.total_throughput, e2e.E2e.mean_rtt)
 
@@ -183,7 +219,12 @@ let run_oracle sc =
   in
   { epochs; total_rerouted = !total }
 
-let run_closed ?(on_system = fun _ -> ()) sc p =
+(* Shared establishment for the live arms (closed loop and decentralized
+   anycast): assemble the control plane, provision every deployment from
+   the model, register the edges and commit the initial routing [r0]
+   through the normal 2PC — chain admission is a control-plane act either
+   way; the arms differ in who adapts the routes afterwards. *)
+let establish sc p r0 =
   let m = sc.sc_model in
   let n = Model.num_chains m in
   let num_sites = Model.num_sites m in
@@ -191,7 +232,7 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
     match Model.site_of_node m node with
     | Some s -> s
     | None ->
-      invalid_arg "Loop.run: the closed loop needs a site at every routed node"
+      invalid_arg "Loop.run: the live arms need a site at every routed node"
   in
   let base_paths = Model.paths m in
   let delay a b =
@@ -200,8 +241,7 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
       let d = Paths.delay base_paths (Model.site_node m a) (Model.site_node m b) in
       if Float.is_finite d then d else 0.05
   in
-  let sys = System.create ~seed:p.seed ~num_sites ~delay ~gsb_site:0 () in
-  let eng = System.engine sys in
+  let sys = System.create ~seed:p.seed ~lanes:p.lanes ~num_sites ~delay ~gsb_site:0 () in
   (* Provision every deployment from the model, with headroom over the
      model's capacity so the VNF controllers' admission (keyed to the
      static per-chain spec traffic) never vetoes a re-route the resolver
@@ -221,7 +261,6 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
         { Ct.element_sites = Array.map site_of nodes; weight = frac })
       (Routing.decompose_paths routing ~chain)
   in
-  let r0 = Dp.solve (truth sc 0) in
   let initial = Array.init n (fun c -> routes_of r0 c) in
   let chain_of_name = Hashtbl.create n in
   System.set_route_policy sys (fun spec ~exclude:_ ->
@@ -243,7 +282,16 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
             traffic = Model.fwd_traffic m ~chain:c ~stage:0;
           })
   in
-  Engine.run eng;
+  Engine.run (System.engine sys);
+  (sys, ids, routes_of)
+
+let run_closed ?(on_system = fun _ -> ()) sc p =
+  let m = sc.sc_model in
+  let n = Model.num_chains m in
+  let num_sites = Model.num_sites m in
+  let r0 = Dp.solve (truth sc 0) in
+  let sys, ids, routes_of = establish sc p r0 in
+  let eng = System.engine sys in
   (* --- chains established; start the loop on a fresh epoch grid --- *)
   (* Hand the assembled system to the caller before the epochs are laid
      out: [sb_chaos] arms its fault schedule and invariant probes here. *)
@@ -288,33 +336,41 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
   let cur = ref r0 in
   let total_rerouted = ref 0 in
   let control e =
-    for c = 0 to n - 1 do
-      match Telemetry.Aggregator.chain_packets agg ~epoch:e ~chain:ids.(c) with
-      | Some pkts ->
-        let base = float_of_int p.pkts_per_unit *. Model.fwd_traffic m ~chain:c ~stage:0 in
-        if base > 0. then factors_meas.(c) <- float_of_int pkts /. base
-      | None -> () (* stale chain: hold the previous estimate *)
-    done;
-    let down = Telemetry.Aggregator.down_links agg ~epoch:e in
-    down_at.(e) <- List.length down;
-    let measured =
-      let base = match down with [] -> m | _ -> Model.with_failed_links m down in
-      Model.with_chain_traffic_factors base (Array.copy factors_meas)
-    in
-    let r', stats =
-      Dp.resolve ~util_weight:p.util_weight ~hysteresis:p.hysteresis
-        ~churn_budget:p.churn_budget ~prev:!cur
-        measured
-    in
-    cur := r';
-    rerouted_at.(e) <- List.length stats.Dp.rerouted;
-    total_rerouted := !total_rerouted + rerouted_at.(e);
-    List.iter
-      (fun c ->
-        match routes_of r' c with
-        | [] -> ()
-        | routes -> System.update_routes sys ~chain:ids.(c) routes)
-      stats.Dp.rerouted
+    (* A dead Global Switchboard adapts nothing: the aggregator and the
+       resolver live with it, and [gsb_start_2pc] would drop the rollout
+       anyway. Skipping the whole tick makes the stall explicit — routes
+       freeze at the last committed set until the standby takes over. *)
+    if not (System.gsb_is_down sys) then begin
+      for c = 0 to n - 1 do
+        match Telemetry.Aggregator.chain_packets agg ~epoch:e ~chain:ids.(c) with
+        | Some pkts ->
+          let base =
+            float_of_int p.pkts_per_unit *. Model.fwd_traffic m ~chain:c ~stage:0
+          in
+          if base > 0. then factors_meas.(c) <- float_of_int pkts /. base
+        | None -> () (* stale chain: hold the previous estimate *)
+      done;
+      let down = Telemetry.Aggregator.down_links agg ~epoch:e in
+      down_at.(e) <- List.length down;
+      let measured =
+        let base = match down with [] -> m | _ -> Model.with_failed_links m down in
+        Model.with_chain_traffic_factors base (Array.copy factors_meas)
+      in
+      let r', stats =
+        Dp.resolve ~util_weight:p.util_weight ~hysteresis:p.hysteresis
+          ~churn_budget:p.churn_budget ~prev:!cur
+          measured
+      in
+      cur := r';
+      rerouted_at.(e) <- List.length stats.Dp.rerouted;
+      total_rerouted := !total_rerouted + rerouted_at.(e);
+      List.iter
+        (fun c ->
+          match routes_of r' c with
+          | [] -> ()
+          | routes -> System.update_routes sys ~chain:ids.(c) routes)
+        stats.Dp.rerouted
+    end
   in
   let results = Array.make sc.sc_epochs None in
   let eval e =
@@ -363,9 +419,114 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
     total_rerouted = !total_rerouted;
   }
 
+(* The decentralized arm: no aggregator, no resolver, no 2PC after
+   establishment. Every site runs an [Anycast.Agent] that floods a
+   [Load_advert] late in each epoch and re-points its owned rules at the
+   decision tick; the measured paths are the emergent hop-by-hop walk of
+   the same views ([Anycast.route]), i.e. exactly what the installed rules
+   forward. The initial commit is the pure delay-anycast routing — the
+   fixed point of the agents' no-information fallback — so epoch 0 is
+   consistent before any advert has flooded. *)
+let run_anycast ?(on_system = fun _ -> ()) sc p =
+  let m = sc.sc_model in
+  let n = Model.num_chains m in
+  let num_sites = Model.num_sites m in
+  let r0 = Greedy.anycast (truth sc 0) in
+  let sys, ids, _routes_of = establish sc p r0 in
+  let eng = System.engine sys in
+  on_system sys;
+  let t0 = Engine.now eng in
+  let failed_now = ref [] in
+  let incident s =
+    (* a site observes liveness of its incident links only *)
+    let node = Model.site_node m s in
+    List.filter
+      (fun l ->
+        let lk = Topology.link (Model.topology m) l in
+        lk.Topology.src = node || lk.Topology.dst = node)
+      !failed_now
+  in
+  let agents =
+    Array.init num_sites (fun s ->
+        Anycast.Agent.create ~sys ~model:m ~site:s ~ids ~staleness:p.staleness
+          ~pkts_per_unit:p.pkts_per_unit
+          ~down_links:(fun () -> incident s)
+          ())
+  in
+  let rng = Rng.split ~stream:1 (Rng.create p.seed) in
+  let inject e =
+    failed_now := failed_at sc e;
+    for c = 0 to n - 1 do
+      let units =
+        sc.sc_demand ~epoch:e ~chain:c *. Model.fwd_traffic m ~chain:c ~stage:0
+      in
+      let count =
+        max 1 (int_of_float (Float.round (float_of_int p.pkts_per_unit *. units)))
+      in
+      for _ = 1 to count do
+        ignore (System.probe_chain sys ~chain:ids.(c) (Packet.random_tuple rng))
+      done
+    done
+  in
+  let advert e = Array.iter (fun a -> Anycast.Agent.advertise a ~epoch:e) agents in
+  let rerouted_at = Array.make sc.sc_epochs 0 in
+  let cur_paths = ref (paths_of r0 n) in
+  let total_rerouted = ref 0 in
+  let decide e =
+    let moved =
+      Array.fold_left (fun acc a -> acc + Anycast.Agent.decide a ~epoch:e) 0 agents
+    in
+    rerouted_at.(e) <- moved;
+    total_rerouted := !total_rerouted + moved;
+    cur_paths := paths_of (Anycast.route m (fun s -> Anycast.Agent.view agents.(s))) n
+  in
+  let results = Array.make sc.sc_epochs None in
+  let eval e =
+    let tm = truth sc e in
+    let supported, tput, rtt = measure tm !cur_paths in
+    results.(e) <-
+      Some
+        {
+          ep_epoch = e;
+          ep_supported = supported;
+          ep_throughput = tput;
+          ep_mean_rtt = rtt;
+          ep_rerouted = (if e = 0 then 0 else rerouted_at.(e - 1));
+          ep_down_links = List.length (failed_at sc e);
+          ep_reports =
+            Array.fold_left
+              (fun acc a -> acc + Anycast.received (Anycast.Agent.view a))
+              0 agents;
+        }
+  in
+  let tlen = sc.sc_epoch_len in
+  for e = 0 to sc.sc_epochs - 1 do
+    let te = t0 +. (float_of_int e *. tlen) in
+    ignore (Engine.schedule_at eng ~time:(te +. (0.05 *. tlen)) (fun () -> inject e));
+    ignore (Engine.schedule_at eng ~time:(te +. (0.90 *. tlen)) (fun () -> advert e));
+    ignore (Engine.schedule_at eng ~time:(te +. (0.95 *. tlen)) (fun () -> eval e));
+    if e < sc.sc_epochs - 1 then
+      ignore
+        (Engine.schedule_at eng ~time:(te +. tlen +. p.control_lag) (fun () -> decide e))
+  done;
+  Engine.run eng;
+  {
+    epochs = Array.to_list results |> List.filter_map (fun r -> r);
+    total_rerouted = !total_rerouted;
+  }
+
 let run ?(params = default_params) ?on_system sc arm =
   if sc.sc_epochs <= 0 then invalid_arg "Loop.run: sc_epochs must be positive";
+  (match (arm, on_system) with
+  | (Static | Oracle), Some _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Loop.run: ~on_system is only honoured by the live arms \
+          (closed-loop, anycast); the %s arm never assembles a system"
+         (arm_name arm))
+  | _ -> ());
   match arm with
   | Static -> run_static sc
   | Oracle -> run_oracle sc
   | Closed_loop -> run_closed ?on_system sc params
+  | Anycast_dist -> run_anycast ?on_system sc params

@@ -6,11 +6,14 @@
     through the control plane's two-phase commit while the flow simulator
     scores each epoch.
 
-    Three arms share one scenario so adaptation can be isolated:
+    Four arms share one scenario so adaptation can be isolated:
     [Static] solves once at epoch 0 and never reacts; [Oracle] fully
     re-solves each epoch with perfect instantaneous knowledge (the upper
     bound); [Closed_loop] runs the whole measured pipeline, including
-    report latency/loss and rollout delay. *)
+    report latency/loss and rollout delay; [Anycast_dist] runs the
+    decentralized {!Anycast} agents — per-site flooded load advertisements
+    and local greedy rule re-pointing, no Global Switchboard in the loop
+    after establishment. *)
 
 type scenario = {
   sc_model : Sb_core.Model.t;
@@ -25,7 +28,7 @@ type scenario = {
           (cumulative; no repair) *)
 }
 
-type arm = Static | Closed_loop | Oracle
+type arm = Static | Closed_loop | Oracle | Anycast_dist
 
 val arm_name : arm -> string
 
@@ -45,6 +48,10 @@ type params = {
   vnf_headroom : float;
       (** provisioned VNF admission capacity over the model's (4.0), so
           admission never vetoes a capacity-feasible re-route *)
+  lanes : int;
+      (** RSS lanes per forwarder in the assembled system (1); the live
+          arms' results are lane-count independent, which the chaos suite
+          pins *)
   seed : int;
 }
 
@@ -64,7 +71,10 @@ type epoch_report = {
   ep_down_links : int;
       (** [Closed_loop]: links the aggregator believed down at the last
           control tick; other arms: ground-truth failed links *)
-  ep_reports : int;  (** cumulative telemetry reports received (closed loop) *)
+  ep_reports : int;
+      (** cumulative control-plane signal received: telemetry reports at
+          the aggregator ([Closed_loop]) or load advertisements folded into
+          site views, summed over sites ([Anycast_dist]) *)
 }
 
 type run_result = { epochs : epoch_report list; total_rerouted : int }
@@ -77,7 +87,9 @@ val diurnal_demand :
 val run :
   ?params:params -> ?on_system:(Sb_ctrl.System.t -> unit) -> scenario -> arm -> run_result
 (** Run one arm over the scenario. Fully deterministic for a fixed
-    scenario and params. [on_system] (Closed_loop arm only) is called
-    with the assembled control plane once the initial chains are
-    committed, before the epoch grid is scheduled — the [sb_chaos]
-    injection point for faulting the closed loop mid-flight. *)
+    scenario and params. [on_system] is called with the assembled control
+    plane once the initial chains are committed, before the epoch grid is
+    scheduled — the [sb_chaos] injection point for faulting a live arm
+    mid-flight. Only the live arms ([Closed_loop], [Anycast_dist]) build a
+    system; passing [on_system] with [Static] or [Oracle] raises
+    [Invalid_argument] instead of silently never calling it. *)

@@ -204,6 +204,148 @@ let run_control cfg model w faults =
   in
   (mean closed, mean oracle, p99, bus_delivered)
 
+(* ------------------- controller-outage sweep ------------------------- *)
+
+type outage_point = {
+  op_fraction : float;
+  op_arm : string;
+  op_pre : float;
+  op_during : float;
+  op_stretch : float;
+  op_rerouted : int;
+}
+
+let outage_start_epoch cfg = cfg.ticks / 4
+
+(* The failure a stalled controller cannot paper over: the whole site
+   carrying the most VNF traffic under the epoch-0 solve goes dark (every
+   incident link). Candidates are restricted to sites whose hosted VNFs
+   all have an alternative deployment elsewhere, so the lost COMPUTE is
+   fully replaceable — an arm that keeps adapting reroutes the through
+   traffic around it, an arm frozen mid-outage keeps forwarding into the
+   hole. Chains that ingress or egress at the dead site lose their demand
+   in every arm alike (a constant offset that cancels out of the arm
+   comparison); the controller's home site is excluded only to keep the
+   GSB-outage variable independent of the link failure. *)
+let sacrificial_site model demand0 =
+  let topo = Model.topology model in
+  let m0 = Model.with_chain_traffic_factors model demand0 in
+  let ls0 = Sb_core.Routing.load_state (Sb_core.Dp_routing.solve m0) in
+  let replaceable s =
+    let ok = ref true in
+    for f = 0 to Model.num_vnfs model - 1 do
+      let sites = Model.vnf_sites model f in
+      if List.mem_assoc s sites && List.length sites < 2 then ok := false
+    done;
+    !ok
+  in
+  let best = ref (-1., None) in
+  for s = 1 to Model.num_sites model - 1 do
+    if replaceable s then begin
+      let load = Sb_core.Load_state.site_load ls0 s in
+      if load > fst !best then best := (load, Some s)
+    end
+  done;
+  match snd !best with
+  | None -> []
+  | Some s ->
+    let node = Model.site_node model s in
+    Sb_net.Topology.links topo |> Array.to_list
+    |> List.filter_map (fun (l : Sb_net.Topology.link) ->
+           if l.src = node || l.dst = node then Some l.id else None)
+
+(* The decentralization experiment: one diurnal-drift scenario on the
+   shared backbone, all four {!Loop} arms, and a Global Switchboard
+   outage covering a growing fraction of the run. One epoch into the
+   outage window the {!sacrificial_site} goes dark — the event a stalled
+   controller cannot react to: the closed loop's frozen routes keep
+   pushing traffic into the dead site while the anycast agents flood the
+   down-link observation and re-point around it. Static and
+   oracle never touch the controller, so they anchor the sweep (computed
+   once); the per-point windows are fixed by the config alone — the
+   "during" mean for [fraction = 0] falls back to the whole post-start
+   tail so every arm has a defined y-value at the origin. *)
+let outage_scenario cfg =
+  let model = backbone25 cfg in
+  let ticks = cfg.ticks in
+  let w = W.diurnal ~seed:cfg.seed ~ticks ~keys:cfg.num_chains ~period:ticks () in
+  let demand ~epoch ~chain = W.demand w ~tick:epoch ~key:chain in
+  let fail_links =
+    sacrificial_site model
+      (Array.init cfg.num_chains (fun c -> demand ~epoch:0 ~chain:c))
+  in
+  {
+    Loop.sc_model = model;
+    sc_epochs = ticks;
+    sc_epoch_len = cfg.epoch_len;
+    sc_demand = demand;
+    sc_failures = [ (outage_start_epoch cfg + 1, fail_links) ];
+  }
+
+let outage_sweep ?(fractions = [ 0.; 0.25; 0.5; 0.75; 1.0 ]) cfg =
+  let sc = outage_scenario cfg in
+  let model = sc.Loop.sc_model in
+  let ticks = cfg.ticks in
+  let params = { Loop.default_params with seed = cfg.seed; lanes = cfg.lanes } in
+  let horizon = float_of_int ticks *. cfg.epoch_len in
+  let start_e = outage_start_epoch cfg in
+  let start = float_of_int start_e *. cfg.epoch_len in
+  let epochs_in lo hi r =
+    List.filter (fun ep -> ep.Loop.ep_epoch >= lo && ep.Loop.ep_epoch < hi) r.Loop.epochs
+  in
+  let mean f = function
+    | [] -> 0.
+    | eps -> List.fold_left (fun a e -> a +. f e) 0. eps /. float_of_int (List.length eps)
+  in
+  let run_armed arm fraction =
+    if fraction <= 0. then Loop.run ~params sc arm
+    else
+      let sched =
+        Schedule.gsb_outage ~seed:cfg.seed ~num_sites:(Model.num_sites model) ~horizon
+          ~start ~fraction
+      in
+      let rng = Rng.split ~stream:77 (Rng.create cfg.seed) in
+      Loop.run ~params ~on_system:(fun sys -> Sb_chaos.Inject.arm ~sys ~rng sched) sc arm
+  in
+  let stop_epoch fraction =
+    if fraction <= 0. then ticks
+    else
+      let stop = Float.min horizon (start +. (fraction *. (horizon -. start))) in
+      min ticks (int_of_float (Float.ceil (stop /. cfg.epoch_len)))
+  in
+  let static = Loop.run ~params sc Loop.Static in
+  let oracle = Loop.run ~params sc Loop.Oracle in
+  List.concat_map
+    (fun fraction ->
+      let closed = run_armed Loop.Closed_loop fraction in
+      let anycast = run_armed Loop.Anycast_dist fraction in
+      let hi = stop_epoch fraction in
+      let oracle_rtt = mean (fun e -> e.Loop.ep_mean_rtt) (epochs_in start_e hi oracle) in
+      let point name r =
+        {
+          op_fraction = fraction;
+          op_arm = name;
+          op_pre = mean (fun e -> e.Loop.ep_supported) (epochs_in 0 start_e r);
+          op_during = mean (fun e -> e.Loop.ep_supported) (epochs_in start_e hi r);
+          op_stretch =
+            (let rtt = mean (fun e -> e.Loop.ep_mean_rtt) (epochs_in start_e hi r) in
+             if oracle_rtt > 0. then rtt /. oracle_rtt else 1.);
+          op_rerouted = r.Loop.total_rerouted;
+        }
+      in
+      [
+        point "static" static;
+        point "oracle" oracle;
+        point "closed-loop" closed;
+        point "anycast" anycast;
+      ])
+    fractions
+
+let pp_outage_point ppf p =
+  Format.fprintf ppf
+    "fraction=%.2f arm=%s pre=%.4f during=%.4f stretch=%.4f rerouted=%d"
+    p.op_fraction p.op_arm p.op_pre p.op_during p.op_stretch p.op_rerouted
+
 (* -------------------------- dataplane side --------------------------- *)
 
 type fabric = {

@@ -88,6 +88,49 @@ val catalog :
 
 val scenario_names : string list
 
+(** {2 Controller-outage sweep}
+
+    The decentralization experiment (DESIGN.md section 15): one
+    diurnal-drift scenario on the shared backbone, all four {!Loop} arms,
+    and a {!Sb_chaos.Schedule.gsb_outage} window starting at a quarter of
+    the run and covering a growing fraction of the remainder. Pure
+    function of the config and fractions. *)
+
+type outage_point = {
+  op_fraction : float;  (** outage fraction of the post-start horizon *)
+  op_arm : string;  (** [Loop.arm_name] of the arm *)
+  op_pre : float;
+      (** mean per-epoch satisfied demand before the outage start epoch *)
+  op_during : float;
+      (** mean satisfied demand over the outage window's epochs (for
+          [fraction = 0], over the whole post-start tail) *)
+  op_stretch : float;
+      (** the arm's mean RTT over the same window relative to the oracle's
+          (1.0 when the oracle RTT is 0) *)
+  op_rerouted : int;  (** the arm's total re-routes over the whole run *)
+}
+
+val outage_start_epoch : config -> int
+(** [ticks / 4] — the epoch at which every sweep outage begins. *)
+
+val outage_scenario : config -> Loop.scenario
+(** The sweep's scenario, exposed so the chaos acceptance suite can arm
+    its own fault mix over the identical substrate: the diurnal drift on
+    {!backbone25}, plus the {e sacrificial site} — one epoch into the
+    outage window, every link of the most-loaded replaceable site (under
+    the epoch-0 solve; the GSB home site excluded) fails. A frozen
+    controller keeps forwarding into the hole; an adapting arm routes
+    around it. Pure in [config]. *)
+
+val outage_sweep : ?fractions:float list -> config -> outage_point list
+(** Four points (static, oracle, closed-loop, anycast) per fraction
+    (default [0, 0.25, 0.5, 0.75, 1]). Static and oracle never involve
+    the controller and are computed once; closed-loop and anycast re-run
+    per fraction with the outage armed through {!Sb_chaos.Inject}. *)
+
+val pp_outage_point : Format.formatter -> outage_point -> unit
+(** One deterministic line per point — the CI-diffable form. *)
+
 val run_one :
   ?clock:(unit -> float) ->
   config ->

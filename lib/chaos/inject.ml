@@ -15,6 +15,7 @@ let loss_tolerant topic =
   let has_prefix p = String.length topic >= String.length p
                      && String.sub topic 0 (String.length p) = p in
   has_prefix "/ctl/" || has_prefix "/gsb/votes/" || has_prefix "/telemetry/"
+  || has_prefix "/advert/"
 
 let is_telemetry topic =
   String.length topic >= 11 && String.sub topic 0 11 = "/telemetry/"

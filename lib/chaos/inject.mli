@@ -8,8 +8,9 @@
 
 val loss_tolerant : string -> bool
 (** Topics the control plane is engineered to survive losing copies on:
-    2PC participant/vote topics (retransmitted until answered) and
-    telemetry (stale-tolerant). *)
+    2PC participant/vote topics (retransmitted until answered), telemetry
+    (stale-tolerant), and the decentralized arm's load advertisements
+    (re-flooded every epoch; a site's view just goes stale). *)
 
 val is_telemetry : string -> bool
 

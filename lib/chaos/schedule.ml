@@ -144,6 +144,21 @@ let stretch c t =
     faults = List.map (stretch_fault c) t.faults;
   }
 
+let gsb_outage ~seed ~num_sites ~horizon ~start ~fraction =
+  if start < 0. || start > horizon then
+    invalid_arg "Schedule.gsb_outage: start outside the horizon";
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Schedule.gsb_outage: fraction outside [0, 1]";
+  let faults =
+    if fraction <= 0. then []
+    else
+      let stop =
+        Float.min horizon (round2 (start +. (fraction *. (horizon -. start))))
+      in
+      if stop <= start then [] else [ Gsb_failover { start; stop } ]
+  in
+  of_faults ~seed ~horizon ~num_sites faults
+
 let regional_outage ~seed ~num_sites ~horizon ~sites ~start ~stop =
   if stop <= start then invalid_arg "Schedule.regional_outage: bad window";
   List.iter

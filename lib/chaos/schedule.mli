@@ -82,6 +82,16 @@ val stretch : float -> t -> t
 (** Scale every window and the horizon by a positive factor — how a
     CI-sized smoke matrix reuses a full-scale schedule. *)
 
+val gsb_outage :
+  seed:int -> num_sites:int -> horizon:float -> start:float -> fraction:float -> t
+(** One {!Gsb_failover} covering [fraction] of the horizon's remainder
+    after [start] ([stop = min horizon (start + fraction * (horizon -
+    start))], rounded like {!generate}'s windows) — the x-axis of the
+    controller-outage sweep. [fraction = 0] yields an empty schedule;
+    [fraction = 1] keeps the Global Switchboard down through the end.
+    Raises [Invalid_argument] when [start] is outside the horizon or
+    [fraction] outside [0, 1]. *)
+
 val regional_outage :
   seed:int ->
   num_sites:int ->

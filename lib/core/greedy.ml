@@ -1,3 +1,5 @@
+type choose = Load_state.t -> int -> int -> int -> int list -> int
+
 (* Walk one chain element by element from a given ingress towards a given
    egress, choosing each VNF's site with
    [choose state chain stage current candidates]; returns the node path. *)

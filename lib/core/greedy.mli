@@ -33,3 +33,26 @@ val onehop : ?util_weight:float -> Model.t -> Routing.t
 val anycast_into : Load_state.t -> Routing.t -> Routing.t
 val compute_aware_into : Load_state.t -> Routing.t -> Routing.t
 val onehop_into : ?util_weight:float -> Load_state.t -> Routing.t -> Routing.t
+
+(** {2 Building blocks}
+
+    Exposed for custom hop-by-hop schemes (notably the decentralized
+    anycast control arm in [Sb_adapt.Anycast], which reuses the walk with
+    a chooser driven by flooded advertisements instead of ground truth). *)
+
+type choose = Load_state.t -> int -> int -> int -> int list -> int
+(** [choose state chain stage current candidates] returns the chosen
+    destination node for the stage. [candidates] is the stage's deployment
+    node list ({!Instance.stage_dst_nodes} order). *)
+
+val route : Model.t -> choose -> Routing.t
+(** Compile the model and route every chain hop by hop with [choose],
+    committing load between walks (chain-id order). *)
+
+val route_into : Load_state.t -> Routing.t -> choose -> Routing.t
+(** Arena form of {!route}: resets [state] and [routing] (which must share
+    an instance) and routes in place. *)
+
+val by_delay : Model.t -> int -> int list -> int list
+(** [by_delay m current candidates] sorts candidate nodes by propagation
+    delay from [current] — the anycast preference order. *)

@@ -1318,6 +1318,57 @@ let site_installed_rules t ~site =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.locals.(site).ls_installed []
   |> List.sort compare
 
+(* ---------------------- decentralized mechanism ---------------------- *)
+
+(* Static infrastructure knowledge (see the interface header: identities
+   of sites, forwarders, edges and VNF instances are static) plus raw
+   counter/rule access, exposed so a decentralized decision process
+   ([Sb_adapt.Anycast]) can run the fabric without the Global Switchboard
+   or per-chain 2PC admission. *)
+
+let site_vnf_instances t ~site ~vnf =
+  match Hashtbl.find_opt t.vnf_ctls vnf with
+  | None -> []
+  | Some v -> (
+    match Hashtbl.find_opt v.v_instances site with
+    | None -> []
+    | Some ids ->
+      List.sort compare ids
+      |> List.filter_map (fun id ->
+             if DP.instance_alive t.fabric id then
+               let w = DP.instance_weight t.fabric id in
+               if w > 0. then Some (id, w) else None
+             else None))
+
+let site_vnf_forwarder_weights t ~site ~vnf =
+  List.filter_map
+    (fun f ->
+      let w = DP.forwarder_published_weight t.fabric f vnf in
+      if w > 0. then Some (f, w) else None)
+    t.sites.(site).forwarders
+
+let site_deployed_vnfs t ~site =
+  Hashtbl.fold
+    (fun vnf v acc ->
+      match Hashtbl.find_opt v.v_instances site with
+      | Some (_ :: _) -> vnf :: acc
+      | _ -> acc)
+    t.vnf_ctls []
+  |> List.sort compare
+
+let site_stage_packets t ~site ~chain ~egress ~stage =
+  fst
+    (DP.site_stage_counters t.fabric ~site:t.sites.(site).fab_site
+       ~chain_label:chain ~egress_label:egress ~stage)
+
+let apply_site_patches t ~site patches =
+  if patches <> [] then
+    ignore
+      (Engine.schedule t.eng ~delay:t.install_latency (fun () ->
+           List.iter
+             (fun forwarder -> ignore (DP.apply_delta t.fabric ~forwarder patches))
+             t.sites.(site).forwarders))
+
 let attach_store t store = t.store <- Some store
 
 let recover_from_store t store ~on_done =

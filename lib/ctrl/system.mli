@@ -251,3 +251,36 @@ val site_installed_rules :
   t -> site:int -> ((int * int * int) * (Sb_dataplane.Fabric.endpoint * float) list) list
 (** The rules a site's Local Switchboard has installed (or scheduled for
     install), keyed [(chain, egress, stage)], sorted. *)
+
+(** {2 Decentralized mechanism}
+
+    Static infrastructure knowledge (identities of sites, forwarders,
+    edges and VNF instances — see the header) plus raw counter and rule
+    access, for a decentralized decision process ([Sb_adapt.Anycast])
+    that drives the fabric without the Global Switchboard or per-chain
+    2PC admission. *)
+
+val site_vnf_instances : t -> site:int -> vnf:int -> (int * float) list
+(** The site's live fabric instances of a VNF with their load-balancing
+    weights, id-sorted; [[]] when the VNF is not deployed there. *)
+
+val site_vnf_forwarder_weights : t -> site:int -> vnf:int -> (int * float) list
+(** Per site forwarder, its published aggregate weight for a VNF's local
+    instances — the targets a {e remote} site addresses to relay a stage
+    here (what 2PC admission floods as [Forwarder_info], available
+    statically to the site itself). *)
+
+val site_deployed_vnfs : t -> site:int -> int list
+(** VNF ids with at least one instance deployed at the site, sorted. *)
+
+val site_stage_packets : t -> site:int -> chain:int -> egress:int -> stage:int -> int
+(** Cumulative packets the site's forwarders handled for a
+    [(chain, egress, stage)] rule, summed over lanes — unlike
+    {!site_chain_measurements} it takes the egress label explicitly, so it
+    works at sites whose Local Switchboard never learned the chain. *)
+
+val apply_site_patches : t -> site:int -> Sb_dataplane.Fabric.rule_patch list -> unit
+(** Apply a batch of rule patches to every forwarder of the site after the
+    data-plane [install_latency] — the local install path a per-site
+    decision process uses in place of the Local Switchboard's
+    transition-table rules. No-op on an empty batch. *)

@@ -66,6 +66,13 @@ type msg =
       down_links : int list;
       table : int * int * int;
     }
+  | Load_advert of {
+      site : int;
+      epoch : int;
+      loads : (int * float) list;
+      fwd_weights : (int * (int * float) list) list;
+      down_links : int list;
+    }
 
 let chain_request_topic = "/gsb/chain_requests"
 let votes_topic ~txid = Printf.sprintf "/gsb/votes/%d" txid
@@ -79,6 +86,7 @@ let forwarders_topic ~chain ~egress ~vnf ~site =
   Printf.sprintf "/c%d/e%d/vnf_%d/site_%d_forwarders" chain egress vnf site
 
 let telemetry_topic ~chain = Printf.sprintf "/telemetry/c%d" chain
+let advert_topic ~site = Printf.sprintf "/advert/s%d" site
 
 let pp_msg ppf = function
   | Chain_request { chain; spec } -> Format.fprintf ppf "Chain_request(%d, %s)" chain spec.spec_name
@@ -116,6 +124,10 @@ let pp_msg ppf = function
     Format.fprintf ppf
       "Telemetry_report(site%d epoch%d chain%d %d stages, %d down, %d/%d flows)"
       site epoch chain (Array.length stages) (List.length down_links) tc tk
+  | Load_advert { site; epoch; loads; fwd_weights; down_links } ->
+    Format.fprintf ppf "Load_advert(site%d epoch%d %d vnfs, %d fwd sets, %d down)"
+      site epoch (List.length loads) (List.length fwd_weights)
+      (List.length down_links)
 
 (* -------------------------- wire-size model ------------------------- *)
 
@@ -159,6 +171,10 @@ let msg_size = function
   | Edge_info _ -> header_bytes + 12
   | Telemetry_report { stages; down_links; _ } ->
     header_bytes + 24 + (16 * Array.length stages) + (4 * List.length down_links)
+  | Load_advert { loads; fwd_weights; down_links; _ } ->
+    header_bytes + 8 + pair_list_size loads
+    + List.fold_left (fun a (_, ws) -> a + 4 + pair_list_size ws) 4 fwd_weights
+    + (4 * List.length down_links)
 
 (* Bucket topics into a bounded family set so per-topic byte counters stay
    O(families), not O(chains): "/chain/17/route" and "/chain/40271/route"
@@ -170,6 +186,7 @@ let topic_class topic =
   else if has_prefix "/gsb/votes/" then "/gsb/votes/*"
   else if has_prefix "/ctl/" then "/ctl/*"
   else if has_prefix "/telemetry/" then "/telemetry/*"
+  else if has_prefix "/advert/" then "/advert/*"
   else if topic = "/chains" then topic
   else if has_prefix "/chain/" then "/chain/*/route"
   else if has_prefix "/c" then

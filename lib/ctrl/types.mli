@@ -125,6 +125,24 @@ type msg =
       (** One site's per-chain measurement export for one epoch — the
           feedback the telemetry aggregator ([sb_adapt]) assembles into a
           measured traffic matrix (Section 4.1). *)
+  | Load_advert of {
+      site : int;
+      epoch : int;
+      loads : (int * float) list;
+          (** per deployed VNF, the site's currently carried load in
+              traffic units, sorted by VNF id *)
+      fwd_weights : (int * (int * float) list) list;
+          (** per deployed VNF, the site's [(forwarder, weight)] load
+              balancing targets (static fabric knowledge, flooded so a
+              remote decision process can address this site's instances
+              without per-chain 2PC admission) *)
+      down_links : int list;
+          (** topology link ids this site observes down, sorted *)
+    }
+      (** One site's flooded link-state/load advertisement for the
+          decentralized anycast control arm ([Sb_adapt.Anycast]): retained
+          on {!advert_topic} so every peer site keeps the latest view, aged
+          out by epoch staleness at the receiver. *)
 
 val chain_request_topic : string
 val votes_topic : txid:int -> string
@@ -140,6 +158,12 @@ val telemetry_topic : chain:int -> string
 (** ["/telemetry/c<chain>"] — per-chain telemetry reports; in Switchboard
     bus mode only sites subscribed to a chain's reports (the Global
     Switchboard) receive them. *)
+
+val advert_topic : site:int -> string
+(** ["/advert/s<site>"] — the site's retained {!msg.Load_advert} flood
+    topic for the anycast arm; every participating site subscribes to
+    every other site's topic (O(sites²) subscriptions, one WAN copy per
+    subscribing site per publish). *)
 
 val pp_msg : Format.formatter -> msg -> unit
 

@@ -262,6 +262,155 @@ let test_closed_loop_tracks_static_on_steady_demand () =
         (c.Loop.ep_supported >= (0.99 *. s.Loop.ep_supported) -. 1e-9))
     closed.Loop.epochs static.Loop.epochs
 
+(* ----------------------------- anycast arm ----------------------------- *)
+
+module Anycast = Sb_adapt.Anycast
+module Greedy = Sb_core.Greedy
+module Schedule = Sb_chaos.Schedule
+module Inject = Sb_chaos.Inject
+
+(* Fresh epoch-0 views for every site: each peer advertised every VNF it
+   hosts at [load vnf site] this epoch, no down links — the perfect-flood
+   fixture the equivalence property needs. *)
+let fresh_views m ~load =
+  let n = Model.num_sites m in
+  let loads_of = Array.make n [] in
+  for f = 0 to Model.num_vnfs m - 1 do
+    List.iter
+      (fun (s, _cap) -> loads_of.(s) <- (f, load f s) :: loads_of.(s))
+      (Model.vnf_sites m f)
+  done;
+  Array.init n (fun site ->
+      let v = Anycast.create_view ~site ~num_sites:n ~staleness:3 in
+      for peer = 0 to n - 1 do
+        Anycast.observe v ~site:peer ~epoch:0 ~loads:loads_of.(peer) ~fwd_weights:[]
+          ~down:[]
+      done;
+      Anycast.set_epoch v 0;
+      v)
+
+let model_arb =
+  QCheck.(pair (int_range 1 10_000) (int_range 4 12))
+  |> QCheck.map ~rev:(fun _ -> (11, 10)) (fun (seed, chains) ->
+         (seed, chains, small_model ~seed ~chains ()))
+  |> QCheck.set_print (fun (seed, chains, _) ->
+         Printf.sprintf "seed=%d chains=%d" seed chains)
+
+(* Whatever the flooded loads say — under-loaded, saturated, mixed — the
+   emergent per-hop routing must stay well-formed: every chain fully
+   routed, flow conserved, stage endpoints legal, elements only on
+   deployment nodes (i.e. chain-order-conformant and loop-free by
+   construction of the stage walk). *)
+let anycast_routing_valid =
+  QCheck.Test.make ~name:"anycast route from flooded views is a valid routing"
+    ~count:25 model_arb (fun (seed, _chains, m) ->
+      (* Deterministic mixed loads: some sites idle, some past capacity. *)
+      let load f s =
+        let cap = Model.vnf_site_capacity m ~vnf:f ~site:s in
+        cap *. (float_of_int ((seed + (31 * f) + (17 * s)) mod 5) /. 3.)
+      in
+      let views = fresh_views m ~load in
+      let r = Anycast.route m (fun s -> views.(s)) in
+      (match Routing.validate r with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invalid routing: %s" e);
+      for c = 0 to Model.num_chains m - 1 do
+        let paths = Routing.decompose_paths r ~chain:c in
+        let total = List.fold_left (fun a (_, f) -> a +. f) 0. paths in
+        if Float.abs (total -. 1.) > 1e-9 then
+          QCheck.Test.fail_reportf "chain %d routes %.6f of its demand" c total;
+        List.iter
+          (fun (nodes, _) ->
+            if Array.length nodes <> Model.chain_length m c + 2 then
+              QCheck.Test.fail_reportf "chain %d: path skips or repeats a stage" c)
+          paths
+      done;
+      true)
+
+(* With perfect information — every site freshly advertising zero load —
+   the decentralized walk must coincide with the centralized ANYCAST
+   baseline: nearest admissible instance at every stage. *)
+let anycast_matches_centralized =
+  QCheck.Test.make
+    ~name:"fresh unloaded views: anycast arm = centralized Greedy.anycast" ~count:25
+    model_arb (fun (_seed, _chains, m) ->
+      let views = fresh_views m ~load:(fun _ _ -> 0.) in
+      let dist = Anycast.route m (fun s -> views.(s)) in
+      let central = Greedy.anycast m in
+      for c = 0 to Model.num_chains m - 1 do
+        if
+          Routing.decompose_paths dist ~chain:c
+          <> Routing.decompose_paths central ~chain:c
+        then QCheck.Test.fail_reportf "chain %d diverges from the baseline" c
+      done;
+      true)
+
+let test_anycast_smoke_deterministic () =
+  let sc = smoke_scenario () in
+  let r1 = Loop.run sc Loop.Anycast_dist in
+  let r2 = Loop.run sc Loop.Anycast_dist in
+  Alcotest.(check int) "all epochs evaluated" 4 (List.length r1.Loop.epochs);
+  Alcotest.(check int) "same total churn" r1.Loop.total_rerouted r2.Loop.total_rerouted;
+  List.iter2
+    (fun (a : Loop.epoch_report) (b : Loop.epoch_report) ->
+      Alcotest.(check (float 0.)) "supported bit-identical" a.Loop.ep_supported
+        b.Loop.ep_supported;
+      Alcotest.(check (float 0.)) "rtt bit-identical" a.Loop.ep_mean_rtt
+        b.Loop.ep_mean_rtt;
+      Alcotest.(check int) "re-points identical" a.Loop.ep_rerouted b.Loop.ep_rerouted;
+      Alcotest.(check int) "advert count identical" a.Loop.ep_reports b.Loop.ep_reports;
+      Alcotest.(check bool) "traffic flows" true (a.Loop.ep_supported > 0.))
+    r1.Loop.epochs r2.Loop.epochs;
+  (* Adverts flood from the first advertise tick on. *)
+  match List.rev r1.Loop.epochs with
+  | last :: _ -> Alcotest.(check bool) "adverts flowed" true (last.Loop.ep_reports > 0)
+  | [] -> Alcotest.fail "no epochs"
+
+(* The offline arms never assemble a control plane, so handing them a
+   chaos hook must be an error, not a silent no-op. *)
+let test_on_system_rejected_on_offline_arms () =
+  let sc = smoke_scenario () in
+  List.iter
+    (fun arm ->
+      match Loop.run ~on_system:(fun _ -> ()) sc arm with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s arm accepted ~on_system" (Loop.arm_name arm))
+    [ Loop.Static; Loop.Oracle ]
+
+(* Fault-injection path through the closed loop: a GSB outage covering the
+   whole run means no control tick ever fires — the loop is frozen at its
+   initial solve and scores exactly like the static arm, even as demand
+   drifts under it. *)
+let test_closed_loop_frozen_under_full_gsb_outage () =
+  let m = small_model ~seed:3 ~chains:8 () in
+  let sc =
+    {
+      Loop.sc_model = m;
+      sc_epochs = 4;
+      sc_epoch_len = 1.0;
+      sc_demand =
+        (fun ~epoch ~chain -> 1.0 +. (0.2 *. float_of_int ((epoch + chain) mod 3)));
+      sc_failures = [];
+    }
+  in
+  (* Horizon past the last control tick (epoch 2's, at 3.0 + control_lag). *)
+  let sched =
+    Schedule.gsb_outage ~seed:1 ~num_sites:(Model.num_sites m) ~horizon:6. ~start:0.
+      ~fraction:1.
+  in
+  let rng = Sb_util.Rng.create 5 in
+  let frozen =
+    Loop.run ~on_system:(fun sys -> Inject.arm ~sys ~rng sched) sc Loop.Closed_loop
+  in
+  let static = Loop.run sc Loop.Static in
+  Alcotest.(check int) "no control tick fires" 0 frozen.Loop.total_rerouted;
+  List.iter2
+    (fun (f : Loop.epoch_report) (s : Loop.epoch_report) ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "epoch %d frozen = static" f.Loop.ep_epoch)
+        s.Loop.ep_supported f.Loop.ep_supported)
+    frozen.Loop.epochs static.Loop.epochs
+
 let () =
   Alcotest.run "sb_adapt"
     [
@@ -287,5 +436,16 @@ let () =
             test_closed_loop_smoke_deterministic;
           Alcotest.test_case "steady demand: closed >= static" `Quick
             test_closed_loop_tracks_static_on_steady_demand;
+        ] );
+      ( "anycast",
+        [
+          QCheck_alcotest.to_alcotest anycast_routing_valid;
+          QCheck_alcotest.to_alcotest anycast_matches_centralized;
+          Alcotest.test_case "anycast arm smoke deterministic" `Quick
+            test_anycast_smoke_deterministic;
+          Alcotest.test_case "offline arms reject ~on_system" `Quick
+            test_on_system_rejected_on_offline_arms;
+          Alcotest.test_case "closed loop frozen under full GSB outage" `Quick
+            test_closed_loop_frozen_under_full_gsb_outage;
         ] );
     ]
