@@ -2306,6 +2306,102 @@ let anycast_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Elastic placement: flash-crowd sweep (BENCH_placement)              *)
+(* ------------------------------------------------------------------ *)
+
+(* The placement experiment (DESIGN.md section 16): diurnal drift plus a
+   flash crowd on one PoP, on the sparse two-deployments-per-VNF
+   footprint. Route-only closed loop vs the same loop with the Place
+   planner armed vs the oracle (the identical loop with the
+   perfect-knowledge placements provisioned in advance), so the headline
+   ratio reads as "how much of perfect advance provisioning does elastic
+   placement recover online". SB_PLACEMENT_SCALE=smoke selects the
+   CI-sized config. Fully deterministic (no wall clocks in the JSON, so
+   CI diffs a double run byte for byte). *)
+let placement_bench () =
+  header "Extension: elastic placement under a one-PoP flash crowd";
+  let scale =
+    match Sys.getenv_opt "SB_PLACEMENT_SCALE" with
+    | Some "smoke" -> "smoke"
+    | _ -> "full"
+  in
+  (* The smoke grid stretches to 12 ticks: the planner needs its observe
+     window plus a rollout epoch before an open carries traffic, and an
+     8-tick run would end the flash crowd before the second open lands. *)
+  let cfg =
+    if scale = "smoke" then { Scenario.smoke_config with Scenario.ticks = 12 }
+    else Scenario.default_config
+  in
+  let flash_lo, flash_hi = Scenario.flash_window cfg in
+  Printf.printf "config: %s (seed=%d ticks=%d chains=%d lanes=%d flash=[%d,%d))\n"
+    scale cfg.Scenario.seed cfg.Scenario.ticks cfg.Scenario.num_chains
+    cfg.Scenario.lanes flash_lo flash_hi;
+  let points = Scenario.placement_sweep cfg in
+  let t =
+    Table.create ~header:[ "arm"; "mean"; "flash"; "rerouted"; "scale actions" ]
+  in
+  List.iter
+    (fun (p : Scenario.placement_point) ->
+      Table.add_row t
+        [
+          p.Scenario.pl_arm;
+          Printf.sprintf "%.1f" p.Scenario.pl_mean;
+          Printf.sprintf "%.1f" p.Scenario.pl_flash;
+          string_of_int p.Scenario.pl_rerouted;
+          string_of_int p.Scenario.pl_scale_actions;
+        ])
+    points;
+  Table.print t;
+  let find arm =
+    List.find (fun (p : Scenario.placement_point) -> p.Scenario.pl_arm = arm) points
+  in
+  let ro = find "route-only" and pl = find "placement" and orc = find "oracle" in
+  (* The planner's own worst case: one action per cooldown cycle, opens
+     plus the drains that close them. *)
+  let churn_budget = 2 * Sb_adapt.Place.default_params.Sb_adapt.Place.max_extra in
+  Printf.printf
+    "flash window: route-only %.1f, placement %.1f, oracle %.1f -> placement holds \
+     %.1f%% of oracle (route-only %.1f%%); %d scale actions (budget %d)\n"
+    ro.Scenario.pl_flash pl.Scenario.pl_flash orc.Scenario.pl_flash
+    (100. *. pl.Scenario.pl_flash /. orc.Scenario.pl_flash)
+    (100. *. ro.Scenario.pl_flash /. orc.Scenario.pl_flash)
+    pl.Scenario.pl_scale_actions churn_budget;
+  if !json_mode then begin
+    let oc = open_out "BENCH_placement.json" in
+    Printf.fprintf oc "{\n  \"params\": {\n";
+    Printf.fprintf oc "    \"scale\": %S,\n    \"seed\": %d,\n    \"ticks\": %d,\n" scale
+      cfg.Scenario.seed cfg.Scenario.ticks;
+    Printf.fprintf oc "    \"epoch_len\": %.2f,\n    \"num_chains\": %d,\n"
+      cfg.Scenario.epoch_len cfg.Scenario.num_chains;
+    Printf.fprintf oc "    \"lanes\": %d,\n    \"sites\": 25,\n" cfg.Scenario.lanes;
+    Printf.fprintf oc "    \"flash_lo\": %d,\n    \"flash_hi\": %d,\n" flash_lo flash_hi;
+    Printf.fprintf oc "    \"churn_budget\": %d\n  },\n" churn_budget;
+    Printf.fprintf oc "  \"sweep\": [\n";
+    let n = List.length points in
+    List.iteri
+      (fun i (p : Scenario.placement_point) ->
+        Printf.fprintf oc
+          "    {\"arm\": %S, \"mean\": %.4f, \"flash\": %.4f, \"rerouted\": %d, \
+           \"scale_actions\": %d}%s\n"
+          p.Scenario.pl_arm p.Scenario.pl_mean p.Scenario.pl_flash
+          p.Scenario.pl_rerouted p.Scenario.pl_scale_actions
+          (if i = n - 1 then "" else ","))
+      points;
+    Printf.fprintf oc "  ],\n";
+    Printf.fprintf oc "  \"headline\": {\n";
+    Printf.fprintf oc "    \"placement_over_oracle_flash\": %.4f,\n"
+      (pl.Scenario.pl_flash /. orc.Scenario.pl_flash);
+    Printf.fprintf oc "    \"placement_over_oracle_mean\": %.4f,\n"
+      (pl.Scenario.pl_mean /. orc.Scenario.pl_mean);
+    Printf.fprintf oc "    \"route_only_over_oracle_flash\": %.4f,\n"
+      (ro.Scenario.pl_flash /. orc.Scenario.pl_flash);
+    Printf.fprintf oc "    \"scale_actions\": %d\n" pl.Scenario.pl_scale_actions;
+    Printf.fprintf oc "  }\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_placement.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Extension: rule compiler + delta rollout (BENCH_compile)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -2592,6 +2688,7 @@ let experiments =
     ("adapt", adapt);
     ("scenarios", scenarios);
     ("anycast", anycast_bench);
+    ("placement", placement_bench);
     ("compile", compile_bench);
     ("ablation", ablation);
     ("scale", scale);

@@ -330,21 +330,39 @@ let plan_vnf_cmd =
   let new_sites =
     Arg.(value & opt int 1 & info [ "new-sites" ] ~docv:"N" ~doc:"New sites per VNF.")
   in
-  let run seed cores chains coverage new_sites =
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Solve the Section 4.3 placement MIP by branch-and-bound instead of the \
+             greedy (falls back to the greedy if the search returns no incumbent).")
+  in
+  let run seed cores chains coverage new_sites exact =
     let m = build_model seed cores chains coverage in
     let lat model =
       1000.
       *. Routing.propagation_latency
            (Sb_core.Dp_routing.solve ~rng:(Sb_util.Rng.create seed) model)
     in
-    let sugg = Sb_core.Placement.suggest m ~new_sites_per_vnf:new_sites in
+    let sugg =
+      if exact then
+        match Sb_core.Placement.mip m ~new_sites_per_vnf:new_sites with
+        | Some exact -> exact
+        | None ->
+          (* The MIP already warned on stderr (node budget / infeasible);
+             hand the operator the greedy hint rather than nothing. *)
+          Printf.printf "MIP returned no incumbent; using the greedy placement\n";
+          Sb_core.Placement.suggest m ~new_sites_per_vnf:new_sites
+      else Sb_core.Placement.suggest m ~new_sites_per_vnf:new_sites
+    in
     let rand = Sb_core.Placement.random ~rng:(Sb_util.Rng.create seed) m ~new_sites_per_vnf:new_sites in
     Printf.printf "current deployment:     %.2f ms mean propagation latency\n" (lat m);
     Printf.printf "random new sites:       %.2f ms\n" (lat rand);
     Printf.printf "Switchboard placement:  %.2f ms\n" (lat sugg);
     0
   in
-  let term = Term.(const run $ seed $ cores $ chains $ coverage $ new_sites) in
+  let term = Term.(const run $ seed $ cores $ chains $ coverage $ new_sites $ exact) in
   Cmd.v
     (Cmd.info "plan-vnf"
        ~doc:"Suggest new VNF deployment sites that minimize chain latency (Section 4.2).")

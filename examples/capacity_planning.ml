@@ -79,4 +79,10 @@ let () =
     Format.printf
       "@.exact MIP placement on a 5-VNF slice: %.2f ms (was %.2f ms before)@."
       (latency exact) (latency small)
-  | None -> Format.printf "@.MIP hit its node budget without an incumbent@."
+  | None ->
+    (* The MIP already warned on stderr (node budget / infeasible); the
+       operator still wants a hint, so fall back to the greedy. *)
+    let greedy = Sb_core.Placement.suggest small ~new_sites_per_vnf:1 in
+    Format.printf
+      "@.MIP returned no incumbent; greedy fallback: %.2f ms (was %.2f ms before)@."
+      (latency greedy) (latency small)

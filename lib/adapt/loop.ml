@@ -39,6 +39,7 @@ type params = {
   vnf_headroom : float;
   lanes : int;
   seed : int;
+  placement : Place.params option;
 }
 
 (* Defaults from the bench sweep on the tier-1 TE scenario: a low
@@ -57,6 +58,7 @@ let default_params =
     vnf_headroom = 4.0;
     lanes = 1;
     seed = 42;
+    placement = None;
   }
 
 type epoch_report = {
@@ -69,7 +71,11 @@ type epoch_report = {
   ep_reports : int;
 }
 
-type run_result = { epochs : epoch_report list; total_rerouted : int }
+type run_result = {
+  epochs : epoch_report list;
+  total_rerouted : int;
+  total_scale_actions : int;
+}
 
 let diurnal_demand ?(amplitude = 0.8) ?(period = 8) ~seed n =
   let rng = Rng.create seed in
@@ -170,7 +176,7 @@ let run_static sc =
           ep_reports = 0;
         })
   in
-  { epochs; total_rerouted = 0 }
+  { epochs; total_rerouted = 0; total_scale_actions = 0 }
 
 (* The oracle re-solves from scratch each epoch with perfect knowledge; the
    sequential DP is order-sensitive, so take the best of a few seeded chain
@@ -217,7 +223,7 @@ let run_oracle sc =
           ep_reports = 0;
         })
   in
-  { epochs; total_rerouted = !total }
+  { epochs; total_rerouted = !total; total_scale_actions = 0 }
 
 (* Shared establishment for the live arms (closed loop and decentralized
    anycast): assemble the control plane, provision every deployment from
@@ -296,6 +302,7 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
   (* Hand the assembled system to the caller before the epochs are laid
      out: [sb_chaos] arms its fault schedule and invariant probes here. *)
   on_system sys;
+  let planner = Option.map (fun pp -> Place.create ~params:pp ()) p.placement in
   let t0 = Engine.now eng in
   let failed_now = ref [] in
   let exporters =
@@ -318,6 +325,18 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
   let rng = Rng.split ~stream:1 (Rng.create p.seed) in
   let inject e =
     failed_now := failed_at sc e;
+    (* With the placement capability on, the epoch tick drives the flow
+       expiry clock (PR 7): connections idle for two epochs age out, so a
+       drained deployment's flow-table occupancy actually falls to zero
+       and scale-in can complete. Off by default — expiry never changes
+       traces or draws, but the route-only arm stays byte-identical to
+       its pre-placement behaviour. *)
+    (match planner with
+    | Some _ ->
+      let sh = System.shard sys in
+      Sb_dataplane.Shard.set_clock sh e;
+      if e >= 2 then ignore (Sb_dataplane.Shard.expire_flows sh ~idle_before:(e - 2))
+    | None -> ());
     for c = 0 to n - 1 do
       let units =
         sc.sc_demand ~epoch:e ~chain:c *. Model.fwd_traffic m ~chain:c ~stage:0
@@ -356,6 +375,36 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
         let base = match down with [] -> m | _ -> Model.with_failed_links m down in
         Model.with_chain_traffic_factors base (Array.copy factors_meas)
       in
+      (* Placement half of the tick: plan against the measured model,
+         apply the actions through the control plane, and resolve routes
+         on the model including the planner's opens so the resolver can
+         actually steer load onto (or off) the changed deployments. *)
+      let measured =
+        match planner with
+        | None -> measured
+        | Some pl ->
+          let acts = Place.plan pl ~measured ~paths:(paths_of !cur n) in
+          List.iter
+            (function
+              | Place.Scale_out { vnf; site; capacity } ->
+                System.scale_out sys ~vnf ~site
+                  ~capacity:(p.vnf_headroom *. capacity) ~instances:2
+              | Place.Scale_in { vnf; site } ->
+                (* The resolver below no longer sees the deployment, so
+                   the chains using it re-route with infinite gain; the
+                   drain completes once their route updates commit and
+                   the established flows idle out. *)
+                System.drain_and_remove sys ~vnf ~site
+                  ~timeout:(4. *. sc.sc_epoch_len)
+                  ~on_done:(fun ok ->
+                    if ok then Place.note_drain_done pl ~vnf ~site
+                    else Place.note_drain_aborted pl ~vnf ~site)
+                  ())
+            acts;
+          (match Place.extra pl with
+          | [] -> measured
+          | ex -> Model.with_extra_deployments measured ex)
+      in
       let r', stats =
         Dp.resolve ~util_weight:p.util_weight ~hysteresis:p.hysteresis
           ~churn_budget:p.churn_budget ~prev:!cur
@@ -375,6 +424,19 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
   let results = Array.make sc.sc_epochs None in
   let eval e =
     let tm = truth sc e in
+    (* The ground truth carries the operator's provisioning only; the
+       deployments elastic placement has physically opened (including
+       drains still in flight — they serve established flows until
+       retraction) must back the paths that use them, or the evaluation
+       would charge those paths against zero capacity. *)
+    let tm =
+      match planner with
+      | None -> tm
+      | Some pl -> (
+        match Place.live pl with
+        | [] -> tm
+        | ex -> Model.with_extra_deployments tm ex)
+    in
     (* Evaluate what is INSTALLED (post two-phase commit), not what the
        resolver intends: rollout latency is part of the loop. *)
     let installed =
@@ -417,6 +479,8 @@ let run_closed ?(on_system = fun _ -> ()) sc p =
       Array.to_list results
       |> List.filter_map (fun r -> r);
     total_rerouted = !total_rerouted;
+    total_scale_actions =
+      (match planner with Some pl -> Place.actions_emitted pl | None -> 0);
   }
 
 (* The decentralized arm: no aggregator, no resolver, no 2PC after
@@ -513,6 +577,7 @@ let run_anycast ?(on_system = fun _ -> ()) sc p =
   {
     epochs = Array.to_list results |> List.filter_map (fun r -> r);
     total_rerouted = !total_rerouted;
+    total_scale_actions = 0;
   }
 
 let run ?(params = default_params) ?on_system sc arm =

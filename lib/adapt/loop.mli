@@ -53,6 +53,15 @@ type params = {
           arms' results are lane-count independent, which the chaos suite
           pins *)
   seed : int;
+  placement : Place.params option;
+      (** [Some _] arms the elastic-placement capability on the
+          [Closed_loop] arm: a {!Place} planner runs every control tick,
+          scale-outs go through {!Sb_ctrl.System.scale_out} + the next
+          route rollout, scale-ins through a route rollout excluding the
+          site followed by {!Sb_ctrl.System.drain_and_remove}, and the
+          epoch tick drives the flow-expiry clock so drains complete.
+          [None] (the default) leaves the route-only loop bit-identical
+          to its pre-placement behaviour. Ignored by the other arms. *)
 }
 
 val default_params : params
@@ -77,7 +86,14 @@ type epoch_report = {
           site views, summed over sites ([Anycast_dist]) *)
 }
 
-type run_result = { epochs : epoch_report list; total_rerouted : int }
+type run_result = {
+  epochs : epoch_report list;
+  total_rerouted : int;
+  total_scale_actions : int;
+      (** deployment scale-outs plus scale-ins the placement planner
+          emitted over the run (0 unless the placement capability is
+          armed) — the churn figure BENCH_placement.json pins *)
+}
 
 val diurnal_demand :
   ?amplitude:float -> ?period:int -> seed:int -> int -> epoch:int -> chain:int -> float

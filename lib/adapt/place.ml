@@ -1,0 +1,184 @@
+module Model = Sb_core.Model
+module Instance = Sb_core.Instance
+module Load_state = Sb_core.Load_state
+module Routing = Sb_core.Routing
+module Placement = Sb_core.Placement
+module Paths = Sb_net.Paths
+
+type action =
+  | Scale_out of { vnf : int; site : int; capacity : float }
+  | Scale_in of { vnf : int; site : int }
+
+type params = {
+  sat_threshold : float;
+  cold_threshold : float;
+  observe : int;
+  cooldown : int;
+  churn_budget : int;
+  max_extra : int;
+  constraints : Placement.constraints;
+}
+
+(* Defaults tuned on the flash-crowd scenario: two observation ticks keep
+   a one-epoch telemetry spike from opening a deployment, a two-tick
+   cooldown leaves the route resolver time to shift load onto (or off)
+   the changed deployment before the planner re-judges it, and one action
+   per tick bounds deployment churn at the epoch rate. *)
+let default_params =
+  {
+    sat_threshold = 0.85;
+    cold_threshold = 0.20;
+    observe = 2;
+    cooldown = 2;
+    churn_budget = 1;
+    max_extra = 4;
+    constraints = Placement.no_constraints;
+  }
+
+type t = {
+  params : params;
+  mutable extra : (int * int * float) list; (* planner opens, open order *)
+  sat_streak : (int, int) Hashtbl.t; (* vnf -> consecutive saturated ticks *)
+  cold_streak : (int * int, int) Hashtbl.t;
+  mutable draining : (int * int * float) list; (* emitted scale-ins in flight *)
+  mutable cooldown_left : int;
+  mutable emitted : int;
+}
+
+let create ?(params = default_params) () =
+  {
+    params;
+    extra = [];
+    sat_streak = Hashtbl.create 8;
+    cold_streak = Hashtbl.create 8;
+    draining = [];
+    cooldown_left = 0;
+    emitted = 0;
+  }
+
+let extra t = t.extra
+let live t = t.extra @ t.draining
+let actions_emitted t = t.emitted
+
+let note_drain_aborted t ~vnf ~site =
+  match List.find_opt (fun (f, s, _) -> f = vnf && s = site) t.draining with
+  | None -> ()
+  | Some (_, _, cap) ->
+    t.draining <-
+      List.filter (fun (f, s, _) -> not (f = vnf && s = site)) t.draining;
+    (* The fabric still holds the deployment (the aborted drain restored
+       its weights), so the planner's model view must keep it too. *)
+    t.extra <- t.extra @ [ (vnf, site, cap) ]
+
+let note_drain_done t ~vnf ~site =
+  t.draining <-
+    List.filter (fun (f, s, _) -> not (f = vnf && s = site)) t.draining
+
+(* Evaluate the routing in force against the measured model plus the
+   planner's own opens; the loaded state is what the utilization reads
+   come from. Paths with a hop the (possibly failed) topology cannot
+   connect carry nothing and are skipped, as in [Loop.measure]. *)
+let loaded_state mx paths =
+  let inst = Instance.compile mx in
+  let ls = Load_state.of_instance inst in
+  let r = Routing.of_instance inst in
+  let up = Model.paths mx in
+  let connected nodes =
+    let ok = ref true in
+    for z = 0 to Array.length nodes - 2 do
+      if
+        nodes.(z) <> nodes.(z + 1)
+        && not (Float.is_finite (Paths.delay up nodes.(z) nodes.(z + 1)))
+      then ok := false
+    done;
+    !ok
+  in
+  Array.iteri
+    (fun c ps ->
+      List.iter
+        (fun (nodes, frac) ->
+          if connected nodes then Routing.add_path r ~chain:c ~nodes ~frac)
+        ps)
+    paths;
+  ignore (Routing.max_alpha_into ls r);
+  (inst, ls)
+
+let bump tbl key hit =
+  let cur = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0 in
+  let n = if hit then cur + 1 else 0 in
+  Hashtbl.replace tbl key n;
+  n
+
+let plan t ~measured ~paths =
+  let p = t.params in
+  let mx =
+    match t.extra with
+    | [] -> measured
+    | ex -> Model.with_extra_deployments measured ex
+  in
+  let inst, ls = loaded_state mx paths in
+  if t.cooldown_left > 0 then t.cooldown_left <- t.cooldown_left - 1;
+  let actions = ref [] in
+  let budget = ref p.churn_budget in
+  let fire () =
+    decr budget;
+    t.cooldown_left <- p.cooldown;
+    t.emitted <- t.emitted + 1
+  in
+  (* Scale-in first: a cold planner open releases its site (and its slot
+     under [max_extra]) before any new open is considered. Only the
+     planner's own opens are candidates — base-model deployments are the
+     operator's provisioning, never retracted. *)
+  let still = ref [] in
+  List.iter
+    (fun (f, s, cap) ->
+      let u = Load_state.vnf_utilization ls ~vnf:f ~site:s in
+      let streak = bump t.cold_streak (f, s) (u < p.cold_threshold) in
+      if streak >= p.observe && t.cooldown_left = 0 && !budget > 0 then begin
+        fire ();
+        Hashtbl.remove t.cold_streak (f, s);
+        t.draining <- (f, s, cap) :: t.draining;
+        actions := Scale_in { vnf = f; site = s } :: !actions
+      end
+      else still := (f, s, cap) :: !still)
+    t.extra;
+  t.extra <- List.rev !still;
+  (* Scale-out: a VNF whose every deployed site sits above the saturation
+     threshold has nowhere left to shift load by re-routing alone — the
+     placement loop's firing condition. *)
+  let nf = Model.num_vnfs mx in
+  for f = 0 to nf - 1 do
+    let deps = Model.vnf_sites mx f in
+    let saturated =
+      deps <> []
+      && List.for_all
+           (fun (s, _) ->
+             Load_state.vnf_utilization ls ~vnf:f ~site:s >= p.sat_threshold)
+           deps
+    in
+    let streak = bump t.sat_streak f saturated in
+    if
+      streak >= p.observe
+      && t.cooldown_left = 0
+      && !budget > 0
+      && List.length t.extra + List.length t.draining < p.max_extra
+    then
+      match
+        List.find_opt
+          (fun (f', s', _) ->
+            f' = f
+            (* never re-open a site whose drain for this VNF is still in
+               flight: the drain's retraction would sweep the new
+               instances away with the old ones *)
+            && not (List.exists (fun (df, ds, _) -> df = f && ds = s') t.draining))
+          (Placement.suggest_inst ~constraints:p.constraints ~load:ls inst
+             ~new_sites_per_vnf:1)
+      with
+      | None -> () (* no admissible site left for this VNF *)
+      | Some (_, site, capacity) ->
+        fire ();
+        Hashtbl.replace t.sat_streak f 0;
+        t.extra <- t.extra @ [ (f, site, capacity) ];
+        actions := Scale_out { vnf = f; site; capacity } :: !actions
+  done;
+  List.rev !actions

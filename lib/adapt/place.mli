@@ -1,0 +1,85 @@
+(** The elastic-placement planner: the half of the closed loop that moves
+    {e deployments} instead of routes (DESIGN.md §16).
+
+    Every control tick the planner re-evaluates the routing in force
+    against the measured model (plus its own previous opens) and fires on
+    the signal re-routing cannot fix: a VNF whose every deployed site
+    sits above the saturation threshold has no spare candidate to shift
+    load onto, so the planner opens a new deployment where
+    {!Sb_core.Placement.suggest_inst} (latency-scored, telemetry-
+    weighted, constraint-checked) points. Symmetrically, a planner-opened
+    deployment that has gone cold is scaled back in — base-model
+    deployments are the operator's provisioning and are never retracted.
+
+    The planner only {e decides}; the caller ({!Loop} with the placement
+    capability) applies the actions through the control plane —
+    {!Sb_ctrl.System.scale_out} plus the next route rollout for an open,
+    a route rollout that excludes the site followed by
+    {!Sb_ctrl.System.drain_and_remove} for a scale-in — and reports
+    aborted drains back via {!note_drain_aborted} so the planner's model
+    view stays consistent with the fabric. *)
+
+type action =
+  | Scale_out of { vnf : int; site : int; capacity : float }
+  | Scale_in of { vnf : int; site : int }
+
+type params = {
+  sat_threshold : float;
+      (** per-deployment utilization above which a site counts saturated
+          (0.85); scale-out fires only when {e every} deployed site of a
+          VNF is saturated *)
+  cold_threshold : float;
+      (** utilization below which a planner open counts cold (0.20) *)
+  observe : int;
+      (** consecutive ticks a condition must hold before acting (2) — the
+          hysteresis that keeps a one-epoch spike from churning
+          deployments *)
+  cooldown : int;
+      (** ticks after any action during which the planner only observes
+          (2), giving the route resolver time to load the change *)
+  churn_budget : int;  (** max scale actions per tick (1) *)
+  max_extra : int;
+      (** max planner opens alive (incl. drains in flight) at once (4) *)
+  constraints : Sb_core.Placement.constraints;
+      (** anti-affinity pairs and per-cloud budgets passed through to the
+          placement scorer *)
+}
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> unit -> t
+
+val extra : t -> (int * int * float) list
+(** The planner's currently open deployments as [(vnf, site, capacity)],
+    in open order — what the caller layers onto the measured model with
+    {!Sb_core.Model.with_extra_deployments} before resolving routes. *)
+
+val live : t -> (int * int * float) list
+(** {!extra} plus the scale-ins whose drains are still in flight — the
+    deployments the fabric physically holds, which is what an epoch
+    evaluation must charge paths against. *)
+
+val actions_emitted : t -> int
+(** Total actions emitted so far — the deployment-churn figure the
+    acceptance test budgets. *)
+
+val plan :
+  t -> measured:Sb_core.Model.t -> paths:(int array * float) list array -> action list
+(** One planning tick. [measured] is the telemetry-derived model {e
+    without} the planner's opens (they are layered on internally);
+    [paths] is the per-chain decomposition of the routing in force
+    ([Routing.decompose_paths]), evaluated against that model for the
+    utilization reads. Returns the actions to apply, already reflected in
+    {!extra} — an unapplied action desynchronizes planner and fabric.
+    Deterministic: scale-ins in open order, then scale-outs in VNF id
+    order. *)
+
+val note_drain_aborted : t -> vnf:int -> site:int -> unit
+(** The drain behind an emitted [Scale_in] aborted (GSB death or
+    timeout): the fabric kept the deployment, so re-open it in the
+    planner's view. *)
+
+val note_drain_done : t -> vnf:int -> site:int -> unit
+(** The drain completed and the deployment is retracted. *)

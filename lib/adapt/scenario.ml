@@ -346,6 +346,162 @@ let pp_outage_point ppf p =
     "fraction=%.2f arm=%s pre=%.4f during=%.4f stretch=%.4f rerouted=%d"
     p.op_fraction p.op_arm p.op_pre p.op_during p.op_stretch p.op_rerouted
 
+(* ---------------- elastic-placement sweep (DESIGN.md §16) ------------ *)
+
+type placement_point = {
+  pl_arm : string;
+  pl_mean : float;
+  pl_flash : float;
+  pl_rerouted : int;
+  pl_scale_actions : int;
+}
+
+(* The operator's footprint: each VNF keeps only its two highest-capacity
+   deployments. The full backbone25 provisioning (every VNF at half the
+   sites) leaves so much compute slack that no demand event re-routing can
+   follow would ever saturate a whole VNF; the sparse footprint is the
+   premise elastic placement exists for — provision the baseline, let the
+   control loop open deployments for the tail. *)
+let placement_keep = 2
+let placement_flash_mag = 4.0
+
+let flash_window cfg = (cfg.ticks / 4, cfg.ticks - (cfg.ticks / 4))
+
+let sparse_footprint model ~keep =
+  let drop = ref [] and kept = ref [] in
+  for f = 0 to Model.num_vnfs model - 1 do
+    let deps =
+      Model.vnf_sites model f
+      |> List.sort (fun (sa, ca) (sb, cb) ->
+             match compare cb ca with 0 -> compare sa sb | c -> c)
+    in
+    List.iteri
+      (fun i (s, c) ->
+        drop := (f, s) :: !drop;
+        if i < keep then kept := (f, s, c) :: !kept)
+      deps
+  done;
+  Model.with_extra_deployments (Model.without_deployments model !drop)
+    (List.rev !kept)
+
+(* The flash crowd's epicentre: the ingress node whose chains carry the
+   most base demand (ties to the lowest node id) — a crowd on a
+   negligible-traffic PoP would vanish into the VNFs' headroom. *)
+let hot_pop model =
+  let weight = Hashtbl.create 16 in
+  for c = 0 to Model.num_chains model - 1 do
+    let i = Model.chain_ingress model c in
+    let w = Model.fwd_traffic model ~chain:c ~stage:0 in
+    Hashtbl.replace weight i
+      (w +. Option.value ~default:0. (Hashtbl.find_opt weight i))
+  done;
+  fst
+    (Hashtbl.fold
+       (fun node w ((bn, bw) as best) ->
+         if w > bw || (w = bw && node < bn) then (node, w) else best)
+       weight (-1, 0.))
+
+let placement_scenario cfg =
+  let model = sparse_footprint (backbone25 cfg) ~keep:placement_keep in
+  let n = cfg.num_chains in
+  let lo, hi = flash_window cfg in
+  let w = W.diurnal ~seed:cfg.seed ~ticks:cfg.ticks ~keys:n ~period:cfg.ticks () in
+  let hot = hot_pop model in
+  let is_hot = Array.init n (fun c -> Model.chain_ingress model c = hot) in
+  (* Inside the window a hot chain's crowd rides on top of wherever its
+     diurnal curve sits, never below nominal — a flash crowd in the
+     night-time trough is still a crowd. *)
+  let demand ~epoch ~chain =
+    let d = W.demand w ~tick:epoch ~key:chain in
+    if is_hot.(chain) && epoch >= lo && epoch < hi then
+      placement_flash_mag *. Float.max 1. d
+    else d
+  in
+  let sc =
+    {
+      Loop.sc_model = model;
+      sc_epochs = cfg.ticks;
+      sc_epoch_len = cfg.epoch_len;
+      sc_demand = demand;
+      sc_failures = [];
+    }
+  in
+  (* The oracle's perfect-knowledge extras: place against the flash-peak
+     demand with the same scorer and the same open budget the online
+     planner gets, so the oracle bounds what elastic placement could do —
+     not what an unboundedly provisioned network could. *)
+  let peak =
+    Array.init n (fun c -> if is_hot.(c) then placement_flash_mag else 1.0)
+  in
+  let mp = Model.with_chain_traffic_factors model peak in
+  let ls = Sb_core.Routing.load_state (Sb_core.Dp_routing.solve mp) in
+  let sugg =
+    Sb_core.Placement.suggest_inst ~load:ls
+      (Sb_core.Instance.compile mp)
+      ~new_sites_per_vnf:1
+  in
+  (* Most-pressed VNFs first: rank each suggestion by the utilization of
+     its VNF's LEAST-loaded existing deployment (the planner's own firing
+     signal — a VNF saturated everywhere has no routing fix). *)
+  let pressure f =
+    List.fold_left
+      (fun a (s, _) -> Float.min a (Sb_core.Load_state.vnf_utilization ls ~vnf:f ~site:s))
+      infinity (Model.vnf_sites model f)
+  in
+  let ranked =
+    List.stable_sort
+      (fun (fa, _, _) (fb, _, _) -> Float.compare (pressure fb) (pressure fa))
+      sugg
+  in
+  let extras =
+    List.filteri (fun i _ -> i < Place.default_params.Place.max_extra) ranked
+  in
+  (sc, extras)
+
+let placement_sweep cfg =
+  let sc, extras = placement_scenario cfg in
+  let lo, hi = flash_window cfg in
+  let mean f = function
+    | [] -> 0.
+    | eps -> List.fold_left (fun a e -> a +. f e) 0. eps /. float_of_int (List.length eps)
+  in
+  let point name (r : Loop.run_result) =
+    let flash =
+      List.filter (fun ep -> ep.Loop.ep_epoch >= lo && ep.Loop.ep_epoch < hi) r.Loop.epochs
+    in
+    {
+      pl_arm = name;
+      pl_mean = mean (fun e -> e.Loop.ep_supported) r.Loop.epochs;
+      pl_flash = mean (fun e -> e.Loop.ep_supported) flash;
+      pl_rerouted = r.Loop.total_rerouted;
+      pl_scale_actions = r.Loop.total_scale_actions;
+    }
+  in
+  let params = { Loop.default_params with seed = cfg.seed; lanes = cfg.lanes } in
+  let route_only = Loop.run ~params sc Loop.Closed_loop in
+  let placed =
+    Loop.run
+      ~params:{ params with Loop.placement = Some Place.default_params }
+      sc Loop.Closed_loop
+  in
+  (* The oracle arm is the IDENTICAL closed loop on the model pre-extended
+     with the perfect-knowledge placements: same resolver, same telemetry
+     lag, same rollout latency — the provisioning is the only variable, so
+     [placement/oracle] reads as "how much of perfect advance provisioning
+     does elastic placement recover online". (A full per-epoch re-solve
+     would fold resolver quality into the denominator and measure the
+     wrong thing.) *)
+  let oracle =
+    Loop.run ~params
+      { sc with Loop.sc_model = Model.with_extra_deployments sc.Loop.sc_model extras }
+      Loop.Closed_loop
+  in
+  [ point "route-only" route_only; point "placement" placed; point "oracle" oracle ]
+
+let pp_placement_point ppf p =
+  Format.fprintf ppf "arm=%s mean=%.4f flash=%.4f rerouted=%d scale_actions=%d"
+    p.pl_arm p.pl_mean p.pl_flash p.pl_rerouted p.pl_scale_actions
+
 (* -------------------------- dataplane side --------------------------- *)
 
 type fabric = {

@@ -131,6 +131,47 @@ val outage_sweep : ?fractions:float list -> config -> outage_point list
 val pp_outage_point : Format.formatter -> outage_point -> unit
 (** One deterministic line per point — the CI-diffable form. *)
 
+(** {2 Elastic-placement sweep}
+
+    The placement experiment (DESIGN.md section 16): diurnal drift plus a
+    flash crowd on one PoP, run on a {e sparse} footprint (each VNF keeps
+    only its two highest-capacity deployments) so the crowd saturates
+    whole VNFs — the demand event no amount of re-routing can absorb.
+    Three arms: the route-only closed loop, the same loop with the
+    {!Place} planner armed, and an oracle — the {e identical} closed
+    loop on the model pre-extended with the perfect-knowledge placements
+    (same scorer, same open budget as the planner), so provisioning is
+    the only variable between the arms and [placement/oracle] reads as
+    "how much of perfect advance provisioning does elastic placement
+    recover online". Pure function of the config. *)
+
+type placement_point = {
+  pl_arm : string;  (** [route-only], [placement] or [oracle] *)
+  pl_mean : float;  (** mean per-epoch satisfied demand, whole run *)
+  pl_flash : float;  (** same, over the flash-crowd window only *)
+  pl_rerouted : int;  (** total route moves over the run *)
+  pl_scale_actions : int;
+      (** deployment scale-outs + scale-ins the planner emitted (0 for
+          the route-only and oracle arms) — the churn figure the
+          acceptance test budgets *)
+}
+
+val flash_window : config -> int * int
+(** [(ticks/4, ticks - ticks/4)] — the epoch half-open interval the flash
+    crowd covers. *)
+
+val placement_scenario : config -> Loop.scenario * (int * int * float) list
+(** The sweep's scenario plus the oracle's perfect-knowledge extra
+    deployments [(vnf, site, capacity)]: {!Sb_core.Placement.suggest_inst}
+    against the flash-peak demand, most-pressed VNFs first, capped at the
+    planner's own [max_extra] budget. *)
+
+val placement_sweep : config -> placement_point list
+(** Three points, in [route-only; placement; oracle] order. *)
+
+val pp_placement_point : Format.formatter -> placement_point -> unit
+(** One deterministic line per point — the CI-diffable form. *)
+
 val run_one :
   ?clock:(unit -> float) ->
   config ->

@@ -119,6 +119,13 @@ module Control = struct
     dp_words_used : int;
     dp_words_garbage : int;
     dp_compactions : int;
+    churn_scale_outs : int;  (** deployments added by elastic placement *)
+    churn_removed : int;  (** deployments retracted after a drain *)
+    churn_drains_completed : int;
+    churn_drains_aborted : int;
+    churn_draining : int;
+    churn_drain_p50 : float;  (** median completed-drain duration (s), 0 if none *)
+    churn_drain_max : float;
   }
 
   let percentile sorted p =
@@ -132,6 +139,14 @@ module Control = struct
     let arena = Sb_dataplane.Shard.arena_stats shard in
     let sizes = Array.of_list bs.Bus.sizes in
     Array.sort compare sizes;
+    let ch = System.deployment_churn system in
+    let durs = Array.of_list ch.System.ch_drain_durations in
+    Array.sort compare durs;
+    let drain_p50 =
+      let n = Array.length durs in
+      if n = 0 then 0. else durs.(n / 2)
+    in
+    let drain_max = Array.fold_left Float.max 0. durs in
     {
       bus_published = bs.Bus.published;
       bus_wan_messages = bs.Bus.wan_messages;
@@ -145,6 +160,13 @@ module Control = struct
       dp_words_used = arena.Sb_dataplane.Plane.words_used;
       dp_words_garbage = arena.Sb_dataplane.Plane.words_garbage;
       dp_compactions = arena.Sb_dataplane.Plane.compactions;
+      churn_scale_outs = ch.System.ch_scale_outs;
+      churn_removed = ch.System.ch_removed;
+      churn_drains_completed = ch.System.ch_drains_completed;
+      churn_drains_aborted = ch.System.ch_drains_aborted;
+      churn_draining = ch.System.ch_draining;
+      churn_drain_p50 = drain_p50;
+      churn_drain_max = drain_max;
     }
 
   let pp fmt r =
@@ -156,9 +178,14 @@ module Control = struct
       (fun (cls, n, b) -> Format.fprintf fmt "  %-28s %6d msgs %10d B@," cls n b)
       r.bus_topic_bytes;
     Format.fprintf fmt
-      "dp: %d mutations, arena %d live slots (%d words, %d garbage, %d compactions)@]"
+      "dp: %d mutations, arena %d live slots (%d words, %d garbage, %d compactions)@,"
       r.dp_mutations r.dp_slots_live r.dp_words_used r.dp_words_garbage
-      r.dp_compactions
+      r.dp_compactions;
+    Format.fprintf fmt
+      "churn: %d scale-outs, %d removed (%d drains done, %d aborted, %d draining), \
+       drain p50=%.2fs max=%.2fs@]"
+      r.churn_scale_outs r.churn_removed r.churn_drains_completed
+      r.churn_drains_aborted r.churn_draining r.churn_drain_p50 r.churn_drain_max
 end
 
 module Aggregator = struct

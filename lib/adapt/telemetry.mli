@@ -62,6 +62,16 @@ module Control : sig
     dp_words_used : int;
     dp_words_garbage : int;
     dp_compactions : int;
+    churn_scale_outs : int;
+        (** deployments elastic placement added ({!Sb_ctrl.System.scale_out}) *)
+    churn_removed : int;  (** deployments retracted after a completed drain *)
+    churn_drains_completed : int;
+    churn_drains_aborted : int;  (** GSB death or timeout mid-drain *)
+    churn_draining : int;  (** drains in flight at snapshot time *)
+    churn_drain_p50 : float;
+        (** median completed-drain duration in sim seconds (0 if none),
+            from the {!Sb_ctrl.System.deployment_churn} reservoir *)
+    churn_drain_max : float;
   }
 
   val snapshot : Sb_ctrl.System.t -> report

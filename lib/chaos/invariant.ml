@@ -18,6 +18,16 @@ type t = {
   (* (chain, tuple) -> VNF instances the connection was pinned to the
      first time its probe succeeded *)
   wan_copies : (int * int, int) Hashtbl.t; (* (msg ordinal, dst site) -> copies *)
+  (* Elastic-placement drain tracking (DESIGN.md section 16). A draining
+     deployment is observable from outside: still deployed, but every
+     instance hidden from the balancer (weight zero). We snapshot its
+     instance ids when we first see that state; when the deployment later
+     vanishes those ids are retired (they must never carry traffic again),
+     and when the instances come back weighted the drain aborted and the
+     deployment is whole again. *)
+  draining : (int * int, int list) Hashtbl.t; (* (vnf, site) -> snapshot ids *)
+  draining_ids : (int, int * int) Hashtbl.t; (* instance -> (vnf, site) *)
+  retired : (int, int * int) Hashtbl.t; (* instance -> (vnf, ex-site) *)
   seen : (string, unit) Hashtbl.t; (* dedup: one report per distinct violation *)
   mutable violations : violation list;
 }
@@ -30,6 +40,9 @@ let create ~sys ~num_sites ~seed =
     chains = Hashtbl.create 8;
     pinned = Hashtbl.create 64;
     wan_copies = Hashtbl.create 4096;
+    draining = Hashtbl.create 4;
+    draining_ids = Hashtbl.create 16;
+    retired = Hashtbl.create 16;
     seen = Hashtbl.create 16;
     violations = [];
   }
@@ -65,6 +78,57 @@ let observe_wan t ~msg ~topic ~src:_ ~dst =
     violate t "bus-single-copy" "message %d sent to non-subscribing site %d (topic %s)"
       msg dst topic
 
+(* ----- drain safety (elastic placement, DESIGN.md section 16) ----- *)
+
+let observe_deployments t =
+  let sys = t.sys in
+  let fabric = System.shard sys in
+  (* Resolve tracked drains first. A deployment that vanished was
+     retracted: at that instant no flow-table cell (any lane, any
+     replica) may still pin a connection to its instances — retracting
+     under a live pin is exactly the blackhole the drain protocol
+     exists to prevent. [Shard.instance_flow_count] still sees the
+     cells after [fail_instance], so a premature retraction is
+     detectable post hoc. A deployment whose instances came back
+     weighted was an aborted drain, restored verbatim. *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.draining []
+  |> List.sort compare
+  |> List.iter (fun ((vnf, site), ids) ->
+         if not (List.mem vnf (System.site_deployed_vnfs sys ~site)) then begin
+           List.iter
+             (fun i ->
+               let live = Shard.instance_flow_count fabric i in
+               if live > 0 then
+                 violate t "drain-safety"
+                   "vnf %d site %d: instance %d retracted with %d established flow(s) still pinned"
+                   vnf site i live;
+               Hashtbl.remove t.draining_ids i;
+               Hashtbl.replace t.retired i (vnf, site))
+             ids;
+           Hashtbl.remove t.draining (vnf, site)
+         end
+         else if System.site_vnf_instances sys ~site ~vnf <> [] then begin
+           List.iter (fun i -> Hashtbl.remove t.draining_ids i) ids;
+           Hashtbl.remove t.draining (vnf, site)
+         end);
+  (* Detect new drains: deployed, but every instance hidden from the
+     balancer. (A site outage that kills the instances looks the same
+     from here; that is harmless — the entry clears itself when they
+     come back, and dead instances cannot take new pins meanwhile.) *)
+  for site = 0 to t.num_sites - 1 do
+    List.iter
+      (fun vnf ->
+        if
+          (not (Hashtbl.mem t.draining (vnf, site)))
+          && System.site_vnf_instances sys ~site ~vnf = []
+        then begin
+          let ids = System.site_vnf_instance_ids sys ~site ~vnf in
+          Hashtbl.replace t.draining (vnf, site) ids;
+          List.iter (fun i -> Hashtbl.replace t.draining_ids i (vnf, site)) ids
+        end)
+      (System.site_deployed_vnfs sys ~site)
+  done
+
 (* ----- data-path invariants, via probes ----- *)
 
 let tuple_str tu = Format.asprintf "%a" Packet.pp_tuple tu
@@ -88,14 +152,45 @@ let probe_invariants t ~strict ~chain (spec : chain_spec) tu =
         (String.concat "," (List.map string_of_int vnfs))
         (String.concat "," (List.map string_of_int spec.vnfs));
     let insts = Shard.instances_in_trace trace in
+    (* Drain safety: a retired instance must never appear in a trace
+       again, and a draining one (weight zero) must never be handed a
+       new connection — only pins established before the drain may
+       still cross it. *)
+    List.iter
+      (fun i ->
+        match Hashtbl.find_opt t.retired i with
+        | Some (vnf, site) ->
+          violate t "drain-safety"
+            "chain %d %s: routed through retired instance %d (vnf %d, ex-site %d)"
+            chain (tuple_str tu) i vnf site
+        | None -> ())
+      insts;
     (match Hashtbl.find_opt t.pinned (chain, tu) with
     | Some prev when prev <> insts ->
-      violate t "flow-affinity" "chain %d %s: instances changed %s -> %s" chain
-        (tuple_str tu)
-        (String.concat "," (List.map string_of_int prev))
-        (String.concat "," (List.map string_of_int insts))
+      if List.exists (fun i -> Hashtbl.mem t.retired i) prev then
+        (* The pinned instances were drained and retracted, and the
+           drain only completes once this connection's flow-table
+           entries are gone — so the old connection ended and the probe
+           just opened a new one. Pin it afresh (the draining check
+           above vetoes it landing on a half-drained deployment). *)
+        Hashtbl.replace t.pinned (chain, tu) insts
+      else
+        violate t "flow-affinity" "chain %d %s: instances changed %s -> %s" chain
+          (tuple_str tu)
+          (String.concat "," (List.map string_of_int prev))
+          (String.concat "," (List.map string_of_int insts))
     | Some _ -> ()
-    | None -> Hashtbl.replace t.pinned (chain, tu) insts);
+    | None ->
+      List.iter
+        (fun i ->
+          match Hashtbl.find_opt t.draining_ids i with
+          | Some (vnf, site) ->
+            violate t "drain-safety"
+              "chain %d %s: new connection pinned to draining instance %d (vnf %d, site %d)"
+              chain (tuple_str tu) i vnf site
+          | None -> ())
+        insts;
+      Hashtbl.replace t.pinned (chain, tu) insts);
     (* Symmetric return: the reply must retrace the same instances in
        reverse. A connection whose forward direction just worked has
        live state end to end, so the reverse must too (in the
@@ -123,6 +218,7 @@ let probe_invariants t ~strict ~chain (spec : chain_spec) tu =
               (String.concat "," (List.map string_of_int insts)))))
 
 let check_probes t ~strict =
+  observe_deployments t;
   Hashtbl.fold (fun chain tuples acc -> (chain, tuples) :: acc) t.chains []
   |> List.sort compare
   |> List.iter (fun (chain, tuples) ->
@@ -148,6 +244,21 @@ let check_quiesce t =
     violate t "2pc-atomicity" "%d transactions still in flight after quiesce" inflight;
   if System.gsb_is_down sys then
     violate t "setup" "gsb still down after quiesce";
+  (* Drain atomicity: once everything has settled, every drain has
+     resolved — completed (deployment gone) or aborted (weights
+     restored). A deployment stuck weightless is a half-done scale-in
+     that neither retracted nor rolled back. *)
+  let churn = System.deployment_churn sys in
+  if churn.System.ch_draining > 0 then
+    violate t "drain-atomicity" "%d drain(s) still in flight after quiesce"
+      churn.System.ch_draining;
+  observe_deployments t;
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.draining []
+  |> List.sort compare
+  |> List.iter (fun (vnf, site) ->
+         violate t "drain-atomicity"
+           "vnf %d site %d: weightless after quiesce (neither retracted nor restored)"
+           vnf site);
   (* Expected committed VNF load per (vnf, site), from the final routes. *)
   let expected = Hashtbl.create 16 in
   let bump vnf site w =

@@ -15,6 +15,22 @@
     The bus single-copy property (Section 6) is monitored continuously
     via {!observe_wan}, plugged into {!Inject.arm}'s [observe] hook.
 
+    {e Drain safety} (elastic placement, DESIGN.md section 16) is
+    observed from the outside, with no wiring into the control loop: a
+    deployment whose every instance has balancer weight zero is
+    draining, and its instance ids are snapshotted
+    ({!Sb_ctrl.System.site_vnf_instance_ids}). From then on, no {e new}
+    connection may pin to those instances (established ones keep them —
+    that is flow affinity). If the deployment later vanishes it was
+    retracted: at that instant no flow-table cell may still pin a
+    connection to the retired instances, and no successful probe may
+    ever traverse them again. If the instances instead come back
+    weighted, the drain aborted (GSB death or timeout) and the
+    deployment must be whole — which the quiesce checks confirm: no
+    drain in flight, and no deployment left weightless (a half-done
+    scale-in that neither retracted nor rolled back breaks scale-in
+    atomicity).
+
     Violations are deduplicated; each distinct one is reported once. *)
 
 type violation = { inv : string; detail : string }

@@ -1,5 +1,5 @@
 type t = {
-  m : Model.t;
+  mutable m : Model.t;
   num_chains : int;
   num_nodes : int;
   num_sites : int;
@@ -19,9 +19,12 @@ type t = {
   stage_vnf : int array;
   (* Per global stage: candidate destination nodes (N_cz^dst, Eq. 2) in
      Model.stage_dst_nodes order, as a CSR span and as the identical shared
-     list (for consumers that sort or pattern-match). *)
-  dst_off : int array;
-  dst_nodes : int array;
+     list (for consumers that sort or pattern-match). The CSR arrays are
+     replaced wholesale by [recompile_deployment] (their sizes track the
+     deployment set); every engine re-reads them through the accessors per
+     call, so swapping the arrays is safe. *)
+  mutable dst_off : int array;
+  mutable dst_nodes : int array;
   dst_lists : int list array;
   src_lists : int list array;
   (* node -> site id (-1 when the node hosts no site), and the site/VNF
@@ -31,14 +34,59 @@ type t = {
   site_node : int array;
   vnf_cpu : float array;
   (* Dense (vnf, site) -> m_sf; 0. when not deployed. Indexed
-     [vnf * num_sites + site]. *)
+     [vnf * num_sites + site]. Fixed size, so [recompile_deployment]
+     refills it in place — [Load_state] holds a permanent alias. *)
   dep_cap : float array;
   (* Per VNF: its deployments as a CSR span, in Model.vnf_sites order
-     (increasing site id) — the iteration order bottleneck scans rely on. *)
-  vdep_off : int array;
-  vdep_site : int array;
-  vdep_cap : float array;
+     (increasing site id) — the iteration order bottleneck scans rely on.
+     Replaced wholesale by [recompile_deployment]. *)
+  mutable vdep_off : int array;
+  mutable vdep_site : int array;
+  mutable vdep_cap : float array;
+  (* Bumped by every [recompile_deployment]; consumers caching
+     deployment-derived state (Load_state's stage-cost cache) compare
+     against it to invalidate. *)
+  mutable dep_epoch : int;
 }
+
+(* CSR pack of the per-stage candidate-node lists. *)
+let build_dst_csr ~total dst_lists =
+  let dst_off = Array.make (max 1 total + 1) 0 in
+  for gz = 0 to total - 1 do
+    dst_off.(gz + 1) <- dst_off.(gz) + List.length dst_lists.(gz)
+  done;
+  let dst_nodes = Array.make (max 1 dst_off.(total)) 0 in
+  for gz = 0 to total - 1 do
+    let k = ref dst_off.(gz) in
+    List.iter
+      (fun n ->
+        dst_nodes.(!k) <- n;
+        incr k)
+      dst_lists.(gz)
+  done;
+  (dst_off, dst_nodes)
+
+(* VNF-deployment CSR; fills the caller's (pre-zeroed) dense [dep_cap]
+   as a side effect. *)
+let build_vdeps m ~nf ~ns dep_cap =
+  let vdep_off = Array.make (nf + 1) 0 in
+  for f = 0 to nf - 1 do
+    vdep_off.(f + 1) <- vdep_off.(f) + List.length (Model.vnf_sites m f)
+  done;
+  let ndep = vdep_off.(nf) in
+  let vdep_site = Array.make (max 1 ndep) 0 in
+  let vdep_cap = Array.make (max 1 ndep) 0. in
+  for f = 0 to nf - 1 do
+    let k = ref vdep_off.(f) in
+    List.iter
+      (fun (s, cap) ->
+        vdep_site.(!k) <- s;
+        vdep_cap.(!k) <- cap;
+        dep_cap.((f * ns) + s) <- cap;
+        incr k)
+      (Model.vnf_sites m f)
+  done;
+  (vdep_off, vdep_site, vdep_cap)
 
 let compile m =
   let nc = Model.num_chains m in
@@ -71,43 +119,15 @@ let compile m =
       src_lists.(gz) <- Model.stage_src_nodes m ~chain:c ~stage:z
     done
   done;
-  let dst_off = Array.make (max 1 total + 1) 0 in
-  for gz = 0 to total - 1 do
-    dst_off.(gz + 1) <- dst_off.(gz) + List.length dst_lists.(gz)
-  done;
-  let dst_nodes = Array.make (max 1 dst_off.(total)) 0 in
-  for gz = 0 to total - 1 do
-    let k = ref dst_off.(gz) in
-    List.iter
-      (fun n ->
-        dst_nodes.(!k) <- n;
-        incr k)
-      dst_lists.(gz)
-  done;
+  let dst_off, dst_nodes = build_dst_csr ~total dst_lists in
   let node_site = Array.make (max 1 nn) (-1) in
   for n = 0 to nn - 1 do
     match Model.site_of_node m n with
     | Some s -> node_site.(n) <- s
     | None -> ()
   done;
-  let vdep_off = Array.make (nf + 1) 0 in
-  for f = 0 to nf - 1 do
-    vdep_off.(f + 1) <- vdep_off.(f) + List.length (Model.vnf_sites m f)
-  done;
-  let ndep = vdep_off.(nf) in
-  let vdep_site = Array.make (max 1 ndep) 0 in
-  let vdep_cap = Array.make (max 1 ndep) 0. in
   let dep_cap = Array.make (max 1 (nf * ns)) 0. in
-  for f = 0 to nf - 1 do
-    let k = ref vdep_off.(f) in
-    List.iter
-      (fun (s, cap) ->
-        vdep_site.(!k) <- s;
-        vdep_cap.(!k) <- cap;
-        dep_cap.((f * ns) + s) <- cap;
-        incr k)
-      (Model.vnf_sites m f)
-  done;
+  let vdep_off, vdep_site, vdep_cap = build_vdeps m ~nf ~ns dep_cap in
   {
     m;
     num_chains = nc;
@@ -132,7 +152,47 @@ let compile m =
     vdep_off;
     vdep_site;
     vdep_cap;
+    dep_epoch = 0;
   }
+
+let recompile_deployment t m' =
+  if
+    Model.num_chains m' <> t.num_chains
+    || Model.num_sites m' <> t.num_sites
+    || Model.num_vnfs m' <> t.num_vnfs
+    || Sb_net.Topology.num_nodes (Model.topology m') <> t.num_nodes
+  then invalid_arg "Instance.recompile_deployment: model shape changed";
+  for c = 0 to t.num_chains - 1 do
+    if Model.num_stages m' c <> t.stage_off.(c + 1) - t.stage_off.(c) then
+      invalid_arg "Instance.recompile_deployment: chain stages changed"
+  done;
+  (* Candidate node sets follow the deployment set; the per-stage list
+     array keeps its length (stage counts are unchanged), so entries are
+     overwritten in place and the CSR arrays rebuilt. *)
+  let total = t.stage_off.(t.num_chains) in
+  for c = 0 to t.num_chains - 1 do
+    let base = t.stage_off.(c) in
+    for z = 0 to t.stage_off.(c + 1) - base - 1 do
+      let gz = base + z in
+      t.dst_lists.(gz) <- Model.stage_dst_nodes m' ~chain:c ~stage:z;
+      t.src_lists.(gz) <- Model.stage_src_nodes m' ~chain:c ~stage:z
+    done
+  done;
+  let dst_off, dst_nodes = build_dst_csr ~total t.dst_lists in
+  t.dst_off <- dst_off;
+  t.dst_nodes <- dst_nodes;
+  (* [dep_cap] is permanently aliased by Load_state: refill in place. *)
+  Array.fill t.dep_cap 0 (Array.length t.dep_cap) 0.;
+  let vdep_off, vdep_site, vdep_cap =
+    build_vdeps m' ~nf:t.num_vnfs ~ns:t.num_sites t.dep_cap
+  in
+  t.vdep_off <- vdep_off;
+  t.vdep_site <- vdep_site;
+  t.vdep_cap <- vdep_cap;
+  t.m <- m';
+  t.dep_epoch <- t.dep_epoch + 1
+
+let deployment_epoch t = t.dep_epoch
 
 let model t = t.m
 let num_chains t = t.num_chains

@@ -8,6 +8,10 @@ type t = {
       (* bumped by every commit; stage-cost cache entries from an older
          generation are invalid (the committed load may touch their links
          or VNF sites) *)
+  mutable dep_seen : int;
+      (* Instance.deployment_epoch this state last synced against; a
+         mismatch means a recompile_deployment happened under us and every
+         cached stage cost may refer to a retired or new deployment *)
   (* Generation-stamped direct-mapped stage-cost cache. A slot is valid iff
      its stamp equals the current generation and its key matches, so a
      commit invalidates everything implicitly — no reset pass, no
@@ -48,6 +52,7 @@ let of_instance inst =
     vnf_loads = Array.make (Instance.num_vnfs inst * Instance.num_sites inst) 0.;
     num_sites = Instance.num_sites inst;
     generation = 0;
+    dep_seen = Instance.deployment_epoch inst;
     cache_keys = [||];
     cache_stamps = [||];
     cache_vals = [||];
@@ -87,6 +92,17 @@ let reset t =
 let model t = Instance.model t.inst
 let instance t = t.inst
 let generation t = t.generation
+
+(* The dense [dep_cap] alias is refilled in place by
+   [Instance.recompile_deployment], so raw reads are always fresh; only
+   the stamped stage-cost cache can go stale. One generation bump orphans
+   it. *)
+let sync_deployment t =
+  let e = Instance.deployment_epoch t.inst in
+  if e <> t.dep_seen then begin
+    t.dep_seen <- e;
+    t.generation <- t.generation + 1
+  end
 
 let site_load t s = t.site_loads.(s)
 let vnf_load t ~vnf ~site = t.vnf_loads.((vnf * t.num_sites) + site)
@@ -239,6 +255,7 @@ let stage_cost_cached t ~util_weight ~chain ~stage ~src ~dst ~compute_cost =
   let delay = Sb_net.Paths.delay (Model.paths (Instance.model t.inst)) src dst in
   if delay = infinity then infinity
   else begin
+    sync_deployment t;
     ensure_cache t;
     cache_set_weight t util_weight;
     let key =

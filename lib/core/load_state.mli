@@ -40,6 +40,16 @@ val generation : t -> int
     commit may touch the links or VNF sites behind a cached entry, so a
     bump conservatively invalidates all of them. *)
 
+val sync_deployment : t -> unit
+(** Catch up with an {!Instance.recompile_deployment} on the underlying
+    instance: if {!Instance.deployment_epoch} moved since this state last
+    looked, bump the generation so every cached stage cost (computed
+    against the old deployment set) is orphaned. The dense capacity view
+    itself is refilled in place by the recompile, so raw utilization
+    reads never go stale — only the cache. Called automatically on the
+    cached {!stage_cost} path; cheap (one int compare) when nothing
+    changed. *)
+
 val site_load : t -> int -> float
 val vnf_load : t -> vnf:int -> site:int -> float
 val link_sb_load : t -> int -> float

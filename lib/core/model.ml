@@ -239,6 +239,27 @@ let with_extra_deployments t extra =
     extra;
   { t with vnf_arr }
 
+let without_deployments t removed =
+  List.iter
+    (fun (f, s) ->
+      if f < 0 || f >= Array.length t.vnf_arr then
+        invalid_arg "Model.without_deployments: unknown vnf";
+      if s < 0 || s >= Array.length t.sites then
+        invalid_arg "Model.without_deployments: unknown site")
+    removed;
+  {
+    t with
+    vnf_arr =
+      Array.mapi
+        (fun f v ->
+          {
+            v with
+            deployments =
+              List.filter (fun (s, _) -> not (List.mem (f, s) removed)) v.deployments;
+          })
+        t.vnf_arr;
+  }
+
 let with_scaled_traffic t factor =
   if factor < 0. then invalid_arg "Model.with_scaled_traffic: negative factor";
   let scale a = Array.map (fun x -> x *. factor) a in

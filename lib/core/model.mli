@@ -142,6 +142,12 @@ val with_extra_deployments : t -> (int * int * float) list -> t
     additional VNF deployments (VNF placement planning, Fig. 13c).
     Deployments that already exist are left unchanged. *)
 
+val without_deployments : t -> (int * int) list -> t
+(** [without_deployments m \[(vnf, site); ...\]] is a copy with the listed
+    VNF deployments removed — the scale-in edit, the inverse of
+    {!with_extra_deployments}. Pairs not currently deployed are ignored;
+    unknown VNF or site ids raise [Invalid_argument]. *)
+
 val with_chain_traffic_factors : t -> float array -> t
 (** Per-chain traffic scaling (one factor per chain) — the time-varying
     traffic-matrix extension sketched in the paper's future work. Raises

@@ -6,84 +6,201 @@ let detour m c node =
   Sb_net.Paths.delay paths (Model.chain_ingress m c) node
   +. Sb_net.Paths.delay paths node (Model.chain_egress m c)
 
-let chain_traffic m c =
+(* ------------------------- constraints ------------------------------- *)
+
+type constraints = {
+  anti_affinity : (int * int) list;
+  cloud_of : int -> int;
+  cloud_capacity : int -> int;
+}
+
+let no_constraints =
+  { anti_affinity = []; cloud_of = (fun _ -> 0); cloud_capacity = (fun _ -> max_int) }
+
+let anti_pairs cons f =
+  List.filter_map
+    (fun (a, b) -> if a = f then Some b else if b = f then Some a else None)
+    cons.anti_affinity
+
+(* ---------------------- packed-instance view -------------------------- *)
+
+(* All scoring reads go through the compiled instance's flat arrays (the
+   stage-VNF span, the unscaled demand bases, the dense (vnf, site)
+   capacity table) instead of re-walking the model's lists — the same
+   answers, but cheap enough for the control loop to call every epoch. *)
+
+let chain_traffic_inst inst c =
+  let fwd = Instance.fwd_base inst and rev = Instance.rev_base inst in
+  let off = Instance.stage_off inst in
   let total = ref 0. in
-  for z = 0 to Model.num_stages m c - 1 do
-    total := !total +. Model.fwd_traffic m ~chain:c ~stage:z +. Model.rev_traffic m ~chain:c ~stage:z
+  for gz = off.(c) to off.(c + 1) - 1 do
+    total := !total +. fwd.(gz) +. rev.(gz)
   done;
-  !total
+  !total *. Instance.scale inst
 
-let chains_using m f =
+let chains_using_inst inst f =
+  let off = Instance.stage_off inst and sv = Instance.stage_vnf inst in
+  let acc = ref [] in
+  for c = Instance.num_chains inst - 1 downto 0 do
+    let uses = ref false in
+    for gz = off.(c) to off.(c + 1) - 1 do
+      if sv.(gz) = f then uses := true
+    done;
+    if !uses then acc := c :: !acc
+  done;
+  !acc
+
+let mean_existing_capacity_inst inst f =
+  let off = Instance.vdep_off inst and cap = Instance.vdep_cap inst in
+  let n = off.(f + 1) - off.(f) in
+  if n = 0 then 0.
+  else begin
+    let total = ref 0. in
+    for k = off.(f) to off.(f + 1) - 1 do
+      total := !total +. cap.(k)
+    done;
+    !total /. float_of_int n
+  end
+
+let deployed inst ~vnf ~site =
+  (Instance.dep_cap inst).((vnf * Instance.num_sites inst) + site) > 0.
+
+let candidate_sites_inst inst f =
   List.filter
-    (fun c -> Array.exists (fun v -> v = f) (Model.chain_vnfs m c))
-    (List.init (Model.num_chains m) (fun c -> c))
+    (fun s -> not (deployed inst ~vnf:f ~site:s))
+    (List.init (Instance.num_sites inst) (fun s -> s))
 
-let mean_existing_capacity m f =
-  match Model.vnf_sites m f with
-  | [] -> 0.
-  | deps ->
-    List.fold_left (fun acc (_, c) -> acc +. c) 0. deps /. float_of_int (List.length deps)
+(* Saturation pressure of a VNF under the live load view: the worst
+   utilization across its current deployments. 0. without telemetry. *)
+let vnf_pressure load inst f =
+  let off = Instance.vdep_off inst and site = Instance.vdep_site inst in
+  let p = ref 0. in
+  for k = off.(f) to off.(f + 1) - 1 do
+    p := Float.max !p (Load_state.vnf_utilization load ~vnf:f ~site:site.(k))
+  done;
+  !p
 
-let candidate_sites m f =
-  let existing = List.map fst (Model.vnf_sites m f) in
-  List.filter
-    (fun s -> not (List.mem s existing))
-    (List.init (Model.num_sites m) (fun s -> s))
+(* Anti-affinity admissibility of opening (f, s): no conflicting VNF may
+   already sit at s (dense table) or have been chosen there this round. *)
+let admissible cons inst ~chosen f s =
+  List.for_all
+    (fun g -> not (deployed inst ~vnf:g ~site:s || List.mem (g, s) chosen))
+    (anti_pairs cons f)
 
-let suggest m ~new_sites_per_vnf =
+(* --------------------------- greedy hint ------------------------------ *)
+
+let suggest_inst ?(constraints = no_constraints) ?load inst ~new_sites_per_vnf =
+  let m = Instance.model inst in
+  let cons = constraints in
+  let cloud_used = Hashtbl.create 8 in
+  let cloud_room s =
+    let k = cons.cloud_of s in
+    let used = Option.value ~default:0 (Hashtbl.find_opt cloud_used k) in
+    used < cons.cloud_capacity k
+  in
+  let take_cloud s =
+    let k = cons.cloud_of s in
+    Hashtbl.replace cloud_used k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt cloud_used k))
+  in
+  let chosen = ref [] in
   let extra = ref [] in
-  for f = 0 to Model.num_vnfs m - 1 do
-    let users = chains_using m f in
+  for f = 0 to Instance.num_vnfs inst - 1 do
+    let users = chains_using_inst inst f in
     let best_existing c =
-      List.fold_left
-        (fun acc (s, _) -> Float.min acc (detour m c (Model.site_node m s)))
-        infinity (Model.vnf_sites m f)
+      let off = Instance.vdep_off inst and dsite = Instance.vdep_site inst in
+      let best = ref infinity in
+      for k = off.(f) to off.(f + 1) - 1 do
+        best := Float.min !best (detour m c (Model.site_node m dsite.(k)))
+      done;
+      !best
     in
+    let pressure = match load with None -> 0. | Some ls -> vnf_pressure ls inst f in
     let score s =
       let node = Model.site_node m s in
-      List.fold_left
-        (fun acc c ->
-          acc +. (chain_traffic m c *. Float.max 0. (best_existing c -. detour m c node)))
-        0. users
+      let gain =
+        List.fold_left
+          (fun acc c ->
+            acc
+            +. chain_traffic_inst inst c
+               *. Float.max 0. (best_existing c -. detour m c node))
+          0. users
+      in
+      (* Telemetry-aware weighting: a saturated VNF's candidates rank
+         higher across VNFs (cloud budgets bite), and a candidate on a
+         compute-starved site is discounted. Without a load view both
+         factors are 1 and the demand-weighted greedy is unchanged. *)
+      match load with
+      | None -> gain
+      | Some ls ->
+        gain *. (1. +. pressure)
+        *. Float.max 0. (1. -. Float.min 1. (Load_state.site_utilization ls s))
     in
     let ranked =
-      candidate_sites m f
+      candidate_sites_inst inst f
       |> List.map (fun s -> (s, score s))
       |> List.sort (fun (_, a) (_, b) -> compare b a)
     in
-    let cap = mean_existing_capacity m f in
-    List.iteri
-      (fun i (s, _) -> if i < new_sites_per_vnf then extra := (f, s, cap) :: !extra)
+    let cap = mean_existing_capacity_inst inst f in
+    let picked = ref 0 in
+    List.iter
+      (fun (s, _) ->
+        if
+          !picked < new_sites_per_vnf
+          && admissible cons inst ~chosen:!chosen f s
+          && cloud_room s
+        then begin
+          incr picked;
+          take_cloud s;
+          chosen := (f, s) :: !chosen;
+          extra := (f, s, cap) :: !extra
+        end)
       ranked
   done;
-  Model.with_extra_deployments m !extra
+  !extra
+
+let suggest ?constraints ?load m ~new_sites_per_vnf =
+  let inst =
+    match load with
+    | Some ls when Load_state.model ls == m -> Load_state.instance ls
+    | _ -> Instance.compile m
+  in
+  Model.with_extra_deployments m
+    (suggest_inst ?constraints ?load inst ~new_sites_per_vnf)
 
 let random ~rng m ~new_sites_per_vnf =
+  let inst = Instance.compile m in
   let extra = ref [] in
   for f = 0 to Model.num_vnfs m - 1 do
-    let candidates = Array.of_list (candidate_sites m f) in
+    let candidates = Array.of_list (candidate_sites_inst inst f) in
     Sb_util.Rng.shuffle rng candidates;
-    let cap = mean_existing_capacity m f in
+    let cap = mean_existing_capacity_inst inst f in
     Array.iteri
       (fun i s -> if i < new_sites_per_vnf then extra := (f, s, cap) :: !extra)
       candidates
   done;
   Model.with_extra_deployments m !extra
 
+(* ------------------------------ MIP ----------------------------------- *)
+
 (* Exact placement on a simplified facility-location MIP: for each VNF,
    fractions y_{c,s} of each using chain's demand served at site s, with
    detour-latency costs, per-deployment capacity, and binary open variables
    w_{f,s} (the paper's Section 4.3 MIP, with routing collapsed to the
-   ingress->site->egress detour). *)
-let mip ?(max_nodes = 2000) m ~new_sites_per_vnf =
+   ingress->site->egress detour). Anti-affinity pairs exclude co-located
+   opens (and opens at a site already hosting the partner); per-cloud
+   budgets cap the new opens per cloud. *)
+let mip ?(max_nodes = 2000) ?(constraints = no_constraints) m ~new_sites_per_vnf =
   let module Lp = Sb_lp.Lp in
+  let cons = constraints in
+  let inst = Instance.compile m in
   let p = Lp.create ~name:"vnf_placement" () in
   let opens = Hashtbl.create 64 in
   let obj = ref [] in
   for f = 0 to Model.num_vnfs m - 1 do
-    let users = chains_using m f in
-    let cap = mean_existing_capacity m f in
-    let candidates = candidate_sites m f in
+    let users = chains_using_inst inst f in
+    let cap = mean_existing_capacity_inst inst f in
+    let candidates = candidate_sites_inst inst f in
     let w_vars =
       List.map
         (fun s ->
@@ -100,7 +217,7 @@ let mip ?(max_nodes = 2000) m ~new_sites_per_vnf =
        candidates; candidate service requires the site to be open. *)
     List.iter
       (fun c ->
-        let demand = chain_traffic m c in
+        let demand = chain_traffic_inst inst c in
         let existing =
           List.map
             (fun (s, site_cap) ->
@@ -123,13 +240,51 @@ let mip ?(max_nodes = 2000) m ~new_sites_per_vnf =
         Lp.add_constraint p (existing @ fresh) Lp.Eq 1.)
       users
   done;
+  (* Anti-affinity: for every conflicting pair, at most one of the two may
+     end up at any site — an open is forbidden outright where the partner
+     is already deployed. *)
+  List.iter
+    (fun (f1, f2) ->
+      for s = 0 to Model.num_sites m - 1 do
+        match (Hashtbl.find_opt opens (f1, s), Hashtbl.find_opt opens (f2, s)) with
+        | Some w1, Some w2 -> Lp.add_constraint p [ (1., w1); (1., w2) ] Lp.Le 1.
+        | Some w1, None when deployed inst ~vnf:f2 ~site:s ->
+          Lp.add_constraint p [ (1., w1) ] Lp.Le 0.
+        | None, Some w2 when deployed inst ~vnf:f1 ~site:s ->
+          Lp.add_constraint p [ (1., w2) ] Lp.Le 0.
+        | _ -> ()
+      done)
+    cons.anti_affinity;
+  (* Per-cloud budget over all new opens landing in the cloud. *)
+  let by_cloud = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (_, s) w ->
+      let k = cons.cloud_of s in
+      Hashtbl.replace by_cloud k (w :: Option.value ~default:[] (Hashtbl.find_opt by_cloud k)))
+    opens;
+  Hashtbl.iter
+    (fun k ws ->
+      let budget = cons.cloud_capacity k in
+      if budget < List.length ws then
+        Lp.add_constraint p
+          (List.map (fun w -> (1., w)) ws)
+          Lp.Le (float_of_int budget))
+    by_cloud;
   Lp.set_objective p Lp.Minimize !obj;
   match Sb_lp.Mip.solve ~max_nodes p with
   | Sb_lp.Mip.Optimal sol | Sb_lp.Mip.Node_limit (Some sol) ->
     let extra = ref [] in
     Hashtbl.iter
       (fun (f, s) w ->
-        if Lp.value sol w > 0.5 then extra := (f, s, mean_existing_capacity m f) :: !extra)
+        if Lp.value sol w > 0.5 then
+          extra := (f, s, mean_existing_capacity_inst inst f) :: !extra)
       opens;
     Some (Model.with_extra_deployments m !extra)
-  | Sb_lp.Mip.Infeasible | Sb_lp.Mip.Unbounded | Sb_lp.Mip.Node_limit None -> None
+  | Sb_lp.Mip.Node_limit None ->
+    Printf.eprintf
+      "Placement.mip: branch-and-bound hit the %d-node limit with no incumbent; \
+       returning no placement (callers should fall back to Placement.suggest).\n\
+       %!"
+      max_nodes;
+    None
+  | Sb_lp.Mip.Infeasible | Sb_lp.Mip.Unbounded -> None

@@ -1,23 +1,77 @@
 (** VNF capacity planning: deployment-site hints (Sections 4.2-4.3,
-    Fig. 13c).
+    Fig. 13c) — and, since the placement loop landed, the online scale-out
+    oracle the control plane consults every epoch.
 
     Given a number of new sites to open per VNF, suggest placements that
     minimize aggregate chain latency. The paper formulates a MIP; at our
     scale a demand-weighted greedy scores each candidate site by the
     latency reduction it offers the chains that traverse the VNF, which is
     the same hint the MIP's LP relaxation prices. The {!random} baseline
-    picks new sites uniformly. Both return an extended model; callers
-    evaluate by re-routing (e.g. with {!Dp_routing.solve}) and comparing
-    mean latency. *)
+    picks new sites uniformly. Scoring walks the compiled
+    {!Instance.t}'s flat arrays (stage-VNF spans, demand bases, the dense
+    capacity table), not the model's lists, so the loop can afford to call
+    it per epoch; an optional live {!Load_state.t} telemetry view weights
+    saturated VNFs up and compute-starved candidate sites down.
 
-val suggest : Model.t -> new_sites_per_vnf:int -> Model.t
-(** Greedy latency-driven placement. New deployments get capacity equal to
-    the mean capacity of the VNF's existing deployments. *)
+    Placement constraints follow the multi-cloud SFC literature
+    (Bhamare et al.'s per-cloud budgets, Allybokus et al.'s anti-affinity
+    rules): {!constraints} carries VNF pairs that must never share a site
+    and a per-cloud cap on new deployments. *)
+
+type constraints = {
+  anti_affinity : (int * int) list;
+      (** VNF id pairs that must not be co-located at one site — neither
+          by a new open next to an existing deployment nor by two new
+          opens. Symmetric; order within a pair is irrelevant. *)
+  cloud_of : int -> int;
+      (** Site -> cloud id (a total function; sites of one provider share
+          an id). The default maps every site to cloud 0. *)
+  cloud_capacity : int -> int;
+      (** Cloud id -> max {e new} deployments this placement round may
+          open there. [max_int] = unbounded. *)
+}
+
+val no_constraints : constraints
+(** No anti-affinity pairs, one unbounded cloud — the legacy behaviour. *)
+
+val suggest_inst :
+  ?constraints:constraints ->
+  ?load:Load_state.t ->
+  Instance.t ->
+  new_sites_per_vnf:int ->
+  (int * int * float) list
+(** The greedy hint as raw [(vnf, site, capacity)] deployments (capacity =
+    mean of the VNF's existing deployments) — what a control loop feeds to
+    scale-out one deployment at a time. Scored from the packed instance;
+    [load] adds the telemetry weighting. Deterministic: VNFs in id order,
+    candidates ranked by score, constraints applied greedily in that
+    order. *)
+
+val suggest :
+  ?constraints:constraints ->
+  ?load:Load_state.t ->
+  Model.t ->
+  new_sites_per_vnf:int ->
+  Model.t
+(** Greedy latency-driven placement, returned as an extended model
+    ({!Model.with_extra_deployments} over {!suggest_inst}). Without
+    [constraints] and [load] this is the legacy demand-weighted greedy,
+    bit-identical. *)
 
 val random : rng:Sb_util.Rng.t -> Model.t -> new_sites_per_vnf:int -> Model.t
 (** Baseline: uniformly random new sites (same capacity rule). *)
 
-val mip : ?max_nodes:int -> Model.t -> new_sites_per_vnf:int -> Model.t option
+val mip :
+  ?max_nodes:int ->
+  ?constraints:constraints ->
+  Model.t ->
+  new_sites_per_vnf:int ->
+  Model.t option
 (** Exact MIP placement on small instances: binary site-open variables
-    layered over the chain-routing LP, solved by branch-and-bound. [None]
-    if the search hits [max_nodes] (default 2000) without an incumbent. *)
+    layered over the chain-routing LP, solved by branch-and-bound, with
+    anti-affinity exclusions and per-cloud budget rows from
+    [constraints]. [None] if the model is infeasible/unbounded {e or} the
+    search hits [max_nodes] (default 2000) without an incumbent — the
+    latter logs a warning to stderr (mirroring
+    {!Eval.max_load_factor_result}'s discipline); callers should fall
+    back to {!suggest} rather than drop the hint. *)

@@ -112,6 +112,20 @@ type local_sb = {
 
 type rollout = Delta_rollout | Full_rollout
 
+(* Deployment-churn counters: how much elastic placement has reshaped the
+   fabric. Scale-outs and retractions are rare control-plane events, so a
+   plain capped list is the drain-duration reservoir. *)
+type churn = {
+  ch_scale_outs : int;  (** deployments added by {!scale_out} *)
+  ch_removed : int;  (** deployments retracted after a completed drain *)
+  ch_drains_completed : int;
+  ch_drains_aborted : int;  (** GSB death or timeout mid-drain *)
+  ch_draining : int;  (** drains in progress right now *)
+  ch_drain_durations : float list;
+      (** wall-clock (sim) seconds of the most recent completed drains,
+          oldest first, capped at 64 *)
+}
+
 type t = {
   eng : Engine.t;
   bus : msg Bus.t;
@@ -147,6 +161,12 @@ type t = {
   mutable persisted_index : int list;
   mutable log_enabled : bool;
   events : (float * string) list ref;
+  mutable churn_scale_outs : int;
+  mutable churn_removed : int;
+  mutable churn_drains_done : int;
+  mutable churn_drains_aborted : int;
+  mutable churn_draining : int;
+  mutable churn_durations : float list; (* newest first, capped at 64 *)
 }
 
 (* Lazy logging in the Logs style: [logf t (fun m -> m "fmt" ...)] only
@@ -939,6 +959,12 @@ let create ?(seed = 11) ?(install_latency = 0.09) ?(egress_rate = 20_000.)
       persisted_index = [];
       log_enabled = true;
       events = ref [];
+      churn_scale_outs = 0;
+      churn_removed = 0;
+      churn_drains_done = 0;
+      churn_drains_aborted = 0;
+      churn_draining = 0;
+      churn_durations = [];
     }
   in
   (* Global Switchboard listens for chain requests. *)
@@ -1281,6 +1307,95 @@ let vnf_committed_load t ~vnf ~site =
       (fun (_, s) load acc -> if s = site then acc +. load else acc)
       v.v_committed 0.
 
+(* ------------------- Elastic placement lifecycle -------------------- *)
+
+let deployment_churn t =
+  {
+    ch_scale_outs = t.churn_scale_outs;
+    ch_removed = t.churn_removed;
+    ch_drains_completed = t.churn_drains_done;
+    ch_drains_aborted = t.churn_drains_aborted;
+    ch_draining = t.churn_draining;
+    ch_drain_durations = List.rev t.churn_durations;
+  }
+
+let scale_out t ~vnf ~site ~capacity ~instances =
+  deploy_vnf t ~vnf ~site ~capacity ~instances;
+  t.churn_scale_outs <- t.churn_scale_outs + 1;
+  logf t (fun m ->
+      m "vnf %d: scale-out at site %d (capacity %g, %d instances)" vnf site
+        capacity instances)
+
+let drain_and_remove t ~vnf ~site ?(poll_interval = 0.25) ?timeout ?on_done () =
+  let v =
+    match Hashtbl.find_opt t.vnf_ctls vnf with
+    | Some v -> v
+    | None -> invalid_arg "System.drain_and_remove: unknown vnf"
+  in
+  let ids =
+    match Hashtbl.find_opt v.v_instances site with
+    | Some ((_ :: _) as l) -> l
+    | Some [] | None ->
+      invalid_arg "System.drain_and_remove: vnf not deployed at site"
+  in
+  let started = Engine.now t.eng in
+  let saved = List.map (fun i -> (i, DP.instance_weight t.fabric i)) ids in
+  (* Phase 1: stop new-flow assignment. Zeroing the balancer weights hides
+     the instances from decentralized pickers ([site_vnf_instances]); the
+     routed path stops sending new connections because the caller has
+     already committed a route set that excludes this site through the
+     delta 2PC. Established connections keep their flow-table pins (flow
+     affinity) and bleed away through the expiry clock. *)
+  List.iter (fun i -> DP.set_instance_weight t.fabric i 0.) ids;
+  t.churn_draining <- t.churn_draining + 1;
+  logf t (fun m ->
+      m "vnf %d: draining %d instance(s) at site %d" vnf (List.length ids) site);
+  let finish ok =
+    t.churn_draining <- t.churn_draining - 1;
+    if ok then begin
+      (* Phase 2: retract. No flow-table cell (any lane, any replica)
+         pins a connection to these instances and the VNF controller
+         holds no committed load here, so failing them blackholes
+         nothing — the drain-safety invariant sb_chaos checks. *)
+      List.iter (fun i -> DP.fail_instance t.fabric i) ids;
+      Hashtbl.remove v.v_instances site;
+      Hashtbl.remove v.v_capacity site;
+      t.churn_removed <- t.churn_removed + 1;
+      t.churn_drains_done <- t.churn_drains_done + 1;
+      let dur = Engine.now t.eng -. started in
+      t.churn_durations <-
+        dur :: List.filteri (fun i _ -> i < 63) t.churn_durations;
+      logf t (fun m ->
+          m "vnf %d: drained and retracted site %d after %.2fs" vnf site dur)
+    end
+    else begin
+      (* Abort: restore the saved weights — the deployment stays exactly
+         as it was before the drain started. Atomicity under coordinator
+         failure: a half-done drain never retracts anything. *)
+      List.iter (fun (i, w) -> DP.set_instance_weight t.fabric i w) saved;
+      t.churn_drains_aborted <- t.churn_drains_aborted + 1;
+      logf t (fun m -> m "vnf %d: drain aborted at site %d" vnf site)
+    end;
+    match on_done with Some f -> f ok | None -> ()
+  in
+  let rec poll () =
+    if t.gsb_down then finish false
+    else if
+      match timeout with
+      | Some tmo -> Engine.now t.eng -. started > tmo
+      | None -> false
+    then finish false
+    else begin
+      let committed = vnf_committed_load t ~vnf ~site in
+      let occ =
+        List.fold_left (fun a i -> a + DP.instance_flow_count t.fabric i) 0 ids
+      in
+      if committed <= 1e-9 && occ = 0 then finish true
+      else ignore (Engine.schedule t.eng ~delay:poll_interval poll)
+    end
+  in
+  ignore (Engine.schedule t.eng ~delay:poll_interval poll)
+
 let set_gsb_down t down =
   if down && not t.gsb_down then begin
     t.gsb_down <- true;
@@ -1339,6 +1454,14 @@ let site_vnf_instances t ~site ~vnf =
                let w = DP.instance_weight t.fabric id in
                if w > 0. then Some (id, w) else None
              else None))
+
+let site_vnf_instance_ids t ~site ~vnf =
+  match Hashtbl.find_opt t.vnf_ctls vnf with
+  | None -> []
+  | Some v -> (
+    match Hashtbl.find_opt v.v_instances site with
+    | None -> []
+    | Some ids -> List.sort compare ids)
 
 let site_vnf_forwarder_weights t ~site ~vnf =
   List.filter_map

@@ -174,6 +174,66 @@ val probe_chain : t -> chain:int -> ?ingress_site:int -> Sb_dataplane.Packet.fiv
 val vnf_committed_load : t -> vnf:int -> site:int -> float
 (** Admission-controlled load the VNF controller has accepted at a site. *)
 
+(** {2 Elastic placement lifecycle (DESIGN.md §16)}
+
+    Deployments become control-loop outputs: a planner ([Sb_adapt.Place])
+    adds a VNF deployment where telemetry shows saturation and retracts
+    one that has gone cold. Rollout rides the same compiled-delta 2PC as
+    route updates — {!scale_out} provisions first and lets the caller's
+    {!update_routes} carry the new site into the committed transition
+    tables, {!drain_and_remove} retracts only after the routes excluding
+    the site have committed {e and} every established connection has
+    drained, so no packet is blackholed mid-transaction. *)
+
+type churn = {
+  ch_scale_outs : int;  (** deployments added by {!scale_out} *)
+  ch_removed : int;  (** deployments retracted after a completed drain *)
+  ch_drains_completed : int;
+  ch_drains_aborted : int;  (** GSB death or timeout mid-drain *)
+  ch_draining : int;  (** drains in progress right now *)
+  ch_drain_durations : float list;
+      (** sim-clock seconds of the most recent completed drains, oldest
+          first, capped at 64 — the reservoir the telemetry exporter
+          summarizes *)
+}
+
+val deployment_churn : t -> churn
+
+val scale_out : t -> vnf:int -> site:int -> capacity:float -> instances:int -> unit
+(** {!deploy_vnf} through the live control loop: registers admission
+    capacity and fabric instances for the VNF at a (possibly brand-new)
+    site and counts the churn. The new deployment carries no traffic
+    until the caller commits a route set using the site via
+    {!update_routes} — the commit's [Instance_info] republish is what
+    hands the new instances to the Local Switchboards, so the scale-out
+    becomes visible atomically with the routes that use it. *)
+
+val drain_and_remove :
+  t ->
+  vnf:int ->
+  site:int ->
+  ?poll_interval:float ->
+  ?timeout:float ->
+  ?on_done:(bool -> unit) ->
+  unit ->
+  unit
+(** Retract a VNF deployment without blackholing a single established
+    connection. Precondition: the caller has already submitted (via
+    {!update_routes}) a route set that excludes this site. The drain then
+    (1) zeroes the instances' balancer weights, so nothing new is
+    assigned to them; (2) polls — every [poll_interval] (default 0.25 s)
+    engine seconds — until the VNF controller's committed load at the
+    site reaches zero (the excluding routes committed) {e and}
+    {!Sb_dataplane.Shard.instance_flow_count} reaches zero for every
+    instance (established flows ended or idled out through the expiry
+    clock); (3) fails the instances and forgets the site's capacity.
+    [on_done true] fires after retraction. If the Global Switchboard dies
+    mid-drain, or [timeout] sim-seconds elapse first, the drain {e
+    aborts}: the saved weights are restored, nothing is retracted, and
+    [on_done false] fires — scale-in is atomic under coordinator failure.
+    Without [timeout] the poll reschedules forever, so drive the engine
+    with [run_until], not run-to-quiescence. *)
+
 (** {2 Controller fault tolerance (Section 4.5)} *)
 
 val set_gsb_down : t -> bool -> unit
@@ -263,6 +323,13 @@ val site_installed_rules :
 val site_vnf_instances : t -> site:int -> vnf:int -> (int * float) list
 (** The site's live fabric instances of a VNF with their load-balancing
     weights, id-sorted; [[]] when the VNF is not deployed there. *)
+
+val site_vnf_instance_ids : t -> site:int -> vnf:int -> int list
+(** Every fabric instance id of the VNF's deployment at the site,
+    id-sorted — including draining (weight-zero) and dead ones; [[]] once
+    the deployment is retracted. {!site_vnf_instances} is the filtered
+    live-picker view; this is the raw census the [sb_chaos] drain-safety
+    checker snapshots when it sees a deployment go weightless. *)
 
 val site_vnf_forwarder_weights : t -> site:int -> vnf:int -> (int * float) list
 (** Per site forwarder, its published aggregate weight for a VNF's local

@@ -271,6 +271,11 @@ val transfer_flows : t -> from_instance:int -> to_instance:int -> int
     instances must run the same VNF (raises [Invalid_argument] otherwise).
     Returns the number of rewritten entries. *)
 
+val instance_flow_count : t -> int -> int
+(** Flow-table cells (all forwarder tables, plus replicas in the
+    replicated store) still pinning a connection hop to the VNF instance
+    — the occupancy a scale-in drain polls until it reaches zero. *)
+
 (** {2 Measurement}
 
     Global Switchboard sizes chain traffic from "measurements at

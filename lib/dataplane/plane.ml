@@ -1369,6 +1369,24 @@ let expire_flows t ~idle_before =
   | None -> ());
   !removed
 
+let instance_flow_count t instance =
+  check_inst t instance;
+  let pi = (instance lsl 2) lor tag_inst in
+  let count = ref 0 in
+  let scan tab =
+    for s = 0 to tab.fcap - 1 do
+      if tab.hk.(s) >= 2 && (tab.fnx.(s) = pi || tab.fpv.(s) = pi) then incr count
+    done
+  in
+  for fd = 0 to t.nf - 1 do
+    scan t.f_tab.(fd)
+  done;
+  (* Replicated copies count too: a crashed-and-revived forwarder would
+     re-serve them, so a drain is only done when they have expired as
+     well. *)
+  (match t.dht with Some d -> Array.iter scan d.stores | None -> ());
+  !count
+
 let transfer_flows t ~from_instance ~to_instance =
   check_inst t from_instance;
   check_inst t to_instance;

@@ -180,6 +180,15 @@ val instances_in_trace : endpoint list -> int list
 val end_flow : t -> Packet.five_tuple -> unit
 val transfer_flows : t -> from_instance:int -> to_instance:int -> int
 
+val instance_flow_count : t -> int -> int
+(** Number of flow-table cells (across every forwarder table and, in the
+    replicated store, every replica) still pinning a connection hop to
+    the given VNF instance — the occupancy a scale-in drain waits on.
+    Zero means no established flow will be steered to the instance, so it
+    can be retracted without blackholing. A connection traversing the
+    instance contributes one cell per table holding its entry. O(sum of
+    table capacities), off the packet path. *)
+
 val set_clock : t -> int -> unit
 (** Set the logical clock (any monotone integer — scenario drivers use
     the workload tick). Every packet stamps the clock onto the flow-table

@@ -142,6 +142,12 @@ let transfer_flows t ~from_instance ~to_instance =
       moved := !moved + Plane.transfer_flows p ~from_instance ~to_instance);
   !moved
 
+let instance_flow_count t instance =
+  (* Lane-private flow state: per-lane occupancies sum. *)
+  let count = ref 0 in
+  mirror t (fun p -> count := !count + Plane.instance_flow_count p instance);
+  !count
+
 (* ----------------------- lane-0 read-only views --------------------- *)
 
 let instance_vnf t id = Plane.instance_vnf t.lanes.(0) id

@@ -116,6 +116,11 @@ val transfer_flows : t -> from_instance:int -> to_instance:int -> int
 (** Mirrored; the per-lane moved counts (each lane owns a disjoint set of
     connections) sum to the single-plane total. *)
 
+val instance_flow_count : t -> int -> int
+(** Summed over lanes: flow-table cells still pinning a connection to the
+    VNF instance — the occupancy a scale-in drain polls until zero (see
+    {!Plane.instance_flow_count}). *)
+
 (** {2 Read-only views} (identical on every lane; served from lane 0) *)
 
 val instance_vnf : t -> int -> int

@@ -307,6 +307,217 @@ let test_anycast_invariants_lane_independent () =
         b.Loop.ep_rerouted)
     r1.Loop.epochs r4.Loop.epochs
 
+(* ------------- elastic placement: drain-safety invariants ------------ *)
+
+module Shard = Sb_dataplane.Shard
+module Place = Sb_adapt.Place
+
+(* A deployment the drain protocol can retract: vnf 0 split across sites
+   1 and 2, routes committed through the full 2PC, a handful of
+   connections established and pinned on site 2, then the chain routed
+   off the site — the scale-in precondition. The checker's own probe
+   connections are registered after the route update, so they pin on the
+   surviving site and stay live across the whole scale-in (its epoch
+   probes refresh them); the site-2 connections are driven manually and
+   idle out when the test advances the expiry clock. *)
+let drain_fixture () =
+  let delay i j = if i = j then 0. else 0.02 in
+  let sys =
+    System.create ~seed:11 ~flow_store:(Fabric.Replicated 2) ~lanes:2
+      ~num_sites:4 ~delay ~gsb_site:0 ()
+  in
+  List.iter
+    (fun (vnf, site) -> System.deploy_vnf sys ~vnf ~site ~capacity:100. ~instances:2)
+    [ (0, 1); (0, 2) ];
+  System.register_edge sys ~site:0 ~attachment:"in";
+  System.register_edge sys ~site:3 ~attachment:"out";
+  System.set_route_policy sys (fun _ ~exclude:_ ->
+      Some
+        [
+          { element_sites = [| 0; 1; 3 |]; weight = 0.5 };
+          { element_sites = [| 0; 2; 3 |]; weight = 0.5 };
+        ]);
+  let chain =
+    System.request_chain sys
+      {
+        spec_name = "drain";
+        ingress_attachment = "in";
+        egress_attachment = "out";
+        vnfs = [ 0 ];
+        traffic = 4.;
+      }
+  in
+  Engine.run (System.engine sys);
+  Alcotest.(check int) "routes committed" 2
+    (List.length (System.chain_routes sys ~chain));
+  let ids2 = System.site_vnf_instance_ids sys ~site:2 ~vnf:0 in
+  let on_site2 trace =
+    List.exists (fun i -> List.mem i ids2) (Shard.instances_in_trace trace)
+  in
+  (* Establish connections until some pin on site 2. *)
+  let rng = Sb_util.Rng.create 23 in
+  let pinned2 = ref [] in
+  for _ = 1 to 12 do
+    let tu = Sb_dataplane.Packet.random_tuple rng in
+    match System.probe_chain sys ~chain tu with
+    | Ok trace -> if on_site2 trace then pinned2 := tu :: !pinned2
+    | Error e -> Alcotest.failf "establish probe failed: %a" Fabric.pp_error e
+  done;
+  Alcotest.(check bool) "some connections pinned on site 2" true (!pinned2 <> []);
+  (* Route the chain off site 2: the scale-in precondition. *)
+  System.update_routes sys ~chain [ { element_sites = [| 0; 1; 3 |]; weight = 1.0 } ];
+  Engine.run (System.engine sys);
+  let iv = Invariant.create ~sys ~num_sites:4 ~seed:11 in
+  Invariant.register_chain iv ~chain ~tuples:6;
+  Invariant.check_epoch iv;
+  (sys, chain, iv, ids2, on_site2, !pinned2)
+
+let check_no_violations what iv =
+  match Invariant.violations iv with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "%s: %s" what
+      (String.concat "; "
+         (List.map (fun v -> Format.asprintf "%a" Invariant.pp_violation v) vs))
+
+let test_drain_retracts_safely () =
+  let sys, chain, iv, _ids2, on_site2, pinned2 = drain_fixture () in
+  let eng = System.engine sys in
+  let done_ = ref [] in
+  System.drain_and_remove sys ~vnf:0 ~site:2 ~timeout:30.
+    ~on_done:(fun ok -> done_ := ok :: !done_) ();
+  (* One poll in: the weights are zero and the checker sees the drain.
+     Connections established before it still cross site 2 (flow
+     affinity), so the drain cannot complete — and must not violate. *)
+  Engine.run_until eng (Engine.now eng +. 0.3);
+  Invariant.check_epoch iv;
+  Alcotest.(check (list bool)) "drain still pending on live flows" [] !done_;
+  List.iter
+    (fun tu ->
+      match System.probe_chain sys ~chain tu with
+      | Ok trace ->
+        Alcotest.(check bool) "established connection still served by site 2" true
+          (on_site2 trace)
+      | Error e -> Alcotest.failf "established probe failed: %a" Fabric.pp_error e)
+    pinned2;
+  (* ... while a brand-new connection must avoid the draining site. *)
+  (match
+     System.probe_chain sys ~chain
+       (Sb_dataplane.Packet.random_tuple (Sb_util.Rng.create 31))
+   with
+  | Ok trace ->
+    Alcotest.(check bool) "new connection avoids draining site" false
+      (on_site2 trace)
+  | Error e -> Alcotest.failf "new-connection probe failed: %a" Fabric.pp_error e);
+  (* The site-2 connections idle out (the checker's own probes were
+     refreshed at tick 5, so they survive the sweep); the next poll
+     retracts. *)
+  let fabric = System.shard sys in
+  Shard.set_clock fabric 5;
+  Invariant.check_epoch iv;
+  ignore (Shard.expire_flows fabric ~idle_before:5);
+  Engine.run_until eng (Engine.now eng +. 2.);
+  Alcotest.(check (list bool)) "drain completed" [ true ] !done_;
+  let ch = System.deployment_churn sys in
+  Alcotest.(check int) "deployment removed" 1 ch.System.ch_removed;
+  Alcotest.(check int) "drain counted" 1 ch.System.ch_drains_completed;
+  Alcotest.(check int) "no abort" 0 ch.System.ch_drains_aborted;
+  Alcotest.(check (list int)) "site 2 census empty" []
+    (System.site_vnf_instance_ids sys ~site:2 ~vnf:0);
+  (* The checker observes the retraction (no flow left pinned to the
+     retired instances) and the strict quiesce probes all pass on the
+     surviving site. *)
+  Invariant.check_epoch iv;
+  Engine.run eng;
+  Invariant.check_quiesce iv;
+  check_no_violations "after completed drain" iv
+
+let test_drain_aborts_atomically_on_gsb_death () =
+  let sys, chain, iv, _ids2, on_site2, pinned2 = drain_fixture () in
+  let eng = System.engine sys in
+  let before = System.site_vnf_instances sys ~site:2 ~vnf:0 in
+  Alcotest.(check bool) "site 2 live before drain" true (before <> []);
+  let done_ = ref [] in
+  System.drain_and_remove sys ~vnf:0 ~site:2 ~timeout:30.
+    ~on_done:(fun ok -> done_ := ok :: !done_) ();
+  Engine.run_until eng (Engine.now eng +. 0.3);
+  Invariant.check_epoch iv;
+  (* The coordinator dies mid-drain: the next poll must abort — saved
+     weights restored, nothing retracted, scale-in atomic. *)
+  System.set_gsb_down sys true;
+  Engine.run_until eng (Engine.now eng +. 0.6);
+  Alcotest.(check (list bool)) "drain aborted" [ false ] !done_;
+  System.set_gsb_down sys false;
+  let ch = System.deployment_churn sys in
+  Alcotest.(check int) "nothing removed" 0 ch.System.ch_removed;
+  Alcotest.(check int) "abort counted" 1 ch.System.ch_drains_aborted;
+  Alcotest.(check int) "no drain in flight" 0 ch.System.ch_draining;
+  Alcotest.(check (list (pair int (float 0.)))) "weights restored verbatim" before
+    (System.site_vnf_instances sys ~site:2 ~vnf:0);
+  (* Every connection keeps its original instances across the abort; the
+     checker clears its drain tracking and the quiesce checks pass. *)
+  List.iter
+    (fun tu ->
+      match System.probe_chain sys ~chain tu with
+      | Ok trace ->
+        Alcotest.(check bool) "connection still on site 2 after abort" true
+          (on_site2 trace)
+      | Error e -> Alcotest.failf "post-abort probe failed: %a" Fabric.pp_error e)
+    pinned2;
+  Invariant.check_epoch iv;
+  Engine.run eng;
+  Invariant.check_quiesce iv;
+  check_no_violations "after aborted drain" iv
+
+(* The whole capability under chaos: the placement-armed closed loop on
+   the flash-crowd scenario, epoch probes running, and the Global
+   Switchboard dying for two epochs inside the flash window — pausing
+   control ticks and aborting any drain in flight. Zero violations
+   (conformity, affinity, symmetry, single-copy, drain safety), and the
+   planner still acts outside the outage. *)
+let test_placement_loop_invariants_under_gsb_outage () =
+  let cfg = { Scenario.smoke_config with Scenario.ticks = 12 } in
+  let sc, _oracle_extras = Scenario.placement_scenario cfg in
+  let params =
+    {
+      Loop.default_params with
+      Loop.seed = cfg.Scenario.seed;
+      placement = Some Place.default_params;
+    }
+  in
+  let num_sites = Model.num_sites sc.Loop.sc_model in
+  let horizon =
+    (float_of_int cfg.Scenario.ticks *. cfg.Scenario.epoch_len) +. 1.
+  in
+  let sched =
+    Sb_chaos.Schedule.of_faults ~seed:cfg.Scenario.seed ~horizon ~num_sites
+      [ Schedule.Gsb_failover { start = 6.2; stop = 8.2 } ]
+  in
+  let rng = Sb_util.Rng.create (cfg.Scenario.seed + 202) in
+  let checker = ref None in
+  let on_system sys =
+    let iv = Invariant.create ~sys ~num_sites ~seed:cfg.Scenario.seed in
+    List.iter
+      (fun chain -> Invariant.register_chain iv ~chain ~tuples:2)
+      (System.chain_ids sys);
+    let eng = System.engine sys in
+    let t0 = Engine.now eng in
+    for e = 0 to cfg.Scenario.ticks - 1 do
+      ignore
+        (Engine.schedule_at eng
+           ~time:(t0 +. ((float_of_int e +. 0.5) *. cfg.Scenario.epoch_len))
+           (fun () -> Invariant.check_epoch iv))
+    done;
+    checker := Some iv;
+    Inject.arm ~sys ~observe:(Invariant.observe_wan iv) ~rng sched
+  in
+  let r = Loop.run ~params ~on_system sc Loop.Closed_loop in
+  Alcotest.(check bool) "planner acted despite the outage" true
+    (r.Loop.total_scale_actions > 0);
+  match !checker with
+  | None -> Alcotest.fail "closed loop never built a system"
+  | Some iv -> check_no_violations "placement loop under GSB outage" iv
+
 let () =
   Alcotest.run "sb_chaos"
     [
@@ -333,5 +544,14 @@ let () =
             test_anycast_degrades_gracefully_under_gsb_loss;
           Alcotest.test_case "anycast invariants hold, lane-independent" `Quick
             test_anycast_invariants_lane_independent;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "drain retracts only after flows end" `Quick
+            test_drain_retracts_safely;
+          Alcotest.test_case "drain aborts atomically on GSB death" `Quick
+            test_drain_aborts_atomically_on_gsb_death;
+          Alcotest.test_case "placement loop invariants under GSB outage" `Quick
+            test_placement_loop_invariants_under_gsb_outage;
         ] );
     ]

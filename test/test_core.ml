@@ -696,6 +696,132 @@ let test_placement_mip_small () =
   | None -> Alcotest.fail "MIP found no placement"
 
 
+(* ---------- deployment edits: the placement-loop substrate ---------- *)
+
+module Instance = Sb_core.Instance
+
+let test_recompile_deployment_switches_view () =
+  let m, c, f0, _ = small_model () in
+  let inst = Instance.compile m in
+  Alcotest.(check int) "epoch starts at 0" 0 (Instance.deployment_epoch inst);
+  let m2 = Model.with_extra_deployments m [ (f0, 2, 50.) ] in
+  Instance.recompile_deployment inst m2;
+  Alcotest.(check int) "epoch bumped" 1 (Instance.deployment_epoch inst);
+  (* The recompiled view matches a fresh compile of the edited model. *)
+  let fresh = Instance.compile m2 in
+  for stage = 0 to Model.num_stages m2 c - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "stage %d dst nodes after scale-out" stage)
+      (Instance.stage_dst_nodes fresh ~chain:c ~stage)
+      (Instance.stage_dst_nodes inst ~chain:c ~stage)
+  done;
+  (* The scale-in edit round-trips back to the original view. *)
+  let m3 = Model.without_deployments m2 [ (f0, 2) ] in
+  Instance.recompile_deployment inst m3;
+  Alcotest.(check int) "epoch bumped again" 2 (Instance.deployment_epoch inst);
+  let orig = Instance.compile m in
+  for stage = 0 to Model.num_stages m c - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "stage %d dst nodes back to original" stage)
+      (Instance.stage_dst_nodes orig ~chain:c ~stage)
+      (Instance.stage_dst_nodes inst ~chain:c ~stage)
+  done
+
+let test_recompile_deployment_rejects_different_shape () =
+  let m, _, _, _ = small_model () in
+  let inst = Instance.compile m in
+  (* Same topology, different site/VNF/chain shape. *)
+  let topo = Topology.line ~delays:[ 0.01; 0.02 ] ~bandwidth:100. in
+  let b = Model.builder topo in
+  let s0 = Model.add_site b ~node:0 ~capacity:100. in
+  let f = Model.add_vnf b ~name:"fw" ~cpu_per_unit:1. in
+  Model.deploy b ~vnf:f ~site:s0 ~capacity:50.;
+  let _ = Model.add_chain b ~ingress:0 ~egress:2 ~vnfs:[ f ] ~fwd:1. () in
+  let other = Model.finalize b () in
+  match Instance.recompile_deployment inst other with
+  | () -> Alcotest.fail "structurally different model accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_without_deployments_validates_ids () =
+  let m, _, f0, f1 = small_model () in
+  (* A pair that is not deployed is ignored: f0 lives at sites 0 and 1. *)
+  let same = Model.without_deployments m [ (f0, 2) ] in
+  for f = 0 to Model.num_vnfs m - 1 do
+    Alcotest.(check bool) "no-op on non-deployed pair" true
+      (Model.vnf_sites same f = Model.vnf_sites m f)
+  done;
+  (match Model.without_deployments m [ (f1, 99) ] with
+  | _ -> Alcotest.fail "unknown site accepted"
+  | exception Invalid_argument _ -> ());
+  match Model.without_deployments m [ (99, 0) ] with
+  | _ -> Alcotest.fail "unknown vnf accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------- placement constraints (§4.3) ------------------- *)
+
+let constrained_model () =
+  synth_model ~params:{ Workload.default with Workload.coverage = 0.25 } ()
+
+let test_placement_anti_affinity_honoured () =
+  let m = constrained_model () in
+  let a = 0 and b = 1 in
+  let cs =
+    { Placement.no_constraints with Placement.anti_affinity = [ (a, b) ] }
+  in
+  let picks =
+    Placement.suggest_inst ~constraints:cs (Instance.compile m)
+      ~new_sites_per_vnf:2
+  in
+  Alcotest.(check bool) "constrained greedy still opens sites" true (picks <> []);
+  (* Neither a new open next to an existing deployment of the partner,
+     nor two new opens at one site. *)
+  let sites v =
+    List.map fst (Model.vnf_sites m v)
+    @ List.filter_map (fun (v', s, _) -> if v' = v then Some s else None) picks
+  in
+  List.iter
+    (fun (v, s, _) ->
+      let partner = if v = a then Some b else if v = b then Some a else None in
+      match partner with
+      | Some p when List.mem s (sites p) ->
+        Alcotest.failf "anti-affinity violated: vnf %d opened at site %d next to vnf %d"
+          v s p
+      | _ -> ())
+    picks
+
+let test_placement_cloud_caps_honoured () =
+  let m = constrained_model () in
+  (* Cloud 0 = even sites, closed; cloud 1 = odd sites, 2 new opens. *)
+  let cs =
+    {
+      Placement.no_constraints with
+      Placement.cloud_of = (fun s -> s mod 2);
+      cloud_capacity = (fun c -> if c = 0 then 0 else 2);
+    }
+  in
+  let picks =
+    Placement.suggest_inst ~constraints:cs (Instance.compile m)
+      ~new_sites_per_vnf:2
+  in
+  Alcotest.(check bool) "open cloud used" true (picks <> []);
+  List.iter
+    (fun (_, s, _) ->
+      if s mod 2 = 0 then Alcotest.failf "opened site %d in the closed cloud" s)
+    picks;
+  Alcotest.(check bool) "per-cloud budget respected" true (List.length picks <= 2)
+
+let test_placement_no_constraints_bit_identical () =
+  let m = constrained_model () in
+  let inst = Instance.compile m in
+  Alcotest.(check bool) "suggest_inst unchanged by explicit no_constraints" true
+    (Placement.suggest_inst inst ~new_sites_per_vnf:2
+    = Placement.suggest_inst ~constraints:Placement.no_constraints inst
+        ~new_sites_per_vnf:2);
+  let lat mm = Routing.propagation_latency (Dp.dp_latency mm) in
+  Alcotest.(check (float 0.)) "suggest unchanged by explicit no_constraints"
+    (lat (Placement.suggest m ~new_sites_per_vnf:2))
+    (lat (Placement.suggest ~constraints:Placement.no_constraints m ~new_sites_per_vnf:2))
+
 (* --------------------------- edge cases ---------------------------- *)
 
 let test_lp_cloud_budget_requires_throughput () =
@@ -1243,6 +1369,20 @@ let () =
             test_placement_suggest_improves_latency;
           Alcotest.test_case "adds requested sites" `Quick test_placement_adds_requested_sites;
           Alcotest.test_case "MIP small instance" `Quick test_placement_mip_small;
+          Alcotest.test_case "anti-affinity honoured" `Quick
+            test_placement_anti_affinity_honoured;
+          Alcotest.test_case "cloud caps honoured" `Quick test_placement_cloud_caps_honoured;
+          Alcotest.test_case "no_constraints bit-identical" `Quick
+            test_placement_no_constraints_bit_identical;
+        ] );
+      ( "deployment_edits",
+        [
+          Alcotest.test_case "recompile switches view" `Quick
+            test_recompile_deployment_switches_view;
+          Alcotest.test_case "recompile rejects different shape" `Quick
+            test_recompile_deployment_rejects_different_shape;
+          Alcotest.test_case "without_deployments validates ids" `Quick
+            test_without_deployments_validates_ids;
         ] );
       ( "multi_endpoint",
         [

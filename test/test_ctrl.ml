@@ -445,6 +445,160 @@ let test_log_is_ordered () =
   Alcotest.(check bool) "timestamps non-decreasing" true
     (List.sort compare times = times)
 
+(* -------------- elastic placement: scale-out round trip -------------- *)
+
+module Shard = Sb_dataplane.Shard
+
+(* Scale-out then drain-and-remove must be an identity on every
+   observable: committed routes, installed rule keys, admission ledger,
+   instance census and balancer behaviour. We run the full lifecycle on
+   one system — open a deployment, route through it, carry connections,
+   route back off, drain, retract — while a twin system only carries the
+   same connections, and compare the two afterwards. The twins stay
+   comparable because both see the same packets in the same order, so
+   their (seeded) balancer draw streams stay aligned. *)
+
+let build_scale_twin ~lanes ~flow_store () =
+  let delay i j = if i = j then 0. else 0.02 in
+  let sys =
+    S.create ~seed:11 ~flow_store ~lanes ~num_sites:6 ~delay ~gsb_site:0 ()
+  in
+  List.iter
+    (fun (vnf, site) -> S.deploy_vnf sys ~vnf ~site ~capacity:100. ~instances:2)
+    [ (0, 1); (0, 2) ];
+  S.register_edge sys ~site:0 ~attachment:"in";
+  S.register_edge sys ~site:3 ~attachment:"out";
+  S.set_route_policy sys (fun _ ~exclude:_ ->
+      Some
+        [
+          { T.element_sites = [| 0; 1; 3 |]; weight = 0.5 };
+          { T.element_sites = [| 0; 2; 3 |]; weight = 0.5 };
+        ]);
+  let chain =
+    S.request_chain sys
+      {
+        T.spec_name = "round-trip";
+        ingress_attachment = "in";
+        egress_attachment = "out";
+        vnfs = [ 0 ];
+        traffic = 4.;
+      }
+  in
+  E.run (S.engine sys);
+  (sys, chain)
+
+let scale_round_trip ~lanes ~flow_store ~seed ~scale_site =
+  let fail fmt = QCheck.Test.fail_reportf fmt in
+  let a, ca = build_scale_twin ~lanes ~flow_store () in
+  let b, cb = build_scale_twin ~lanes ~flow_store () in
+  Fun.protect ~finally:(fun () ->
+      Shard.shutdown (S.shard a);
+      Shard.shutdown (S.shard b))
+  @@ fun () ->
+  S.scale_out a ~vnf:0 ~site:scale_site ~capacity:100. ~instances:2;
+  S.update_routes a ~chain:ca
+    [
+      { T.element_sites = [| 0; 1; 3 |]; weight = 0.4 };
+      { T.element_sites = [| 0; 2; 3 |]; weight = 0.3 };
+      { T.element_sites = [| 0; scale_site; 3 |]; weight = 0.3 };
+    ];
+  E.run (S.engine a);
+  (* The same connections arrive at both twins; on [a] some pin on the
+     scaled-out site. *)
+  let rng = Sb_util.Rng.create seed in
+  for _ = 1 to 10 do
+    let tu = Packet.random_tuple rng in
+    (match S.probe_chain a ~chain:ca tu with
+    | Ok _ -> ()
+    | Error e -> fail "mid-lifecycle probe failed on a: %a" Fabric.pp_error e);
+    match S.probe_chain b ~chain:cb tu with
+    | Ok _ -> ()
+    | Error e -> fail "mid-lifecycle probe failed on twin: %a" Fabric.pp_error e
+  done;
+  S.update_routes a ~chain:ca
+    [
+      { T.element_sites = [| 0; 1; 3 |]; weight = 0.5 };
+      { T.element_sites = [| 0; 2; 3 |]; weight = 0.5 };
+    ];
+  E.run (S.engine a);
+  let done_ = ref [] in
+  S.drain_and_remove a ~vnf:0 ~site:scale_site ~timeout:30.
+    ~on_done:(fun ok -> done_ := ok :: !done_) ();
+  (* The connections end their lifetime — on both twins alike. *)
+  List.iter
+    (fun sys ->
+      let f = S.shard sys in
+      Shard.set_clock f 5;
+      ignore (Shard.expire_flows f ~idle_before:5))
+    [ a; b ];
+  E.run (S.engine a);
+  if !done_ <> [ true ] then fail "drain did not complete";
+  let ch = S.deployment_churn a in
+  if
+    ch.S.ch_scale_outs <> 1 || ch.S.ch_removed <> 1
+    || ch.S.ch_drains_completed <> 1
+    || ch.S.ch_drains_aborted <> 0
+    || ch.S.ch_draining <> 0
+  then fail "churn ledger off: %d/%d/%d/%d/%d" ch.S.ch_scale_outs ch.S.ch_removed
+      ch.S.ch_drains_completed ch.S.ch_drains_aborted ch.S.ch_draining;
+  (* State equality with the never-scaled twin. *)
+  if S.chain_routes a ~chain:ca <> S.chain_routes b ~chain:cb then
+    fail "routes differ after round trip";
+  for site = 0 to 5 do
+    for vnf = 0 to 0 do
+      if
+        S.site_vnf_instance_ids a ~site ~vnf
+        <> S.site_vnf_instance_ids b ~site ~vnf
+      then fail "instance census differs at site %d" site;
+      if S.site_vnf_instances a ~site ~vnf <> S.site_vnf_instances b ~site ~vnf
+      then fail "live instances/weights differ at site %d" site;
+      let la = S.vnf_committed_load a ~vnf ~site
+      and lb = S.vnf_committed_load b ~vnf ~site in
+      if Float.abs (la -. lb) > 1e-9 then
+        fail "committed load differs at site %d: %f vs %f" site la lb
+    done;
+    (* The scaled site may keep superseded rule versions; everywhere else
+       the installed keys must match exactly. *)
+    if
+      site <> scale_site
+      && List.map fst (S.site_installed_rules a ~site)
+         <> List.map fst (S.site_installed_rules b ~site)
+    then fail "installed rule keys differ at site %d" site
+  done;
+  (* Behavioural equality: fresh connections balance identically. *)
+  let rng = Sb_util.Rng.create (seed + 1) in
+  for _ = 1 to 10 do
+    let tu = Packet.random_tuple rng in
+    match (S.probe_chain a ~chain:ca tu, S.probe_chain b ~chain:cb tu) with
+    | Ok ta, Ok tb ->
+      if Shard.instances_in_trace ta <> Shard.instances_in_trace tb then
+        fail "fresh connection pinned differently after round trip";
+      if
+        Shard.vnfs_in_trace (S.shard a) ta <> Shard.vnfs_in_trace (S.shard b) tb
+      then fail "fresh connection traversed different VNFs"
+    | Error e, _ -> fail "post-round-trip probe failed on a: %a" Fabric.pp_error e
+    | _, Error e ->
+      fail "post-round-trip probe failed on twin: %a" Fabric.pp_error e
+  done;
+  true
+
+let prop_scale_round_trip =
+  QCheck.Test.make
+    ~name:"scale-out then drain-and-remove is an identity (stores x lanes)"
+    ~count:12
+    QCheck.(pair (int_range 1 10_000) bool)
+    (fun (seed, high_site) ->
+      let scale_site = if high_site then 5 else 4 in
+      List.for_all
+        (fun (lanes, flow_store) ->
+          scale_round_trip ~lanes ~flow_store ~seed ~scale_site)
+        [
+          (1, Fabric.Local);
+          (1, Fabric.Replicated 2);
+          (4, Fabric.Local);
+          (4, Fabric.Replicated 2);
+        ])
+
 let () =
   Alcotest.run "sb_ctrl"
     [
@@ -496,4 +650,5 @@ let () =
           Alcotest.test_case "addition steps (Table 2)" `Quick test_edge_site_addition_steps;
           Alcotest.test_case "traffic flows from new edge" `Quick test_edge_site_traffic_flows;
         ] );
+      ("placement_lifecycle", [ QCheck_alcotest.to_alcotest prop_scale_round_trip ]);
     ]
